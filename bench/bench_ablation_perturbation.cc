@@ -1,0 +1,51 @@
+// Extension experiment (supports the paper's §III-D argument): searched
+// *real* counterfactuals (Fairwos, Eq. 11-12) versus fabricated ones
+// (PerturbCF, a NIFTY-style perturbation of the pseudo-sensitive
+// attributes). Both share the encoder, the backbone, the α-normalized
+// consistency objective, and the model-selection rule — the only
+// difference is where the counterfactuals come from.
+//
+//   ./bench_ablation_perturbation [--scale 20] [--trials 3]
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fairwos::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  BenchOptions bench = ParseBenchOptions(flags);
+  std::printf(
+      "counterfactual-source ablation: searched (Fairwos) vs fabricated "
+      "(PerturbCF)\n\n");
+  for (const std::string dataset_name : {"bail", "credit", "nba"}) {
+    data::DatasetOptions data_options;
+    data_options.scale = bench.scale;
+    data_options.seed = bench.seed;
+    auto ds = DieOnError(data::MakeDataset(dataset_name, data_options));
+    eval::TablePrinter table(
+        {"dataset", "method", "ACC (^)", "dSP (v)", "dEO (v)"});
+    for (const std::string name : {"vanilla", "perturbcf", "fairwos"}) {
+      baselines::MethodOptions options =
+          MakeMethodOptions(bench, nn::Backbone::kGcn, dataset_name);
+      auto method = DieOnError(baselines::MakeMethod(name, options));
+      auto agg = DieOnError(
+          eval::RunRepeated(method.get(), ds, bench.trials, bench.seed));
+      table.AddRow({ds.name, method->name(), AccCell(agg), DspCell(agg),
+                    DeoCell(agg)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Expected shape (paper §III-D): fabricated counterfactuals ignore the "
+      "correlations between pseudo-sensitive attributes and the rest of the "
+      "graph, so PerturbCF trades more utility for less fairness gain than "
+      "the searched counterfactuals.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairwos::bench
+
+int main(int argc, char** argv) { return fairwos::bench::Main(argc, argv); }

@@ -1,0 +1,64 @@
+// Extension experiment (not a paper figure): robustness of the fairness
+// gain. Real deployments see noisier features and missing edges than the
+// training snapshot; a fairness method whose advantage evaporates under
+// perturbation is not deployable. We corrupt the dataset (feature noise /
+// edge dropout / masked attributes) and re-measure vanilla vs Fairwos.
+//
+//   ./bench_ablation_robustness [--dataset credit] [--scale 20] [--trials 3]
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/augment.h"
+
+namespace fairwos::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  BenchOptions bench = ParseBenchOptions(flags);
+  const std::string dataset_name = flags.GetString("dataset", "credit");
+  data::DatasetOptions data_options;
+  data_options.scale = bench.scale;
+  data_options.seed = bench.seed;
+  auto clean = DieOnError(data::MakeDataset(dataset_name, data_options));
+  std::printf("robustness of the fairness gain on %s (GCN)\n\n",
+              clean.name.c_str());
+
+  common::Rng rng(bench.seed);
+  struct Corruption {
+    const char* name;
+    data::Dataset ds;
+  };
+  std::vector<Corruption> corruptions;
+  corruptions.push_back({"clean", clean});
+  corruptions.push_back(
+      {"feature noise 0.3", data::WithFeatureNoise(clean, 0.3, &rng)});
+  corruptions.push_back(
+      {"edge dropout 50%", data::WithEdgeDropout(clean, 0.5, &rng)});
+  corruptions.push_back(
+      {"20% attrs masked", data::WithMaskedAttributes(clean, 0.2, &rng)});
+
+  eval::TablePrinter table({"corruption", "method", "ACC (^)", "dSP (v)",
+                            "dEO (v)"});
+  for (const auto& corruption : corruptions) {
+    for (const std::string name : {"vanilla", "fairwos"}) {
+      baselines::MethodOptions options =
+          MakeMethodOptions(bench, nn::Backbone::kGcn, dataset_name);
+      auto method = DieOnError(baselines::MakeMethod(name, options));
+      auto agg = DieOnError(eval::RunRepeated(method.get(), corruption.ds,
+                                              bench.trials, bench.seed));
+      table.AddRow({corruption.name, method->name(), AccCell(agg),
+                    DspCell(agg), DeoCell(agg)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected: Fairwos keeps a fairness advantage over the vanilla "
+      "backbone under every corruption, with graceful utility decay.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairwos::bench
+
+int main(int argc, char** argv) { return fairwos::bench::Main(argc, argv); }

@@ -1,0 +1,76 @@
+// Shared plumbing for the table/figure bench binaries: flag parsing into
+// harness options and the paper-shaped row formatting.
+#ifndef FAIRWOS_BENCH_BENCH_COMMON_H_
+#define FAIRWOS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/registry.h"
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+namespace fairwos::bench {
+
+/// Knobs every bench accepts; reproduce at paper scale with --scale 1.
+struct BenchOptions {
+  double scale = 20.0;     // node-count divisor for the synthetic datasets
+  int64_t trials = 3;      // paper: 10 repetitions
+  int64_t epochs = 300;    // pre-training epochs (paper: 1000, GPU)
+  uint64_t seed = 42;
+  std::string backbone = "gcn";
+};
+
+inline BenchOptions ParseBenchOptions(const common::CliFlags& flags) {
+  BenchOptions out;
+  out.scale = flags.GetDouble("scale", out.scale);
+  out.trials = flags.GetInt("trials", out.trials);
+  out.epochs = flags.GetInt("epochs", out.epochs);
+  out.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  out.backbone = flags.GetString("backbone", out.backbone);
+  return out;
+}
+
+/// Builds MethodOptions from bench options for one backbone. When a
+/// dataset name is given, Fairwos uses the per-dataset α from the
+/// validation grid search (paper §V-A4); pass "" for the global default.
+inline baselines::MethodOptions MakeMethodOptions(
+    const BenchOptions& bench, nn::Backbone backbone,
+    const std::string& dataset_name = "") {
+  baselines::MethodOptions options;
+  options.backbone = backbone;
+  options.train.epochs = bench.epochs;
+  if (!dataset_name.empty()) {
+    options.fairwos.alpha = baselines::RecommendedAlpha(dataset_name, backbone);
+  }
+  options.fairwos.finetune_lr = baselines::RecommendedFinetuneLr(backbone);
+  return options;
+}
+
+/// "12.34 ± 0.56" cells for the three paper metrics.
+inline std::string AccCell(const eval::AggregateMetrics& m) {
+  return common::FormatMeanStd(m.acc.mean, m.acc.stddev);
+}
+inline std::string DspCell(const eval::AggregateMetrics& m) {
+  return common::FormatMeanStd(m.dsp.mean, m.dsp.stddev);
+}
+inline std::string DeoCell(const eval::AggregateMetrics& m) {
+  return common::FormatMeanStd(m.deo.mean, m.deo.stddev);
+}
+
+/// Prints a status line and aborts on error — bench binaries fail fast.
+template <typename T>
+T DieOnError(common::Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace fairwos::bench
+
+#endif  // FAIRWOS_BENCH_BENCH_COMMON_H_

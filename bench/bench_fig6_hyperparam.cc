@@ -1,0 +1,69 @@
+// Reproduces Fig. 6: hyper-parameter sensitivity of Fairwos on the Bail
+// dataset — the fairness-regularization weight α and the number of
+// counterfactuals K. The paper's observation: increasing either improves
+// fairness until a threshold where utility drops.
+//
+//   ./bench_fig6_hyperparam [--dataset bail] [--scale 20] [--trials 3]
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fairwos::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  BenchOptions bench = ParseBenchOptions(flags);
+  const std::string dataset_name = flags.GetString("dataset", "bail");
+
+  data::DatasetOptions data_options;
+  data_options.scale = bench.scale;
+  data_options.seed = bench.seed;
+  auto ds = DieOnError(data::MakeDataset(dataset_name, data_options));
+  std::printf("Fig. 6 reproduction — hyper-parameter study on %s (GCN)\n\n",
+              ds.name.c_str());
+
+  // α sweep at fixed K (paper Fig. 6 left). The paper sweeps a relative
+  // range {0.01, 0.02, 0.04, 0.08}; our loss normalisation differs by the
+  // anchor-mean, so the sweep covers the same two-decades span around the
+  // default (DESIGN.md §4).
+  {
+    eval::TablePrinter table({"alpha", "ACC (^)", "dSP (v)", "dEO (v)"});
+    for (double alpha : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      baselines::MethodOptions options =
+          MakeMethodOptions(bench, nn::Backbone::kGcn);
+      options.fairwos.alpha = alpha;
+      auto method = DieOnError(baselines::MakeMethod("fairwos", options));
+      auto agg = DieOnError(
+          eval::RunRepeated(method.get(), ds, bench.trials, bench.seed));
+      table.AddRow({common::StrFormat("%.2f", alpha), AccCell(agg),
+                    DspCell(agg), DeoCell(agg)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // K sweep at fixed α (paper Fig. 6 right).
+  {
+    eval::TablePrinter table({"K", "ACC (^)", "dSP (v)", "dEO (v)"});
+    for (int64_t k : {1, 2, 3, 4}) {
+      baselines::MethodOptions options =
+          MakeMethodOptions(bench, nn::Backbone::kGcn);
+      options.fairwos.counterfactual.top_k = k;
+      auto method = DieOnError(baselines::MakeMethod("fairwos", options));
+      auto agg = DieOnError(
+          eval::RunRepeated(method.get(), ds, bench.trials, bench.seed));
+      table.AddRow({std::to_string(k), AccCell(agg), DspCell(agg),
+                    DeoCell(agg)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Expected shape (paper Fig. 6): fairness improves with alpha and K up "
+      "to a threshold; past it utility degrades.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairwos::bench
+
+int main(int argc, char** argv) { return fairwos::bench::Main(argc, argv); }

@@ -1,0 +1,60 @@
+// Reproduces Fig. 8: training-time comparison of Fairwos, its ablation
+// variants, and all baselines on the NBA dataset (mean ± std over repeated
+// runs), for GCN and GIN backbones.
+//
+//   ./bench_fig8_runtime [--scale 20] [--trials 3] [--backbone both]
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fairwos::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  BenchOptions bench = ParseBenchOptions(flags);
+  bench.backbone = flags.GetString("backbone", "both");
+  std::vector<nn::Backbone> backbones;
+  if (bench.backbone == "both") {
+    backbones = {nn::Backbone::kGcn, nn::Backbone::kGin};
+  } else {
+    backbones = {DieOnError(nn::ParseBackbone(bench.backbone))};
+  }
+
+  const std::string dataset_name = "nba";
+  data::DatasetOptions data_options;
+  data_options.scale = bench.scale;
+  data_options.seed = bench.seed;
+  auto ds = DieOnError(data::MakeDataset(dataset_name, data_options));
+  std::printf("Fig. 8 reproduction — runtime on %s (%lld trials each)\n\n",
+              ds.name.c_str(), static_cast<long long>(bench.trials));
+
+  const std::vector<std::string> methods = {
+      "vanilla",      "remover",      "ksmote",       "fairrf", "fairgkd",
+      "fairwos-wo-e", "fairwos-wo-f", "fairwos-wo-w", "fairwos"};
+  for (nn::Backbone backbone : backbones) {
+    eval::TablePrinter table(
+        {"backbone", "method", "train seconds (mean ± std)"});
+    for (const auto& name : methods) {
+      baselines::MethodOptions options = MakeMethodOptions(bench, backbone, dataset_name);
+      auto method = DieOnError(baselines::MakeMethod(name, options));
+      auto agg = DieOnError(
+          eval::RunRepeated(method.get(), ds, bench.trials, bench.seed));
+      table.AddRow({nn::BackboneName(backbone), method->name(),
+                    common::StrFormat("%.3f ± %.3f", agg.seconds.mean,
+                                      agg.seconds.stddev)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "Expected shape (paper Fig. 8): RemoveR fastest; FairGKD slowest "
+      "(two teachers + distillation); Fwos w/o E slower than full Fairwos "
+      "(fairness promotion on every raw attribute); Fwos w/o F and w/o W "
+      "faster than full Fairwos.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairwos::bench
+
+int main(int argc, char** argv) { return fairwos::bench::Main(argc, argv); }

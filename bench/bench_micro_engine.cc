@@ -1,0 +1,118 @@
+// Engine micro-benchmarks (google-benchmark): the hot kernels behind every
+// experiment — dense/sparse matrix products, autograd round trips, the
+// counterfactual search, and the KKT λ-solver. Not a paper figure; used to
+// track the substrate's performance.
+#include <benchmark/benchmark.h>
+
+#include "core/counterfactual.h"
+#include "core/lambda_solver.h"
+#include "data/synthetic.h"
+#include "graph/graph.h"
+#include "nn/gnn.h"
+#include "tensor/ops.h"
+
+namespace fairwos {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::RandNormal({n, n}, 1.0f, &rng);
+  tensor::Tensor b = tensor::Tensor::RandNormal({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(2);
+  graph::Graph g(n);
+  // ~10 average degree random graph.
+  for (int64_t e = 0; e < 5 * n; ++e) {
+    g.AddEdge(rng.UniformInt(n), rng.UniformInt(n));
+  }
+  auto adj = g.GcnNormalizedAdjacency();
+  tensor::Tensor x = tensor::Tensor::RandNormal({n, 16}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::SpMM(adj, x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj->nnz() * 16);
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(10000);
+
+void BM_AutogradRoundTrip(benchmark::State& state) {
+  // One GCN-classifier forward + backward on a synthetic graph.
+  const int64_t n = state.range(0);
+  common::Rng rng(3);
+  graph::Graph g(n);
+  for (int64_t e = 0; e < 5 * n; ++e) {
+    g.AddEdge(rng.UniformInt(n), rng.UniformInt(n));
+  }
+  nn::GnnConfig config;
+  config.in_features = 16;
+  config.hidden = 16;
+  nn::GnnClassifier model(config, g, &rng);
+  tensor::Tensor x = tensor::Tensor::RandNormal({n, 16}, 1.0f, &rng);
+  std::vector<int> labels(static_cast<size_t>(n));
+  std::vector<int64_t> train;
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = static_cast<int>(rng.Bernoulli(0.5));
+    if (i % 2 == 0) train.push_back(i);
+  }
+  for (auto _ : state) {
+    model.ZeroGrad();
+    tensor::Tensor logits = model.Forward(x, /*training=*/true, &rng);
+    tensor::SoftmaxCrossEntropy(logits, labels, train).Backward();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AutogradRoundTrip)->Arg(1000)->Arg(5000);
+
+void BM_CounterfactualSearch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(4);
+  tensor::Tensor emb = tensor::Tensor::RandNormal({n, 16}, 1.0f, &rng);
+  std::vector<std::vector<uint8_t>> bins(
+      static_cast<size_t>(n), std::vector<uint8_t>(16));
+  std::vector<int> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = static_cast<int>(rng.Bernoulli(0.5));
+    for (auto& b : bins[static_cast<size_t>(i)]) {
+      b = static_cast<uint8_t>(rng.Bernoulli(0.5));
+    }
+  }
+  core::CounterfactualConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::FindCounterfactuals(emb, bins, labels, config, &rng));
+  }
+}
+BENCHMARK(BM_CounterfactualSearch)->Arg(1000)->Arg(5000);
+
+void BM_LambdaSolver(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::Rng rng(5);
+  std::vector<double> d(static_cast<size_t>(n));
+  for (auto& v : d) v = rng.Uniform(0.0, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SolveLambda(d, 1.0, false));
+  }
+}
+BENCHMARK(BM_LambdaSolver)->Arg(16)->Arg(768);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  data::DatasetOptions options;
+  options.scale = 20.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::MakeDataset("bail", options));
+  }
+}
+BENCHMARK(BM_DatasetGeneration);
+
+}  // namespace
+}  // namespace fairwos
+
+BENCHMARK_MAIN();

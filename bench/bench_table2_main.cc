@@ -1,0 +1,72 @@
+// Reproduces Table II: node-classification performance (ACC / ΔSP / ΔEO,
+// mean ± std) of Vanilla\S, RemoveR, KSMOTE, FairRF, FairGKD\S and Fairwos
+// on the six benchmark datasets, for GCN and GIN backbones.
+//
+//   ./bench_table2_main [--scale 20] [--trials 3] [--epochs 300]
+//                       [--backbone gcn|gin|both] [--datasets bail,nba]
+//                       [--methods vanilla,fairwos]
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace fairwos::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  BenchOptions bench = ParseBenchOptions(flags);
+  bench.backbone = flags.GetString("backbone", "both");
+
+  std::vector<std::string> datasets = data::BenchmarkNames();
+  if (flags.Has("datasets")) {
+    datasets = common::Split(flags.GetString("datasets", ""), ',');
+  }
+  std::vector<std::string> methods = {"vanilla", "remover", "ksmote",
+                                      "fairrf",  "fairgkd", "fairwos"};
+  if (flags.Has("methods")) {
+    methods = common::Split(flags.GetString("methods", ""), ',');
+  }
+  std::vector<nn::Backbone> backbones;
+  if (bench.backbone == "both") {
+    backbones = {nn::Backbone::kGcn, nn::Backbone::kGin};
+  } else {
+    backbones = {DieOnError(nn::ParseBackbone(bench.backbone))};
+  }
+
+  std::printf(
+      "Table II reproduction — %lld trial(s), scale 1/%.0f, %lld pretrain "
+      "epochs\n\n",
+      static_cast<long long>(bench.trials), bench.scale,
+      static_cast<long long>(bench.epochs));
+
+  for (const std::string& dataset_name : datasets) {
+    data::DatasetOptions data_options;
+    data_options.scale = bench.scale;
+    data_options.seed = bench.seed;
+    auto ds = DieOnError(data::MakeDataset(dataset_name, data_options));
+    std::printf("=== %s (%lld nodes, %lld attrs, %lld edges) ===\n",
+                ds.name.c_str(), static_cast<long long>(ds.num_nodes()),
+                static_cast<long long>(ds.num_attrs()),
+                static_cast<long long>(ds.graph.num_edges()));
+    for (nn::Backbone backbone : backbones) {
+      eval::TablePrinter table({"backbone", "method", "ACC (^)", "dSP (v)",
+                                "dEO (v)"});
+      for (const std::string& method_name : methods) {
+        baselines::MethodOptions options = MakeMethodOptions(bench, backbone, dataset_name);
+        auto method = DieOnError(
+            baselines::MakeMethod(method_name, options));
+        auto agg = DieOnError(eval::RunRepeated(method.get(), ds,
+                                                bench.trials, bench.seed));
+        table.AddRow({nn::BackboneName(backbone), method->name(),
+                      AccCell(agg), DspCell(agg), DeoCell(agg)});
+      }
+      std::printf("%s\n", table.Render().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairwos::bench
+
+int main(int argc, char** argv) { return fairwos::bench::Main(argc, argv); }

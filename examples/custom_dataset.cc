@@ -1,0 +1,152 @@
+// Bring-your-own-graph: assemble a fairwos::data::Dataset from CSV files
+// (edge list + node table) and train Fairwos on it.
+//
+// The example first writes a small demo dataset to the chosen directory so
+// it is runnable out of the box, then loads it back through the public I/O
+// APIs — the exact path a downstream user follows with real files.
+//
+// Node table format (CSV with header):  label,sens,attr0,attr1,...
+// Edge list format (CSV with header):   src,dst
+//
+//   ./examples/custom_dataset [--dir /tmp] [--seed 5]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "core/fairwos.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "fairness/metrics.h"
+#include "graph/graph.h"
+
+namespace {
+
+using fairwos::common::CsvTable;
+using fairwos::common::Status;
+
+/// Writes a demo node table + edge list derived from the toy generator.
+Status WriteDemoFiles(const std::string& nodes_path,
+                      const std::string& edges_path, uint64_t seed) {
+  fairwos::data::DatasetOptions options;
+  options.seed = seed;
+  auto ds = fairwos::data::MakeDataset("toy", options).value();
+  CsvTable nodes;
+  nodes.header = {"label", "sens"};
+  for (int64_t j = 0; j < ds.num_attrs(); ++j) {
+    nodes.header.push_back("attr" + std::to_string(j));
+  }
+  for (int64_t i = 0; i < ds.num_nodes(); ++i) {
+    std::vector<std::string> row = {
+        std::to_string(ds.labels[static_cast<size_t>(i)]),
+        std::to_string(ds.sens[static_cast<size_t>(i)])};
+    for (int64_t j = 0; j < ds.num_attrs(); ++j) {
+      row.push_back(fairwos::common::StrFormat("%.5f", ds.features.at(i, j)));
+    }
+    nodes.rows.push_back(std::move(row));
+  }
+  FW_RETURN_IF_ERROR(fairwos::common::WriteCsv(nodes_path, nodes));
+  CsvTable edges;
+  edges.header = {"src", "dst"};
+  for (int64_t u = 0; u < ds.num_nodes(); ++u) {
+    for (int64_t v : ds.graph.Neighbors(u)) {
+      if (u < v) {
+        edges.rows.push_back({std::to_string(u), std::to_string(v)});
+      }
+    }
+  }
+  return fairwos::common::WriteCsv(edges_path, edges);
+}
+
+/// Loads a Dataset from the two CSVs; this is the reusable recipe.
+fairwos::common::Result<fairwos::data::Dataset> LoadCustomDataset(
+    const std::string& nodes_path, const std::string& edges_path,
+    uint64_t seed) {
+  FW_ASSIGN_OR_RETURN(CsvTable nodes,
+                      fairwos::common::ReadCsv(nodes_path, true));
+  const int64_t n = static_cast<int64_t>(nodes.rows.size());
+  if (n == 0) return Status::InvalidArgument("empty node table");
+  const int64_t num_attrs = static_cast<int64_t>(nodes.header.size()) - 2;
+  if (num_attrs <= 0) {
+    return Status::InvalidArgument("node table needs label,sens,attrs...");
+  }
+  fairwos::data::Dataset ds;
+  ds.name = "custom";
+  ds.label_name = "label";
+  ds.sens_name = "sens";
+  std::vector<float> x(static_cast<size_t>(n * num_attrs));
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& row = nodes.rows[static_cast<size_t>(i)];
+    if (static_cast<int64_t>(row.size()) != num_attrs + 2) {
+      return Status::InvalidArgument("ragged node table row");
+    }
+    FW_ASSIGN_OR_RETURN(int64_t label, fairwos::common::ParseInt(row[0]));
+    FW_ASSIGN_OR_RETURN(int64_t sens, fairwos::common::ParseInt(row[1]));
+    ds.labels.push_back(static_cast<int>(label));
+    ds.sens.push_back(static_cast<int>(sens));
+    for (int64_t j = 0; j < num_attrs; ++j) {
+      FW_ASSIGN_OR_RETURN(double v, fairwos::common::ParseDouble(
+                                        row[static_cast<size_t>(j + 2)]));
+      x[static_cast<size_t>(i * num_attrs + j)] = static_cast<float>(v);
+    }
+  }
+  ds.features = fairwos::tensor::Tensor::FromVector({n, num_attrs}, std::move(x));
+  fairwos::data::StandardizeColumns(&ds.features);
+  FW_ASSIGN_OR_RETURN(ds.graph,
+                      fairwos::graph::LoadEdgeListCsv(edges_path, true, n));
+  fairwos::common::Rng rng(seed);
+  ds.split = fairwos::data::MakeSplit(n, &rng);
+  FW_RETURN_IF_ERROR(fairwos::data::ValidateDataset(ds));
+  return ds;
+}
+
+int Main(int argc, char** argv) {
+  auto flags_or = fairwos::common::CliFlags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& flags = flags_or.value();
+  const std::string dir = flags.GetString("dir", "/tmp");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+  const std::string nodes_path = dir + "/fairwos_demo_nodes.csv";
+  const std::string edges_path = dir + "/fairwos_demo_edges.csv";
+
+  Status demo = WriteDemoFiles(nodes_path, edges_path, seed);
+  if (!demo.ok()) {
+    std::fprintf(stderr, "%s\n", demo.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote demo files:\n  %s\n  %s\n\n", nodes_path.c_str(),
+              edges_path.c_str());
+
+  auto ds_or = LoadCustomDataset(nodes_path, edges_path, seed);
+  if (!ds_or.ok()) {
+    std::fprintf(stderr, "%s\n", ds_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& ds = ds_or.value();
+  std::printf("loaded custom dataset: %lld nodes, %lld attrs, %lld edges\n",
+              static_cast<long long>(ds.num_nodes()),
+              static_cast<long long>(ds.num_attrs()),
+              static_cast<long long>(ds.graph.num_edges()));
+
+  fairwos::core::FairwosConfig config;
+  config.pretrain_epochs = 200;
+  fairwos::core::FairwosMethod method("Fairwos", config);
+  auto metrics_or = fairwos::eval::RunTrial(&method, ds, seed);
+  if (!metrics_or.ok()) {
+    std::fprintf(stderr, "%s\n", metrics_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& m = metrics_or.value();
+  std::printf(
+      "Fairwos on the custom graph: ACC %.2f%%  dSP %.2f%%  dEO %.2f%%  "
+      "(%.2fs)\n",
+      m.acc, m.dsp, m.deo, m.seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

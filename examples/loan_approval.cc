@@ -1,0 +1,100 @@
+// The paper's Fig. 1 motivating scenario: loan approval on a social graph.
+//
+// Users have non-sensitive features (income, debt, account age, ...) plus a
+// postal-code block that is strongly correlated with the hidden race
+// attribute. Users connect to similar users (and to same-race users, via
+// residential segregation). A vanilla GNN trained to predict repayment
+// absorbs the racial signal through the postal-code proxy and the topology;
+// Fairwos trains on exactly the same data — race never enters training —
+// and removes most of the gap.
+//
+//   ./examples/loan_approval [--applicants 1500] [--seed 3] [--trials 3]
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "fairness/metrics.h"
+
+namespace {
+
+using fairwos::data::Dataset;
+
+/// Builds the loan graph via the synthetic generator with a profile shaped
+/// like the running example: few attributes, a strong postal-code proxy
+/// block, residentially segregated edges.
+Dataset BuildLoanGraph(int64_t applicants, uint64_t seed) {
+  fairwos::data::SyntheticSpec spec;
+  spec.name = "loan-approval";
+  spec.label_name = "approve/reject";
+  spec.sens_name = "race";
+  spec.num_nodes = applicants;
+  spec.num_attrs = 12;           // income, debts, history... + postal codes
+  spec.avg_degree = 12.0;
+  spec.group1_fraction = 0.35;   // minority group
+  spec.sens_label_shift = 1.0;   // historical approval gap in the labels
+  spec.proxy_strength = 1.6;     // postal code ~ race
+  spec.num_proxy_attrs = 3;
+  spec.num_informative_attrs = 6;
+  spec.homophily_sens = 0.65;    // residential segregation
+  spec.homophily_label = 0.30;
+  spec.label_noise = 0.08;
+  return fairwos::data::GenerateSynthetic(spec, seed);
+}
+
+int Main(int argc, char** argv) {
+  auto flags_or = fairwos::common::CliFlags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& flags = flags_or.value();
+  const int64_t applicants = flags.GetInt("applicants", 1500);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+  const int64_t trials = flags.GetInt("trials", 3);
+
+  Dataset ds = BuildLoanGraph(applicants, seed);
+  std::vector<int64_t> all(static_cast<size_t>(ds.num_nodes()));
+  for (int64_t i = 0; i < ds.num_nodes(); ++i) all[static_cast<size_t>(i)] = i;
+  std::printf(
+      "loan graph: %lld applicants, %lld edges; historical approval gap in "
+      "the labels: %.1f%%\n\n",
+      static_cast<long long>(ds.num_nodes()),
+      static_cast<long long>(ds.graph.num_edges()),
+      fairwos::fairness::StatisticalParityGapPct(ds.labels, ds.sens, all));
+
+  fairwos::baselines::MethodOptions options;
+  fairwos::eval::TablePrinter table(
+      {"method", "ACC %", "approval-rate gap dSP %", "opportunity gap dEO %"});
+  for (const std::string name : {"vanilla", "remover", "fairwos"}) {
+    auto method_or = fairwos::baselines::MakeMethod(name, options);
+    if (!method_or.ok()) {
+      std::fprintf(stderr, "%s\n", method_or.status().ToString().c_str());
+      return 1;
+    }
+    auto agg_or =
+        fairwos::eval::RunRepeated(method_or.value().get(), ds, trials, seed);
+    if (!agg_or.ok()) {
+      std::fprintf(stderr, "%s\n", agg_or.status().ToString().c_str());
+      return 1;
+    }
+    const auto& agg = agg_or.value();
+    table.AddRow({method_or.value()->name(),
+                  fairwos::common::FormatMeanStd(agg.acc.mean, agg.acc.stddev),
+                  fairwos::common::FormatMeanStd(agg.dsp.mean, agg.dsp.stddev),
+                  fairwos::common::FormatMeanStd(agg.deo.mean,
+                                                 agg.deo.stddev)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Race was never visible during training; the gap comes from postal "
+      "codes and segregated connections — and Fairwos closes most of it.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,78 @@
+// Quickstart: train a vanilla GCN and Fairwos on a small synthetic graph
+// with a hidden sensitive attribute, and compare utility vs fairness.
+//
+//   ./examples/quickstart [--dataset toy] [--seed 7] [--trials 3]
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+namespace {
+
+using fairwos::baselines::MakeMethod;
+using fairwos::baselines::MethodOptions;
+
+int Main(int argc, char** argv) {
+  auto flags_or = fairwos::common::CliFlags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto& flags = flags_or.value();
+  const std::string dataset_name = flags.GetString("dataset", "toy");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const int64_t trials = flags.GetInt("trials", 3);
+
+  // 1. Build (or load) a dataset. The sensitive attribute ds.sens exists
+  //    only for evaluation — no method ever reads it during training.
+  fairwos::data::DatasetOptions data_options;
+  data_options.seed = seed;
+  auto ds_or = fairwos::data::MakeDataset(dataset_name, data_options);
+  if (!ds_or.ok()) {
+    std::fprintf(stderr, "%s\n", ds_or.status().ToString().c_str());
+    return 1;
+  }
+  const fairwos::data::Dataset& ds = ds_or.value();
+  std::printf("dataset %s: %lld nodes, %lld attrs, %lld edges (avg deg %.1f)\n",
+              ds.name.c_str(), static_cast<long long>(ds.num_nodes()),
+              static_cast<long long>(ds.num_attrs()),
+              static_cast<long long>(ds.graph.num_edges()),
+              ds.graph.AverageDegree());
+
+  // 2. Run the vanilla backbone and Fairwos through the same harness.
+  MethodOptions options;  // GCN backbone, paper-default hyper-parameters
+  fairwos::eval::TablePrinter table(
+      {"method", "ACC %", "dSP %", "dEO %", "sec"});
+  for (const std::string name : {"vanilla", "fairwos"}) {
+    auto method_or = MakeMethod(name, options);
+    if (!method_or.ok()) {
+      std::fprintf(stderr, "%s\n", method_or.status().ToString().c_str());
+      return 1;
+    }
+    auto agg_or =
+        fairwos::eval::RunRepeated(method_or.value().get(), ds, trials, seed);
+    if (!agg_or.ok()) {
+      std::fprintf(stderr, "%s\n", agg_or.status().ToString().c_str());
+      return 1;
+    }
+    const auto& agg = agg_or.value();
+    table.AddRow({method_or.value()->name(),
+                  fairwos::common::FormatMeanStd(agg.acc.mean, agg.acc.stddev),
+                  fairwos::common::FormatMeanStd(agg.dsp.mean, agg.dsp.stddev),
+                  fairwos::common::FormatMeanStd(agg.deo.mean, agg.deo.stddev),
+                  fairwos::common::StrFormat("%.2f", agg.seconds.mean)});
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf(
+      "Fairwos should cut the parity gaps (dSP, dEO) while keeping ACC close "
+      "to the vanilla backbone.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

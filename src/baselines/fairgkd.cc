@@ -1,0 +1,130 @@
+#include "baselines/fairgkd.h"
+
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "fairness/metrics.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace fairwos::baselines {
+namespace {
+
+/// Trains the feature-only MLP teacher and returns its soft predictions
+/// (softmax probabilities) for every node.
+tensor::Tensor TrainMlpTeacher(const FairGkdConfig& config,
+                               const TrainOptions& train,
+                               const data::Dataset& ds, common::Rng* rng) {
+  nn::Mlp mlp({ds.num_attrs(), config.mlp_hidden, 2}, /*dropout=*/0.5f, rng);
+  nn::Adam opt(mlp.parameters(), train.lr, 0.9f, 0.999f, 1e-8f,
+               train.weight_decay);
+  auto best_snapshot = nn::SnapshotParameters(mlp);
+  double best_val = -1.0;
+  int64_t since_best = 0;
+  for (int64_t epoch = 0; epoch < config.teacher_epochs; ++epoch) {
+    opt.ZeroGrad();
+    tensor::Tensor logits = mlp.Forward(ds.features, /*training=*/true, rng);
+    tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train).Backward();
+    opt.Step();
+    tensor::NoGradGuard no_grad;
+    auto eval = nn::PredictFromLogits(
+        mlp.Forward(ds.features, /*training=*/false, rng));
+    const double val_acc =
+        fairness::AccuracyPct(eval.pred, ds.labels, ds.split.val);
+    if (val_acc > best_val) {
+      best_val = val_acc;
+      best_snapshot = nn::SnapshotParameters(mlp);
+      since_best = 0;
+    } else if (train.patience > 0 && ++since_best >= train.patience) {
+      break;
+    }
+  }
+  nn::RestoreParameters(mlp, best_snapshot);
+  tensor::NoGradGuard no_grad;
+  return tensor::Softmax(mlp.Forward(ds.features, /*training=*/false, rng))
+      .DetachCopy();
+}
+
+/// Trains the structure-only GNN teacher; soft predictions for all nodes.
+tensor::Tensor TrainStructureTeacher(const FairGkdConfig& config,
+                                     const TrainOptions& train,
+                                     const nn::GnnConfig& backbone,
+                                     const data::Dataset& ds,
+                                     common::Rng* rng) {
+  tensor::Tensor struct_features = StructureOnlyFeatures(ds.graph);
+  nn::GnnConfig gnn = backbone;
+  gnn.in_features = struct_features.dim(1);
+  nn::GnnClassifier teacher(gnn, ds.graph, rng);
+  TrainOptions teacher_train = train;
+  teacher_train.epochs = config.teacher_epochs;
+  TrainClassifier(teacher_train, ds, struct_features, /*penalty=*/nullptr,
+                  &teacher, rng);
+  tensor::NoGradGuard no_grad;
+  return tensor::Softmax(
+             teacher.Forward(struct_features, /*training=*/false, rng))
+      .DetachCopy();
+}
+
+}  // namespace
+
+tensor::Tensor StructureOnlyFeatures(const graph::Graph& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<float> features(static_cast<size_t>(n * 2));
+  for (int64_t v = 0; v < n; ++v) {
+    const double deg = static_cast<double>(g.Degree(v));
+    double neighbor_deg = 0.0;
+    for (int64_t u : g.Neighbors(v)) {
+      neighbor_deg += static_cast<double>(g.Degree(u));
+    }
+    if (deg > 0.0) neighbor_deg /= deg;
+    features[static_cast<size_t>(v * 2)] = static_cast<float>(deg);
+    features[static_cast<size_t>(v * 2 + 1)] =
+        static_cast<float>(neighbor_deg);
+  }
+  tensor::Tensor out = tensor::Tensor::FromVector({n, 2}, std::move(features));
+  data::StandardizeColumns(&out);
+  return out;
+}
+
+common::Result<core::MethodOutput> FairGkdMethod::Run(const data::Dataset& ds,
+                                                      uint64_t seed) {
+  FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
+  if (config_.gamma < 0.0) {
+    return common::Status::InvalidArgument("gamma must be non-negative");
+  }
+  common::Stopwatch watch;
+  common::Rng rng(seed);
+
+  // Stage 1: two partial-knowledge teachers.
+  tensor::Tensor feature_soft = TrainMlpTeacher(config_, train_, ds, &rng);
+  tensor::Tensor structure_soft =
+      TrainStructureTeacher(config_, train_, gnn_, ds, &rng);
+  // Averaged soft target.
+  tensor::Tensor target;
+  {
+    tensor::NoGradGuard no_grad;
+    target = tensor::MulScalar(tensor::Add(feature_soft, structure_soft), 0.5f)
+                 .DetachCopy();
+  }
+
+  // Stage 2: distill into the student on all nodes.
+  std::vector<int64_t> all_nodes(static_cast<size_t>(ds.num_nodes()));
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  const float gamma = static_cast<float>(config_.gamma);
+  PenaltyFn penalty = [&target, &all_nodes, gamma](
+                          const tensor::Tensor& /*h*/,
+                          const tensor::Tensor& logits) {
+    return tensor::MulScalar(
+        tensor::SoftCrossEntropy(logits, target, all_nodes), gamma);
+  };
+
+  nn::GnnConfig gnn = gnn_;
+  gnn.in_features = ds.num_attrs();
+  nn::GnnClassifier student(gnn, ds.graph, &rng);
+  TrainClassifier(train_, ds, ds.features, penalty, &student, &rng);
+  core::MethodOutput out = MakeOutput(student, ds.features, &rng);
+  out.train_seconds = watch.Seconds();
+  return out;
+}
+
+}  // namespace fairwos::baselines

@@ -1,0 +1,47 @@
+// FairGKD\S (Zhu et al., WSDM'24) re-implemented from its description:
+// two teachers trained on *partial* data — a feature-only MLP teacher and a
+// structure-only GNN teacher — are distilled into the student GNN. The
+// intuition: neither teacher sees the full bias-carrying signal, so their
+// averaged soft predictions pull the student toward fairer behaviour. The
+// multi-stage training is what makes FairGKD the slowest method in the
+// paper's Fig. 8 runtime comparison.
+#ifndef FAIRWOS_BASELINES_FAIRGKD_H_
+#define FAIRWOS_BASELINES_FAIRGKD_H_
+
+#include <string>
+
+#include "baselines/train_util.h"
+
+namespace fairwos::baselines {
+
+struct FairGkdConfig {
+  /// Weight of the distillation term.
+  double gamma = 1.0;
+  /// Hidden width of the feature-only MLP teacher.
+  int64_t mlp_hidden = 16;
+  /// Epochs for each teacher (students use TrainOptions::epochs).
+  int64_t teacher_epochs = 200;
+};
+
+class FairGkdMethod : public core::FairMethod {
+ public:
+  FairGkdMethod(nn::GnnConfig gnn, TrainOptions train, FairGkdConfig config)
+      : gnn_(gnn), train_(train), config_(config) {}
+
+  std::string name() const override { return "FairGKD\\S"; }
+  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
+                                         uint64_t seed) override;
+
+ private:
+  nn::GnnConfig gnn_;
+  TrainOptions train_;
+  FairGkdConfig config_;
+};
+
+/// Structure-only node descriptors for the structure teacher: degree and
+/// mean neighbour degree, standardized. Exposed for tests.
+tensor::Tensor StructureOnlyFeatures(const graph::Graph& g);
+
+}  // namespace fairwos::baselines
+
+#endif  // FAIRWOS_BASELINES_FAIRGKD_H_

@@ -1,0 +1,82 @@
+#include "baselines/fairrf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "tensor/ops.h"
+
+namespace fairwos::baselines {
+
+common::Result<core::MethodOutput> FairRFMethod::Run(const data::Dataset& ds,
+                                                     uint64_t seed) {
+  FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
+  if (config_.related_fraction <= 0.0 || config_.related_fraction > 1.0) {
+    return common::Status::InvalidArgument(
+        "related_fraction must be in (0, 1]");
+  }
+  common::Stopwatch watch;
+  common::Rng rng(seed);
+  const std::vector<int64_t>& train_idx = ds.split.train;
+  const int64_t t = static_cast<int64_t>(train_idx.size());
+
+  // Related-feature list (domain-knowledge stand-in).
+  std::vector<int64_t> ranked = RankAttributesBySuspicion(ds, &rng);
+  int64_t n_related = std::clamp<int64_t>(
+      static_cast<int64_t>(std::llround(config_.related_fraction *
+                                        static_cast<double>(ds.num_attrs()))),
+      1, ds.num_attrs());
+  ranked.resize(static_cast<size_t>(n_related));
+
+  // Pre-centered related columns over the train split, as [T, 1] constants.
+  // cov(margin, x) = E[margin · x_centered] because E[x_centered] = 0, so
+  // the penalty Σ_f cov² needs only Mean/Mul of existing ops.
+  std::vector<tensor::Tensor> centered_columns;
+  for (int64_t j : ranked) {
+    std::vector<float> column(static_cast<size_t>(t));
+    double mean = 0.0;
+    for (int64_t r = 0; r < t; ++r) {
+      column[static_cast<size_t>(r)] =
+          ds.features.at(train_idx[static_cast<size_t>(r)], j);
+      mean += column[static_cast<size_t>(r)];
+    }
+    mean /= static_cast<double>(t);
+    for (auto& v : column) v -= static_cast<float>(mean);
+    centered_columns.push_back(
+        tensor::Tensor::FromVector({t, 1}, std::move(column)));
+  }
+
+  const float beta = static_cast<float>(config_.beta);
+  PenaltyFn penalty = [&centered_columns, &train_idx, beta](
+                          const tensor::Tensor& /*h*/,
+                          const tensor::Tensor& logits) {
+    tensor::Tensor margin = tensor::Rows(LogitMargin(logits), train_idx);
+    // Penalise the squared *correlation*, not the raw covariance: the
+    // margin's scale grows during training, and an unnormalized penalty
+    // would dominate the task loss (features are standardized, so only the
+    // margin variance needs dividing out).
+    tensor::Tensor mean = tensor::Mean(margin);
+    tensor::Tensor variance = tensor::AddScalar(
+        tensor::Sub(tensor::Mean(tensor::Mul(margin, margin)),
+                    tensor::Mul(mean, mean)),
+        1e-6f);
+    tensor::Tensor total;
+    for (const auto& xc : centered_columns) {
+      tensor::Tensor cov = tensor::Mean(tensor::Mul(margin, xc));
+      tensor::Tensor corr_sq = tensor::Div(tensor::Mul(cov, cov), variance);
+      total = total.defined() ? tensor::Add(total, corr_sq) : corr_sq;
+    }
+    if (!total.defined()) return tensor::Tensor();
+    return tensor::MulScalar(total, beta);
+  };
+
+  nn::GnnConfig gnn = gnn_;
+  gnn.in_features = ds.num_attrs();
+  nn::GnnClassifier model(gnn, ds.graph, &rng);
+  TrainClassifier(train_, ds, ds.features, penalty, &model, &rng);
+  core::MethodOutput out = MakeOutput(model, ds.features, &rng);
+  out.train_seconds = watch.Seconds();
+  return out;
+}
+
+}  // namespace fairwos::baselines

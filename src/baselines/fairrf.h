@@ -1,0 +1,39 @@
+// FairRF (Zhao et al., WSDM'22) adapted to GNN backbones: minimizes the
+// covariance between the prediction margin and each sensitive-*related*
+// feature (paper §V-A3). The related-feature list, which the original
+// method takes as domain knowledge, is derived with the same clustering
+// heuristic RemoveR uses.
+#ifndef FAIRWOS_BASELINES_FAIRRF_H_
+#define FAIRWOS_BASELINES_FAIRRF_H_
+
+#include <string>
+
+#include "baselines/train_util.h"
+
+namespace fairwos::baselines {
+
+struct FairRFConfig {
+  /// Fraction of attributes treated as sensitive-related.
+  double related_fraction = 0.25;
+  /// Weight of the correlation penalty.
+  double beta = 0.05;
+};
+
+class FairRFMethod : public core::FairMethod {
+ public:
+  FairRFMethod(nn::GnnConfig gnn, TrainOptions train, FairRFConfig config)
+      : gnn_(gnn), train_(train), config_(config) {}
+
+  std::string name() const override { return "FairRF"; }
+  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
+                                         uint64_t seed) override;
+
+ private:
+  nn::GnnConfig gnn_;
+  TrainOptions train_;
+  FairRFConfig config_;
+};
+
+}  // namespace fairwos::baselines
+
+#endif  // FAIRWOS_BASELINES_FAIRRF_H_

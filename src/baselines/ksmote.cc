@@ -1,0 +1,60 @@
+#include "baselines/ksmote.h"
+
+#include "common/stopwatch.h"
+#include "eval/kmeans.h"
+#include "tensor/ops.h"
+
+namespace fairwos::baselines {
+
+common::Result<core::MethodOutput> KSmoteMethod::Run(const data::Dataset& ds,
+                                                     uint64_t seed) {
+  FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
+  if (config_.clusters < 2) {
+    return common::Status::InvalidArgument("need at least 2 clusters");
+  }
+  common::Stopwatch watch;
+  common::Rng rng(seed);
+
+  // Pseudo-groups from attribute clustering.
+  auto clustering =
+      eval::KMeans(ds.features.data(), ds.num_nodes(), ds.num_attrs(),
+                   config_.clusters, /*max_iters=*/50, &rng);
+  // Training nodes per pseudo-group (groups with < 2 train nodes are
+  // skipped by the penalty; their mean would be pure noise).
+  std::vector<std::vector<int64_t>> group_train(
+      static_cast<size_t>(config_.clusters));
+  for (int64_t v : ds.split.train) {
+    group_train[static_cast<size_t>(
+                    clustering.assignment[static_cast<size_t>(v)])]
+        .push_back(v);
+  }
+
+  const float beta = static_cast<float>(config_.beta);
+  const std::vector<int64_t>& train_idx = ds.split.train;
+  PenaltyFn penalty = [&group_train, &train_idx, beta](
+                          const tensor::Tensor& /*h*/,
+                          const tensor::Tensor& logits) {
+    tensor::Tensor margin = LogitMargin(logits);
+    tensor::Tensor global_mean = tensor::Mean(tensor::Rows(margin, train_idx));
+    tensor::Tensor total;
+    for (const auto& members : group_train) {
+      if (members.size() < 2) continue;
+      tensor::Tensor group_mean = tensor::Mean(tensor::Rows(margin, members));
+      tensor::Tensor gap = tensor::Sub(group_mean, global_mean);
+      tensor::Tensor sq = tensor::Mul(gap, gap);
+      total = total.defined() ? tensor::Add(total, sq) : sq;
+    }
+    if (!total.defined()) return tensor::Tensor();
+    return tensor::MulScalar(total, beta);
+  };
+
+  nn::GnnConfig gnn = gnn_;
+  gnn.in_features = ds.num_attrs();
+  nn::GnnClassifier model(gnn, ds.graph, &rng);
+  TrainClassifier(train_, ds, ds.features, penalty, &model, &rng);
+  core::MethodOutput out = MakeOutput(model, ds.features, &rng);
+  out.train_seconds = watch.Seconds();
+  return out;
+}
+
+}  // namespace fairwos::baselines

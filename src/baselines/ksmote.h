@@ -1,0 +1,37 @@
+// KSMOTE (Yan, Kao & Ferrara, CIKM'20) adapted to GNN backbones as in the
+// paper §V-A3: k-means over the node attributes yields pseudo-groups, and
+// training regularizes the prediction so that every pseudo-group's mean
+// logit margin matches the global mean.
+#ifndef FAIRWOS_BASELINES_KSMOTE_H_
+#define FAIRWOS_BASELINES_KSMOTE_H_
+
+#include <string>
+
+#include "baselines/train_util.h"
+
+namespace fairwos::baselines {
+
+struct KSmoteConfig {
+  int64_t clusters = 4;
+  /// Weight of the pseudo-group parity regularizer.
+  double beta = 0.5;
+};
+
+class KSmoteMethod : public core::FairMethod {
+ public:
+  KSmoteMethod(nn::GnnConfig gnn, TrainOptions train, KSmoteConfig config)
+      : gnn_(gnn), train_(train), config_(config) {}
+
+  std::string name() const override { return "KSMOTE"; }
+  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
+                                         uint64_t seed) override;
+
+ private:
+  nn::GnnConfig gnn_;
+  TrainOptions train_;
+  KSmoteConfig config_;
+};
+
+}  // namespace fairwos::baselines
+
+#endif  // FAIRWOS_BASELINES_KSMOTE_H_

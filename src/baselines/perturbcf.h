@@ -1,0 +1,59 @@
+// PerturbCF: a NIFTY-style counterfactual regulariser adapted to the
+// no-sensitive-attributes setting — the foil for Fairwos' central design
+// choice. Where Fairwos *searches the real dataset* for counterfactuals
+// (paper Eq. 11-12, avoiding non-realistic ones), PerturbCF *fabricates*
+// them by flipping pseudo-sensitive attributes directly (the practice the
+// paper's §III-D argues against) and then enforces representation
+// consistency exactly like Fairwos does.
+//
+// Pipeline: encoder -> X⁰ (shared with Fairwos) -> pre-train GNN ->
+// fine-tune on CE + α·‖h(X⁰) − h(X̃⁰)‖² where X̃⁰ flips each
+// pseudo-sensitive attribute across its median.
+#ifndef FAIRWOS_BASELINES_PERTURBCF_H_
+#define FAIRWOS_BASELINES_PERTURBCF_H_
+
+#include <string>
+
+#include "baselines/train_util.h"
+#include "core/encoder.h"
+
+namespace fairwos::baselines {
+
+struct PerturbCfConfig {
+  core::EncoderConfig encoder;
+  /// Weight of the consistency term (normalized like Fairwos' α).
+  double alpha = 1.0;
+  int64_t finetune_epochs = 50;
+  float finetune_lr = 3e-2f;
+  /// Fraction of pseudo-sensitive attributes flipped per counterfactual.
+  double flip_fraction = 0.5;
+  /// Same utility-tolerance model selection as Fairwos.
+  double utility_tolerance_pct = 4.0;
+};
+
+class PerturbCfMethod : public core::FairMethod {
+ public:
+  PerturbCfMethod(nn::GnnConfig gnn, TrainOptions train,
+                  PerturbCfConfig config)
+      : gnn_(gnn), train_(train), config_(config) {}
+
+  std::string name() const override { return "PerturbCF"; }
+  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
+                                         uint64_t seed) override;
+
+ private:
+  nn::GnnConfig gnn_;
+  TrainOptions train_;
+  PerturbCfConfig config_;
+};
+
+/// Builds the perturbed pseudo-attribute matrix X̃⁰: for each selected
+/// attribute column, every value is reflected across the column median
+/// (x -> 2·median − x), flipping its median bin while keeping the scale.
+/// Exposed for tests.
+tensor::Tensor FlipPseudoAttributes(const tensor::Tensor& x0,
+                                    double flip_fraction, common::Rng* rng);
+
+}  // namespace fairwos::baselines
+
+#endif  // FAIRWOS_BASELINES_PERTURBCF_H_

@@ -1,0 +1,106 @@
+#include "baselines/registry.h"
+
+#include <algorithm>
+
+namespace fairwos::baselines {
+namespace {
+
+nn::GnnConfig BackboneConfig(const MethodOptions& options) {
+  nn::GnnConfig gnn = options.fairwos.gnn;  // hidden/layers/dropout defaults
+  gnn.backbone = options.backbone;
+  gnn.in_features = 0;  // filled from the dataset at Run time
+  return gnn;
+}
+
+core::FairwosConfig FairwosConfigFor(const MethodOptions& options) {
+  core::FairwosConfig cfg = options.fairwos;
+  cfg.gnn.backbone = options.backbone;
+  cfg.pretrain_epochs = options.train.epochs;
+  cfg.pretrain_patience = options.train.patience;
+  cfg.lr = options.train.lr;
+  cfg.weight_decay = options.train.weight_decay;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<std::string> KnownMethodNames() {
+  return {"vanilla", "remover",      "ksmote",       "fairrf",
+          "fairgkd", "perturbcf",    "fairwos",      "fairwos-wo-e",
+          "fairwos-wo-f", "fairwos-wo-w"};
+}
+
+common::Result<std::unique_ptr<core::FairMethod>> MakeMethod(
+    const std::string& name, const MethodOptions& options) {
+  const nn::GnnConfig gnn = BackboneConfig(options);
+  if (name == "vanilla") {
+    return std::unique_ptr<core::FairMethod>(
+        new VanillaMethod(gnn, options.train));
+  }
+  if (name == "remover") {
+    return std::unique_ptr<core::FairMethod>(
+        new RemoveRMethod(gnn, options.train, options.remover));
+  }
+  if (name == "ksmote") {
+    return std::unique_ptr<core::FairMethod>(
+        new KSmoteMethod(gnn, options.train, options.ksmote));
+  }
+  if (name == "fairrf") {
+    return std::unique_ptr<core::FairMethod>(
+        new FairRFMethod(gnn, options.train, options.fairrf));
+  }
+  if (name == "fairgkd") {
+    return std::unique_ptr<core::FairMethod>(
+        new FairGkdMethod(gnn, options.train, options.fairgkd));
+  }
+  if (name == "perturbcf") {
+    PerturbCfConfig cfg = options.perturbcf;
+    // Share Fairwos' fairness weight so the ablation is apples-to-apples.
+    cfg.alpha = options.fairwos.alpha;
+    return std::unique_ptr<core::FairMethod>(
+        new PerturbCfMethod(gnn, options.train, cfg));
+  }
+  core::FairwosConfig fairwos = FairwosConfigFor(options);
+  if (name == "fairwos") {
+    return std::unique_ptr<core::FairMethod>(
+        new core::FairwosMethod("Fairwos", fairwos));
+  }
+  if (name == "fairwos-wo-e") {
+    fairwos.use_encoder = false;
+    return std::unique_ptr<core::FairMethod>(
+        new core::FairwosMethod("Fwos w/o E", fairwos));
+  }
+  if (name == "fairwos-wo-f") {
+    fairwos.use_fairness = false;
+    return std::unique_ptr<core::FairMethod>(
+        new core::FairwosMethod("Fwos w/o F", fairwos));
+  }
+  if (name == "fairwos-wo-w") {
+    fairwos.use_weight_update = false;
+    return std::unique_ptr<core::FairMethod>(
+        new core::FairwosMethod("Fwos w/o W", fairwos));
+  }
+  return common::Status::NotFound("unknown method: " + name);
+}
+
+double RecommendedAlpha(const std::string& dataset_name,
+                        nn::Backbone backbone) {
+  double alpha = core::FairwosConfig{}.alpha;
+  if (dataset_name == "bail") alpha = 0.25;
+  if (dataset_name == "credit") alpha = 0.25;
+  if (dataset_name == "pokec-z") alpha = 4.0;
+  if (dataset_name == "pokec-n") alpha = 1.0;
+  if (dataset_name == "nba") alpha = 4.0;
+  if (dataset_name == "occupation") alpha = 2.0;
+  if (backbone != nn::Backbone::kGcn) {
+    alpha = std::min(alpha, core::FairwosConfig{}.alpha);
+  }
+  return alpha;
+}
+
+float RecommendedFinetuneLr(nn::Backbone backbone) {
+  if (backbone != nn::Backbone::kGcn) return 1e-2f;
+  return core::FairwosConfig{}.finetune_lr;
+}
+
+}  // namespace fairwos::baselines

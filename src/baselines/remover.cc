@@ -1,0 +1,55 @@
+#include "baselines/remover.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace fairwos::baselines {
+
+common::Result<core::MethodOutput> RemoveRMethod::Run(const data::Dataset& ds,
+                                                      uint64_t seed) {
+  FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
+  if (config_.drop_fraction < 0.0 || config_.drop_fraction >= 1.0) {
+    return common::Status::InvalidArgument(
+        "drop_fraction must be in [0, 1)");
+  }
+  common::Stopwatch watch;
+  common::Rng rng(seed);
+  const int64_t f = ds.num_attrs();
+  const int64_t n = ds.num_nodes();
+
+  // Which attributes look sensitive-related, most suspicious first.
+  std::vector<int64_t> ranked = RankAttributesBySuspicion(ds, &rng);
+  int64_t n_drop = static_cast<int64_t>(
+      std::llround(config_.drop_fraction * static_cast<double>(f)));
+  n_drop = std::clamp<int64_t>(n_drop, 1, f - 1);
+  std::vector<bool> dropped(static_cast<size_t>(f), false);
+  for (int64_t r = 0; r < n_drop; ++r) {
+    dropped[static_cast<size_t>(ranked[static_cast<size_t>(r)])] = true;
+  }
+
+  // Reduced feature matrix.
+  const int64_t f_kept = f - n_drop;
+  std::vector<float> reduced(static_cast<size_t>(n * f_kept));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t col = 0;
+    for (int64_t j = 0; j < f; ++j) {
+      if (dropped[static_cast<size_t>(j)]) continue;
+      reduced[static_cast<size_t>(i * f_kept + col)] = ds.features.at(i, j);
+      ++col;
+    }
+  }
+  tensor::Tensor features =
+      tensor::Tensor::FromVector({n, f_kept}, std::move(reduced));
+
+  nn::GnnConfig gnn = gnn_;
+  gnn.in_features = f_kept;
+  nn::GnnClassifier model(gnn, ds.graph, &rng);
+  TrainClassifier(train_, ds, features, /*penalty=*/nullptr, &model, &rng);
+  core::MethodOutput out = MakeOutput(model, features, &rng);
+  out.train_seconds = watch.Seconds();
+  return out;
+}
+
+}  // namespace fairwos::baselines

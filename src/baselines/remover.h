@@ -1,0 +1,37 @@
+// RemoveR: pre-processing baseline that deletes the candidate
+// sensitive-related attributes before training (paper §V-A3). The original
+// recipe assumes a domain-knowledge candidate list; without one we rank
+// attributes by correlation with a 2-way k-means pseudo-grouping of the
+// nodes (see RankAttributesBySuspicion) and drop the top fraction.
+#ifndef FAIRWOS_BASELINES_REMOVER_H_
+#define FAIRWOS_BASELINES_REMOVER_H_
+
+#include <string>
+
+#include "baselines/train_util.h"
+
+namespace fairwos::baselines {
+
+struct RemoveRConfig {
+  /// Fraction of attributes dropped (at least 1, at most all-but-one).
+  double drop_fraction = 0.25;
+};
+
+class RemoveRMethod : public core::FairMethod {
+ public:
+  RemoveRMethod(nn::GnnConfig gnn, TrainOptions train, RemoveRConfig config)
+      : gnn_(gnn), train_(train), config_(config) {}
+
+  std::string name() const override { return "RemoveR"; }
+  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
+                                         uint64_t seed) override;
+
+ private:
+  nn::GnnConfig gnn_;
+  TrainOptions train_;
+  RemoveRConfig config_;
+};
+
+}  // namespace fairwos::baselines
+
+#endif  // FAIRWOS_BASELINES_REMOVER_H_

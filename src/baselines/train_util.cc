@@ -1,0 +1,132 @@
+#include "baselines/train_util.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "eval/kmeans.h"
+#include "graph/algorithms.h"
+#include "eval/stats.h"
+#include "fairness/metrics.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace fairwos::baselines {
+
+int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
+                        const tensor::Tensor& features,
+                        const PenaltyFn& penalty, nn::GnnClassifier* model,
+                        common::Rng* rng) {
+  FW_CHECK(model != nullptr);
+  nn::Adam opt(model->parameters(), options.lr, 0.9f, 0.999f, 1e-8f,
+               options.weight_decay);
+  auto best_snapshot = nn::SnapshotParameters(*model);
+  double best_val_loss = std::numeric_limits<double>::infinity();
+  int64_t since_best = 0;
+  int64_t epochs_run = 0;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    ++epochs_run;
+    opt.ZeroGrad();
+    tensor::Tensor h = model->Embed(features, /*training=*/true, rng);
+    tensor::Tensor logits = model->Logits(h);
+    tensor::Tensor loss =
+        tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train);
+    if (penalty) {
+      tensor::Tensor extra = penalty(h, logits);
+      if (extra.defined()) loss = tensor::Add(loss, extra);
+    }
+    loss.Backward();
+    opt.Step();
+
+    // Early stopping on validation *loss*: accuracy on small validation
+    // splits is too coarsely quantised to be a stopping signal.
+    const double val_loss = ValidationLoss(*model, features, ds, rng);
+    if (val_loss < best_val_loss) {
+      best_val_loss = val_loss;
+      best_snapshot = nn::SnapshotParameters(*model);
+      since_best = 0;
+    } else if (options.patience > 0 && ++since_best >= options.patience) {
+      break;
+    }
+  }
+  nn::RestoreParameters(*model, best_snapshot);
+  return epochs_run;
+}
+
+double ValidationLoss(const nn::GnnClassifier& model,
+                      const tensor::Tensor& features, const data::Dataset& ds,
+                      common::Rng* rng) {
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor logits = model.Forward(features, /*training=*/false, rng);
+  return tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.val).item();
+}
+
+nn::PredictionResult EvaluateAll(const nn::GnnClassifier& model,
+                                 const tensor::Tensor& x, common::Rng* rng) {
+  tensor::NoGradGuard no_grad;
+  return nn::PredictFromLogits(model.Forward(x, /*training=*/false, rng));
+}
+
+core::MethodOutput MakeOutput(const nn::GnnClassifier& model,
+                              const tensor::Tensor& x, common::Rng* rng) {
+  tensor::NoGradGuard no_grad;
+  core::MethodOutput out;
+  tensor::Tensor h = model.Embed(x, /*training=*/false, rng);
+  auto eval = nn::PredictFromLogits(model.Logits(h));
+  out.pred = std::move(eval.pred);
+  out.prob1 = std::move(eval.prob1);
+  out.embeddings = h.DetachCopy();
+  return out;
+}
+
+tensor::Tensor LogitMargin(const tensor::Tensor& logits) {
+  FW_CHECK_EQ(logits.rank(), 2);
+  FW_CHECK_EQ(logits.dim(1), 2);
+  static const tensor::Tensor kMarginWeights =
+      tensor::Tensor::FromVector({2, 1}, {-1.0f, 1.0f});
+  return tensor::MatMul(logits, kMarginWeights);
+}
+
+std::vector<int64_t> RankAttributesBySuspicion(const data::Dataset& ds,
+                                               common::Rng* rng) {
+  const tensor::Tensor& features = ds.features;
+  const std::vector<int>& labels = ds.labels;
+  const std::vector<int64_t>& train_idx = ds.split.train;
+  FW_CHECK_EQ(features.rank(), 2);
+  FW_CHECK(!train_idx.empty());
+  const int64_t n = features.dim(0), f = features.dim(1);
+  const std::vector<int> partition =
+      graph::SpectralBipartition(ds.graph, /*iterations=*/100, rng);
+  std::vector<double> group(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    group[static_cast<size_t>(i)] = partition[static_cast<size_t>(i)];
+  }
+  // Label vector restricted to the training split — the only labels a
+  // method may consult.
+  std::vector<double> train_labels(train_idx.size());
+  for (size_t r = 0; r < train_idx.size(); ++r) {
+    train_labels[r] = labels[static_cast<size_t>(train_idx[r])];
+  }
+  std::vector<double> suspicion(static_cast<size_t>(f));
+  std::vector<double> column(static_cast<size_t>(n));
+  std::vector<double> train_column(train_idx.size());
+  for (int64_t j = 0; j < f; ++j) {
+    for (int64_t i = 0; i < n; ++i) {
+      column[static_cast<size_t>(i)] = features.at(i, j);
+    }
+    for (size_t r = 0; r < train_idx.size(); ++r) {
+      train_column[r] = features.at(train_idx[r], j);
+    }
+    suspicion[static_cast<size_t>(j)] =
+        std::abs(eval::PearsonCorrelation(column, group)) -
+        std::abs(eval::PearsonCorrelation(train_column, train_labels));
+  }
+  std::vector<int64_t> order(static_cast<size_t>(f));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return suspicion[static_cast<size_t>(a)] > suspicion[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace fairwos::baselines

@@ -1,0 +1,69 @@
+// Shared GNN training loop for the baseline methods: cross-entropy on the
+// train split plus an optional differentiable penalty, with best-validation
+// checkpointing — the same protocol Fairwos' pre-training uses, so runtime
+// comparisons (Fig. 8) are apples-to-apples.
+#ifndef FAIRWOS_BASELINES_TRAIN_UTIL_H_
+#define FAIRWOS_BASELINES_TRAIN_UTIL_H_
+
+#include <functional>
+
+#include "core/method.h"
+#include "data/dataset.h"
+#include "nn/gnn.h"
+
+namespace fairwos::baselines {
+
+struct TrainOptions {
+  int64_t epochs = 300;
+  int64_t patience = 30;  // early stop on validation accuracy; <= 0 disables
+  float lr = 1e-3f;       // paper §V-A4: Adam, 0.001
+  float weight_decay = 5e-4f;
+};
+
+/// Optional extra loss computed from the representation and logits of the
+/// current forward pass; return an undefined Tensor for "no penalty".
+using PenaltyFn = std::function<tensor::Tensor(const tensor::Tensor& h,
+                                               const tensor::Tensor& logits)>;
+
+/// Trains `model` on `features`, minimising CE(train) [+ penalty], keeping
+/// the best-validation parameters. Returns epochs actually run.
+int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
+                        const tensor::Tensor& features,
+                        const PenaltyFn& penalty, nn::GnnClassifier* model,
+                        common::Rng* rng);
+
+/// Evaluation-mode predictions for every node.
+nn::PredictionResult EvaluateAll(const nn::GnnClassifier& model,
+                                 const tensor::Tensor& x, common::Rng* rng);
+
+/// Cross-entropy of the model on the validation split (evaluation mode) —
+/// the early-stopping signal used across the repository.
+double ValidationLoss(const nn::GnnClassifier& model,
+                      const tensor::Tensor& features, const data::Dataset& ds,
+                      common::Rng* rng);
+
+/// Packs predictions + embeddings of a trained model into a MethodOutput
+/// (train_seconds left for the caller's stopwatch).
+core::MethodOutput MakeOutput(const nn::GnnClassifier& model,
+                              const tensor::Tensor& x, common::Rng* rng);
+
+/// The "difference of class logits" margin used by penalty terms:
+/// margin = logits · [−1, +1]ᵀ, shape [N, 1]. Differentiable.
+tensor::Tensor LogitMargin(const tensor::Tensor& logits);
+
+/// Data-driven stand-in for the domain knowledge RemoveR/FairRF assume:
+/// when a hidden demographic drives edge formation (the homophily channel
+/// every fairness benchmark exhibits), its loudest unsupervised signature
+/// is the graph's dominant community split. Attributes are ranked by
+/// |correlation with the spectral bipartition| minus |correlation with the
+/// training labels| — "looks like the community structure, not like the
+/// task". Subtracting the label correlation keeps the heuristic from
+/// flagging the attributes that carry the task signal, which would make
+/// the downstream regularisation *increase* proxy reliance. Returns
+/// attribute indices, most suspicious first.
+std::vector<int64_t> RankAttributesBySuspicion(const data::Dataset& ds,
+                                               common::Rng* rng);
+
+}  // namespace fairwos::baselines
+
+#endif  // FAIRWOS_BASELINES_TRAIN_UTIL_H_

@@ -1,0 +1,21 @@
+#include "baselines/vanilla.h"
+
+#include "common/stopwatch.h"
+
+namespace fairwos::baselines {
+
+common::Result<core::MethodOutput> VanillaMethod::Run(const data::Dataset& ds,
+                                                      uint64_t seed) {
+  FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
+  common::Stopwatch watch;
+  common::Rng rng(seed);
+  nn::GnnConfig gnn = gnn_;
+  gnn.in_features = ds.num_attrs();
+  nn::GnnClassifier model(gnn, ds.graph, &rng);
+  TrainClassifier(train_, ds, ds.features, /*penalty=*/nullptr, &model, &rng);
+  core::MethodOutput out = MakeOutput(model, ds.features, &rng);
+  out.train_seconds = watch.Seconds();
+  return out;
+}
+
+}  // namespace fairwos::baselines

@@ -1,0 +1,28 @@
+// Vanilla\S: the backbone GNN trained without sensitive attributes and
+// without any fairness intervention (Table II's reference row).
+#ifndef FAIRWOS_BASELINES_VANILLA_H_
+#define FAIRWOS_BASELINES_VANILLA_H_
+
+#include <string>
+
+#include "baselines/train_util.h"
+
+namespace fairwos::baselines {
+
+class VanillaMethod : public core::FairMethod {
+ public:
+  VanillaMethod(nn::GnnConfig gnn, TrainOptions train)
+      : gnn_(gnn), train_(train) {}
+
+  std::string name() const override { return "Vanilla\\S"; }
+  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
+                                         uint64_t seed) override;
+
+ private:
+  nn::GnnConfig gnn_;
+  TrainOptions train_;
+};
+
+}  // namespace fairwos::baselines
+
+#endif  // FAIRWOS_BASELINES_VANILLA_H_

@@ -1,0 +1,55 @@
+// FW_CHECK: fatal assertions for programming errors (shape mismatches, index
+// bounds, violated invariants). These abort with a message; they are not a
+// substitute for Status, which reports recoverable runtime failures.
+#ifndef FAIRWOS_COMMON_CHECK_H_
+#define FAIRWOS_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fairwos::common {
+
+/// Collects a streamed failure message and aborts the process when
+/// destroyed. Used only via the FW_CHECK* macros below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "FW_CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when the check passes; keeps the macro an
+/// expression with zero cost on the success path.
+class CheckVoidify {
+ public:
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace fairwos::common
+
+#define FW_CHECK(cond)                 \
+  (cond) ? (void)0                     \
+         : ::fairwos::common::CheckVoidify() & \
+               ::fairwos::common::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define FW_CHECK_EQ(a, b) FW_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FW_CHECK_NE(a, b) FW_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FW_CHECK_LT(a, b) FW_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FW_CHECK_LE(a, b) FW_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FW_CHECK_GT(a, b) FW_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define FW_CHECK_GE(a, b) FW_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#endif  // FAIRWOS_COMMON_CHECK_H_

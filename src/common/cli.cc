@@ -1,0 +1,55 @@
+#include "common/cli.h"
+
+#include "common/string_util.h"
+
+namespace fairwos::common {
+
+Result<CliFlags> CliFlags::Parse(int argc, char** argv) {
+  CliFlags out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      out.flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      out.flags_[arg] = argv[++i];
+    } else {
+      out.flags_[arg] = "true";  // bare boolean flag
+    }
+  }
+  return out;
+}
+
+int64_t CliFlags::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  auto parsed = ParseInt(it->second);
+  FW_CHECK(parsed.ok()) << "flag --" << name << ": " << parsed.status().ToString();
+  return parsed.value();
+}
+
+double CliFlags::GetDouble(const std::string& name, double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  auto parsed = ParseDouble(it->second);
+  FW_CHECK(parsed.ok()) << "flag --" << name << ": " << parsed.status().ToString();
+  return parsed.value();
+}
+
+std::string CliFlags::GetString(const std::string& name,
+                                const std::string& default_value) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+bool CliFlags::GetBool(const std::string& name, bool default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace fairwos::common

@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+// Flags look like `--name value` or `--name=value`.
+#ifndef FAIRWOS_COMMON_CLI_H_
+#define FAIRWOS_COMMON_CLI_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace fairwos::common {
+
+/// Parses argv into a flag map. Unknown flags are allowed (callers query
+/// only what they understand); positional arguments are rejected so typos
+/// fail loudly.
+class CliFlags {
+ public:
+  static Result<CliFlags> Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// Typed getters with defaults. A present-but-malformed value is a checked
+  /// error: benches should fail fast on bad invocations.
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_CLI_H_

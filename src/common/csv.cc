@@ -1,0 +1,38 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace fairwos::common {
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    auto fields = Split(line, ',');
+    if (first && has_header) {
+      table.header = std::move(fields);
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+    first = false;
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  if (!table.header.empty()) out << Join(table.header, ",") << "\n";
+  for (const auto& row : table.rows) out << Join(row, ",") << "\n";
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fairwos::common

@@ -1,0 +1,28 @@
+// Tiny CSV reader/writer. Used by the custom-dataset example (bring your own
+// edge list) and by the figure benches that export plot data.
+#ifndef FAIRWOS_COMMON_CSV_H_
+#define FAIRWOS_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairwos::common {
+
+/// Parsed CSV contents: a header row (possibly empty) and data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Reads a comma-separated file. `has_header` consumes the first line into
+/// `header`. No quoting support — the formats we read are plain numeric.
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header);
+
+/// Writes rows as comma-separated lines; writes `header` first if non-empty.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_CSV_H_

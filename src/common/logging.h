@@ -1,0 +1,41 @@
+// Minimal leveled logging to stderr. Benchmarks and examples print their
+// primary output on stdout; diagnostics go through FW_LOG so they can be
+// silenced globally.
+#ifndef FAIRWOS_COMMON_LOGGING_H_
+#define FAIRWOS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fairwos::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// One log statement; flushes a single line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fairwos::common
+
+#define FW_LOG(level)                               \
+  ::fairwos::common::LogMessage(                    \
+      ::fairwos::common::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // FAIRWOS_COMMON_LOGGING_H_

@@ -1,0 +1,130 @@
+// Status / Result error-handling primitives, following the RocksDB/Arrow
+// idiom: library code reports recoverable failures through return values,
+// never through exceptions. Internal invariant violations use FW_CHECK
+// (see check.h) instead.
+#ifndef FAIRWOS_COMMON_STATUS_H_
+#define FAIRWOS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace fairwos::common {
+
+/// Error categories used across the library. Keep this list short: codes are
+/// for dispatch, messages are for humans.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. `Status::OK()` carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status; `code` must not be kOk.
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status IoError(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error union. `Result<T>` either holds a `T` (status is OK) or
+/// an error `Status`. Accessing the value of an errored result is a checked
+/// programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. `status.ok()` is a programming error.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    FW_CHECK(!std::get<Status>(value_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status; `Status::OK()` when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    FW_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    FW_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    FW_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates an error status out of the enclosing function.
+#define FW_RETURN_IF_ERROR(expr)                        \
+  do {                                                  \
+    ::fairwos::common::Status _fw_status = (expr);      \
+    if (!_fw_status.ok()) return _fw_status;            \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error. Usage: FW_ASSIGN_OR_RETURN(auto x, MakeX());
+#define FW_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  FW_ASSIGN_OR_RETURN_IMPL_(FW_CONCAT_(_fw_res, __LINE__), lhs, rexpr)
+#define FW_CONCAT_INNER_(a, b) a##b
+#define FW_CONCAT_(a, b) FW_CONCAT_INNER_(a, b)
+#define FW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_STATUS_H_

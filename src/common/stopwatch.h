@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the runtime experiments (paper Fig. 8).
+#ifndef FAIRWOS_COMMON_STOPWATCH_H_
+#define FAIRWOS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fairwos::common {
+
+/// Starts running on construction; `Seconds()` reads elapsed wall time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared by CSV I/O, CLI parsing, and table printing.
+#ifndef FAIRWOS_COMMON_STRING_UTIL_H_
+#define FAIRWOS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairwos::common {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a decimal integer / float; rejects trailing garbage.
+Result<int64_t> ParseInt(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders "mean ± std" with two decimals, matching the paper's tables.
+std::string FormatMeanStd(double mean, double stddev);
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,85 @@
+#include "core/counterfactual.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fairwos::core {
+namespace {
+
+/// Picks `k` node ids (all of them when k <= 0 or k >= n).
+std::vector<int64_t> PickNodes(int64_t n, int64_t k, common::Rng* rng) {
+  if (k <= 0 || k >= n) {
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  return rng->SampleWithoutReplacement(n, k);
+}
+
+}  // namespace
+
+CounterfactualSet FindCounterfactuals(
+    const tensor::Tensor& embeddings,
+    const std::vector<std::vector<uint8_t>>& bins,
+    const std::vector<int>& pseudo_labels, const CounterfactualConfig& config,
+    common::Rng* rng) {
+  FW_CHECK_EQ(embeddings.rank(), 2);
+  const int64_t n = embeddings.dim(0);
+  const int64_t h = embeddings.dim(1);
+  FW_CHECK_EQ(static_cast<int64_t>(bins.size()), n);
+  FW_CHECK_EQ(static_cast<int64_t>(pseudo_labels.size()), n);
+  FW_CHECK_GT(n, 1);
+  const int64_t num_attrs = static_cast<int64_t>(bins[0].size());
+  FW_CHECK_GT(num_attrs, 0);
+  FW_CHECK_GT(config.top_k, 0);
+
+  CounterfactualSet out;
+  out.anchors = PickNodes(n, config.sample_nodes, rng);
+  const std::vector<int64_t> pool = PickNodes(n, config.candidate_pool, rng);
+  out.matches.assign(
+      static_cast<size_t>(num_attrs),
+      std::vector<std::vector<int64_t>>(out.anchors.size()));
+
+  const float* emb = embeddings.data().data();
+  std::vector<std::pair<float, int64_t>> order(pool.size());
+  for (size_t a = 0; a < out.anchors.size(); ++a) {
+    const int64_t v = out.anchors[a];
+    const float* ev = emb + v * h;
+    // Distance of the anchor to every candidate, then one shared sort; the
+    // per-attribute pass below just scans this order and filters.
+    size_t m = 0;
+    for (int64_t cand : pool) {
+      if (cand == v) continue;
+      if (pseudo_labels[static_cast<size_t>(cand)] !=
+          pseudo_labels[static_cast<size_t>(v)]) {
+        continue;  // Eq. 12: same (pseudo-)label
+      }
+      const float* ec = emb + cand * h;
+      float dist = 0.0f;
+      for (int64_t d = 0; d < h; ++d) {
+        const float diff = ev[d] - ec[d];
+        dist += diff * diff;
+      }
+      order[m++] = {dist, cand};
+    }
+    std::sort(order.begin(), order.begin() + static_cast<int64_t>(m));
+    for (int64_t i = 0; i < num_attrs; ++i) {
+      auto& slot = out.matches[static_cast<size_t>(i)][a];
+      slot.reserve(static_cast<size_t>(config.top_k));
+      const uint8_t anchor_bin =
+          bins[static_cast<size_t>(v)][static_cast<size_t>(i)];
+      for (size_t c = 0; c < m; ++c) {
+        const int64_t cand = order[c].second;
+        if (bins[static_cast<size_t>(cand)][static_cast<size_t>(i)] ==
+            anchor_bin) {
+          continue;  // Eq. 12: x⁰ᵢ must differ
+        }
+        slot.push_back(cand);
+        if (static_cast<int64_t>(slot.size()) == config.top_k) break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fairwos::core

@@ -1,0 +1,55 @@
+// The encoder module (paper §III-B, Eq. 4-6): a graph-aware dimensionality
+// reducer whose output coordinates become the pseudo-sensitive attributes
+// X⁰. It is pre-trained on the node-classification task through a linear
+// softmax head, then frozen and applied as a feature extractor.
+#ifndef FAIRWOS_CORE_ENCODER_H_
+#define FAIRWOS_CORE_ENCODER_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "nn/gnn.h"
+#include "nn/optim.h"
+
+namespace fairwos::core {
+
+struct EncoderConfig {
+  /// I — the number of pseudo-sensitive attributes (Fig. 5 sweeps this).
+  int64_t out_dim = 16;
+  int64_t epochs = 100;
+  float lr = 1e-3f;
+  float weight_decay = 5e-4f;
+  float dropout = 0.5f;
+  /// Early-stopping patience on validation accuracy; <= 0 disables.
+  int64_t patience = 30;
+};
+
+/// Pre-trains a one-layer GCN encoder (captures non-sensitive attributes
+/// AND structure, per Fig. 3) with a softmax head on the training labels,
+/// then returns the frozen low-dimensional attributes X⁰ = Encoder(G).
+class PretrainedEncoder {
+ public:
+  /// Trains on ds (Eq. 5) deterministically from `seed`.
+  PretrainedEncoder(const EncoderConfig& config, const data::Dataset& ds,
+                    uint64_t seed);
+
+  /// X⁰: [N, out_dim] pseudo-sensitive attributes, detached constants.
+  const tensor::Tensor& pseudo_attributes() const { return x0_; }
+
+  /// Validation accuracy of the encoder's own head at the best epoch —
+  /// exposed for tests and diagnostics.
+  double best_val_accuracy_pct() const { return best_val_acc_; }
+
+ private:
+  tensor::Tensor x0_;
+  double best_val_acc_ = 0.0;
+};
+
+/// Per-column median split used to make "x⁰ᵢ differs" well-defined for
+/// continuous embeddings (DESIGN.md §4): bins[v][i] ∈ {0, 1}.
+std::vector<std::vector<uint8_t>> MedianBins(const tensor::Tensor& x0);
+
+}  // namespace fairwos::core
+
+#endif  // FAIRWOS_CORE_ENCODER_H_

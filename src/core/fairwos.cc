@@ -1,0 +1,277 @@
+#include "core/fairwos.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/lambda_solver.h"
+#include "fairness/metrics.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace fairwos::core {
+namespace {
+
+/// Evaluation-mode predictions for every node.
+nn::PredictionResult Evaluate(const nn::GnnClassifier& model,
+                              const tensor::Tensor& x, common::Rng* rng) {
+  tensor::NoGradGuard no_grad;
+  return nn::PredictFromLogits(model.Forward(x, /*training=*/false, rng));
+}
+
+/// Validation cross-entropy — the early-stopping signal (accuracy on small
+/// validation splits is too coarsely quantised).
+double ValLoss(const nn::GnnClassifier& model, const tensor::Tensor& x,
+               const data::Dataset& ds, common::Rng* rng) {
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor logits = model.Forward(x, /*training=*/false, rng);
+  return tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.val).item();
+}
+
+/// Per-attribute counterfactual distances Dᵢ (Eq. 13) measured on a plain
+/// embedding matrix, no tape — feeds the λ update and diagnostics.
+std::vector<double> MeasureDistances(const tensor::Tensor& emb,
+                                     const CounterfactualSet& cf,
+                                     int64_t top_k) {
+  const int64_t num_attrs = cf.num_attrs();
+  const int64_t dim = emb.dim(1);
+  const double anchor_norm =
+      1.0 / static_cast<double>(std::max<size_t>(cf.anchors.size(), 1));
+  std::vector<double> distances(static_cast<size_t>(num_attrs), 0.0);
+  const float* data = emb.data().data();
+  for (int64_t i = 0; i < num_attrs; ++i) {
+    double total = 0.0;
+    for (size_t a = 0; a < cf.anchors.size(); ++a) {
+      const float* anchor = data + cf.anchors[a] * dim;
+      const auto& slot = cf.matches[static_cast<size_t>(i)][a];
+      const int64_t k_max =
+          std::min<int64_t>(top_k, static_cast<int64_t>(slot.size()));
+      for (int64_t k = 0; k < k_max; ++k) {
+        const float* other = data + slot[static_cast<size_t>(k)] * dim;
+        for (int64_t d = 0; d < dim; ++d) {
+          const double diff = static_cast<double>(anchor[d]) - other[d];
+          total += diff * diff;
+        }
+      }
+    }
+    distances[static_cast<size_t>(i)] = total * anchor_norm;
+  }
+  return distances;
+}
+
+/// Pre-trains the classifier (Eq. 10) with best-validation checkpointing.
+/// Returns the number of epochs actually run.
+int64_t PretrainClassifier(const FairwosConfig& config,
+                           const data::Dataset& ds, const tensor::Tensor& x,
+                           nn::GnnClassifier* model, common::Rng* rng) {
+  nn::Adam opt(model->parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+               config.weight_decay);
+  auto best_snapshot = nn::SnapshotParameters(*model);
+  double best_val_loss = std::numeric_limits<double>::infinity();
+  int64_t since_best = 0;
+  int64_t epochs_run = 0;
+  for (int64_t epoch = 0; epoch < config.pretrain_epochs; ++epoch) {
+    ++epochs_run;
+    opt.ZeroGrad();
+    tensor::Tensor logits = model->Forward(x, /*training=*/true, rng);
+    tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train).Backward();
+    opt.Step();
+
+    const double val_loss = ValLoss(*model, x, ds, rng);
+    if (val_loss < best_val_loss) {
+      best_val_loss = val_loss;
+      best_snapshot = nn::SnapshotParameters(*model);
+      since_best = 0;
+    } else if (config.pretrain_patience > 0 &&
+               ++since_best >= config.pretrain_patience) {
+      break;
+    }
+  }
+  nn::RestoreParameters(*model, best_snapshot);
+  return epochs_run;
+}
+
+}  // namespace
+
+common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
+                                          const data::Dataset& ds,
+                                          uint64_t seed, FairwosStats* stats) {
+  FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
+  if (config.alpha < 0.0) {
+    return common::Status::InvalidArgument("alpha must be non-negative");
+  }
+  common::Rng rng(seed);
+  FairwosStats local_stats;
+
+  // --- Step 1: pseudo-sensitive attributes (Eq. 4-6) ----------------------
+  tensor::Tensor x0;
+  if (config.use_encoder) {
+    PretrainedEncoder encoder(config.encoder, ds, rng.NextU64());
+    x0 = encoder.pseudo_attributes();
+    local_stats.encoder_val_acc_pct = encoder.best_val_accuracy_pct();
+  } else {
+    // Ablation Fwos w/o E: every non-sensitive attribute is its own
+    // pseudo-sensitive attribute.
+    x0 = ds.features.DetachCopy();
+  }
+  const int64_t num_attrs = x0.dim(1);
+
+  // --- Step 2: pre-train the GNN classifier (Eq. 10) ----------------------
+  nn::GnnConfig gnn = config.gnn;
+  gnn.in_features = num_attrs;
+  nn::GnnClassifier model(gnn, ds.graph, &rng);
+  local_stats.pretrain_epochs_run =
+      PretrainClassifier(config, ds, x0, &model, &rng);
+
+  // Pseudo-labels for the counterfactual search (semi-supervised setting).
+  std::vector<int> pseudo_labels = Evaluate(model, x0, &rng).pred;
+  // Ground-truth labels override pseudo-labels where known.
+  for (int64_t v : ds.split.train) {
+    pseudo_labels[static_cast<size_t>(v)] = ds.labels[static_cast<size_t>(v)];
+  }
+
+  // --- Step 3: fairness fine-tuning (Eq. 12-16, Algorithm 1 lines 5-13) ---
+  if (config.use_fairness && config.finetune_epochs > 0) {
+    const auto bins = MedianBins(x0);
+    std::vector<double> lambda(
+        static_cast<size_t>(num_attrs),
+        1.0 / static_cast<double>(num_attrs));  // Algorithm 1 line 2
+    nn::Adam opt(model.parameters(), config.finetune_lr, 0.9f, 0.999f, 1e-8f,
+                 config.weight_decay);
+    // Utility reference for model selection: the pre-trained model.
+    const double pretrain_val_acc = fairness::AccuracyPct(
+        Evaluate(model, x0, &rng).pred, ds.labels, ds.split.val);
+    const double acceptable_val_acc =
+        pretrain_val_acc - config.utility_tolerance_pct;
+    auto best_snapshot = nn::SnapshotParameters(model);
+    bool have_tolerated = false;
+    auto fallback_snapshot = best_snapshot;
+    double best_val = -1.0;
+    for (int64_t epoch = 0; epoch < config.finetune_epochs; ++epoch) {
+      ++local_stats.finetune_epochs_run;
+      // (a) refresh the counterfactual set from current embeddings.
+      tensor::Tensor frozen_emb;
+      {
+        tensor::NoGradGuard no_grad;
+        frozen_emb = model.Embed(x0, /*training=*/false, &rng);
+      }
+      CounterfactualSet cf = FindCounterfactuals(
+          frozen_emb, bins, pseudo_labels, config.counterfactual, &rng);
+
+      // (b) λ update (Algorithm 1 lines 9-12) from the *current*
+      // embeddings, solved before the θ step so the importance weights
+      // shape every parameter update — including the first fine-tuning
+      // epoch, which the utility-tolerance selection often keeps.
+      if (config.use_weight_update) {
+        const std::vector<double> eval_distances =
+            MeasureDistances(frozen_emb, cf, config.counterfactual.top_k);
+        double mean_d = 0.0;
+        for (double d : eval_distances) mean_d += d;
+        mean_d /= static_cast<double>(eval_distances.size());
+        if (mean_d > 1e-12) {
+          std::vector<double> normalized_eval = eval_distances;
+          for (double& d : normalized_eval) d /= mean_d;
+          lambda = SolveLambda(normalized_eval, config.alpha,
+                               config.invert_lambda_preference);
+        }
+      }
+
+      // (c) θ update on Eq. 16.
+      opt.ZeroGrad();
+      tensor::Tensor h = model.Embed(x0, /*training=*/true, &rng);
+      tensor::Tensor logits = model.Logits(h);
+      tensor::Tensor total =
+          tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train);
+      local_stats.final_distances.assign(static_cast<size_t>(num_attrs), 0.0);
+      const double anchor_norm =
+          1.0 / static_cast<double>(std::max<size_t>(cf.anchors.size(), 1));
+      std::vector<tensor::Tensor> distances(static_cast<size_t>(num_attrs));
+      for (int64_t i = 0; i < num_attrs; ++i) {
+        // Dᵢ = (1/|A|) Σ_a Σ_k ‖h_a − h̄ᵏ_a‖²  (Eq. 13 with Eq. 33's L2²).
+        tensor::Tensor d_i;
+        for (int64_t k = 0; k < config.counterfactual.top_k; ++k) {
+          std::vector<int64_t> anchor_ids, cf_ids;
+          for (size_t a = 0; a < cf.anchors.size(); ++a) {
+            const auto& slot = cf.matches[static_cast<size_t>(i)][a];
+            if (static_cast<int64_t>(slot.size()) > k) {
+              anchor_ids.push_back(cf.anchors[a]);
+              cf_ids.push_back(slot[static_cast<size_t>(k)]);
+            }
+          }
+          if (anchor_ids.empty()) continue;
+          tensor::Tensor diff = tensor::Sub(tensor::Rows(h, anchor_ids),
+                                            tensor::Rows(h, cf_ids));
+          tensor::Tensor dist = tensor::MulScalar(
+              tensor::SumSquares(diff), static_cast<float>(anchor_norm));
+          d_i = d_i.defined() ? tensor::Add(d_i, dist) : dist;
+        }
+        if (!d_i.defined()) continue;  // constraint set empty for attr i
+        distances[static_cast<size_t>(i)] = d_i;
+        local_stats.final_distances[static_cast<size_t>(i)] = d_i.item();
+      }
+      // Distances are normalized by their mean so that α is scale-free:
+      // the raw Dᵢ magnitude depends on the embedding scale, which varies
+      // across datasets and backbones (DESIGN.md §4).
+      double mean_distance = 0.0;
+      for (double d : local_stats.final_distances) mean_distance += d;
+      mean_distance /= static_cast<double>(num_attrs);
+      const double scale =
+          mean_distance > 1e-12 ? 1.0 / mean_distance : 0.0;
+      for (int64_t i = 0; i < num_attrs; ++i) {
+        if (!distances[static_cast<size_t>(i)].defined()) continue;
+        total = tensor::Add(
+            total,
+            tensor::MulScalar(distances[static_cast<size_t>(i)],
+                              static_cast<float>(config.alpha * scale *
+                                                 lambda[static_cast<size_t>(i)])));
+      }
+      total.Backward();
+      opt.Step();
+
+      // Model selection within fine-tuning: later epochs are fairer, so we
+      // keep the *latest* epoch whose validation accuracy stays within the
+      // utility tolerance of the pre-trained model; the best-validation
+      // epoch is the fallback when no epoch qualifies.
+      auto eval = Evaluate(model, x0, &rng);
+      const double val_acc =
+          fairness::AccuracyPct(eval.pred, ds.labels, ds.split.val);
+      if (val_acc >= acceptable_val_acc) {
+        best_snapshot = nn::SnapshotParameters(model);
+        have_tolerated = true;
+      }
+      if (val_acc > best_val) {
+        best_val = val_acc;
+        fallback_snapshot = nn::SnapshotParameters(model);
+      }
+    }
+    nn::RestoreParameters(model,
+                          have_tolerated ? best_snapshot : fallback_snapshot);
+    local_stats.lambda = lambda;
+  }
+
+  // --- Final predictions ---------------------------------------------------
+  MethodOutput out;
+  {
+    tensor::NoGradGuard no_grad;
+    tensor::Tensor h = model.Embed(x0, /*training=*/false, &rng);
+    auto eval = nn::PredictFromLogits(model.Logits(h));
+    out.pred = std::move(eval.pred);
+    out.prob1 = std::move(eval.prob1);
+    out.embeddings = h.DetachCopy();
+  }
+  if (config.use_encoder) out.pseudo_sens = x0;
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+common::Result<MethodOutput> FairwosMethod::Run(const data::Dataset& ds,
+                                                uint64_t seed) {
+  common::Stopwatch watch;
+  FW_ASSIGN_OR_RETURN(MethodOutput out,
+                      TrainFairwos(config_, ds, seed, &last_stats_));
+  out.train_seconds = watch.Seconds();
+  return out;
+}
+
+}  // namespace fairwos::core

@@ -1,0 +1,101 @@
+// Fairwos (paper §III, Algorithm 1): fair GNN training via graph
+// counterfactuals without sensitive attributes.
+//
+// Pipeline:
+//   1. Pre-train the encoder and freeze X⁰ = Encoder(G)   (Eq. 4-6)
+//   2. Pre-train the GNN classifier on X⁰                 (Eq. 10)
+//   3. Repeat (fine-tuning):
+//        a. search graph counterfactuals per pseudo-attr  (Eq. 12)
+//        b. update θ on L_U + α Σᵢ λᵢ Dᵢ                  (Eq. 16)
+//        c. update λ by the closed-form KKT solution      (Eq. 24)
+#ifndef FAIRWOS_CORE_FAIRWOS_H_
+#define FAIRWOS_CORE_FAIRWOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/counterfactual.h"
+#include "core/encoder.h"
+#include "core/method.h"
+#include "nn/gnn.h"
+
+namespace fairwos::core {
+
+struct FairwosConfig {
+  /// Backbone configuration; `in_features` is filled in from the data (or
+  /// the encoder output) at training time.
+  nn::GnnConfig gnn;
+  EncoderConfig encoder;
+  CounterfactualConfig counterfactual;
+
+  /// Paper §V-A4 uses 1000 pre-train epochs on a GPU; the CPU default
+  /// relies on early stopping instead.
+  int64_t pretrain_epochs = 300;
+  int64_t pretrain_patience = 30;
+  /// Paper §V-A4: the fairness fine-tuning phase runs 15 epochs. Because
+  /// Adam's step size is gradient-scale invariant, a handful of epochs at
+  /// the pre-training learning rate cannot move the model; the fine-tuning
+  /// phase therefore gets its own (larger) learning rate.
+  int64_t finetune_epochs = 50;
+  float finetune_lr = 3e-2f;
+
+  float lr = 1e-3f;  // paper: Adam, 0.001
+  float weight_decay = 5e-4f;
+
+  /// α — weight of the fairness regularization term (Eq. 15).
+  double alpha = 1.0;
+
+  /// Model selection during fine-tuning (paper §V-A4: early stop "to
+  /// preserve competitive utility"): the latest fine-tuning epoch whose
+  /// validation accuracy stays within this many percentage points of the
+  /// pre-trained model's is kept; if none qualifies, the best-validation
+  /// fine-tuning epoch is kept.
+  double utility_tolerance_pct = 4.0;
+
+  // Ablation switches (paper §V-C): Fwos w/o E, w/o F, w/o W.
+  bool use_encoder = true;
+  bool use_fairness = true;
+  bool use_weight_update = true;
+
+  /// See lambda_solver.h: false = Eq. 24 verbatim, true = prose reading.
+  bool invert_lambda_preference = false;
+};
+
+/// Diagnostics exposed to benches and tests.
+struct FairwosStats {
+  std::vector<double> lambda;           // final importance weights
+  std::vector<double> final_distances;  // final per-attribute Dᵢ
+  double encoder_val_acc_pct = 0.0;
+  int64_t pretrain_epochs_run = 0;
+  int64_t finetune_epochs_run = 0;
+};
+
+/// Trains Fairwos once. Deterministic in (config, dataset, seed).
+/// `stats` may be nullptr.
+common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
+                                          const data::Dataset& ds,
+                                          uint64_t seed, FairwosStats* stats);
+
+/// FairMethod adapter, including the ablation variants; `name` is shown in
+/// tables ("Fairwos", "Fwos w/o E", ...).
+class FairwosMethod : public FairMethod {
+ public:
+  FairwosMethod(std::string name, FairwosConfig config)
+      : name_(std::move(name)), config_(std::move(config)) {}
+
+  std::string name() const override { return name_; }
+  common::Result<MethodOutput> Run(const data::Dataset& ds,
+                                   uint64_t seed) override;
+
+  const FairwosStats& last_stats() const { return last_stats_; }
+
+ private:
+  std::string name_;
+  FairwosConfig config_;
+  FairwosStats last_stats_;
+};
+
+}  // namespace fairwos::core
+
+#endif  // FAIRWOS_CORE_FAIRWOS_H_

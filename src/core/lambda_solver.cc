@@ -1,0 +1,47 @@
+#include "core/lambda_solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace fairwos::core {
+
+std::vector<double> ProjectOntoSimplex(const std::vector<double>& v) {
+  FW_CHECK(!v.empty());
+  const size_t n = v.size();
+  std::vector<double> u = v;
+  std::sort(u.begin(), u.end(), std::greater<double>());
+  // Find rho = max{ j : u_j + (1 - sum_{k<=j} u_k) / j > 0 }.
+  double cumsum = 0.0;
+  double tau = 0.0;
+  size_t rho = 0;
+  double best_cumsum = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    cumsum += u[j];
+    if (u[j] + (1.0 - cumsum) / static_cast<double>(j + 1) > 0.0) {
+      rho = j + 1;
+      best_cumsum = cumsum;
+    }
+  }
+  FW_CHECK_GE(rho, 1u);  // always holds: j=0 gives u_0 + (1 - u_0) = 1 > 0
+  tau = (best_cumsum - 1.0) / static_cast<double>(rho);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = std::max(0.0, v[i] - tau);
+  return out;
+}
+
+std::vector<double> SolveLambda(const std::vector<double>& d, double alpha,
+                                bool invert_preference) {
+  FW_CHECK(!d.empty());
+  FW_CHECK_GE(alpha, 0.0);
+  std::vector<double> v(d.size());
+  const double sign = invert_preference ? 1.0 : -1.0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    FW_CHECK_GE(d[i], 0.0) << "distances are non-negative by construction";
+    v[i] = sign * alpha * d[i] / 2.0;
+  }
+  return ProjectOntoSimplex(v);
+}
+
+}  // namespace fairwos::core

@@ -1,0 +1,33 @@
+// Exact KKT solution of the importance-weight subproblem (paper §III-F,
+// Eq. 17-24):
+//
+//     min_λ  α · Σᵢ λᵢ Dᵢ + ‖λ‖²   s.t.  λᵢ ≥ 0,  Σᵢ λᵢ = 1.
+//
+// Completing the square shows this is the Euclidean projection of the
+// vector −α·D/2 onto the probability simplex; the paper's sort-and-
+// threshold recipe (Eq. 22-24) is exactly the classic simplex-projection
+// algorithm. Note the paper's *prose* asks for the opposite preference
+// ("a larger Dᵢ should receive a larger λᵢ"), which corresponds to
+// projecting +α·D/2; `invert_preference` selects that reading. See
+// EXPERIMENTS.md for the discrepancy discussion.
+#ifndef FAIRWOS_CORE_LAMBDA_SOLVER_H_
+#define FAIRWOS_CORE_LAMBDA_SOLVER_H_
+
+#include <vector>
+
+namespace fairwos::core {
+
+/// Euclidean projection of `v` onto {λ : λ ≥ 0, Σλ = 1} (Duchi et al.'s
+/// sort-based algorithm). Exposed separately for testing.
+std::vector<double> ProjectOntoSimplex(const std::vector<double>& v);
+
+/// Solves the λ subproblem for distances `d` (one entry per
+/// pseudo-sensitive attribute) and regularization weight `alpha` >= 0.
+/// With invert_preference = false this is Eq. 24 verbatim (larger D ⇒
+/// smaller λ); with true, larger D ⇒ larger λ (the prose reading).
+std::vector<double> SolveLambda(const std::vector<double>& d, double alpha,
+                                bool invert_preference);
+
+}  // namespace fairwos::core
+
+#endif  // FAIRWOS_CORE_LAMBDA_SOLVER_H_

@@ -1,0 +1,51 @@
+// The uniform interface every fair-learning method implements (Fairwos and
+// all baselines), so the experiment harness and benches can treat methods
+// interchangeably.
+#ifndef FAIRWOS_CORE_METHOD_H_
+#define FAIRWOS_CORE_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace fairwos::core {
+
+/// What a method produces for one training run on one dataset.
+struct MethodOutput {
+  /// Hard predictions, one per node (train/val/test alike).
+  std::vector<int> pred;
+  /// P(y = 1) per node; used for AUC.
+  std::vector<float> prob1;
+  /// Final node representations [N, hidden]; may be undefined for methods
+  /// that do not expose one.
+  tensor::Tensor embeddings;
+  /// Pseudo-sensitive attributes X⁰ [N, I]; defined only for Fairwos
+  /// (visualised by the Fig. 7 bench).
+  tensor::Tensor pseudo_sens;
+  /// Wall-clock training time, for the Fig. 8 runtime comparison.
+  double train_seconds = 0.0;
+};
+
+/// A fair node-classification method. Implementations must be deterministic
+/// in (dataset, seed).
+class FairMethod {
+ public:
+  virtual ~FairMethod() = default;
+
+  /// Display name used in tables ("Fairwos", "Vanilla\\S", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on ds.split.train (labels visible only there), predicts for all
+  /// nodes. The sensitive attribute in `ds.sens` must not be read — it is
+  /// evaluation-only; tests enforce this by perturbation.
+  virtual common::Result<MethodOutput> Run(const data::Dataset& ds,
+                                           uint64_t seed) = 0;
+};
+
+}  // namespace fairwos::core
+
+#endif  // FAIRWOS_CORE_METHOD_H_

@@ -1,0 +1,140 @@
+#include "data/io.h"
+
+#include <filesystem>
+#include <system_error>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "graph/graph.h"
+
+namespace fairwos::data {
+namespace {
+
+const char* PartName(int part) {
+  switch (part) {
+    case 0:
+      return "train";
+    case 1:
+      return "val";
+    case 2:
+      return "test";
+  }
+  return "?";
+}
+
+}  // namespace
+
+common::Status SaveDataset(const std::string& dir, const Dataset& ds) {
+  FW_RETURN_IF_ERROR(ValidateDataset(ds));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return common::Status::IoError("cannot create directory " + dir + ": " +
+                                   ec.message());
+  }
+
+  common::CsvTable meta;
+  meta.header = {"name", "label_name", "sens_name"};
+  meta.rows = {{ds.name, ds.label_name, ds.sens_name}};
+  FW_RETURN_IF_ERROR(common::WriteCsv(dir + "/meta.csv", meta));
+
+  common::CsvTable nodes;
+  nodes.header = {"label", "sens"};
+  for (int64_t j = 0; j < ds.num_attrs(); ++j) {
+    nodes.header.push_back("attr" + std::to_string(j));
+  }
+  for (int64_t i = 0; i < ds.num_nodes(); ++i) {
+    std::vector<std::string> row = {
+        std::to_string(ds.labels[static_cast<size_t>(i)]),
+        std::to_string(ds.sens[static_cast<size_t>(i)])};
+    for (int64_t j = 0; j < ds.num_attrs(); ++j) {
+      row.push_back(common::StrFormat("%.8g", ds.features.at(i, j)));
+    }
+    nodes.rows.push_back(std::move(row));
+  }
+  FW_RETURN_IF_ERROR(common::WriteCsv(dir + "/nodes.csv", nodes));
+
+  common::CsvTable edges;
+  edges.header = {"src", "dst"};
+  for (int64_t u = 0; u < ds.num_nodes(); ++u) {
+    for (int64_t v : ds.graph.Neighbors(u)) {
+      if (u < v) edges.rows.push_back({std::to_string(u), std::to_string(v)});
+    }
+  }
+  FW_RETURN_IF_ERROR(common::WriteCsv(dir + "/edges.csv", edges));
+
+  common::CsvTable split;
+  split.header = {"node", "part"};
+  int part = 0;
+  for (const auto* indices :
+       {&ds.split.train, &ds.split.val, &ds.split.test}) {
+    for (int64_t v : *indices) {
+      split.rows.push_back({std::to_string(v), PartName(part)});
+    }
+    ++part;
+  }
+  return common::WriteCsv(dir + "/split.csv", split);
+}
+
+common::Result<Dataset> LoadDataset(const std::string& dir) {
+  Dataset ds;
+  FW_ASSIGN_OR_RETURN(common::CsvTable meta,
+                      common::ReadCsv(dir + "/meta.csv", /*has_header=*/true));
+  if (meta.rows.size() != 1 || meta.rows[0].size() != 3) {
+    return common::Status::InvalidArgument("malformed meta.csv in " + dir);
+  }
+  ds.name = meta.rows[0][0];
+  ds.label_name = meta.rows[0][1];
+  ds.sens_name = meta.rows[0][2];
+
+  FW_ASSIGN_OR_RETURN(common::CsvTable nodes,
+                      common::ReadCsv(dir + "/nodes.csv", /*has_header=*/true));
+  const int64_t n = static_cast<int64_t>(nodes.rows.size());
+  if (n == 0) return common::Status::InvalidArgument("empty nodes.csv");
+  const int64_t num_attrs = static_cast<int64_t>(nodes.header.size()) - 2;
+  if (num_attrs < 1) {
+    return common::Status::InvalidArgument("nodes.csv needs attribute columns");
+  }
+  std::vector<float> x(static_cast<size_t>(n * num_attrs));
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& row = nodes.rows[static_cast<size_t>(i)];
+    if (static_cast<int64_t>(row.size()) != num_attrs + 2) {
+      return common::Status::InvalidArgument("ragged row in nodes.csv");
+    }
+    FW_ASSIGN_OR_RETURN(int64_t label, common::ParseInt(row[0]));
+    FW_ASSIGN_OR_RETURN(int64_t sens, common::ParseInt(row[1]));
+    ds.labels.push_back(static_cast<int>(label));
+    ds.sens.push_back(static_cast<int>(sens));
+    for (int64_t j = 0; j < num_attrs; ++j) {
+      FW_ASSIGN_OR_RETURN(double v,
+                          common::ParseDouble(row[static_cast<size_t>(j + 2)]));
+      x[static_cast<size_t>(i * num_attrs + j)] = static_cast<float>(v);
+    }
+  }
+  ds.features = tensor::Tensor::FromVector({n, num_attrs}, std::move(x));
+
+  FW_ASSIGN_OR_RETURN(ds.graph, graph::LoadEdgeListCsv(dir + "/edges.csv",
+                                                       /*has_header=*/true, n));
+
+  FW_ASSIGN_OR_RETURN(common::CsvTable split,
+                      common::ReadCsv(dir + "/split.csv", /*has_header=*/true));
+  for (const auto& row : split.rows) {
+    if (row.size() != 2) {
+      return common::Status::InvalidArgument("malformed split.csv row");
+    }
+    FW_ASSIGN_OR_RETURN(int64_t node, common::ParseInt(row[0]));
+    if (row[1] == "train") {
+      ds.split.train.push_back(node);
+    } else if (row[1] == "val") {
+      ds.split.val.push_back(node);
+    } else if (row[1] == "test") {
+      ds.split.test.push_back(node);
+    } else {
+      return common::Status::InvalidArgument("unknown split part: " + row[1]);
+    }
+  }
+  FW_RETURN_IF_ERROR(ValidateDataset(ds));
+  return ds;
+}
+
+}  // namespace fairwos::data

@@ -1,0 +1,27 @@
+// Dataset persistence: save a Dataset to a directory of CSV files and load
+// it back. The layout is deliberately plain so that generated benchmarks
+// can be inspected, plotted, or exported to other frameworks:
+//
+//   <dir>/meta.csv    name,label_name,sens_name
+//   <dir>/nodes.csv   label,sens,attr0,attr1,...   (one row per node)
+//   <dir>/edges.csv   src,dst                       (undirected, u < v)
+//   <dir>/split.csv   node,part                     (part ∈ train/val/test)
+#ifndef FAIRWOS_DATA_IO_H_
+#define FAIRWOS_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace fairwos::data {
+
+/// Writes the dataset, creating the directory if needed. Overwrites the
+/// four files if present.
+common::Status SaveDataset(const std::string& dir, const Dataset& ds);
+
+/// Loads a dataset saved by SaveDataset and validates it.
+common::Result<Dataset> LoadDataset(const std::string& dir);
+
+}  // namespace fairwos::data
+
+#endif  // FAIRWOS_DATA_IO_H_

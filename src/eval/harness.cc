@@ -1,0 +1,57 @@
+#include "eval/harness.h"
+
+#include "common/rng.h"
+#include "fairness/metrics.h"
+
+namespace fairwos::eval {
+
+common::Result<TrialMetrics> RunTrial(core::FairMethod* method,
+                                      const data::Dataset& ds, uint64_t seed) {
+  FW_CHECK(method != nullptr);
+  FW_ASSIGN_OR_RETURN(core::MethodOutput out, method->Run(ds, seed));
+  if (static_cast<int64_t>(out.pred.size()) != ds.num_nodes()) {
+    return common::Status::Internal(method->name() +
+                                    ": prediction size mismatch");
+  }
+  TrialMetrics m;
+  const auto& idx = ds.split.test;
+  m.acc = fairness::AccuracyPct(out.pred, ds.labels, idx);
+  m.f1 = fairness::F1Pct(out.pred, ds.labels, idx);
+  m.auc = fairness::AucPct(out.prob1, ds.labels, idx);
+  m.dsp = fairness::StatisticalParityGapPct(out.pred, ds.sens, idx);
+  m.deo = fairness::EqualOpportunityGapPct(out.pred, ds.labels, ds.sens, idx);
+  m.seconds = out.train_seconds;
+  return m;
+}
+
+common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
+                                             const data::Dataset& ds,
+                                             int64_t trials,
+                                             uint64_t base_seed) {
+  if (trials <= 0) {
+    return common::Status::InvalidArgument("trials must be positive");
+  }
+  common::Rng seed_stream(base_seed);
+  std::vector<double> acc, f1, auc, dsp, deo, seconds;
+  for (int64_t t = 0; t < trials; ++t) {
+    FW_ASSIGN_OR_RETURN(TrialMetrics m,
+                        RunTrial(method, ds, seed_stream.NextU64()));
+    acc.push_back(m.acc);
+    f1.push_back(m.f1);
+    auc.push_back(m.auc);
+    dsp.push_back(m.dsp);
+    deo.push_back(m.deo);
+    seconds.push_back(m.seconds);
+  }
+  AggregateMetrics agg;
+  agg.acc = ComputeMeanStd(acc);
+  agg.f1 = ComputeMeanStd(f1);
+  agg.auc = ComputeMeanStd(auc);
+  agg.dsp = ComputeMeanStd(dsp);
+  agg.deo = ComputeMeanStd(deo);
+  agg.seconds = ComputeMeanStd(seconds);
+  agg.trials = trials;
+  return agg;
+}
+
+}  // namespace fairwos::eval

@@ -1,0 +1,45 @@
+// The experiment harness: runs a FairMethod on a dataset over repeated
+// seeded trials and aggregates the paper's metrics (ACC / ΔSP / ΔEO, plus
+// F1 / AUC / runtime) as mean ± std, exactly what Table II and the figure
+// benches report.
+#ifndef FAIRWOS_EVAL_HARNESS_H_
+#define FAIRWOS_EVAL_HARNESS_H_
+
+#include <cstdint>
+
+#include "core/method.h"
+#include "data/dataset.h"
+#include "eval/stats.h"
+
+namespace fairwos::eval {
+
+/// Test-split metrics of one training run.
+struct TrialMetrics {
+  double acc = 0.0;   // percent
+  double f1 = 0.0;    // percent
+  double auc = 0.0;   // percent
+  double dsp = 0.0;   // ΔSP, percent
+  double deo = 0.0;   // ΔEO, percent
+  double seconds = 0.0;
+};
+
+/// Mean ± std over trials.
+struct AggregateMetrics {
+  MeanStd acc, f1, auc, dsp, deo, seconds;
+  int64_t trials = 0;
+};
+
+/// Trains `method` once with `seed` and evaluates on ds.split.test.
+/// The sensitive attribute is consulted here — and only here (§II-B).
+common::Result<TrialMetrics> RunTrial(core::FairMethod* method,
+                                      const data::Dataset& ds, uint64_t seed);
+
+/// Runs `trials` independent trials with seeds derived from `base_seed`.
+common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
+                                             const data::Dataset& ds,
+                                             int64_t trials,
+                                             uint64_t base_seed);
+
+}  // namespace fairwos::eval
+
+#endif  // FAIRWOS_EVAL_HARNESS_H_

@@ -1,0 +1,120 @@
+#include "eval/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace fairwos::eval {
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t dim) {
+  double d = 0.0;
+  for (int64_t i = 0; i < dim; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+/// k-means++ seeding: each next centroid is drawn proportionally to the
+/// squared distance from the nearest existing centroid.
+std::vector<float> SeedCentroids(const std::vector<float>& points, int64_t n,
+                                 int64_t dim, int64_t k, common::Rng* rng) {
+  std::vector<float> centroids(static_cast<size_t>(k * dim));
+  const int64_t first = rng->UniformInt(n);
+  std::copy_n(points.data() + first * dim, dim, centroids.data());
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::infinity());
+  for (int64_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double d = SquaredDistance(points.data() + i * dim,
+                                       centroids.data() + (c - 1) * dim, dim);
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)], d);
+      total += min_dist[static_cast<size_t>(i)];
+    }
+    int64_t chosen = 0;
+    if (total > 0.0) {
+      double r = rng->Uniform() * total;
+      for (int64_t i = 0; i < n; ++i) {
+        r -= min_dist[static_cast<size_t>(i)];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng->UniformInt(n);
+    }
+    std::copy_n(points.data() + chosen * dim, dim,
+                centroids.data() + c * dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<float>& points, int64_t n, int64_t dim,
+                    int64_t k, int64_t max_iters, common::Rng* rng) {
+  FW_CHECK_GT(n, 0);
+  FW_CHECK_GT(dim, 0);
+  FW_CHECK_GE(k, 1);
+  FW_CHECK_LE(k, n);
+  FW_CHECK_EQ(static_cast<int64_t>(points.size()), n * dim);
+  FW_CHECK(rng != nullptr);
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, n, dim, k, rng);
+  result.assignment.assign(static_cast<size_t>(n), 0);
+
+  for (int64_t iter = 0; iter < max_iters; ++iter) {
+    ++result.iterations;
+    // Assignment step.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int64_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(points.data() + i * dim,
+                                         result.centroids.data() + c * dim,
+                                         dim);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[static_cast<size_t>(i)] != best_c) {
+        result.assignment[static_cast<size_t>(i)] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    if (!changed && iter > 0) break;
+    // Update step; empty clusters keep their previous centroid.
+    std::vector<double> sums(static_cast<size_t>(k * dim), 0.0);
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int c = result.assignment[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      for (int64_t d = 0; d < dim; ++d) {
+        sums[static_cast<size_t>(c * dim + d)] +=
+            points[static_cast<size_t>(i * dim + d)];
+      }
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      for (int64_t d = 0; d < dim; ++d) {
+        result.centroids[static_cast<size_t>(c * dim + d)] = static_cast<float>(
+            sums[static_cast<size_t>(c * dim + d)] /
+            static_cast<double>(counts[static_cast<size_t>(c)]));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fairwos::eval

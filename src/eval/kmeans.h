@@ -1,0 +1,27 @@
+// Lloyd's k-means with k-means++ seeding. Used by the KSMOTE baseline to
+// form pseudo-groups, and by tests of the pseudo-sensitive attribute space.
+#ifndef FAIRWOS_EVAL_KMEANS_H_
+#define FAIRWOS_EVAL_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fairwos::eval {
+
+struct KMeansResult {
+  std::vector<int> assignment;     // cluster id per point
+  std::vector<float> centroids;   // row-major [k, dim]
+  double inertia = 0.0;           // sum of squared distances to centroids
+  int64_t iterations = 0;
+};
+
+/// Clusters `n` points of dimension `dim` (row-major `points`) into `k`
+/// clusters. Deterministic in the RNG state. Requires 1 <= k <= n.
+KMeansResult KMeans(const std::vector<float>& points, int64_t n, int64_t dim,
+                    int64_t k, int64_t max_iters, common::Rng* rng);
+
+}  // namespace fairwos::eval
+
+#endif  // FAIRWOS_EVAL_KMEANS_H_

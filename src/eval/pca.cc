@@ -1,0 +1,124 @@
+#include "eval/pca.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fairwos::eval {
+namespace {
+
+/// y = C·v where C is the dim x dim covariance of the centered data,
+/// computed without materialising C: y = Xᵀ(Xv)/n.
+void CovarianceMultiply(const std::vector<double>& centered, int64_t n,
+                        int64_t dim, const std::vector<double>& v,
+                        std::vector<double>* y) {
+  std::vector<double> xv(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const double* row = centered.data() + i * dim;
+    double acc = 0.0;
+    for (int64_t d = 0; d < dim; ++d) acc += row[d] * v[static_cast<size_t>(d)];
+    xv[static_cast<size_t>(i)] = acc;
+  }
+  y->assign(static_cast<size_t>(dim), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const double* row = centered.data() + i * dim;
+    const double w = xv[static_cast<size_t>(i)];
+    for (int64_t d = 0; d < dim; ++d) (*y)[static_cast<size_t>(d)] += w * row[d];
+  }
+  for (auto& val : *y) val /= static_cast<double>(n);
+}
+
+}  // namespace
+
+PcaResult FitPca(const std::vector<float>& points, int64_t n, int64_t dim,
+                 int64_t components, common::Rng* rng) {
+  FW_CHECK_GE(n, 2);
+  FW_CHECK_GT(dim, 0);
+  FW_CHECK_GE(components, 1);
+  FW_CHECK_LE(components, dim);
+  FW_CHECK_EQ(static_cast<int64_t>(points.size()), n * dim);
+  FW_CHECK(rng != nullptr);
+
+  PcaResult result;
+  result.dim = dim;
+  result.mean.assign(static_cast<size_t>(dim), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t d = 0; d < dim; ++d) {
+      result.mean[static_cast<size_t>(d)] +=
+          points[static_cast<size_t>(i * dim + d)];
+    }
+  }
+  for (auto& m : result.mean) m /= static_cast<double>(n);
+
+  std::vector<double> centered(static_cast<size_t>(n * dim));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t d = 0; d < dim; ++d) {
+      centered[static_cast<size_t>(i * dim + d)] =
+          points[static_cast<size_t>(i * dim + d)] -
+          result.mean[static_cast<size_t>(d)];
+    }
+  }
+
+  result.components.assign(static_cast<size_t>(components * dim), 0.0);
+  result.explained_variance.assign(static_cast<size_t>(components), 0.0);
+  std::vector<double> v(static_cast<size_t>(dim));
+  std::vector<double> cv;
+  for (int64_t c = 0; c < components; ++c) {
+    for (auto& x : v) x = rng->Normal();
+    double eigenvalue = 0.0;
+    for (int iter = 0; iter < 200; ++iter) {
+      // Deflate: remove projections onto found components.
+      for (int64_t p = 0; p < c; ++p) {
+        const double* comp = result.components.data() + p * dim;
+        double dot = 0.0;
+        for (int64_t d = 0; d < dim; ++d) dot += v[static_cast<size_t>(d)] * comp[d];
+        for (int64_t d = 0; d < dim; ++d) v[static_cast<size_t>(d)] -= dot * comp[d];
+      }
+      CovarianceMultiply(centered, n, dim, v, &cv);
+      double norm = 0.0;
+      for (double x : cv) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-15) break;  // data has fewer than `components` directions
+      eigenvalue = norm;
+      for (int64_t d = 0; d < dim; ++d) v[static_cast<size_t>(d)] = cv[static_cast<size_t>(d)] / norm;
+    }
+    // One more deflation to keep orthogonality tight, then store.
+    for (int64_t p = 0; p < c; ++p) {
+      const double* comp = result.components.data() + p * dim;
+      double dot = 0.0;
+      for (int64_t d = 0; d < dim; ++d) dot += v[static_cast<size_t>(d)] * comp[d];
+      for (int64_t d = 0; d < dim; ++d) v[static_cast<size_t>(d)] -= dot * comp[d];
+    }
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(std::max(norm, 1e-300));
+    for (int64_t d = 0; d < dim; ++d) {
+      result.components[static_cast<size_t>(c * dim + d)] =
+          v[static_cast<size_t>(d)] / norm;
+    }
+    result.explained_variance[static_cast<size_t>(c)] = eigenvalue;
+  }
+  return result;
+}
+
+std::vector<float> PcaResult::Transform(const std::vector<float>& points,
+                                        int64_t n) const {
+  FW_CHECK_EQ(static_cast<int64_t>(points.size()), n * dim);
+  const int64_t k = static_cast<int64_t>(explained_variance.size());
+  std::vector<float> out(static_cast<size_t>(n * k));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < k; ++c) {
+      const double* comp = components.data() + c * dim;
+      double acc = 0.0;
+      for (int64_t d = 0; d < dim; ++d) {
+        acc += (points[static_cast<size_t>(i * dim + d)] -
+                mean[static_cast<size_t>(d)]) *
+               comp[d];
+      }
+      out[static_cast<size_t>(i * k + c)] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace fairwos::eval

@@ -1,0 +1,37 @@
+// Principal component analysis via orthogonalised power iteration — the
+// cheap linear companion to t-SNE for inspecting pseudo-sensitive
+// attribute spaces, and a building block for diagnostics.
+#ifndef FAIRWOS_EVAL_PCA_H_
+#define FAIRWOS_EVAL_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fairwos::eval {
+
+struct PcaResult {
+  /// Row-major [components, dim] orthonormal principal directions.
+  std::vector<double> components;
+  /// Variance captured by each component, descending.
+  std::vector<double> explained_variance;
+  /// Column means subtracted before fitting.
+  std::vector<double> mean;
+  int64_t dim = 0;
+
+  /// Projects `n` points (row-major, n x dim) onto the components,
+  /// returning row-major n x components scores.
+  std::vector<float> Transform(const std::vector<float>& points,
+                               int64_t n) const;
+};
+
+/// Fits `components` principal directions to `n` points of dimension `dim`
+/// (row-major `points`). Requires 1 <= components <= dim and n >= 2.
+/// Deterministic in the RNG state; power iteration with deflation.
+PcaResult FitPca(const std::vector<float>& points, int64_t n, int64_t dim,
+                 int64_t components, common::Rng* rng);
+
+}  // namespace fairwos::eval
+
+#endif  // FAIRWOS_EVAL_PCA_H_

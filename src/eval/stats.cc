@@ -1,0 +1,79 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace fairwos::eval {
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  FW_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  return {mean, std::sqrt(var)};
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  FW_CHECK_EQ(a.size(), b.size());
+  FW_CHECK(!a.empty());
+  const auto ma = ComputeMeanStd(a);
+  const auto mb = ComputeMeanStd(b);
+  if (ma.stddev < 1e-12 || mb.stddev < 1e-12) return 0.0;
+  double cov = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma.mean) * (b[i] - mb.mean);
+  }
+  cov /= static_cast<double>(a.size());
+  return cov / (ma.stddev * mb.stddev);
+}
+
+double SilhouetteScore(const std::vector<float>& points, int64_t dim,
+                       const std::vector<int>& labels) {
+  FW_CHECK_GT(dim, 0);
+  const int64_t n = static_cast<int64_t>(labels.size());
+  FW_CHECK_EQ(static_cast<int64_t>(points.size()), n * dim);
+  FW_CHECK_GT(n, 1);
+  std::map<int, int64_t> cluster_sizes;
+  for (int c : labels) ++cluster_sizes[c];
+  if (cluster_sizes.size() < 2) return 0.0;
+
+  auto distance = [&](int64_t i, int64_t j) {
+    double d = 0.0;
+    for (int64_t k = 0; k < dim; ++k) {
+      const double diff = points[static_cast<size_t>(i * dim + k)] -
+                          points[static_cast<size_t>(j * dim + k)];
+      d += diff * diff;
+    }
+    return std::sqrt(d);
+  };
+
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int own = labels[static_cast<size_t>(i)];
+    if (cluster_sizes[own] <= 1) continue;  // singleton: contributes 0
+    std::map<int, double> sum_dist;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum_dist[labels[static_cast<size_t>(j)]] += distance(i, j);
+    }
+    const double a =
+        sum_dist[own] / static_cast<double>(cluster_sizes[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [cluster, sum] : sum_dist) {
+      if (cluster == own) continue;
+      b = std::min(b, sum / static_cast<double>(cluster_sizes[cluster]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace fairwos::eval

@@ -1,0 +1,29 @@
+// Small statistics helpers used by the harness, baselines, and benches.
+#ifndef FAIRWOS_EVAL_STATS_H_
+#define FAIRWOS_EVAL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fairwos::eval {
+
+/// Sample mean and (population) standard deviation of `values`.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+/// Pearson correlation coefficient; 0 when either vector is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Mean silhouette coefficient of rows of `points` (row-major, n x dim)
+/// under integer cluster `labels`; in [-1, 1], higher = better separated.
+/// Points in singleton clusters contribute 0. O(n²·dim).
+double SilhouetteScore(const std::vector<float>& points, int64_t dim,
+                       const std::vector<int>& labels);
+
+}  // namespace fairwos::eval
+
+#endif  // FAIRWOS_EVAL_STATS_H_

@@ -1,0 +1,29 @@
+// Column-aligned ASCII table rendering for the bench binaries — each bench
+// prints rows shaped like the paper's tables.
+#ifndef FAIRWOS_EVAL_TABLE_H_
+#define FAIRWOS_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace fairwos::eval {
+
+/// Accumulates rows and renders them with padded columns and a header rule.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Row length must match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table; every call reflects all rows added so far.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fairwos::eval
+
+#endif  // FAIRWOS_EVAL_TABLE_H_

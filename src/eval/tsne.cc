@@ -1,0 +1,157 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fairwos::eval {
+namespace {
+
+/// Binary-searches the Gaussian bandwidth for row i so that the conditional
+/// distribution P(.|i) has the target perplexity; writes P(j|i) into `p`.
+void ComputeRowAffinities(const std::vector<double>& sq_dist, int64_t n,
+                          int64_t i, double perplexity, double* p) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;  // 1 / (2 sigma^2)
+  double beta_min = 0.0, beta_max = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      p[j] = j == i ? 0.0
+                    : std::exp(-beta * sq_dist[static_cast<size_t>(i * n + j)]);
+      sum += p[j];
+    }
+    sum = std::max(sum, 1e-300);
+    double entropy = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      p[j] /= sum;
+      if (p[j] > 1e-12) entropy -= p[j] * std::log(p[j]);
+    }
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0.0) {  // entropy too high -> sharpen
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = 0.5 * (beta + beta_min);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<float> Tsne(const std::vector<float>& points, int64_t n,
+                        int64_t dim, const TsneConfig& config,
+                        common::Rng* rng) {
+  FW_CHECK_GE(n, 4);
+  FW_CHECK_GT(dim, 0);
+  FW_CHECK_EQ(static_cast<int64_t>(points.size()), n * dim);
+  FW_CHECK_LT(config.perplexity, static_cast<double>(n));
+  FW_CHECK(rng != nullptr);
+  const int64_t out_dim = config.out_dim;
+
+  // Pairwise squared distances in the input space.
+  std::vector<double> sq_dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double d = 0.0;
+      for (int64_t k = 0; k < dim; ++k) {
+        const double diff = static_cast<double>(
+                                points[static_cast<size_t>(i * dim + k)]) -
+                            points[static_cast<size_t>(j * dim + k)];
+        d += diff * diff;
+      }
+      sq_dist[static_cast<size_t>(i * n + j)] = d;
+      sq_dist[static_cast<size_t>(j * n + i)] = d;
+    }
+  }
+
+  // Symmetrised affinities P.
+  std::vector<double> p(static_cast<size_t>(n * n), 0.0);
+  {
+    std::vector<double> row(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      ComputeRowAffinities(sq_dist, n, i, config.perplexity, row.data());
+      for (int64_t j = 0; j < n; ++j) {
+        p[static_cast<size_t>(i * n + j)] += row[static_cast<size_t>(j)];
+        p[static_cast<size_t>(j * n + i)] += row[static_cast<size_t>(j)];
+      }
+    }
+    double sum = 0.0;
+    for (double v : p) sum += v;
+    for (double& v : p) v = std::max(v / sum, 1e-12);
+  }
+
+  // Gradient descent on KL(P || Q) with early exaggeration and momentum.
+  std::vector<double> y(static_cast<size_t>(n * out_dim));
+  for (auto& v : y) v = rng->Normal(0.0, 1e-4);
+  std::vector<double> velocity(y.size(), 0.0);
+  std::vector<double> q(static_cast<size_t>(n * n));
+  std::vector<double> grad(y.size());
+  const int64_t exaggeration_end = config.iterations / 4;
+
+  for (int64_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? config.early_exaggeration : 1.0;
+    const double momentum =
+        iter < exaggeration_end ? config.momentum : 0.8;
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double d = 0.0;
+        for (int64_t k = 0; k < out_dim; ++k) {
+          const double diff = y[static_cast<size_t>(i * out_dim + k)] -
+                              y[static_cast<size_t>(j * out_dim + k)];
+          d += diff * diff;
+        }
+        const double w = 1.0 / (1.0 + d);
+        q[static_cast<size_t>(i * n + j)] = w;
+        q[static_cast<size_t>(j * n + i)] = w;
+        q_sum += 2.0 * w;
+      }
+      q[static_cast<size_t>(i * n + i)] = 0.0;
+    }
+    q_sum = std::max(q_sum, 1e-300);
+    // Gradient: 4 Σ_j (exag*P_ij − Q_ij) w_ij (y_i − y_j).
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[static_cast<size_t>(i * n + j)];
+        const double coeff =
+            4.0 * (exaggeration * p[static_cast<size_t>(i * n + j)] -
+                   w / q_sum) *
+            w;
+        for (int64_t k = 0; k < out_dim; ++k) {
+          grad[static_cast<size_t>(i * out_dim + k)] +=
+              coeff * (y[static_cast<size_t>(i * out_dim + k)] -
+                       y[static_cast<size_t>(j * out_dim + k)]);
+        }
+      }
+    }
+    for (size_t i = 0; i < y.size(); ++i) {
+      velocity[i] = momentum * velocity[i] - config.learning_rate * grad[i];
+      y[i] += velocity[i];
+    }
+    // Re-center to keep the embedding bounded.
+    for (int64_t k = 0; k < out_dim; ++k) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        mean += y[static_cast<size_t>(i * out_dim + k)];
+      }
+      mean /= static_cast<double>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        y[static_cast<size_t>(i * out_dim + k)] -= mean;
+      }
+    }
+  }
+
+  std::vector<float> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = static_cast<float>(y[i]);
+  return out;
+}
+
+}  // namespace fairwos::eval

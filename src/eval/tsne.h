@@ -1,0 +1,33 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008), used by the Fig. 7 bench to
+// project pseudo-sensitive attributes into 2-D. O(n²) per iteration —
+// intended for the test-set-sized inputs the paper visualises (hundreds of
+// points).
+#ifndef FAIRWOS_EVAL_TSNE_H_
+#define FAIRWOS_EVAL_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fairwos::eval {
+
+struct TsneConfig {
+  int64_t out_dim = 2;
+  double perplexity = 30.0;
+  int64_t iterations = 500;
+  double learning_rate = 200.0;
+  double early_exaggeration = 12.0;   // applied for the first 1/4 of iters
+  double momentum = 0.5;              // raised to 0.8 after exaggeration
+};
+
+/// Embeds `n` points of dimension `dim` (row-major `points`) into
+/// `config.out_dim` dimensions. Deterministic in the RNG state.
+/// Requires n >= 4 and perplexity < n.
+std::vector<float> Tsne(const std::vector<float>& points, int64_t n,
+                        int64_t dim, const TsneConfig& config,
+                        common::Rng* rng);
+
+}  // namespace fairwos::eval
+
+#endif  // FAIRWOS_EVAL_TSNE_H_

@@ -1,0 +1,182 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace fairwos::graph {
+
+Graph::Graph(int64_t num_nodes) {
+  FW_CHECK_GE(num_nodes, 0);
+  adj_.resize(static_cast<size_t>(num_nodes));
+}
+
+bool Graph::AddEdge(int64_t u, int64_t v) {
+  FW_CHECK_GE(u, 0);
+  FW_CHECK_LT(u, num_nodes());
+  FW_CHECK_GE(v, 0);
+  FW_CHECK_LT(v, num_nodes());
+  if (u == v) return false;
+  if (HasEdge(u, v)) return false;
+  adj_[static_cast<size_t>(u)].push_back(v);
+  adj_[static_cast<size_t>(v)].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::HasEdge(int64_t u, int64_t v) const {
+  const auto& nu = Neighbors(u);
+  return std::find(nu.begin(), nu.end(), v) != nu.end();
+}
+
+const std::vector<int64_t>& Graph::Neighbors(int64_t v) const {
+  FW_CHECK_GE(v, 0);
+  FW_CHECK_LT(v, num_nodes());
+  return adj_[static_cast<size_t>(v)];
+}
+
+double Graph::AverageDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(num_nodes());
+}
+
+std::vector<int64_t> Graph::KHopNeighborhood(int64_t v, int hops) const {
+  FW_CHECK_GE(hops, 0);
+  std::vector<int64_t> out;
+  std::vector<int> dist(static_cast<size_t>(num_nodes()), -1);
+  std::deque<int64_t> queue;
+  dist[static_cast<size_t>(v)] = 0;
+  queue.push_back(v);
+  while (!queue.empty()) {
+    int64_t u = queue.front();
+    queue.pop_front();
+    out.push_back(u);
+    if (dist[static_cast<size_t>(u)] == hops) continue;
+    for (int64_t w : Neighbors(u)) {
+      if (dist[static_cast<size_t>(w)] < 0) {
+        dist[static_cast<size_t>(w)] = dist[static_cast<size_t>(u)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+double Graph::EdgeHomophily(const std::vector<int>& groups) const {
+  FW_CHECK_EQ(static_cast<int64_t>(groups.size()), num_nodes());
+  if (num_edges_ == 0) return 0.0;
+  int64_t same = 0;
+  for (int64_t u = 0; u < num_nodes(); ++u) {
+    for (int64_t v : Neighbors(u)) {
+      if (u < v && groups[static_cast<size_t>(u)] ==
+                       groups[static_cast<size_t>(v)]) {
+        ++same;
+      }
+    }
+  }
+  return static_cast<double>(same) / static_cast<double>(num_edges_);
+}
+
+std::shared_ptr<tensor::SparseMatrix> Graph::GcnNormalizedAdjacency() const {
+  const int64_t n = num_nodes();
+  std::vector<double> inv_sqrt_deg(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    // Degree with the self-loop counted (D̃ = D + I).
+    inv_sqrt_deg[static_cast<size_t>(v)] =
+        1.0 / std::sqrt(static_cast<double>(Degree(v)) + 1.0);
+  }
+  std::vector<tensor::CooEntry> entries;
+  entries.reserve(static_cast<size_t>(2 * num_edges_ + n));
+  for (int64_t u = 0; u < n; ++u) {
+    const double du = inv_sqrt_deg[static_cast<size_t>(u)];
+    entries.push_back({u, u, static_cast<float>(du * du)});
+    for (int64_t v : Neighbors(u)) {
+      entries.push_back(
+          {u, v, static_cast<float>(du * inv_sqrt_deg[static_cast<size_t>(v)])});
+    }
+  }
+  return tensor::SparseMatrix::FromCoo(n, n, std::move(entries));
+}
+
+std::shared_ptr<tensor::SparseMatrix> Graph::PlainAdjacency() const {
+  const int64_t n = num_nodes();
+  std::vector<tensor::CooEntry> entries;
+  entries.reserve(static_cast<size_t>(2 * num_edges_));
+  for (int64_t u = 0; u < n; ++u) {
+    for (int64_t v : Neighbors(u)) entries.push_back({u, v, 1.0f});
+  }
+  return tensor::SparseMatrix::FromCoo(n, n, std::move(entries));
+}
+
+std::shared_ptr<tensor::SparseMatrix> Graph::RowNormalizedAdjacency() const {
+  const int64_t n = num_nodes();
+  std::vector<tensor::CooEntry> entries;
+  entries.reserve(static_cast<size_t>(2 * num_edges_ + n));
+  for (int64_t u = 0; u < n; ++u) {
+    const float inv = 1.0f / static_cast<float>(Degree(u) + 1);
+    entries.push_back({u, u, inv});
+    for (int64_t v : Neighbors(u)) entries.push_back({u, v, inv});
+  }
+  return tensor::SparseMatrix::FromCoo(n, n, std::move(entries));
+}
+
+std::shared_ptr<tensor::SparseMatrix> Graph::AdjacencyWithSelfLoops() const {
+  const int64_t n = num_nodes();
+  std::vector<tensor::CooEntry> entries;
+  entries.reserve(static_cast<size_t>(2 * num_edges_ + n));
+  for (int64_t u = 0; u < n; ++u) {
+    entries.push_back({u, u, 1.0f});
+    for (int64_t v : Neighbors(u)) entries.push_back({u, v, 1.0f});
+  }
+  return tensor::SparseMatrix::FromCoo(n, n, std::move(entries));
+}
+
+std::shared_ptr<tensor::SparseMatrix> Graph::NeighborMeanAdjacency() const {
+  const int64_t n = num_nodes();
+  std::vector<tensor::CooEntry> entries;
+  entries.reserve(static_cast<size_t>(2 * num_edges_));
+  for (int64_t u = 0; u < n; ++u) {
+    const int64_t deg = Degree(u);
+    if (deg == 0) continue;
+    const float inv = 1.0f / static_cast<float>(deg);
+    for (int64_t v : Neighbors(u)) entries.push_back({u, v, inv});
+  }
+  return tensor::SparseMatrix::FromCoo(n, n, std::move(entries));
+}
+
+common::Result<Graph> LoadEdgeListCsv(const std::string& path,
+                                      bool has_header, int64_t num_nodes) {
+  FW_ASSIGN_OR_RETURN(common::CsvTable table,
+                      common::ReadCsv(path, has_header));
+  std::vector<std::pair<int64_t, int64_t>> edges;
+  int64_t max_id = -1;
+  for (const auto& row : table.rows) {
+    if (row.size() < 2) {
+      return common::Status::InvalidArgument(
+          "edge list row needs two columns in " + path);
+    }
+    FW_ASSIGN_OR_RETURN(int64_t u, common::ParseInt(row[0]));
+    FW_ASSIGN_OR_RETURN(int64_t v, common::ParseInt(row[1]));
+    if (u < 0 || v < 0) {
+      return common::Status::InvalidArgument("negative node id in " + path);
+    }
+    max_id = std::max({max_id, u, v});
+    edges.emplace_back(u, v);
+  }
+  const int64_t n = num_nodes > 0 ? num_nodes : max_id + 1;
+  if (max_id >= n) {
+    return common::Status::OutOfRange(
+        common::StrFormat("node id %lld exceeds num_nodes %lld",
+                          static_cast<long long>(max_id),
+                          static_cast<long long>(n)));
+  }
+  Graph g(n);
+  for (auto [u, v] : edges) g.AddEdge(u, v);
+  return g;
+}
+
+}  // namespace fairwos::graph

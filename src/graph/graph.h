@@ -1,0 +1,85 @@
+// Undirected attributed graph used throughout the library. Nodes carry a
+// dense feature matrix (held separately, see data::Dataset); the Graph holds
+// topology and exposes the normalized adjacency operators GNN layers need.
+#ifndef FAIRWOS_GRAPH_GRAPH_H_
+#define FAIRWOS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/sparse.h"
+
+namespace fairwos::graph {
+
+/// Simple undirected graph with adjacency lists. Self-loops are not stored;
+/// GNN normalizations add them explicitly where required.
+class Graph {
+ public:
+  /// An edgeless graph over `num_nodes` nodes.
+  explicit Graph(int64_t num_nodes);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(adj_.size()); }
+
+  /// Number of undirected edges.
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge {u, v}. Duplicate edges and self-loops are
+  /// ignored (returns false); returns true when the edge was inserted.
+  bool AddEdge(int64_t u, int64_t v);
+
+  /// True when {u, v} is an edge. O(deg(u)) scan — fine for the sparse
+  /// graphs we build.
+  bool HasEdge(int64_t u, int64_t v) const;
+
+  const std::vector<int64_t>& Neighbors(int64_t v) const;
+
+  int64_t Degree(int64_t v) const {
+    return static_cast<int64_t>(Neighbors(v).size());
+  }
+
+  /// 2 * num_edges / num_nodes (the paper's Table I statistic).
+  double AverageDegree() const;
+
+  /// Nodes within `hops` of `v` (including `v`), BFS order. Exposed for the
+  /// ego-subgraph view of counterfactual candidates.
+  std::vector<int64_t> KHopNeighborhood(int64_t v, int hops) const;
+
+  /// Fraction of edges whose endpoints share the same value of `groups`
+  /// (label homophily when given labels, sensitive homophily when given s).
+  double EdgeHomophily(const std::vector<int>& groups) const;
+
+  // --- Operators for GNN layers -------------------------------------------
+
+  /// GCN symmetric normalization: Â = D̃^(-1/2) (A + I) D̃^(-1/2).
+  std::shared_ptr<tensor::SparseMatrix> GcnNormalizedAdjacency() const;
+
+  /// Plain adjacency (no self-loops, unit weights), for GIN aggregation.
+  std::shared_ptr<tensor::SparseMatrix> PlainAdjacency() const;
+
+  /// Row-normalized adjacency with self-loops: D̃^(-1) (A + I).
+  std::shared_ptr<tensor::SparseMatrix> RowNormalizedAdjacency() const;
+
+  /// Unit adjacency plus identity (A + I); the support set GAT attends over.
+  std::shared_ptr<tensor::SparseMatrix> AdjacencyWithSelfLoops() const;
+
+  /// Pure neighbor mean operator D^(-1) A (no self-loops); isolated nodes
+  /// get an all-zero row. The GraphSAGE mean aggregator.
+  std::shared_ptr<tensor::SparseMatrix> NeighborMeanAdjacency() const;
+
+ private:
+  std::vector<std::vector<int64_t>> adj_;
+  int64_t num_edges_ = 0;
+};
+
+/// Reads an undirected edge list from a CSV with two integer columns
+/// (optionally with a header). Node count is `num_nodes` when positive,
+/// otherwise 1 + max node id seen.
+common::Result<Graph> LoadEdgeListCsv(const std::string& path,
+                                      bool has_header, int64_t num_nodes);
+
+}  // namespace fairwos::graph
+
+#endif  // FAIRWOS_GRAPH_GRAPH_H_

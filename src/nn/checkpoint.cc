@@ -1,0 +1,87 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace fairwos::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x46574350;  // "FWCP"
+constexpr uint32_t kVersion = 1;
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+common::Status SaveCheckpoint(const std::string& path, const Module& module) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return common::Status::IoError("cannot open for write: " + path);
+  WriteU64(out, (static_cast<uint64_t>(kMagic) << 32) | kVersion);
+  WriteU64(out, module.parameters().size());
+  for (const auto& p : module.parameters()) {
+    WriteU64(out, p.shape().size());
+    for (int64_t d : p.shape()) WriteU64(out, static_cast<uint64_t>(d));
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(p.data().size() * sizeof(float)));
+  }
+  if (!out) return common::Status::IoError("write failed: " + path);
+  return common::Status::OK();
+}
+
+common::Status LoadCheckpoint(const std::string& path, const Module& module) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::IoError("cannot open for read: " + path);
+  uint64_t header = 0;
+  if (!ReadU64(in, &header) ||
+      header != ((static_cast<uint64_t>(kMagic) << 32) | kVersion)) {
+    return common::Status::InvalidArgument("not a Fairwos checkpoint: " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) {
+    return common::Status::IoError("truncated checkpoint: " + path);
+  }
+  if (count != module.parameters().size()) {
+    return common::Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(count) + " parameters, module has " +
+        std::to_string(module.parameters().size()));
+  }
+  // Stage everything first so a mismatch mid-file leaves the module intact.
+  std::vector<std::vector<float>> staged;
+  staged.reserve(count);
+  for (const auto& p : module.parameters()) {
+    uint64_t rank = 0;
+    if (!ReadU64(in, &rank)) {
+      return common::Status::IoError("truncated checkpoint: " + path);
+    }
+    tensor::Shape shape(rank);
+    for (auto& d : shape) {
+      uint64_t v = 0;
+      if (!ReadU64(in, &v)) {
+        return common::Status::IoError("truncated checkpoint: " + path);
+      }
+      d = static_cast<int64_t>(v);
+    }
+    if (shape != p.shape()) {
+      return common::Status::FailedPrecondition(
+          "checkpoint shape " + tensor::ShapeToString(shape) +
+          " does not match module shape " + tensor::ShapeToString(p.shape()));
+    }
+    std::vector<float> data(p.data().size());
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) return common::Status::IoError("truncated checkpoint: " + path);
+    staged.push_back(std::move(data));
+  }
+  RestoreParameters(module, staged);
+  return common::Status::OK();
+}
+
+}  // namespace fairwos::nn

@@ -1,0 +1,25 @@
+// Model checkpointing: serialize a Module's parameters to a small binary
+// file and restore them into an identically-constructed module. The format
+// is self-describing enough to fail loudly on architecture mismatches.
+#ifndef FAIRWOS_NN_CHECKPOINT_H_
+#define FAIRWOS_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace fairwos::nn {
+
+/// Writes every parameter tensor (shapes + float32 data, little-endian) to
+/// `path`. Overwrites existing files.
+common::Status SaveCheckpoint(const std::string& path, const Module& module);
+
+/// Restores parameters saved by SaveCheckpoint. The module must have the
+/// same parameter count and shapes (i.e. be built from the same config);
+/// mismatches return FailedPrecondition and leave the module untouched.
+common::Status LoadCheckpoint(const std::string& path, const Module& module);
+
+}  // namespace fairwos::nn
+
+#endif  // FAIRWOS_NN_CHECKPOINT_H_

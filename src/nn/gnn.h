@@ -1,0 +1,168 @@
+// Graph neural network layers and the two backbones the paper evaluates
+// (GCN and GIN), plus the node-classification head used everywhere.
+#ifndef FAIRWOS_NN_GNN_H_
+#define FAIRWOS_NN_GNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace fairwos::nn {
+
+/// The GNN backbone family. Fairwos is backbone-agnostic (paper §III-C);
+/// GCN and GIN appear in Table II, GraphSAGE and GAT are the extension
+/// backbones the paper's related-work section motivates.
+enum class Backbone { kGcn, kGin, kSage, kGat };
+
+/// Parses "gcn" / "gin" / "sage" / "gat" (case-sensitive, CLI convention).
+common::Result<Backbone> ParseBackbone(const std::string& name);
+const char* BackboneName(Backbone backbone);
+
+/// One GCN layer: H' = Â H W + b with Â the symmetric-normalized adjacency
+/// (paper Eq. 7-8 instantiated as in Kipf & Welling).
+class GcnConv : public Module {
+ public:
+  GcnConv(int64_t in_features, int64_t out_features, common::Rng* rng);
+
+  tensor::Tensor Forward(
+      const std::shared_ptr<const tensor::SparseMatrix>& adj_norm,
+      const tensor::Tensor& x) const;
+
+ private:
+  Linear linear_;
+};
+
+/// One GIN layer: H' = MLP((1 + eps) H + A H); eps fixed at construction.
+class GinConv : public Module {
+ public:
+  GinConv(int64_t in_features, int64_t out_features, float eps,
+          common::Rng* rng);
+
+  tensor::Tensor Forward(
+      const std::shared_ptr<const tensor::SparseMatrix>& adj_plain,
+      const tensor::Tensor& x, bool training, common::Rng* rng) const;
+
+ private:
+  Mlp mlp_;
+  float eps_;
+};
+
+/// One GraphSAGE layer (mean aggregator):
+/// H' = l2norm(W_self H + W_neigh · mean_{u∈N(v)} H_u).
+class SageConv : public Module {
+ public:
+  SageConv(int64_t in_features, int64_t out_features, bool normalize,
+           common::Rng* rng);
+
+  tensor::Tensor Forward(
+      const std::shared_ptr<const tensor::SparseMatrix>& neighbor_mean,
+      const tensor::Tensor& x) const;
+
+ private:
+  Linear self_linear_;
+  Linear neighbor_linear_;
+  bool normalize_;
+};
+
+/// One multi-head GAT layer (Velickovic et al.): per head h,
+///   e_vu = LeakyReLU(a_dstᵀ W_h x_v + a_srcᵀ W_h x_u),
+///   out_v = Σ_{u∈N⁺(v)} softmax_u(e_vu) · W_h x_u,
+/// heads concatenated. out_features must be divisible by `heads`.
+class GatConv : public Module {
+ public:
+  GatConv(int64_t in_features, int64_t out_features, int64_t heads,
+          float negative_slope, common::Rng* rng);
+
+  tensor::Tensor Forward(
+      const std::shared_ptr<const tensor::SparseMatrix>& adj_self_loops,
+      const tensor::Tensor& x) const;
+
+ private:
+  struct Head {
+    Linear linear;
+    tensor::Tensor att_dst;  // [out/heads, 1]
+    tensor::Tensor att_src;  // [out/heads, 1]
+  };
+  std::vector<Head> heads_;
+  float negative_slope_;
+};
+
+/// Configuration shared by every GNN model in the repository.
+struct GnnConfig {
+  Backbone backbone = Backbone::kGcn;
+  int64_t in_features = 0;
+  int64_t hidden = 16;   // paper §V-A4: hidden unit number 16
+  int64_t num_layers = 1;  // paper §V-A4: layer number 1
+  int64_t num_classes = 2;
+  float dropout = 0.5f;
+  float gin_eps = 0.0f;
+  bool sage_normalize = true;  // L2-normalize SAGE layer outputs
+  int64_t gat_heads = 2;       // attention heads (hidden % heads == 0)
+  float gat_negative_slope = 0.2f;
+};
+
+/// A stack of graph convolutions producing node representations h (the
+/// f_G of paper §III-E). The adjacency operators are captured at
+/// construction since the graph is fixed per dataset.
+class GnnEncoder : public Module {
+ public:
+  GnnEncoder(const GnnConfig& config, const graph::Graph& g,
+             common::Rng* rng);
+
+  /// x: [N, in_features] -> [N, hidden].
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training,
+                         common::Rng* rng) const;
+
+  int64_t hidden() const { return config_.hidden; }
+  const GnnConfig& config() const { return config_; }
+
+ private:
+  GnnConfig config_;
+  std::shared_ptr<const tensor::SparseMatrix> adj_;  // backbone-specific
+  std::vector<GcnConv> gcn_layers_;
+  std::vector<GinConv> gin_layers_;
+  std::vector<SageConv> sage_layers_;
+  std::vector<GatConv> gat_layers_;
+};
+
+/// GNN encoder + linear classification head (paper Eq. 9). Exposes both the
+/// representation h and the logits so fairness losses can hook h.
+class GnnClassifier : public Module {
+ public:
+  GnnClassifier(const GnnConfig& config, const graph::Graph& g,
+                common::Rng* rng);
+
+  /// Node representations h: [N, hidden].
+  tensor::Tensor Embed(const tensor::Tensor& x, bool training,
+                       common::Rng* rng) const;
+
+  /// Class logits from a representation: [N, num_classes].
+  tensor::Tensor Logits(const tensor::Tensor& h) const;
+
+  /// Convenience: Logits(Embed(x)).
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training,
+                         common::Rng* rng) const;
+
+  const GnnEncoder& encoder() const { return encoder_; }
+
+ private:
+  GnnEncoder encoder_;
+  Linear head_;
+};
+
+/// Hard predictions (argmax) and P(class 1) from logits, computed without
+/// touching the tape.
+struct PredictionResult {
+  std::vector<int> pred;
+  std::vector<float> prob1;
+};
+PredictionResult PredictFromLogits(const tensor::Tensor& logits);
+
+}  // namespace fairwos::nn
+
+#endif  // FAIRWOS_NN_GNN_H_

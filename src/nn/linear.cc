@@ -1,0 +1,38 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace fairwos::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, common::Rng* rng) {
+  weight_ = RegisterParameter(GlorotUniform(in_features, out_features, rng));
+  bias_ = RegisterParameter(tensor::Tensor::Zeros({out_features}));
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
+  return tensor::AddRowBroadcast(tensor::MatMul(x, weight_), bias_);
+}
+
+Mlp::Mlp(const std::vector<int64_t>& dims, float dropout, common::Rng* rng)
+    : dropout_(dropout) {
+  FW_CHECK_GE(dims.size(), 2u) << "Mlp needs at least input and output dims";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+  for (const auto& layer : layers_) RegisterSubmodule(layer);
+}
+
+tensor::Tensor Mlp::Forward(const tensor::Tensor& x, bool training,
+                            common::Rng* rng) const {
+  tensor::Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) {
+      h = tensor::Relu(h);
+      if (dropout_ > 0.0f) h = tensor::Dropout(h, dropout_, training, rng);
+    }
+  }
+  return h;
+}
+
+}  // namespace fairwos::nn

@@ -1,0 +1,51 @@
+// Dense affine layer and a small multilayer perceptron.
+#ifndef FAIRWOS_NN_LINEAR_H_
+#define FAIRWOS_NN_LINEAR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace fairwos::nn {
+
+/// y = x · W + b, with Glorot-initialised W [in, out] and zero bias.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, common::Rng* rng);
+
+  /// x: [N, in] -> [N, out].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int64_t in_features() const { return weight_.dim(0); }
+  int64_t out_features() const { return weight_.dim(1); }
+
+  const tensor::Tensor& weight() const { return weight_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+ private:
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;
+};
+
+/// Fully connected stack: Linear -> ReLU -> [Dropout] -> ... -> Linear.
+/// The final layer has no activation.
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, hidden..., out}; needs at least one layer (size >= 2).
+  Mlp(const std::vector<int64_t>& dims, float dropout, common::Rng* rng);
+
+  /// x: [N, dims.front()] -> [N, dims.back()]. `rng` is only consulted when
+  /// `training` and dropout > 0.
+  tensor::Tensor Forward(const tensor::Tensor& x, bool training,
+                         common::Rng* rng) const;
+
+ private:
+  std::vector<Linear> layers_;
+  float dropout_;
+};
+
+}  // namespace fairwos::nn
+
+#endif  // FAIRWOS_NN_LINEAR_H_

@@ -1,0 +1,87 @@
+// Base class for trainable components: tracks parameter tensors so that
+// optimizers and checkpoints can treat models uniformly.
+#ifndef FAIRWOS_NN_MODULE_H_
+#define FAIRWOS_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fairwos::nn {
+
+/// A trainable component. Subclasses register their parameters (and
+/// submodules) in their constructor; `parameters()` then exposes every
+/// trainable tensor for the optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // Movable so that layers can live in std::vector. Parameter handles share
+  // storage, so moves never invalidate optimizer references.
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
+
+  /// All trainable tensors, including those of registered submodules.
+  /// Handles share storage with the module, so optimizer updates are seen
+  /// by subsequent forward passes.
+  const std::vector<tensor::Tensor>& parameters() const { return params_; }
+
+  /// Clears accumulated gradients on every parameter.
+  void ZeroGrad() {
+    for (auto& p : params_) {
+      tensor::Tensor(p).ZeroGrad();
+    }
+  }
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const {
+    int64_t n = 0;
+    for (const auto& p : params_) n += p.numel();
+    return n;
+  }
+
+ protected:
+  Module() = default;
+
+  /// Registers a leaf parameter; returns the handle for the caller to keep.
+  tensor::Tensor RegisterParameter(tensor::Tensor t) {
+    t.set_requires_grad(true);
+    params_.push_back(t);
+    return t;
+  }
+
+  /// Makes a submodule's parameters visible through this module.
+  void RegisterSubmodule(const Module& m) {
+    for (const auto& p : m.parameters()) params_.push_back(p);
+  }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+};
+
+/// Copies every parameter's values; pairs with RestoreParameters for
+/// "keep the best validation epoch" checkpointing.
+inline std::vector<std::vector<float>> SnapshotParameters(const Module& m) {
+  std::vector<std::vector<float>> snapshot;
+  snapshot.reserve(m.parameters().size());
+  for (const auto& p : m.parameters()) snapshot.push_back(p.data());
+  return snapshot;
+}
+
+/// Restores values captured by SnapshotParameters into the same module.
+inline void RestoreParameters(const Module& m,
+                              const std::vector<std::vector<float>>& snapshot) {
+  FW_CHECK_EQ(m.parameters().size(), snapshot.size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    tensor::Tensor p = m.parameters()[i];
+    FW_CHECK_EQ(p.data().size(), snapshot[i].size());
+    p.mutable_data() = snapshot[i];
+  }
+}
+
+}  // namespace fairwos::nn
+
+#endif  // FAIRWOS_NN_MODULE_H_

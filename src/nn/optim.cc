@@ -1,0 +1,62 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace fairwos::nn {
+
+Sgd::Sgd(std::vector<tensor::Tensor> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {
+  FW_CHECK_GT(lr_, 0.0f);
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    if (p.grad().empty()) continue;  // never received a gradient
+    auto& data = p.mutable_data();
+    const auto& grad = p.grad();
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] -= lr_ * (grad[i] + weight_decay_ * data[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<tensor::Tensor> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  FW_CHECK_GT(lr_, 0.0f);
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].data().size(), 0.0f);
+    v_[i].assign(params_[i].data().size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& data = p.mutable_data();
+    const auto& grad = p.grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      const float g = grad[j] + weight_decay_ * data[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace fairwos::nn

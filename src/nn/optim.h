@@ -1,0 +1,57 @@
+// First-order optimizers over Module parameters. The paper trains with Adam
+// (lr = 0.001, §V-A4); SGD is kept for tests and ablations.
+#ifndef FAIRWOS_NN_OPTIM_H_
+#define FAIRWOS_NN_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fairwos::nn {
+
+/// Interface: Step() applies one update from the gradients currently
+/// accumulated on the parameters; ZeroGrad() clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+ protected:
+  std::vector<tensor::Tensor> params_;
+};
+
+/// Plain SGD with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> params, float lr, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional L2 weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace fairwos::nn
+
+#endif  // FAIRWOS_NN_OPTIM_H_

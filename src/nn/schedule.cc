@@ -1,0 +1,31 @@
+#include "nn/schedule.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace fairwos::nn {
+
+float StepDecaySchedule::Multiplier(int64_t epoch) const {
+  FW_CHECK_GE(epoch, 0);
+  const int64_t steps = epoch / step_size_;
+  return std::pow(gamma_, static_cast<float>(steps));
+}
+
+float CosineSchedule::Multiplier(int64_t epoch) const {
+  FW_CHECK_GE(epoch, 0);
+  if (epoch >= total_epochs_) return floor_;
+  const double progress =
+      static_cast<double>(epoch) / static_cast<double>(total_epochs_);
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return static_cast<float>(floor_ + (1.0 - floor_) * cosine);
+}
+
+float WarmupSchedule::Multiplier(int64_t epoch) const {
+  FW_CHECK_GE(epoch, 0);
+  if (epoch >= warmup_epochs_) return 1.0f;
+  const float progress =
+      static_cast<float>(epoch) / static_cast<float>(warmup_epochs_);
+  return start_ + (1.0f - start_) * progress;
+}
+
+}  // namespace fairwos::nn

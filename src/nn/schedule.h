@@ -1,0 +1,78 @@
+// Learning-rate schedules. The paper trains at a fixed rate; schedules are
+// provided for the repository's own fine-tuning experiments (a warmup ramp
+// stabilises the GIN/GAT fine-tuning phase) and as general library surface.
+#ifndef FAIRWOS_NN_SCHEDULE_H_
+#define FAIRWOS_NN_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace fairwos::nn {
+
+/// Interface: maps an epoch index to a learning-rate multiplier in (0, 1].
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+
+  /// Multiplier applied to the base learning rate at `epoch` (0-based).
+  virtual float Multiplier(int64_t epoch) const = 0;
+};
+
+/// Constant 1.0 — the paper's setting.
+class ConstantSchedule : public LrSchedule {
+ public:
+  float Multiplier(int64_t) const override { return 1.0f; }
+};
+
+/// Multiplies by `gamma` every `step_size` epochs.
+class StepDecaySchedule : public LrSchedule {
+ public:
+  StepDecaySchedule(int64_t step_size, float gamma)
+      : step_size_(step_size), gamma_(gamma) {
+    FW_CHECK_GT(step_size_, 0);
+    FW_CHECK_GT(gamma_, 0.0f);
+    FW_CHECK_LE(gamma_, 1.0f);
+  }
+  float Multiplier(int64_t epoch) const override;
+
+ private:
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from 1 to `floor` over `total_epochs`.
+class CosineSchedule : public LrSchedule {
+ public:
+  CosineSchedule(int64_t total_epochs, float floor)
+      : total_epochs_(total_epochs), floor_(floor) {
+    FW_CHECK_GT(total_epochs_, 0);
+    FW_CHECK_GE(floor_, 0.0f);
+    FW_CHECK_LE(floor_, 1.0f);
+  }
+  float Multiplier(int64_t epoch) const override;
+
+ private:
+  int64_t total_epochs_;
+  float floor_;
+};
+
+/// Linear ramp from `start` to 1 over `warmup_epochs`, then constant 1.
+class WarmupSchedule : public LrSchedule {
+ public:
+  WarmupSchedule(int64_t warmup_epochs, float start)
+      : warmup_epochs_(warmup_epochs), start_(start) {
+    FW_CHECK_GT(warmup_epochs_, 0);
+    FW_CHECK_GT(start_, 0.0f);
+    FW_CHECK_LE(start_, 1.0f);
+  }
+  float Multiplier(int64_t epoch) const override;
+
+ private:
+  int64_t warmup_epochs_;
+  float start_;
+};
+
+}  // namespace fairwos::nn
+
+#endif  // FAIRWOS_NN_SCHEDULE_H_

@@ -1,0 +1,78 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+
+namespace fairwos::tensor {
+
+std::shared_ptr<SparseMatrix> SparseMatrix::FromCoo(
+    int64_t rows, int64_t cols, std::vector<CooEntry> entries) {
+  FW_CHECK_GE(rows, 0);
+  FW_CHECK_GE(cols, 0);
+  for (const auto& e : entries) {
+    FW_CHECK_GE(e.row, 0);
+    FW_CHECK_LT(e.row, rows);
+    FW_CHECK_GE(e.col, 0);
+    FW_CHECK_LT(e.col, cols);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return std::tie(a.row, a.col) < std::tie(b.row, b.col);
+            });
+  auto m = std::shared_ptr<SparseMatrix>(new SparseMatrix());
+  m->rows_ = rows;
+  m->cols_ = cols;
+  m->row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m->col_idx_.reserve(entries.size());
+  m->values_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size();) {
+    size_t j = i;
+    float sum = 0.0f;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      sum += entries[j].value;
+      ++j;
+    }
+    m->col_idx_.push_back(entries[i].col);
+    m->values_.push_back(sum);
+    ++m->row_ptr_[static_cast<size_t>(entries[i].row) + 1];
+    i = j;
+  }
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    m->row_ptr_[r + 1] += m->row_ptr_[r];
+  }
+  return m;
+}
+
+void SparseMatrix::Multiply(const float* x, int64_t x_cols, float* y) const {
+  FW_CHECK(x != nullptr);
+  FW_CHECK(y != nullptr);
+  FW_CHECK_GT(x_cols, 0);
+  std::fill(y, y + rows_ * x_cols, 0.0f);
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* yrow = y + r * x_cols;
+    for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+         p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+      const float v = values_[static_cast<size_t>(p)];
+      const float* xrow = x + col_idx_[static_cast<size_t>(p)] * x_cols;
+      for (int64_t c = 0; c < x_cols; ++c) yrow[c] += v * xrow[c];
+    }
+  }
+}
+
+const SparseMatrix& SparseMatrix::Transposed() const {
+  if (transpose_cache_ == nullptr) {
+    std::vector<CooEntry> entries;
+    entries.reserve(static_cast<size_t>(nnz()));
+    for (int64_t r = 0; r < rows_; ++r) {
+      for (int64_t p = row_ptr_[static_cast<size_t>(r)];
+           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
+        entries.push_back({col_idx_[static_cast<size_t>(p)], r,
+                           values_[static_cast<size_t>(p)]});
+      }
+    }
+    transpose_cache_ = FromCoo(cols_, rows_, std::move(entries));
+  }
+  return *transpose_cache_;
+}
+
+}  // namespace fairwos::tensor

@@ -1,0 +1,204 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace fairwos::tensor {
+
+namespace {
+thread_local bool g_grad_recording = true;
+}  // namespace
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    FW_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_recording) {
+  g_grad_recording = false;
+}
+NoGradGuard::~NoGradGuard() { g_grad_recording = previous_; }
+
+bool GradRecordingEnabled() { return g_grad_recording; }
+
+Tensor Tensor::WrapImpl(std::shared_ptr<internal::TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Full(std::move(shape), 0.0f); }
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  int64_t n = NumElements(shape);
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(n), value);
+  return WrapImpl(std::move(impl));
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  FW_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()))
+      << "FromVector: shape " << ShapeToString(shape) << " vs "
+      << values.size() << " values";
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(values);
+  return WrapImpl(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value) { return FromVector({1}, {value}); }
+
+Tensor Tensor::RandUniform(Shape shape, float lo, float hi,
+                           common::Rng* rng) {
+  FW_CHECK(rng != nullptr);
+  int64_t n = NumElements(shape);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng->Uniform(lo, hi));
+  return FromVector(std::move(shape), std::move(v));
+}
+
+Tensor Tensor::RandNormal(Shape shape, float stddev, common::Rng* rng) {
+  FW_CHECK(rng != nullptr);
+  int64_t n = NumElements(shape);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng->Normal(0.0, stddev));
+  return FromVector(std::move(shape), std::move(v));
+}
+
+int64_t Tensor::dim(int i) const {
+  FW_CHECK_GE(i, 0);
+  FW_CHECK_LT(i, rank());
+  return impl().shape[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i) const {
+  FW_CHECK_EQ(rank(), 1);
+  FW_CHECK_GE(i, 0);
+  FW_CHECK_LT(i, numel());
+  return impl().data[static_cast<size_t>(i)];
+}
+
+float Tensor::at(int64_t i, int64_t j) const {
+  FW_CHECK_EQ(rank(), 2);
+  FW_CHECK_GE(i, 0);
+  FW_CHECK_LT(i, dim(0));
+  FW_CHECK_GE(j, 0);
+  FW_CHECK_LT(j, dim(1));
+  return impl().data[static_cast<size_t>(i * dim(1) + j)];
+}
+
+void Tensor::set(int64_t i, float v) {
+  FW_CHECK_EQ(rank(), 1);
+  FW_CHECK_GE(i, 0);
+  FW_CHECK_LT(i, numel());
+  impl().data[static_cast<size_t>(i)] = v;
+}
+
+void Tensor::set(int64_t i, int64_t j, float v) {
+  FW_CHECK_EQ(rank(), 2);
+  FW_CHECK_GE(i, 0);
+  FW_CHECK_LT(i, dim(0));
+  FW_CHECK_GE(j, 0);
+  FW_CHECK_LT(j, dim(1));
+  impl().data[static_cast<size_t>(i * dim(1) + j)] = v;
+}
+
+float Tensor::item() const {
+  FW_CHECK_EQ(numel(), 1) << "item() requires a one-element tensor";
+  return impl().data[0];
+}
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  impl().requires_grad = value;
+  return *this;
+}
+
+void Tensor::ZeroGrad() {
+  auto& g = impl().grad;
+  std::fill(g.begin(), g.end(), 0.0f);
+}
+
+Tensor Tensor::DetachCopy() const {
+  auto out = std::make_shared<internal::TensorImpl>();
+  out->shape = impl().shape;
+  out->data = impl().data;
+  return WrapImpl(std::move(out));
+}
+
+void Tensor::Backward() {
+  FW_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+  using internal::TensorImpl;
+  // Iterative post-order DFS to get a topological order of the tape.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_input < frame.node->inputs.size()) {
+      TensorImpl* child = frame.node->inputs[frame.next_input++].get();
+      if (visited.insert(child).second) stack.push_back({child, 0});
+    } else {
+      topo.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  // Non-leaf gradients are scratch space for this pass; reset them so a
+  // second Backward() accumulates only into leaves (PyTorch semantics).
+  for (TensorImpl* node : topo) {
+    if (node->backward_fn) {
+      std::fill(node->grad.begin(), node->grad.end(), 0.0f);
+    }
+  }
+  // Seed d(loss)/d(loss) = 1 and walk in reverse topological order.
+  impl().EnsureGrad();
+  impl().grad[0] += 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+bool Tensor::ValueEquals(const Tensor& other) const {
+  return impl().shape == other.impl().shape && impl().data == other.impl().data;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape()) << " {";
+  const int64_t limit = 32;
+  for (int64_t i = 0; i < numel() && i < limit; ++i) {
+    if (i > 0) out << ", ";
+    out << impl().data[static_cast<size_t>(i)];
+  }
+  if (numel() > limit) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace fairwos::tensor

@@ -1,0 +1,170 @@
+// Backbone-agnosticism tests (paper §III-C claims Fairwos is flexible
+// across backbones): every backbone — GCN, GIN, GraphSAGE, GAT — must
+// produce well-shaped outputs, train end-to-end, and plug into Fairwos and
+// every baseline through the registry.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "nn/gnn.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace fairwos::nn {
+namespace {
+
+class BackboneParamTest : public ::testing::TestWithParam<Backbone> {};
+
+graph::Graph RingGraph(int n) {
+  graph::Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+TEST_P(BackboneParamTest, ForwardShapes) {
+  common::Rng rng(1);
+  GnnConfig config;
+  config.backbone = GetParam();
+  config.in_features = 5;
+  config.hidden = 8;
+  config.num_layers = 2;
+  graph::Graph g = RingGraph(7);
+  GnnClassifier model(config, g, &rng);
+  tensor::Tensor logits =
+      model.Forward(tensor::Tensor::Ones({7, 5}), /*training=*/false, &rng);
+  EXPECT_EQ(logits.dim(0), 7);
+  EXPECT_EQ(logits.dim(1), 2);
+  EXPECT_GT(model.NumParameters(), 0);
+}
+
+TEST_P(BackboneParamTest, GradientsReachEveryParameter) {
+  common::Rng rng(2);
+  GnnConfig config;
+  config.backbone = GetParam();
+  config.in_features = 4;
+  config.hidden = 8;
+  config.dropout = 0.0f;
+  graph::Graph g = RingGraph(6);
+  GnnClassifier model(config, g, &rng);
+  tensor::Tensor x = tensor::Tensor::RandNormal({6, 4}, 1.0f, &rng);
+  tensor::SumSquares(model.Forward(x, /*training=*/true, &rng)).Backward();
+  for (const auto& p : model.parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+    double norm = 0.0;
+    for (float v : p.grad()) norm += std::abs(v);
+    EXPECT_GT(norm, 0.0) << BackboneName(GetParam());
+  }
+}
+
+TEST_P(BackboneParamTest, LearnsBlockLabels) {
+  common::Rng rng(3);
+  GnnConfig config;
+  config.backbone = GetParam();
+  config.in_features = 2;
+  config.hidden = 8;
+  config.dropout = 0.0f;
+  graph::Graph g(20);
+  for (int i = 0; i + 1 < 20; ++i) {
+    if (i != 9) g.AddEdge(i, i + 1);  // two disjoint chains of 10
+  }
+  std::vector<int> labels(20);
+  std::vector<float> x(40);
+  for (int i = 0; i < 20; ++i) {
+    labels[static_cast<size_t>(i)] = i < 10 ? 0 : 1;
+    x[static_cast<size_t>(2 * i)] = labels[static_cast<size_t>(i)] ? 1.0f : -1.0f;
+  }
+  tensor::Tensor features = tensor::Tensor::FromVector({20, 2}, std::move(x));
+  std::vector<int64_t> all(20);
+  for (int i = 0; i < 20; ++i) all[static_cast<size_t>(i)] = i;
+  GnnClassifier model(config, g, &rng);
+  Adam opt(model.parameters(), 0.05f);
+  for (int epoch = 0; epoch < 250; ++epoch) {
+    opt.ZeroGrad();
+    tensor::SoftmaxCrossEntropy(model.Forward(features, true, &rng), labels,
+                                all)
+        .Backward();
+    opt.Step();
+  }
+  tensor::NoGradGuard no_grad;
+  auto result = PredictFromLogits(model.Forward(features, false, &rng));
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    correct += result.pred[static_cast<size_t>(i)] == labels[static_cast<size_t>(i)];
+  }
+  EXPECT_GE(correct, 18) << BackboneName(GetParam());
+}
+
+TEST_P(BackboneParamTest, FairwosRunsOnBackbone) {
+  auto ds = data::MakeDataset("toy", {}).value();
+  baselines::MethodOptions options;
+  options.backbone = GetParam();
+  options.train.epochs = 50;
+  options.fairwos.pretrain_epochs = 50;
+  options.fairwos.finetune_epochs = 5;
+  options.fairwos.encoder.epochs = 30;
+  auto method = baselines::MakeMethod("fairwos", options).value();
+  auto out = method->Run(ds, 5);
+  ASSERT_TRUE(out.ok()) << BackboneName(GetParam()) << ": "
+                        << out.status().ToString();
+  EXPECT_EQ(static_cast<int64_t>(out->pred.size()), ds.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackbones, BackboneParamTest,
+                         ::testing::Values(Backbone::kGcn, Backbone::kGin,
+                                           Backbone::kSage, Backbone::kGat),
+                         [](const auto& info) {
+                           return std::string(BackboneName(info.param));
+                         });
+
+TEST(SageConvTest, NormalizedRowsHaveUnitNorm) {
+  common::Rng rng(4);
+  graph::Graph g = RingGraph(5);
+  SageConv conv(3, 4, /*normalize=*/true, &rng);
+  tensor::Tensor y =
+      conv.Forward(g.NeighborMeanAdjacency(),
+                   tensor::Tensor::RandNormal({5, 3}, 1.0f, &rng));
+  for (int64_t i = 0; i < 5; ++i) {
+    double norm = 0.0;
+    for (int64_t j = 0; j < 4; ++j) norm += static_cast<double>(y.at(i, j)) * y.at(i, j);
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  }
+}
+
+TEST(SageConvTest, IsolatedNodeUsesSelfOnly) {
+  common::Rng rng(5);
+  graph::Graph g(2);  // no edges
+  SageConv conv(2, 3, /*normalize=*/false, &rng);
+  tensor::Tensor x = tensor::Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  tensor::Tensor y = conv.Forward(g.NeighborMeanAdjacency(), x);
+  // Neighbor mean is all zeros -> output = W_self x + b_self + b_neigh;
+  // just verify it is finite and differs per node.
+  EXPECT_NE(y.at(0, 0), y.at(1, 0));
+}
+
+TEST(GatConvTest, HeadsConcatenateToHidden) {
+  common::Rng rng(6);
+  graph::Graph g = RingGraph(6);
+  GatConv conv(4, 8, /*heads=*/2, 0.2f, &rng);
+  tensor::Tensor y = conv.Forward(g.AdjacencyWithSelfLoops(),
+                                  tensor::Tensor::Ones({6, 4}));
+  EXPECT_EQ(y.dim(0), 6);
+  EXPECT_EQ(y.dim(1), 8);
+}
+
+TEST(GatConvTest, RejectsIndivisibleHeads) {
+  common::Rng rng(7);
+  EXPECT_DEATH(GatConv(4, 9, /*heads=*/2, 0.2f, &rng), "divisible");
+}
+
+TEST(BackboneParseTest, NewNamesRoundTrip) {
+  EXPECT_EQ(ParseBackbone("sage").value(), Backbone::kSage);
+  EXPECT_EQ(ParseBackbone("gat").value(), Backbone::kGat);
+  EXPECT_STREQ(BackboneName(Backbone::kSage), "sage");
+  EXPECT_STREQ(BackboneName(Backbone::kGat), "gat");
+}
+
+}  // namespace
+}  // namespace fairwos::nn

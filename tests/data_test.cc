@@ -1,0 +1,204 @@
+// Tests for the dataset layer: splits, standardization, validation, and —
+// most importantly — property tests asserting the causal structure every
+// synthetic benchmark must plant (proxy correlation with s, label bias,
+// sensitive homophily). These properties are what make the fairness
+// experiments meaningful.
+#include "data/dataset.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/stats.h"
+
+namespace fairwos::data {
+namespace {
+
+TEST(SplitTest, SizesAndDisjointness) {
+  common::Rng rng(1);
+  Split split = MakeSplit(1000, &rng);
+  EXPECT_EQ(split.train.size(), 500u);
+  EXPECT_EQ(split.val.size(), 250u);
+  EXPECT_EQ(split.test.size(), 250u);
+  std::set<int64_t> seen;
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (int64_t v : *part) EXPECT_TRUE(seen.insert(v).second);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(SplitTest, DeterministicInSeed) {
+  common::Rng a(7), b(7);
+  EXPECT_EQ(MakeSplit(100, &a).train, MakeSplit(100, &b).train);
+}
+
+TEST(StandardizeTest, ZeroMeanUnitVariance) {
+  tensor::Tensor x = tensor::Tensor::FromVector({4, 2},
+                                                {1, 10, 2, 20, 3, 30, 4, 40});
+  auto stats = StandardizeColumns(&x);
+  EXPECT_NEAR(stats.mean[0], 2.5f, 1e-5);
+  for (int64_t j = 0; j < 2; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t i = 0; i < 4; ++i) mean += x.at(i, j);
+    mean /= 4;
+    for (int64_t i = 0; i < 4; ++i) var += (x.at(i, j) - mean) * (x.at(i, j) - mean);
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-4);
+  }
+}
+
+TEST(StandardizeTest, ConstantColumnBecomesZero) {
+  tensor::Tensor x = tensor::Tensor::FromVector({3, 1}, {5, 5, 5});
+  StandardizeColumns(&x);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(x.at(i, 0), 0.0f);
+}
+
+TEST(ValidateTest, AcceptsGenerated) {
+  auto ds = MakeDataset("toy", {}).value();
+  EXPECT_TRUE(ValidateDataset(ds).ok());
+}
+
+TEST(ValidateTest, RejectsBrokenDatasets) {
+  auto ds = MakeDataset("toy", {}).value();
+  Dataset bad_labels = ds;
+  bad_labels.labels[0] = 3;
+  EXPECT_FALSE(ValidateDataset(bad_labels).ok());
+
+  Dataset bad_split = ds;
+  bad_split.split.val.push_back(bad_split.split.train[0]);
+  EXPECT_FALSE(ValidateDataset(bad_split).ok());
+
+  Dataset bad_size = ds;
+  bad_size.sens.pop_back();
+  EXPECT_FALSE(ValidateDataset(bad_size).ok());
+}
+
+TEST(RegistryTest, UnknownNameNotFound) {
+  auto r = MakeDataset("no-such-dataset", {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, BadScaleRejected) {
+  DatasetOptions options;
+  options.scale = 0.5;
+  EXPECT_FALSE(MakeDataset("bail", options).ok());
+}
+
+TEST(RegistryTest, AllBenchmarksGenerate) {
+  DatasetOptions options;
+  options.scale = 60.0;  // keep the test fast
+  for (const auto& name : BenchmarkNames()) {
+    auto ds = MakeDataset(name, options);
+    ASSERT_TRUE(ds.ok()) << name;
+    EXPECT_TRUE(ValidateDataset(*ds).ok()) << name;
+    EXPECT_GE(ds->num_nodes(), 400) << name << ": scale floor";
+  }
+}
+
+TEST(RegistryTest, DeterministicInSeed) {
+  DatasetOptions options;
+  options.scale = 60.0;
+  options.seed = 5;
+  auto a = MakeDataset("bail", options).value();
+  auto b = MakeDataset("bail", options).value();
+  EXPECT_TRUE(a.features.ValueEquals(b.features));
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  options.seed = 6;
+  auto c = MakeDataset("bail", options).value();
+  EXPECT_FALSE(a.features.ValueEquals(c.features));
+}
+
+TEST(RegistryTest, AttributeCountsMatchTableOne) {
+  DatasetOptions options;
+  options.scale = 60.0;
+  EXPECT_EQ(MakeDataset("bail", options)->num_attrs(), 18);
+  EXPECT_EQ(MakeDataset("credit", options)->num_attrs(), 13);
+  EXPECT_EQ(MakeDataset("pokec-z", options)->num_attrs(), 277);
+  EXPECT_EQ(MakeDataset("pokec-n", options)->num_attrs(), 266);
+  EXPECT_EQ(MakeDataset("nba", options)->num_attrs(), 39);
+  EXPECT_EQ(MakeDataset("occupation", options)->num_attrs(), 768);
+}
+
+// --- Causal-structure property tests ----------------------------------------
+
+/// Generated datasets must leak s through the proxy block, correlate labels
+/// with merit-carrying attributes, and segregate edges by group — the three
+/// bias channels of DESIGN.md §1.
+class SyntheticPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SyntheticPropertyTest, ProxiesCorrelateWithSens) {
+  DatasetOptions options;
+  options.scale = 30.0;
+  auto ds = MakeDataset(GetParam(), options).value();
+  const int64_t n = ds.num_nodes();
+  std::vector<double> sv(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) sv[static_cast<size_t>(i)] = ds.sens[static_cast<size_t>(i)];
+  // The first attribute is in the proxy block for every profile.
+  std::vector<double> proxy(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) proxy[static_cast<size_t>(i)] = ds.features.at(i, 0);
+  EXPECT_GT(std::abs(eval::PearsonCorrelation(proxy, sv)), 0.05)
+      << GetParam() << ": proxy block must leak s";
+}
+
+TEST_P(SyntheticPropertyTest, SensitiveHomophilyAboveChance) {
+  DatasetOptions options;
+  options.scale = 30.0;
+  auto ds = MakeDataset(GetParam(), options).value();
+  // Chance level for group homophily is p² + (1-p)²; generated graphs must
+  // exceed it (the s → topology channel).
+  double p = 0.0;
+  for (int v : ds.sens) p += v;
+  p /= static_cast<double>(ds.sens.size());
+  const double chance = p * p + (1 - p) * (1 - p);
+  EXPECT_GT(ds.graph.EdgeHomophily(ds.sens), chance + 0.02) << GetParam();
+}
+
+TEST_P(SyntheticPropertyTest, LabelsLearnableFromFeatures) {
+  DatasetOptions options;
+  options.scale = 30.0;
+  auto ds = MakeDataset(GetParam(), options).value();
+  const int64_t n = ds.num_nodes();
+  std::vector<double> yv(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) yv[static_cast<size_t>(i)] = ds.labels[static_cast<size_t>(i)];
+  // At least one attribute must carry label signal.
+  double best = 0.0;
+  for (int64_t j = 0; j < ds.num_attrs(); ++j) {
+    std::vector<double> col(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) col[static_cast<size_t>(i)] = ds.features.at(i, j);
+    best = std::max(best, std::abs(eval::PearsonCorrelation(col, yv)));
+  }
+  EXPECT_GT(best, 0.2) << GetParam();
+}
+
+TEST_P(SyntheticPropertyTest, AverageDegreeNearTarget) {
+  DatasetOptions options;
+  options.scale = 30.0;
+  auto ds = MakeDataset(GetParam(), options).value();
+  for (const auto& spec : Profiles()) {
+    if (spec.name != GetParam()) continue;
+    const double target =
+        std::min(spec.avg_degree,
+                 static_cast<double>(ds.num_nodes() - 1) / 2.0);
+    EXPECT_NEAR(ds.graph.AverageDegree(), target, 0.15 * target + 1.0)
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SyntheticPropertyTest,
+                         ::testing::Values("bail", "credit", "pokec-z",
+                                           "pokec-n", "nba", "occupation"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace fairwos::data

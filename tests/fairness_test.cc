@@ -1,0 +1,167 @@
+// Tests for the fairness metrics: hand-computed confusion cases for ACC /
+// F1 / AUC / ΔSP / ΔEO plus property tests (symmetry in group relabeling,
+// invariance bounds).
+#include "fairness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fairwos::fairness {
+namespace {
+
+std::vector<int64_t> AllIdx(size_t n) {
+  std::vector<int64_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int64_t>(i);
+  return idx;
+}
+
+TEST(AccuracyTest, HandComputed) {
+  std::vector<int> pred = {1, 0, 1, 1};
+  std::vector<int> label = {1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(AccuracyPct(pred, label, AllIdx(4)), 75.0);
+}
+
+TEST(AccuracyTest, SubsetIndexing) {
+  std::vector<int> pred = {1, 0, 1};
+  std::vector<int> label = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(AccuracyPct(pred, label, {1}), 100.0);
+  EXPECT_DOUBLE_EQ(AccuracyPct(pred, label, {0, 2}), 0.0);
+}
+
+TEST(F1Test, HandComputed) {
+  // tp=1, fp=1, fn=1 -> F1 = 2/(2+1+1) = 50%.
+  std::vector<int> pred = {1, 1, 0, 0};
+  std::vector<int> label = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(F1Pct(pred, label, AllIdx(4)), 50.0);
+}
+
+TEST(F1Test, DegenerateAllNegative) {
+  std::vector<int> pred = {0, 0};
+  std::vector<int> label = {0, 0};
+  EXPECT_DOUBLE_EQ(F1Pct(pred, label, AllIdx(2)), 0.0);
+}
+
+TEST(AucTest, PerfectRanking) {
+  std::vector<float> prob = {0.1f, 0.2f, 0.8f, 0.9f};
+  std::vector<int> label = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucPct(prob, label, AllIdx(4)), 100.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  std::vector<float> prob = {0.9f, 0.8f, 0.1f, 0.2f};
+  std::vector<int> label = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(AucPct(prob, label, AllIdx(4)), 0.0);
+}
+
+TEST(AucTest, TiesGiveHalfCredit) {
+  std::vector<float> prob = {0.5f, 0.5f};
+  std::vector<int> label = {0, 1};
+  EXPECT_DOUBLE_EQ(AucPct(prob, label, AllIdx(2)), 50.0);
+}
+
+TEST(AucTest, SingleClassReturnsFifty) {
+  std::vector<float> prob = {0.3f, 0.6f};
+  std::vector<int> label = {1, 1};
+  EXPECT_DOUBLE_EQ(AucPct(prob, label, AllIdx(2)), 50.0);
+}
+
+TEST(DeltaSpTest, HandComputed) {
+  // Group 0: preds {1, 0} -> rate 0.5. Group 1: preds {1, 1} -> rate 1.
+  std::vector<int> pred = {1, 0, 1, 1};
+  std::vector<int> sens = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(StatisticalParityGapPct(pred, sens, AllIdx(4)), 50.0);
+}
+
+TEST(DeltaSpTest, ZeroWhenEqual) {
+  std::vector<int> pred = {1, 0, 1, 0};
+  std::vector<int> sens = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(StatisticalParityGapPct(pred, sens, AllIdx(4)), 0.0);
+}
+
+TEST(DeltaSpTest, EmptyGroupGivesZero) {
+  std::vector<int> pred = {1, 0};
+  std::vector<int> sens = {0, 0};
+  EXPECT_DOUBLE_EQ(StatisticalParityGapPct(pred, sens, AllIdx(2)), 0.0);
+}
+
+TEST(DeltaSpTest, SymmetricUnderGroupRelabel) {
+  std::vector<int> pred = {1, 0, 1, 1, 0, 1};
+  std::vector<int> sens = {0, 0, 0, 1, 1, 1};
+  std::vector<int> flipped = {1, 1, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(StatisticalParityGapPct(pred, sens, AllIdx(6)),
+                   StatisticalParityGapPct(pred, flipped, AllIdx(6)));
+}
+
+TEST(DeltaEoTest, HandComputed) {
+  // Positives: idx {0,1} in group 0 (TPR 1/2), idx {4,5} in group 1 (TPR 1).
+  std::vector<int> pred = {1, 0, 0, 1, 1, 1};
+  std::vector<int> label = {1, 1, 0, 0, 1, 1};
+  std::vector<int> sens = {0, 0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(EqualOpportunityGapPct(pred, label, sens, AllIdx(6)), 50.0);
+}
+
+TEST(DeltaEoTest, IgnoresNegativeClass) {
+  // Changing predictions on y=0 rows must not change ΔEO.
+  std::vector<int> label = {1, 0, 1, 0};
+  std::vector<int> sens = {0, 0, 1, 1};
+  std::vector<int> pred_a = {1, 0, 1, 0};
+  std::vector<int> pred_b = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(EqualOpportunityGapPct(pred_a, label, sens, AllIdx(4)),
+                   EqualOpportunityGapPct(pred_b, label, sens, AllIdx(4)));
+}
+
+TEST(DeltaEoTest, NoPositivesInGroupGivesZero) {
+  std::vector<int> pred = {1, 1};
+  std::vector<int> label = {1, 0};
+  std::vector<int> sens = {0, 1};
+  EXPECT_DOUBLE_EQ(EqualOpportunityGapPct(pred, label, sens, AllIdx(2)), 0.0);
+}
+
+TEST(GroupConfusionTest, CountsAndRates) {
+  std::vector<int> pred = {1, 0, 1, 0};
+  std::vector<int> label = {1, 1, 0, 0};
+  std::vector<int> sens = {0, 0, 1, 1};
+  GroupConfusion gc = ComputeGroupConfusion(pred, label, sens, AllIdx(4));
+  EXPECT_EQ(gc.GroupTotal(0), 2);
+  EXPECT_EQ(gc.GroupTotal(1), 2);
+  EXPECT_DOUBLE_EQ(gc.PositiveRate(0), 0.5);
+  EXPECT_DOUBLE_EQ(gc.TruePositiveRate(0), 0.5);
+  EXPECT_DOUBLE_EQ(gc.TruePositiveRate(1), 0.0);
+}
+
+TEST(MetricsDeathTest, EmptyIndexAborts) {
+  std::vector<int> v = {0};
+  EXPECT_DEATH(AccuracyPct(v, v, {}), "empty index");
+}
+
+TEST(MetricsDeathTest, OutOfRangeIndexAborts) {
+  std::vector<int> v = {0};
+  EXPECT_DEATH(AccuracyPct(v, v, {5}), "");
+}
+
+// Property: both gaps are bounded in [0, 100].
+class GapBoundsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GapBoundsTest, GapsWithinBounds) {
+  common::Rng rng(GetParam());
+  const int n = 64;
+  std::vector<int> pred(n), label(n), sens(n);
+  for (int i = 0; i < n; ++i) {
+    pred[i] = rng.Bernoulli(0.5);
+    label[i] = rng.Bernoulli(0.5);
+    sens[i] = rng.Bernoulli(0.5);
+  }
+  const double dsp = StatisticalParityGapPct(pred, sens, AllIdx(n));
+  const double deo = EqualOpportunityGapPct(pred, label, sens, AllIdx(n));
+  EXPECT_GE(dsp, 0.0);
+  EXPECT_LE(dsp, 100.0);
+  EXPECT_GE(deo, 0.0);
+  EXPECT_LE(deo, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GapBoundsTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace fairwos::fairness

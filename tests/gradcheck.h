@@ -1,0 +1,46 @@
+// Finite-difference gradient checking for the autograd engine tests.
+#ifndef FAIRWOS_TESTS_GRADCHECK_H_
+#define FAIRWOS_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace fairwos::testing {
+
+/// Checks d(loss)/d(input) against central finite differences for every
+/// element of `input`. `loss_fn` must rebuild the graph from the current
+/// input values and return a scalar tensor.
+inline void ExpectGradientsMatch(
+    tensor::Tensor input,
+    const std::function<tensor::Tensor()>& loss_fn, double eps = 1e-3,
+    double tol = 2e-2) {
+  input.set_requires_grad(true);
+  input.ZeroGrad();
+  tensor::Tensor loss = loss_fn();
+  loss.Backward();
+  const std::vector<float> analytic = input.grad();
+  ASSERT_EQ(analytic.size(), input.data().size());
+
+  for (size_t i = 0; i < input.data().size(); ++i) {
+    const float saved = input.data()[i];
+    input.mutable_data()[i] = saved + static_cast<float>(eps);
+    const double plus = loss_fn().item();
+    input.mutable_data()[i] = saved - static_cast<float>(eps);
+    const double minus = loss_fn().item();
+    input.mutable_data()[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    const double denom = std::max(1.0, std::abs(numeric));
+    EXPECT_NEAR(analytic[i], numeric, tol * denom)
+        << "element " << i << " analytic=" << analytic[i]
+        << " numeric=" << numeric;
+  }
+}
+
+}  // namespace fairwos::testing
+
+#endif  // FAIRWOS_TESTS_GRADCHECK_H_

@@ -1,0 +1,253 @@
+// Tests for src/nn: module parameter registration, initializer statistics,
+// layer shapes and gradient flow, optimizer behaviour on analytic problems,
+// and GNN forward semantics on hand-built graphs.
+#include "nn/gnn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace fairwos::nn {
+namespace {
+
+TEST(InitTest, GlorotUniformBounds) {
+  common::Rng rng(1);
+  tensor::Tensor w = GlorotUniform(30, 20, &rng);
+  const float bound = std::sqrt(6.0f / 50.0f);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(InitTest, HeNormalStddev) {
+  common::Rng rng(2);
+  tensor::Tensor w = HeNormal(200, 100, &rng);
+  double var = 0.0;
+  for (float v : w.data()) var += static_cast<double>(v) * v;
+  var /= w.numel();
+  EXPECT_NEAR(std::sqrt(var), std::sqrt(2.0 / 200.0), 0.01);
+}
+
+TEST(LinearTest, ShapesAndParameterCount) {
+  common::Rng rng(3);
+  Linear layer(5, 3, &rng);
+  EXPECT_EQ(layer.NumParameters(), 5 * 3 + 3);
+  tensor::Tensor x = tensor::Tensor::Ones({4, 5});
+  tensor::Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.dim(0), 4);
+  EXPECT_EQ(y.dim(1), 3);
+}
+
+TEST(LinearTest, GradientReachesAllParameters) {
+  common::Rng rng(4);
+  Linear layer(3, 2, &rng);
+  tensor::Tensor x = tensor::Tensor::Ones({2, 3});
+  tensor::Sum(layer.Forward(x)).Backward();
+  for (const auto& p : layer.parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+    double norm = 0.0;
+    for (float g : p.grad()) norm += std::abs(g);
+    EXPECT_GT(norm, 0.0);
+  }
+}
+
+TEST(MlpTest, HiddenLayersApplyRelu) {
+  common::Rng rng(5);
+  Mlp mlp({2, 4, 1}, /*dropout=*/0.0f, &rng);
+  tensor::Tensor x = tensor::Tensor::FromVector({1, 2}, {1.0f, -1.0f});
+  tensor::Tensor y = mlp.Forward(x, /*training=*/false, &rng);
+  EXPECT_EQ(y.dim(1), 1);
+  EXPECT_EQ(mlp.NumParameters(), (2 * 4 + 4) + (4 * 1 + 1));
+}
+
+TEST(ModuleTest, SnapshotRestoreRoundTrip) {
+  common::Rng rng(6);
+  Linear layer(2, 2, &rng);
+  auto snapshot = SnapshotParameters(layer);
+  // Perturb.
+  tensor::Tensor w = layer.parameters()[0];
+  w.mutable_data()[0] += 10.0f;
+  RestoreParameters(layer, snapshot);
+  EXPECT_EQ(layer.parameters()[0].data(), snapshot[0]);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  common::Rng rng(7);
+  Linear layer(2, 2, &rng);
+  tensor::Sum(layer.Forward(tensor::Tensor::Ones({1, 2}))).Backward();
+  layer.ZeroGrad();
+  for (const auto& p : layer.parameters()) {
+    for (float g : p.grad()) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+TEST(OptimTest, SgdConvergesOnQuadratic) {
+  // min (x - 3)²: gradient descent must land near 3.
+  tensor::Tensor x = tensor::Tensor::Scalar(0.0f).set_requires_grad(true);
+  Sgd opt({x}, /*lr=*/0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    tensor::Tensor diff = tensor::AddScalar(x, -3.0f);
+    tensor::Mul(diff, diff).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.item(), 3.0f, 1e-3);
+}
+
+TEST(OptimTest, AdamConvergesOnQuadratic) {
+  tensor::Tensor x = tensor::Tensor::FromVector({2}, {5.0f, -5.0f});
+  x.set_requires_grad(true);
+  Adam opt({x}, /*lr=*/0.1f);
+  for (int i = 0; i < 500; ++i) {
+    opt.ZeroGrad();
+    tensor::SumSquares(x).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.at(0), 0.0f, 1e-2);
+  EXPECT_NEAR(x.at(1), 0.0f, 1e-2);
+}
+
+TEST(OptimTest, WeightDecayShrinksWeights) {
+  tensor::Tensor x = tensor::Tensor::Scalar(1.0f).set_requires_grad(true);
+  Sgd opt({x}, /*lr=*/0.1f, /*weight_decay=*/1.0f);
+  // Zero loss gradient; only decay acts — but parameters with no grad are
+  // skipped, so attach a zero-gradient loss.
+  opt.ZeroGrad();
+  tensor::MulScalar(x, 0.0f).Backward();
+  opt.Step();
+  EXPECT_NEAR(x.item(), 0.9f, 1e-6);
+}
+
+TEST(BackboneTest, ParseRoundTrip) {
+  EXPECT_EQ(ParseBackbone("gcn").value(), Backbone::kGcn);
+  EXPECT_EQ(ParseBackbone("gin").value(), Backbone::kGin);
+  EXPECT_FALSE(ParseBackbone("GCN").ok()) << "names are case-sensitive";
+  EXPECT_FALSE(ParseBackbone("transformer").ok());
+  EXPECT_STREQ(BackboneName(Backbone::kGin), "gin");
+}
+
+graph::Graph PathGraph(int n) {
+  graph::Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(GcnConvTest, IsolatedNodeKeepsOwnSignalOnly) {
+  // Two nodes, no edges: Â = I, so GCN reduces to a per-node Linear.
+  graph::Graph g(2);
+  common::Rng rng(8);
+  GcnConv conv(3, 2, &rng);
+  tensor::Tensor x = tensor::Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  tensor::Tensor direct = conv.Forward(g.GcnNormalizedAdjacency(), x);
+  // Same op through an explicit identity adjacency.
+  auto identity = tensor::SparseMatrix::FromCoo(
+      2, 2, {{0, 0, 1.0f}, {1, 1, 1.0f}});
+  tensor::Tensor expected = conv.Forward(identity, x);
+  EXPECT_TRUE(direct.ValueEquals(expected));
+}
+
+TEST(GinConvTest, AggregatesNeighborSum) {
+  // With eps = 0 the GIN input is x_v + Σ_{u∈N(v)} x_u; check through the
+  // MLP by comparing two nodes with identical aggregate inputs.
+  graph::Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 1);
+  common::Rng rng(9);
+  GinConv conv(1, 4, /*eps=*/0.0f, &rng);
+  // Nodes 0 and 2 both have x=1 and a single neighbor with x=5.
+  tensor::Tensor x = tensor::Tensor::FromVector({3, 1}, {1.0f, 5.0f, 1.0f});
+  tensor::Tensor out =
+      conv.Forward(g.PlainAdjacency(), x, /*training=*/false, &rng);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.at(0, j), out.at(2, j));
+  }
+}
+
+TEST(GnnEncoderTest, OutputShapeAndParams) {
+  common::Rng rng(10);
+  GnnConfig config;
+  config.in_features = 6;
+  config.hidden = 8;
+  config.num_layers = 2;
+  graph::Graph g = PathGraph(5);
+  GnnEncoder encoder(config, g, &rng);
+  tensor::Tensor h =
+      encoder.Forward(tensor::Tensor::Ones({5, 6}), /*training=*/false, &rng);
+  EXPECT_EQ(h.dim(0), 5);
+  EXPECT_EQ(h.dim(1), 8);
+  EXPECT_GT(encoder.NumParameters(), 0);
+}
+
+TEST(GnnClassifierTest, LogitsShapeBothBackbones) {
+  graph::Graph g = PathGraph(6);
+  for (Backbone backbone : {Backbone::kGcn, Backbone::kGin}) {
+    common::Rng rng(11);
+    GnnConfig config;
+    config.backbone = backbone;
+    config.in_features = 4;
+    config.hidden = 8;
+    config.num_classes = 2;
+    GnnClassifier model(config, g, &rng);
+    tensor::Tensor logits =
+        model.Forward(tensor::Tensor::Ones({6, 4}), /*training=*/false, &rng);
+    EXPECT_EQ(logits.dim(0), 6);
+    EXPECT_EQ(logits.dim(1), 2);
+  }
+}
+
+TEST(GnnClassifierTest, TrainsToFitEasyLabels) {
+  // A path graph where the label equals a single input feature: the model
+  // must reach 100% train accuracy quickly.
+  graph::Graph g = PathGraph(20);
+  common::Rng rng(12);
+  GnnConfig config;
+  config.in_features = 2;
+  config.hidden = 8;
+  config.dropout = 0.0f;
+  GnnClassifier model(config, g, &rng);
+  std::vector<int> labels(20);
+  std::vector<float> x(40);
+  for (int i = 0; i < 20; ++i) {
+    // Labels in blocks so GCN neighborhood averaging is constructive.
+    labels[static_cast<size_t>(i)] = i < 10 ? 0 : 1;
+    x[static_cast<size_t>(2 * i)] = labels[static_cast<size_t>(i)] ? 1.0f : -1.0f;
+    x[static_cast<size_t>(2 * i + 1)] = 0.0f;
+  }
+  tensor::Tensor features = tensor::Tensor::FromVector({20, 2}, std::move(x));
+  std::vector<int64_t> all(20);
+  for (int i = 0; i < 20; ++i) all[static_cast<size_t>(i)] = i;
+  Adam opt(model.parameters(), 0.05f);
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    opt.ZeroGrad();
+    tensor::SoftmaxCrossEntropy(model.Forward(features, true, &rng), labels,
+                                all)
+        .Backward();
+    opt.Step();
+  }
+  tensor::NoGradGuard no_grad;
+  auto result = PredictFromLogits(model.Forward(features, false, &rng));
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    correct += result.pred[static_cast<size_t>(i)] == labels[static_cast<size_t>(i)];
+  }
+  EXPECT_GE(correct, 19);
+}
+
+TEST(PredictFromLogitsTest, ArgmaxAndProb) {
+  tensor::Tensor logits =
+      tensor::Tensor::FromVector({2, 2}, {2.0f, 0.0f, -1.0f, 1.0f});
+  auto result = PredictFromLogits(logits);
+  EXPECT_EQ(result.pred[0], 0);
+  EXPECT_EQ(result.pred[1], 1);
+  EXPECT_LT(result.prob1[0], 0.5f);
+  EXPECT_GT(result.prob1[1], 0.5f);
+}
+
+}  // namespace
+}  // namespace fairwos::nn

@@ -1,0 +1,113 @@
+// Numerical-stability and optimizer edge cases: extreme logits through the
+// fused losses, parameters that never receive gradients, and long
+// optimization runs staying finite.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace fairwos {
+namespace {
+
+TEST(NumericsTest, SoftmaxCrossEntropyExtremeLogits) {
+  tensor::Tensor logits = tensor::Tensor::FromVector(
+      {2, 2}, {1000.0f, -1000.0f, -1000.0f, 1000.0f});
+  logits.set_requires_grad(true);
+  tensor::Tensor loss =
+      tensor::SoftmaxCrossEntropy(logits, {0, 1}, {0, 1});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-5);  // confidently correct
+  loss.Backward();
+  for (float g : logits.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(NumericsTest, SoftmaxCrossEntropyConfidentlyWrongIsLarge) {
+  tensor::Tensor logits =
+      tensor::Tensor::FromVector({1, 2}, {50.0f, -50.0f});
+  tensor::Tensor loss = tensor::SoftmaxCrossEntropy(logits, {1}, {0});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 50.0f);
+}
+
+TEST(NumericsTest, BceWithLogitsExtremes) {
+  tensor::Tensor logits =
+      tensor::Tensor::FromVector({2}, {500.0f, -500.0f});
+  logits.set_requires_grad(true);
+  tensor::Tensor loss =
+      tensor::BceWithLogits(logits, {0.0f, 1.0f}, {0, 1});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 100.0f);
+  loss.Backward();
+  for (float g : logits.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(NumericsTest, SigmoidSaturationGradients) {
+  tensor::Tensor x =
+      tensor::Tensor::FromVector({2}, {80.0f, -80.0f}).set_requires_grad(true);
+  tensor::Sum(tensor::Sigmoid(x)).Backward();
+  // Saturated: gradient ~0 but finite, not NaN.
+  for (float g : x.grad()) {
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_NEAR(g, 0.0f, 1e-6);
+  }
+}
+
+TEST(NumericsTest, OptimizerSkipsParametersWithoutGradients) {
+  // Two parameters; only one participates in the loss. The other must keep
+  // its value rather than being corrupted by uninitialised state.
+  tensor::Tensor used = tensor::Tensor::Scalar(1.0f).set_requires_grad(true);
+  tensor::Tensor unused = tensor::Tensor::Scalar(7.0f).set_requires_grad(true);
+  nn::Adam opt({used, unused}, 0.1f);
+  for (int i = 0; i < 5; ++i) {
+    opt.ZeroGrad();
+    tensor::SumSquares(used).Backward();
+    opt.Step();
+  }
+  EXPECT_FLOAT_EQ(unused.item(), 7.0f);
+  EXPECT_LT(used.item(), 1.0f);
+}
+
+TEST(NumericsTest, AdamLongRunStaysFinite) {
+  common::Rng rng(1);
+  nn::Mlp mlp({4, 8, 2}, 0.0f, &rng);
+  nn::Adam opt(mlp.parameters(), 0.05f);
+  tensor::Tensor x = tensor::Tensor::RandNormal({16, 4}, 1.0f, &rng);
+  std::vector<int> labels(16);
+  std::vector<int64_t> idx(16);
+  for (int i = 0; i < 16; ++i) {
+    labels[static_cast<size_t>(i)] = i % 2;
+    idx[static_cast<size_t>(i)] = i;
+  }
+  for (int epoch = 0; epoch < 2000; ++epoch) {
+    opt.ZeroGrad();
+    tensor::SoftmaxCrossEntropy(mlp.Forward(x, true, &rng), labels, idx)
+        .Backward();
+    opt.Step();
+  }
+  for (const auto& p : mlp.parameters()) {
+    for (float v : p.data()) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(NumericsTest, L2NormalizeZeroRowStaysZero) {
+  tensor::Tensor x = tensor::Tensor::Zeros({2, 3}).set_requires_grad(true);
+  tensor::Tensor y = tensor::L2NormalizeRows(x);
+  tensor::Sum(y).Backward();
+  for (float v : y.data()) EXPECT_EQ(v, 0.0f);
+  for (float g : x.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(NumericsTest, DropoutHighProbabilityGradientsFinite) {
+  common::Rng rng(2);
+  tensor::Tensor x =
+      tensor::Tensor::Ones({100}).set_requires_grad(true);
+  tensor::Tensor y = tensor::Dropout(x, 0.99f, true, &rng);
+  tensor::Sum(y).Backward();
+  for (float g : x.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+}  // namespace
+}  // namespace fairwos

@@ -1,0 +1,130 @@
+// Statistical quality tests for the RNG: chi-square uniformity, serial
+// independence, and higher-moment checks for the normal generator. These
+// guard the foundation every synthetic dataset and initializer stands on.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fairwos::common {
+namespace {
+
+/// Chi-square statistic for observed counts vs a uniform expectation.
+double ChiSquare(const std::vector<int64_t>& counts, double expected) {
+  double stat = 0.0;
+  for (int64_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+TEST(RngStatTest, UniformIntChiSquare) {
+  // 16 bins, 64k draws: chi-square(15) > 40 has p < 5e-4 — a generator
+  // failing this is broken, not unlucky.
+  Rng rng(2024);
+  const int bins = 16;
+  const int64_t draws = 65536;
+  std::vector<int64_t> counts(bins, 0);
+  for (int64_t i = 0; i < draws; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(bins))];
+  }
+  EXPECT_LT(ChiSquare(counts, static_cast<double>(draws) / bins), 40.0);
+}
+
+TEST(RngStatTest, UniformDoubleBinnedChiSquare) {
+  Rng rng(2025);
+  const int bins = 20;
+  const int64_t draws = 40000;
+  std::vector<int64_t> counts(bins, 0);
+  for (int64_t i = 0; i < draws; ++i) {
+    int bin = static_cast<int>(rng.Uniform() * bins);
+    if (bin == bins) bin = bins - 1;
+    ++counts[static_cast<size_t>(bin)];
+  }
+  // chi-square(19) > 50 has p < 1e-4.
+  EXPECT_LT(ChiSquare(counts, static_cast<double>(draws) / bins), 50.0);
+}
+
+TEST(RngStatTest, SerialCorrelationNearZero) {
+  Rng rng(2026);
+  const int64_t n = 50000;
+  double prev = rng.Uniform();
+  double sum_xy = 0.0, sum_x = 0.0, sum_sq = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double cur = rng.Uniform();
+    sum_xy += prev * cur;
+    sum_x += cur;
+    sum_sq += cur * cur;
+    prev = cur;
+  }
+  const double mean = sum_x / n;
+  const double var = sum_sq / n - mean * mean;
+  const double cov = sum_xy / n - mean * mean;
+  EXPECT_LT(std::abs(cov / var), 0.02);
+}
+
+TEST(RngStatTest, NormalSkewAndKurtosis) {
+  Rng rng(2027);
+  const int64_t n = 100000;
+  double m1 = 0, m2 = 0, m3 = 0, m4 = 0;
+  std::vector<double> draws(static_cast<size_t>(n));
+  for (auto& d : draws) {
+    d = rng.Normal();
+    m1 += d;
+  }
+  m1 /= n;
+  for (double d : draws) {
+    const double c = d - m1;
+    m2 += c * c;
+    m3 += c * c * c;
+    m4 += c * c * c * c;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  const double skew = m3 / std::pow(m2, 1.5);
+  const double kurtosis = m4 / (m2 * m2);
+  EXPECT_NEAR(skew, 0.0, 0.05);
+  EXPECT_NEAR(kurtosis, 3.0, 0.1);
+}
+
+TEST(RngStatTest, BernoulliTailProbabilities) {
+  Rng rng(2028);
+  const int64_t n = 100000;
+  int64_t hits = 0;
+  for (int64_t i = 0; i < n; ++i) hits += rng.Bernoulli(0.01);
+  // 1% rate: expect 1000 ± ~5 std (std ≈ 31).
+  EXPECT_NEAR(static_cast<double>(hits), 1000.0, 160.0);
+}
+
+TEST(RngStatTest, SampleWithoutReplacementIsUniform) {
+  // Each element of [0, 10) should appear in a 5-subset with p = 0.5.
+  Rng rng(2029);
+  const int64_t rounds = 20000;
+  std::vector<int64_t> counts(10, 0);
+  for (int64_t r = 0; r < rounds; ++r) {
+    for (int64_t v : rng.SampleWithoutReplacement(10, 5)) {
+      ++counts[static_cast<size_t>(v)];
+    }
+  }
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), rounds * 0.5, rounds * 0.5 * 0.05);
+  }
+}
+
+TEST(RngStatTest, UniformIntRejectionIsExactForOddModuli) {
+  // n = 3 exposes modulo bias in naive implementations.
+  Rng rng(2030);
+  const int64_t draws = 90000;
+  std::vector<int64_t> counts(3, 0);
+  for (int64_t i = 0; i < draws; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(3))];
+  }
+  EXPECT_LT(ChiSquare(counts, static_cast<double>(draws) / 3.0), 14.0);
+}
+
+}  // namespace
+}  // namespace fairwos::common

@@ -1,0 +1,187 @@
+// Tests for the extended op set: analytic elementwise ops, axis reductions,
+// slicing/concat/reshape, row normalisation, and the fused GAT aggregate —
+// forward values plus finite-difference gradient checks for each.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/ops.h"
+
+namespace fairwos::tensor {
+namespace {
+
+using ::fairwos::testing::ExpectGradientsMatch;
+
+TEST(ExtendedForwardTest, DivValues) {
+  Tensor a = Tensor::FromVector({3}, {6, 9, -4});
+  Tensor b = Tensor::FromVector({3}, {2, 3, 4});
+  EXPECT_TRUE(Div(a, b).ValueEquals(Tensor::FromVector({3}, {3, 3, -1})));
+}
+
+TEST(ExtendedForwardTest, AnalyticOps) {
+  Tensor a = Tensor::FromVector({2}, {1.0f, 4.0f});
+  EXPECT_NEAR(Exp(a).at(0), std::exp(1.0f), 1e-5);
+  EXPECT_NEAR(Log(a).at(1), std::log(4.0f), 1e-6);
+  EXPECT_FLOAT_EQ(Sqrt(a).at(1), 2.0f);
+  EXPECT_FLOAT_EQ(Pow(a, 3.0f).at(1), 64.0f);
+  Tensor b = Tensor::FromVector({3}, {-2.0f, 0.5f, 7.0f});
+  EXPECT_TRUE(Abs(b).ValueEquals(Tensor::FromVector({3}, {2.0f, 0.5f, 7.0f})));
+  EXPECT_TRUE(Clamp(b, -1.0f, 1.0f)
+                  .ValueEquals(Tensor::FromVector({3}, {-1.0f, 0.5f, 1.0f})));
+}
+
+TEST(ExtendedForwardTest, AxisReductions) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(SumAxis(a, 0).ValueEquals(Tensor::FromVector({3}, {5, 7, 9})));
+  EXPECT_TRUE(SumAxis(a, 1).ValueEquals(Tensor::FromVector({2}, {6, 15})));
+  EXPECT_TRUE(MeanAxis(a, 1).ValueEquals(Tensor::FromVector({2}, {2, 5})));
+}
+
+TEST(ExtendedForwardTest, L2NormalizeRowsUnitNorm) {
+  Tensor a = Tensor::FromVector({2, 2}, {3, 4, 0, 0});
+  Tensor y = L2NormalizeRows(a);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.8f);
+  // Zero rows survive via the epsilon floor.
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.0f);
+}
+
+TEST(ExtendedForwardTest, SliceColsValues) {
+  Tensor a = Tensor::FromVector({2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_TRUE(SliceCols(a, 1, 2).ValueEquals(
+      Tensor::FromVector({2, 2}, {1, 2, 5, 6})));
+}
+
+TEST(ExtendedForwardTest, ConcatBothAxes) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  EXPECT_TRUE(Concat({a, b}, 0).ValueEquals(
+      Tensor::FromVector({2, 2}, {1, 2, 3, 4})));
+  EXPECT_TRUE(Concat({a, b}, 1).ValueEquals(
+      Tensor::FromVector({1, 4}, {1, 2, 3, 4})));
+}
+
+TEST(ExtendedForwardTest, ReshapeKeepsOrder) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(a, {3, 2});
+  EXPECT_EQ(r.at(1, 0), 3.0f);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(ExtendedDeathTest, InvalidArgumentsAbort) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_DEATH(SliceCols(a, 1, 3), "out of range");
+  EXPECT_DEATH(Reshape(a, {3}), "element count");
+  EXPECT_DEATH(SumAxis(a, 2), "axis");
+  EXPECT_DEATH(Log(Tensor::FromVector({1}, {-1.0f})), "positive");
+}
+
+TEST(ExtendedGradTest, DivGrad) {
+  common::Rng rng(1);
+  Tensor a = Tensor::RandNormal({3, 2}, 1.0f, &rng);
+  Tensor b = AddScalar(Tensor::RandUniform({3, 2}, 0.5f, 2.0f, &rng), 0.5f);
+  b.set_requires_grad(true);
+  ExpectGradientsMatch(a, [&] { return Sum(Div(a, b)); });
+  ExpectGradientsMatch(b, [&] { return Sum(Div(a, b)); });
+}
+
+TEST(ExtendedGradTest, AnalyticGrads) {
+  common::Rng rng(2);
+  Tensor pos = Tensor::RandUniform({5}, 0.5f, 3.0f, &rng);
+  ExpectGradientsMatch(pos, [&] { return Sum(Exp(pos)); });
+  ExpectGradientsMatch(pos, [&] { return Sum(Log(pos)); });
+  ExpectGradientsMatch(pos, [&] { return Sum(Sqrt(pos)); });
+  ExpectGradientsMatch(pos, [&] { return Sum(Pow(pos, 2.5f)); });
+  Tensor any = Tensor::RandNormal({5}, 1.0f, &rng);
+  ExpectGradientsMatch(any, [&] { return Sum(Abs(any)); });
+}
+
+TEST(ExtendedGradTest, AxisSumGrads) {
+  common::Rng rng(3);
+  Tensor a = Tensor::RandNormal({4, 3}, 1.0f, &rng);
+  Tensor w0 = Tensor::RandNormal({3}, 1.0f, &rng);
+  Tensor w1 = Tensor::RandNormal({4}, 1.0f, &rng);
+  ExpectGradientsMatch(a, [&] { return Sum(Mul(SumAxis(a, 0), w0)); });
+  ExpectGradientsMatch(a, [&] { return Sum(Mul(MeanAxis(a, 1), w1)); });
+}
+
+TEST(ExtendedGradTest, L2NormalizeRowsGrad) {
+  common::Rng rng(4);
+  Tensor a = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  Tensor w = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  ExpectGradientsMatch(a, [&] { return Sum(Mul(L2NormalizeRows(a), w)); });
+}
+
+TEST(ExtendedGradTest, SliceConcatReshapeGrads) {
+  common::Rng rng(5);
+  Tensor a = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  Tensor b = Tensor::RandNormal({3, 2}, 1.0f, &rng);
+  b.set_requires_grad(true);
+  ExpectGradientsMatch(a, [&] { return SumSquares(SliceCols(a, 1, 2)); });
+  ExpectGradientsMatch(a, [&] { return SumSquares(Concat({a, b}, 1)); });
+  ExpectGradientsMatch(b, [&] { return SumSquares(Concat({a, b}, 1)); });
+  ExpectGradientsMatch(a, [&] { return SumSquares(Reshape(a, {4, 3})); });
+}
+
+std::shared_ptr<SparseMatrix> RingWithSelfLoops(int64_t n) {
+  std::vector<CooEntry> entries;
+  for (int64_t v = 0; v < n; ++v) {
+    entries.push_back({v, v, 1.0f});
+    entries.push_back({v, (v + 1) % n, 1.0f});
+    entries.push_back({v, (v + n - 1) % n, 1.0f});
+  }
+  return SparseMatrix::FromCoo(n, n, std::move(entries));
+}
+
+TEST(GatAggregateTest, UniformScoresGiveNeighborhoodMean) {
+  auto adj = RingWithSelfLoops(4);
+  Tensor d = Tensor::Zeros({4});
+  Tensor s = Tensor::Zeros({4});
+  Tensor x = Tensor::FromVector({4, 1}, {1, 2, 3, 4});
+  Tensor y = GatAggregate(adj, d, s, x, 0.2f);
+  // Equal scores -> softmax is uniform over the 3 support nodes.
+  EXPECT_NEAR(y.at(0, 0), (1 + 2 + 4) / 3.0f, 1e-5);
+  EXPECT_NEAR(y.at(2, 0), (2 + 3 + 4) / 3.0f, 1e-5);
+}
+
+TEST(GatAggregateTest, AttentionRowsAreConvexCombinations) {
+  common::Rng rng(6);
+  auto adj = RingWithSelfLoops(6);
+  Tensor d = Tensor::RandNormal({6}, 1.0f, &rng);
+  Tensor s = Tensor::RandNormal({6}, 1.0f, &rng);
+  Tensor x = Tensor::Ones({6, 3});
+  Tensor y = GatAggregate(adj, d, s, x, 0.2f);
+  // A convex combination of all-ones rows is all ones.
+  for (float v : y.data()) EXPECT_NEAR(v, 1.0f, 1e-5);
+}
+
+TEST(GatAggregateTest, GradAllThreeInputs) {
+  common::Rng rng(7);
+  auto adj = RingWithSelfLoops(5);
+  Tensor d = Tensor::RandNormal({5}, 1.0f, &rng);
+  Tensor s = Tensor::RandNormal({5}, 1.0f, &rng);
+  Tensor x = Tensor::RandNormal({5, 2}, 1.0f, &rng);
+  Tensor w = Tensor::RandNormal({5, 2}, 1.0f, &rng);
+  d.set_requires_grad(true);
+  s.set_requires_grad(true);
+  auto loss = [&] { return Sum(Mul(GatAggregate(adj, d, s, x, 0.2f), w)); };
+  ExpectGradientsMatch(x, loss);
+  ExpectGradientsMatch(d, loss);
+  ExpectGradientsMatch(s, loss);
+}
+
+TEST(GatAggregateTest, ExtremeScoresAreStable) {
+  auto adj = RingWithSelfLoops(3);
+  Tensor d = Tensor::FromVector({3}, {500.0f, -500.0f, 0.0f});
+  Tensor s = Tensor::FromVector({3}, {500.0f, 0.0f, -500.0f});
+  Tensor x = Tensor::Ones({3, 2});
+  Tensor y = GatAggregate(adj, d, s, x, 0.2f);
+  for (float v : y.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 1.0f, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace fairwos::tensor

@@ -1,0 +1,405 @@
+// Unit tests for the tensor engine: construction, shape checks, op forward
+// values against hand-computed results, and finite-difference gradient
+// checks for every differentiable op.
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/ops.h"
+
+namespace fairwos::tensor {
+namespace {
+
+using ::fairwos::testing::ExpectGradientsMatch;
+
+TEST(TensorTest, ZerosOnesFull) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.rank(), 2);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+  Tensor o = Tensor::Ones({4});
+  for (float v : o.data()) EXPECT_EQ(v, 1.0f);
+  Tensor f = Tensor::Full({2, 2}, 3.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 3.5f);
+}
+
+TEST(TensorTest, FromVectorAndAccessors) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 5.0f);
+  t.set(1, 1, -5.0f);
+  EXPECT_EQ(t.at(1, 1), -5.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::Scalar(2.5f).item(), 2.5f);
+}
+
+TEST(TensorTest, RandUniformRange) {
+  common::Rng rng(1);
+  Tensor t = Tensor::RandUniform({100}, -2.0f, 3.0f, &rng);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(TensorTest, RandNormalMoments) {
+  common::Rng rng(2);
+  Tensor t = Tensor::RandNormal({10000}, 2.0f, &rng);
+  double mean = 0.0;
+  for (float v : t.data()) mean += v;
+  mean /= t.numel();
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  double var = 0.0;
+  for (float v : t.data()) var += (v - mean) * (v - mean);
+  var /= t.numel();
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(TensorTest, DetachCopySharesNothing) {
+  Tensor a = Tensor::FromVector({2}, {1, 2}).set_requires_grad(true);
+  Tensor b = a.DetachCopy();
+  EXPECT_FALSE(b.requires_grad());
+  b.mutable_data()[0] = 99.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+TEST(TensorTest, ValueEquals) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  EXPECT_TRUE(a.ValueEquals(Tensor::FromVector({2}, {1, 2})));
+  EXPECT_FALSE(a.ValueEquals(Tensor::FromVector({2}, {1, 3})));
+  EXPECT_FALSE(a.ValueEquals(Tensor::FromVector({1, 2}, {1, 2})));
+}
+
+// --- Forward values ---------------------------------------------------------
+
+TEST(OpsForwardTest, AddSubMul) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  EXPECT_TRUE(Add(a, b).ValueEquals(Tensor::FromVector({2, 2}, {11, 22, 33, 44})));
+  EXPECT_TRUE(Sub(b, a).ValueEquals(Tensor::FromVector({2, 2}, {9, 18, 27, 36})));
+  EXPECT_TRUE(Mul(a, b).ValueEquals(Tensor::FromVector({2, 2}, {10, 40, 90, 160})));
+}
+
+TEST(OpsForwardTest, ScalarOps) {
+  Tensor a = Tensor::FromVector({3}, {1, -2, 3});
+  EXPECT_TRUE(AddScalar(a, 1.0f).ValueEquals(Tensor::FromVector({3}, {2, -1, 4})));
+  EXPECT_TRUE(MulScalar(a, -2.0f).ValueEquals(Tensor::FromVector({3}, {-2, 4, -6})));
+  EXPECT_TRUE(Neg(a).ValueEquals(Tensor::FromVector({3}, {-1, 2, -3})));
+}
+
+TEST(OpsForwardTest, MatMulHandComputed) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(c.ValueEquals(Tensor::FromVector({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(OpsForwardTest, TransposeRoundTrip) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 2);
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+  EXPECT_TRUE(Transpose(t).ValueEquals(a));
+}
+
+TEST(OpsForwardTest, AddRowBroadcast) {
+  Tensor x = Tensor::FromVector({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor b = Tensor::FromVector({3}, {5, 6, 7});
+  EXPECT_TRUE(AddRowBroadcast(x, b).ValueEquals(
+      Tensor::FromVector({2, 3}, {5, 6, 7, 6, 7, 8})));
+}
+
+TEST(OpsForwardTest, ReluFamily) {
+  Tensor a = Tensor::FromVector({4}, {-2, -0.5f, 0.5f, 2});
+  EXPECT_TRUE(Relu(a).ValueEquals(Tensor::FromVector({4}, {0, 0, 0.5f, 2})));
+  Tensor leaky = LeakyRelu(a, 0.1f);
+  EXPECT_FLOAT_EQ(leaky.at(0), -0.2f);
+  EXPECT_FLOAT_EQ(leaky.at(3), 2.0f);
+}
+
+TEST(OpsForwardTest, SigmoidTanhValues) {
+  Tensor a = Tensor::FromVector({3}, {0, 100, -100});
+  Tensor s = Sigmoid(a);
+  EXPECT_FLOAT_EQ(s.at(0), 0.5f);
+  EXPECT_NEAR(s.at(1), 1.0f, 1e-6);
+  EXPECT_NEAR(s.at(2), 0.0f, 1e-6);
+  EXPECT_NEAR(Tanh(a).at(0), 0.0f, 1e-6);
+}
+
+TEST(OpsForwardTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(Sum(a).item(), 10.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 2.5f);
+  EXPECT_FLOAT_EQ(SumSquares(a).item(), 30.0f);
+}
+
+TEST(OpsForwardTest, RowsGather) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor r = Rows(a, {2, 0, 2});
+  EXPECT_TRUE(r.ValueEquals(Tensor::FromVector({3, 2}, {5, 6, 1, 2, 5, 6})));
+}
+
+TEST(OpsForwardTest, SoftmaxRowsSumToOne) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, -1, 0, 1000});
+  Tensor s = Softmax(a);
+  for (int i = 0; i < 2; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < 3; ++j) sum += s.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  EXPECT_NEAR(s.at(1, 2), 1.0f, 1e-5);  // extreme logit, no overflow
+}
+
+TEST(OpsForwardTest, SoftmaxCrossEntropyMatchesManual) {
+  // Two rows; select only row 0 with label 1.
+  Tensor logits = Tensor::FromVector({2, 2}, {1, 2, 0, 0});
+  Tensor loss = SoftmaxCrossEntropy(logits, {1, 0}, {0});
+  const double expected = std::log(std::exp(1.0) + std::exp(2.0)) - 2.0;
+  EXPECT_NEAR(loss.item(), expected, 1e-5);
+}
+
+TEST(OpsForwardTest, BceWithLogitsMatchesManual) {
+  Tensor logits = Tensor::FromVector({2}, {0.5f, -1.0f});
+  Tensor loss = BceWithLogits(logits, {1.0f, 0.0f}, {0, 1});
+  const double l0 = std::log(1.0 + std::exp(-0.5));
+  const double l1 = std::log(1.0 + std::exp(-1.0));
+  EXPECT_NEAR(loss.item(), (l0 + l1) / 2.0, 1e-5);
+}
+
+TEST(OpsForwardTest, SoftCrossEntropyMatchesHardWhenOneHot) {
+  Tensor logits = Tensor::FromVector({2, 2}, {1, 2, -1, 3});
+  Tensor onehot = Tensor::FromVector({2, 2}, {0, 1, 1, 0});
+  Tensor soft = SoftCrossEntropy(logits, onehot, {0, 1});
+  Tensor hard = SoftmaxCrossEntropy(logits, {1, 0}, {0, 1});
+  EXPECT_NEAR(soft.item(), hard.item(), 1e-5);
+}
+
+TEST(OpsForwardTest, SpMMMatchesDense) {
+  // 3x3 matrix times 3x2 features.
+  auto adj = SparseMatrix::FromCoo(
+      3, 3, {{0, 1, 2.0f}, {1, 0, 1.0f}, {1, 2, 3.0f}, {2, 2, 4.0f}});
+  Tensor x = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor y = SpMM(adj, x);
+  // Row 0: 2 * row1 = (6, 8); row 1: row0 + 3*row2 = (16, 20); row 2: 4*row2.
+  EXPECT_TRUE(y.ValueEquals(Tensor::FromVector({3, 2}, {6, 8, 16, 20, 20, 24})));
+}
+
+TEST(OpsForwardTest, DropoutEvalIsIdentityAndTrainScales) {
+  common::Rng rng(3);
+  Tensor x = Tensor::Ones({1000});
+  Tensor eval_out = Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(eval_out.ValueEquals(x));
+  Tensor train_out = Dropout(x, 0.5f, /*training=*/true, &rng);
+  double mean = 0.0;
+  int64_t zeros = 0;
+  for (float v : train_out.data()) {
+    mean += v;
+    if (v == 0.0f) ++zeros;
+    if (v != 0.0f) EXPECT_FLOAT_EQ(v, 2.0f);  // inverted dropout scale
+  }
+  mean /= train_out.numel();
+  EXPECT_NEAR(mean, 1.0, 0.15);
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+}
+
+// --- Shape violations are fatal ---------------------------------------------
+
+using OpsDeathTest = ::testing::Test;
+
+TEST(OpsDeathTest, AddShapeMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 2});
+  Tensor b = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(Add(a, b), "shape mismatch");
+}
+
+TEST(OpsDeathTest, MatMulInnerMismatchAborts) {
+  EXPECT_DEATH(MatMul(Tensor::Zeros({2, 3}), Tensor::Zeros({2, 3})),
+               "inner dimension mismatch");
+}
+
+TEST(OpsDeathTest, BackwardOnNonScalarAborts) {
+  Tensor a = Tensor::Zeros({2});
+  EXPECT_DEATH(a.Backward(), "scalar");
+}
+
+TEST(OpsDeathTest, ItemOnMultiElementAborts) {
+  EXPECT_DEATH(Tensor::Zeros({2}).item(), "one-element");
+}
+
+// --- Gradient checks ---------------------------------------------------------
+
+TEST(GradTest, AddSubMulChain) {
+  common::Rng rng(10);
+  Tensor x = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  Tensor c = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  ExpectGradientsMatch(x, [&] {
+    return Sum(Mul(Add(x, c), Sub(x, c)));
+  });
+}
+
+TEST(GradTest, MatMulBothSides) {
+  common::Rng rng(11);
+  Tensor a = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  Tensor b = Tensor::RandNormal({4, 2}, 1.0f, &rng);
+  b.set_requires_grad(true);
+  ExpectGradientsMatch(a, [&] { return SumSquares(MatMul(a, b)); });
+  ExpectGradientsMatch(b, [&] { return SumSquares(MatMul(a, b)); });
+}
+
+TEST(GradTest, TransposeGrad) {
+  common::Rng rng(12);
+  Tensor a = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  Tensor w = Tensor::RandNormal({3, 2}, 1.0f, &rng);
+  ExpectGradientsMatch(a, [&] { return SumSquares(MatMul(Transpose(a), w)); });
+}
+
+TEST(GradTest, AddRowBroadcastBias) {
+  common::Rng rng(13);
+  Tensor x = Tensor::RandNormal({5, 3}, 1.0f, &rng);
+  Tensor b = Tensor::RandNormal({3}, 1.0f, &rng);
+  ExpectGradientsMatch(b, [&] { return SumSquares(AddRowBroadcast(x, b)); });
+  ExpectGradientsMatch(x, [&] { return SumSquares(AddRowBroadcast(x, b)); });
+}
+
+TEST(GradTest, Nonlinearities) {
+  common::Rng rng(14);
+  Tensor x = Tensor::RandNormal({4, 4}, 1.0f, &rng);
+  ExpectGradientsMatch(x, [&] { return Sum(Sigmoid(x)); });
+  ExpectGradientsMatch(x, [&] { return Sum(Tanh(x)); });
+  ExpectGradientsMatch(x, [&] { return Sum(LeakyRelu(x, 0.1f)); });
+  // ReLU is non-differentiable at 0; inputs here are generic reals.
+  ExpectGradientsMatch(x, [&] { return Sum(Relu(x)); });
+}
+
+TEST(GradTest, MeanAndSumSquares) {
+  common::Rng rng(15);
+  Tensor x = Tensor::RandNormal({6}, 1.0f, &rng);
+  ExpectGradientsMatch(x, [&] { return Mean(x); });
+  ExpectGradientsMatch(x, [&] { return SumSquares(x); });
+}
+
+TEST(GradTest, RowsGatherScatter) {
+  common::Rng rng(16);
+  Tensor x = Tensor::RandNormal({5, 3}, 1.0f, &rng);
+  // Repeated rows check the scatter-add accumulation.
+  ExpectGradientsMatch(x, [&] { return SumSquares(Rows(x, {0, 2, 2, 4})); });
+}
+
+TEST(GradTest, SoftmaxGrad) {
+  common::Rng rng(17);
+  Tensor x = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  Tensor w = Tensor::RandNormal({3, 4}, 1.0f, &rng);
+  ExpectGradientsMatch(x, [&] { return Sum(Mul(Softmax(x), w)); });
+}
+
+TEST(GradTest, SoftmaxCrossEntropyGrad) {
+  common::Rng rng(18);
+  Tensor logits = Tensor::RandNormal({4, 3}, 1.0f, &rng);
+  std::vector<int> labels = {0, 2, 1, 1};
+  ExpectGradientsMatch(logits, [&] {
+    return SoftmaxCrossEntropy(logits, labels, {0, 1, 3});
+  });
+}
+
+TEST(GradTest, BceWithLogitsGrad) {
+  common::Rng rng(19);
+  Tensor logits = Tensor::RandNormal({5}, 1.0f, &rng);
+  std::vector<float> targets = {1, 0, 1, 1, 0};
+  ExpectGradientsMatch(logits, [&] {
+    return BceWithLogits(logits, targets, {0, 1, 2, 4});
+  });
+}
+
+TEST(GradTest, SoftCrossEntropyGrad) {
+  common::Rng rng(20);
+  Tensor logits = Tensor::RandNormal({3, 3}, 1.0f, &rng);
+  Tensor targets = Tensor::FromVector(
+      {3, 3}, {0.2f, 0.3f, 0.5f, 1.0f, 0.0f, 0.0f, 0.1f, 0.8f, 0.1f});
+  ExpectGradientsMatch(logits, [&] {
+    return SoftCrossEntropy(logits, targets, {0, 1, 2});
+  });
+}
+
+TEST(GradTest, SpMMGrad) {
+  common::Rng rng(21);
+  auto adj = SparseMatrix::FromCoo(
+      4, 4,
+      {{0, 1, 0.5f}, {1, 0, 0.5f}, {1, 2, 1.5f}, {2, 3, -1.0f}, {3, 3, 2.0f}});
+  Tensor x = Tensor::RandNormal({4, 3}, 1.0f, &rng);
+  ExpectGradientsMatch(x, [&] { return SumSquares(SpMM(adj, x)); });
+}
+
+TEST(GradTest, GradAccumulatesAcrossUses) {
+  // x used twice: d/dx (sum(x) + sum(x*x)) = 1 + 2x.
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3}).set_requires_grad(true);
+  Tensor loss = Add(Sum(x), SumSquares(x));
+  loss.Backward();
+  ASSERT_EQ(x.grad().size(), 3u);
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 5.0f);
+  EXPECT_FLOAT_EQ(x.grad()[2], 7.0f);
+}
+
+TEST(GradTest, NoGradGuardSuppressesTape) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}).set_requires_grad(true);
+  tensor::NoGradGuard guard;
+  Tensor y = Sum(Mul(x, x));
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(GradTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}).set_requires_grad(true);
+  Sum(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(GradTest, BackwardTwiceAccumulates) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}).set_requires_grad(true);
+  Tensor loss = Sum(x);
+  loss.Backward();
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(GradTest, DiamondGraph) {
+  // y = x*x; loss = sum(y) + sum(y) — shared intermediate node.
+  Tensor x = Tensor::FromVector({2}, {3, -4}).set_requires_grad(true);
+  Tensor y = Mul(x, x);
+  Tensor loss = Add(Sum(y), Sum(y));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);   // 2 * 2x
+  EXPECT_FLOAT_EQ(x.grad()[1], -16.0f);
+}
+
+TEST(SparseTest, FromCooSumsDuplicates) {
+  auto m = SparseMatrix::FromCoo(2, 2, {{0, 1, 1.0f}, {0, 1, 2.0f}});
+  EXPECT_EQ(m->nnz(), 1);
+  EXPECT_FLOAT_EQ(m->values()[0], 3.0f);
+}
+
+TEST(SparseTest, TransposeValues) {
+  auto m = SparseMatrix::FromCoo(2, 3, {{0, 2, 5.0f}, {1, 0, 7.0f}});
+  const SparseMatrix& t = m->Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  // (2,0)=5, (0,1)=7 in the transpose.
+  std::vector<float> y(3 * 1);
+  std::vector<float> x = {1.0f, 10.0f};
+  t.Multiply(x.data(), 1, y.data());
+  EXPECT_FLOAT_EQ(y[0], 70.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 5.0f);
+}
+
+}  // namespace
+}  // namespace fairwos::tensor

@@ -1,0 +1,173 @@
+// fairwos_cli — the command-line entry point for the library.
+//
+//   fairwos_cli list
+//       Prints the available datasets, methods, and backbones.
+//
+//   fairwos_cli generate --dataset bail [--scale 20] [--seed 42] --out DIR
+//       Generates a synthetic benchmark and saves it as CSVs (data/io.h).
+//
+//   fairwos_cli train --dataset bail | --data-dir DIR
+//                     [--method fairwos] [--backbone gcn] [--alpha A]
+//                     [--epochs 300] [--trials 1] [--seed 42]
+//       Trains a method and prints test metrics (mean ± std over trials).
+//
+//   fairwos_cli audit --dataset bail | --data-dir DIR
+//                     [--backbone gcn] [--trials 3] [--seed 42]
+//       Runs every method in the registry and prints the comparison table.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/registry.h"
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+
+namespace fairwos::cli {
+namespace {
+
+int Fail(const common::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fairwos_cli <list|generate|train|audit> [flags]\n"
+               "run with a subcommand to see its flags in the header of\n"
+               "tools/fairwos_cli.cc\n");
+  return 2;
+}
+
+common::Result<data::Dataset> ResolveDataset(const common::CliFlags& flags) {
+  const std::string data_dir = flags.GetString("data-dir", "");
+  if (!data_dir.empty()) return data::LoadDataset(data_dir);
+  const std::string name = flags.GetString("dataset", "");
+  if (name.empty()) {
+    return common::Status::InvalidArgument(
+        "pass --dataset <name> or --data-dir <dir>");
+  }
+  data::DatasetOptions options;
+  options.scale = flags.GetDouble("scale", 20.0);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return data::MakeDataset(name, options);
+}
+
+common::Result<baselines::MethodOptions> ResolveMethodOptions(
+    const common::CliFlags& flags, const std::string& dataset_name) {
+  baselines::MethodOptions options;
+  FW_ASSIGN_OR_RETURN(options.backbone,
+                      nn::ParseBackbone(flags.GetString("backbone", "gcn")));
+  options.train.epochs = flags.GetInt("epochs", options.train.epochs);
+  options.fairwos.alpha = flags.GetDouble(
+      "alpha", baselines::RecommendedAlpha(dataset_name, options.backbone));
+  options.fairwos.finetune_lr =
+      baselines::RecommendedFinetuneLr(options.backbone);
+  options.fairwos.counterfactual.top_k =
+      flags.GetInt("k", options.fairwos.counterfactual.top_k);
+  return options;
+}
+
+int List() {
+  std::printf("datasets: toy");
+  for (const auto& name : data::BenchmarkNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nmethods:");
+  for (const auto& name : baselines::KnownMethodNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nbackbones: gcn gin sage gat\n");
+  return 0;
+}
+
+int Generate(const common::CliFlags& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    return Fail(common::Status::InvalidArgument("--out <dir> is required"));
+  }
+  auto ds_or = ResolveDataset(flags);
+  if (!ds_or.ok()) return Fail(ds_or.status());
+  common::Status status = data::SaveDataset(out, ds_or.value());
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %s: %lld nodes, %lld attrs, %lld edges\n", out.c_str(),
+              static_cast<long long>(ds_or->num_nodes()),
+              static_cast<long long>(ds_or->num_attrs()),
+              static_cast<long long>(ds_or->graph.num_edges()));
+  return 0;
+}
+
+int Train(const common::CliFlags& flags) {
+  auto ds_or = ResolveDataset(flags);
+  if (!ds_or.ok()) return Fail(ds_or.status());
+  const data::Dataset& ds = ds_or.value();
+  auto options_or = ResolveMethodOptions(flags, ds.name);
+  if (!options_or.ok()) return Fail(options_or.status());
+  const std::string method_name = flags.GetString("method", "fairwos");
+  auto method_or = baselines::MakeMethod(method_name, options_or.value());
+  if (!method_or.ok()) return Fail(method_or.status());
+  const int64_t trials = flags.GetInt("trials", 1);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  auto agg_or = eval::RunRepeated(method_or.value().get(), ds, trials, seed);
+  if (!agg_or.ok()) return Fail(agg_or.status());
+  const auto& agg = agg_or.value();
+  std::printf(
+      "%s on %s (%lld trial(s)):\n"
+      "  ACC  %s\n  F1   %s\n  AUC  %s\n  dSP  %s\n  dEO  %s\n  time "
+      "%.2fs\n",
+      method_or.value()->name().c_str(), ds.name.c_str(),
+      static_cast<long long>(trials),
+      common::FormatMeanStd(agg.acc.mean, agg.acc.stddev).c_str(),
+      common::FormatMeanStd(agg.f1.mean, agg.f1.stddev).c_str(),
+      common::FormatMeanStd(agg.auc.mean, agg.auc.stddev).c_str(),
+      common::FormatMeanStd(agg.dsp.mean, agg.dsp.stddev).c_str(),
+      common::FormatMeanStd(agg.deo.mean, agg.deo.stddev).c_str(),
+      agg.seconds.mean);
+  return 0;
+}
+
+int Audit(const common::CliFlags& flags) {
+  auto ds_or = ResolveDataset(flags);
+  if (!ds_or.ok()) return Fail(ds_or.status());
+  const data::Dataset& ds = ds_or.value();
+  auto options_or = ResolveMethodOptions(flags, ds.name);
+  if (!options_or.ok()) return Fail(options_or.status());
+  const int64_t trials = flags.GetInt("trials", 3);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  eval::TablePrinter table(
+      {"method", "ACC %", "dSP %", "dEO %", "sec"});
+  for (const auto& name : baselines::KnownMethodNames()) {
+    auto method_or = baselines::MakeMethod(name, options_or.value());
+    if (!method_or.ok()) return Fail(method_or.status());
+    auto agg_or = eval::RunRepeated(method_or.value().get(), ds, trials, seed);
+    if (!agg_or.ok()) return Fail(agg_or.status());
+    const auto& agg = agg_or.value();
+    table.AddRow({method_or.value()->name(),
+                  common::FormatMeanStd(agg.acc.mean, agg.acc.stddev),
+                  common::FormatMeanStd(agg.dsp.mean, agg.dsp.stddev),
+                  common::FormatMeanStd(agg.deo.mean, agg.deo.stddev),
+                  common::StrFormat("%.2f", agg.seconds.mean)});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  auto flags_or = common::CliFlags::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  if (command == "list") return List();
+  if (command == "generate") return Generate(flags_or.value());
+  if (command == "train") return Train(flags_or.value());
+  if (command == "audit") return Audit(flags_or.value());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace fairwos::cli
+
+int main(int argc, char** argv) { return fairwos::cli::Main(argc, argv); }
