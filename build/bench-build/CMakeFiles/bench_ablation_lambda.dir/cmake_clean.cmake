@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lambda"
+  "../bench/bench_ablation_lambda.pdb"
+  "CMakeFiles/bench_ablation_lambda.dir/bench_ablation_lambda.cc.o"
+  "CMakeFiles/bench_ablation_lambda.dir/bench_ablation_lambda.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

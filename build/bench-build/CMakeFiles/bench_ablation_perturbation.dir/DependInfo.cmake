@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_perturbation.cc" "bench-build/CMakeFiles/bench_ablation_perturbation.dir/bench_ablation_perturbation.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_perturbation.dir/bench_ablation_perturbation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/fairwos_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fairwos_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fairwos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/fairwos_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairwos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fairwos_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fairwos_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fairwos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairwos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

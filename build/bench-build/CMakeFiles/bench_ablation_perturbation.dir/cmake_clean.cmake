@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_perturbation"
+  "../bench/bench_ablation_perturbation.pdb"
+  "CMakeFiles/bench_ablation_perturbation.dir/bench_ablation_perturbation.cc.o"
+  "CMakeFiles/bench_ablation_perturbation.dir/bench_ablation_perturbation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_search"
+  "../bench/bench_ablation_search.pdb"
+  "CMakeFiles/bench_ablation_search.dir/bench_ablation_search.cc.o"
+  "CMakeFiles/bench_ablation_search.dir/bench_ablation_search.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

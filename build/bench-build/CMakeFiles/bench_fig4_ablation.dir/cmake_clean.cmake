@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_ablation"
+  "../bench/bench_fig4_ablation.pdb"
+  "CMakeFiles/bench_fig4_ablation.dir/bench_fig4_ablation.cc.o"
+  "CMakeFiles/bench_fig4_ablation.dir/bench_fig4_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_encoder_dim"
+  "../bench/bench_fig5_encoder_dim.pdb"
+  "CMakeFiles/bench_fig5_encoder_dim.dir/bench_fig5_encoder_dim.cc.o"
+  "CMakeFiles/bench_fig5_encoder_dim.dir/bench_fig5_encoder_dim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_encoder_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

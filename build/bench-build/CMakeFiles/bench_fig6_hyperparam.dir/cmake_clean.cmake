@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_hyperparam"
+  "../bench/bench_fig6_hyperparam.pdb"
+  "CMakeFiles/bench_fig6_hyperparam.dir/bench_fig6_hyperparam.cc.o"
+  "CMakeFiles/bench_fig6_hyperparam.dir/bench_fig6_hyperparam.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hyperparam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

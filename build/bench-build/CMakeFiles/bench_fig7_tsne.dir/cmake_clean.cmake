@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_tsne"
+  "../bench/bench_fig7_tsne.pdb"
+  "CMakeFiles/bench_fig7_tsne.dir/bench_fig7_tsne.cc.o"
+  "CMakeFiles/bench_fig7_tsne.dir/bench_fig7_tsne.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_runtime"
+  "../bench/bench_fig8_runtime.pdb"
+  "CMakeFiles/bench_fig8_runtime.dir/bench_fig8_runtime.cc.o"
+  "CMakeFiles/bench_fig8_runtime.dir/bench_fig8_runtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_main"
+  "../bench/bench_table2_main.pdb"
+  "CMakeFiles/bench_table2_main.dir/bench_table2_main.cc.o"
+  "CMakeFiles/bench_table2_main.dir/bench_table2_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

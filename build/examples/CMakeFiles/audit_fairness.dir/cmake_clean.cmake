@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_fairness.dir/audit_fairness.cc.o"
+  "CMakeFiles/audit_fairness.dir/audit_fairness.cc.o.d"
+  "audit_fairness"
+  "audit_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

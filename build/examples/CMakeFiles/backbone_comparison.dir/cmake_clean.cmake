@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_comparison.dir/backbone_comparison.cc.o"
+  "CMakeFiles/backbone_comparison.dir/backbone_comparison.cc.o.d"
+  "backbone_comparison"
+  "backbone_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

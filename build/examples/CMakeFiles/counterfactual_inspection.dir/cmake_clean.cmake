@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfactual_inspection.dir/counterfactual_inspection.cc.o"
+  "CMakeFiles/counterfactual_inspection.dir/counterfactual_inspection.cc.o.d"
+  "counterfactual_inspection"
+  "counterfactual_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfactual_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

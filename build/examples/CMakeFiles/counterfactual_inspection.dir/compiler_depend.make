@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for counterfactual_inspection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dataset.dir/custom_dataset.cc.o"
+  "CMakeFiles/custom_dataset.dir/custom_dataset.cc.o.d"
+  "custom_dataset"
+  "custom_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

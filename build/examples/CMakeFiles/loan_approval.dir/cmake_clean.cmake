@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loan_approval.dir/loan_approval.cc.o"
+  "CMakeFiles/loan_approval.dir/loan_approval.cc.o.d"
+  "loan_approval"
+  "loan_approval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loan_approval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

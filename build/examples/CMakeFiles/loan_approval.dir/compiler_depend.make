@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for loan_approval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fairgkd.cc" "src/baselines/CMakeFiles/fairwos_baselines.dir/fairgkd.cc.o" "gcc" "src/baselines/CMakeFiles/fairwos_baselines.dir/fairgkd.cc.o.d"
+  "/root/repo/src/baselines/fairrf.cc" "src/baselines/CMakeFiles/fairwos_baselines.dir/fairrf.cc.o" "gcc" "src/baselines/CMakeFiles/fairwos_baselines.dir/fairrf.cc.o.d"
+  "/root/repo/src/baselines/ksmote.cc" "src/baselines/CMakeFiles/fairwos_baselines.dir/ksmote.cc.o" "gcc" "src/baselines/CMakeFiles/fairwos_baselines.dir/ksmote.cc.o.d"
+  "/root/repo/src/baselines/perturbcf.cc" "src/baselines/CMakeFiles/fairwos_baselines.dir/perturbcf.cc.o" "gcc" "src/baselines/CMakeFiles/fairwos_baselines.dir/perturbcf.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/fairwos_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/fairwos_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/remover.cc" "src/baselines/CMakeFiles/fairwos_baselines.dir/remover.cc.o" "gcc" "src/baselines/CMakeFiles/fairwos_baselines.dir/remover.cc.o.d"
+  "/root/repo/src/baselines/train_util.cc" "src/baselines/CMakeFiles/fairwos_baselines.dir/train_util.cc.o" "gcc" "src/baselines/CMakeFiles/fairwos_baselines.dir/train_util.cc.o.d"
+  "/root/repo/src/baselines/vanilla.cc" "src/baselines/CMakeFiles/fairwos_baselines.dir/vanilla.cc.o" "gcc" "src/baselines/CMakeFiles/fairwos_baselines.dir/vanilla.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fairwos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fairwos_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fairwos_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairwos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fairwos_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fairwos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/fairwos_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairwos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_baselines.dir/fairgkd.cc.o"
+  "CMakeFiles/fairwos_baselines.dir/fairgkd.cc.o.d"
+  "CMakeFiles/fairwos_baselines.dir/fairrf.cc.o"
+  "CMakeFiles/fairwos_baselines.dir/fairrf.cc.o.d"
+  "CMakeFiles/fairwos_baselines.dir/ksmote.cc.o"
+  "CMakeFiles/fairwos_baselines.dir/ksmote.cc.o.d"
+  "CMakeFiles/fairwos_baselines.dir/perturbcf.cc.o"
+  "CMakeFiles/fairwos_baselines.dir/perturbcf.cc.o.d"
+  "CMakeFiles/fairwos_baselines.dir/registry.cc.o"
+  "CMakeFiles/fairwos_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/fairwos_baselines.dir/remover.cc.o"
+  "CMakeFiles/fairwos_baselines.dir/remover.cc.o.d"
+  "CMakeFiles/fairwos_baselines.dir/train_util.cc.o"
+  "CMakeFiles/fairwos_baselines.dir/train_util.cc.o.d"
+  "CMakeFiles/fairwos_baselines.dir/vanilla.cc.o"
+  "CMakeFiles/fairwos_baselines.dir/vanilla.cc.o.d"
+  "libfairwos_baselines.a"
+  "libfairwos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_common.dir/cli.cc.o"
+  "CMakeFiles/fairwos_common.dir/cli.cc.o.d"
+  "CMakeFiles/fairwos_common.dir/csv.cc.o"
+  "CMakeFiles/fairwos_common.dir/csv.cc.o.d"
+  "CMakeFiles/fairwos_common.dir/logging.cc.o"
+  "CMakeFiles/fairwos_common.dir/logging.cc.o.d"
+  "CMakeFiles/fairwos_common.dir/rng.cc.o"
+  "CMakeFiles/fairwos_common.dir/rng.cc.o.d"
+  "CMakeFiles/fairwos_common.dir/status.cc.o"
+  "CMakeFiles/fairwos_common.dir/status.cc.o.d"
+  "CMakeFiles/fairwos_common.dir/string_util.cc.o"
+  "CMakeFiles/fairwos_common.dir/string_util.cc.o.d"
+  "libfairwos_common.a"
+  "libfairwos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_core.dir/counterfactual.cc.o"
+  "CMakeFiles/fairwos_core.dir/counterfactual.cc.o.d"
+  "CMakeFiles/fairwos_core.dir/encoder.cc.o"
+  "CMakeFiles/fairwos_core.dir/encoder.cc.o.d"
+  "CMakeFiles/fairwos_core.dir/fairwos.cc.o"
+  "CMakeFiles/fairwos_core.dir/fairwos.cc.o.d"
+  "CMakeFiles/fairwos_core.dir/lambda_solver.cc.o"
+  "CMakeFiles/fairwos_core.dir/lambda_solver.cc.o.d"
+  "libfairwos_core.a"
+  "libfairwos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cc" "src/data/CMakeFiles/fairwos_data.dir/augment.cc.o" "gcc" "src/data/CMakeFiles/fairwos_data.dir/augment.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/fairwos_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/fairwos_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/fairwos_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/fairwos_data.dir/io.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/fairwos_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/fairwos_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fairwos_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fairwos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairwos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_data.dir/augment.cc.o"
+  "CMakeFiles/fairwos_data.dir/augment.cc.o.d"
+  "CMakeFiles/fairwos_data.dir/dataset.cc.o"
+  "CMakeFiles/fairwos_data.dir/dataset.cc.o.d"
+  "CMakeFiles/fairwos_data.dir/io.cc.o"
+  "CMakeFiles/fairwos_data.dir/io.cc.o.d"
+  "CMakeFiles/fairwos_data.dir/synthetic.cc.o"
+  "CMakeFiles/fairwos_data.dir/synthetic.cc.o.d"
+  "libfairwos_data.a"
+  "libfairwos_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/harness.cc" "src/eval/CMakeFiles/fairwos_eval.dir/harness.cc.o" "gcc" "src/eval/CMakeFiles/fairwos_eval.dir/harness.cc.o.d"
+  "/root/repo/src/eval/kmeans.cc" "src/eval/CMakeFiles/fairwos_eval.dir/kmeans.cc.o" "gcc" "src/eval/CMakeFiles/fairwos_eval.dir/kmeans.cc.o.d"
+  "/root/repo/src/eval/pca.cc" "src/eval/CMakeFiles/fairwos_eval.dir/pca.cc.o" "gcc" "src/eval/CMakeFiles/fairwos_eval.dir/pca.cc.o.d"
+  "/root/repo/src/eval/stats.cc" "src/eval/CMakeFiles/fairwos_eval.dir/stats.cc.o" "gcc" "src/eval/CMakeFiles/fairwos_eval.dir/stats.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/fairwos_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/fairwos_eval.dir/table.cc.o.d"
+  "/root/repo/src/eval/tsne.cc" "src/eval/CMakeFiles/fairwos_eval.dir/tsne.cc.o" "gcc" "src/eval/CMakeFiles/fairwos_eval.dir/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fairwos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/fairwos_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fairwos_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fairwos_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fairwos_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fairwos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairwos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

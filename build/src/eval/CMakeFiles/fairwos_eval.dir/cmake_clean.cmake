@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_eval.dir/harness.cc.o"
+  "CMakeFiles/fairwos_eval.dir/harness.cc.o.d"
+  "CMakeFiles/fairwos_eval.dir/kmeans.cc.o"
+  "CMakeFiles/fairwos_eval.dir/kmeans.cc.o.d"
+  "CMakeFiles/fairwos_eval.dir/pca.cc.o"
+  "CMakeFiles/fairwos_eval.dir/pca.cc.o.d"
+  "CMakeFiles/fairwos_eval.dir/stats.cc.o"
+  "CMakeFiles/fairwos_eval.dir/stats.cc.o.d"
+  "CMakeFiles/fairwos_eval.dir/table.cc.o"
+  "CMakeFiles/fairwos_eval.dir/table.cc.o.d"
+  "CMakeFiles/fairwos_eval.dir/tsne.cc.o"
+  "CMakeFiles/fairwos_eval.dir/tsne.cc.o.d"
+  "libfairwos_eval.a"
+  "libfairwos_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_fairness.dir/metrics.cc.o"
+  "CMakeFiles/fairwos_fairness.dir/metrics.cc.o.d"
+  "libfairwos_fairness.a"
+  "libfairwos_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

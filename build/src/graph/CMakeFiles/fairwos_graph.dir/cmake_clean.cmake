@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_graph.dir/algorithms.cc.o"
+  "CMakeFiles/fairwos_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/fairwos_graph.dir/graph.cc.o"
+  "CMakeFiles/fairwos_graph.dir/graph.cc.o.d"
+  "libfairwos_graph.a"
+  "libfairwos_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/fairwos_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/fairwos_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/gnn.cc" "src/nn/CMakeFiles/fairwos_nn.dir/gnn.cc.o" "gcc" "src/nn/CMakeFiles/fairwos_nn.dir/gnn.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/fairwos_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/fairwos_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/fairwos_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/fairwos_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/fairwos_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/fairwos_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/schedule.cc" "src/nn/CMakeFiles/fairwos_nn.dir/schedule.cc.o" "gcc" "src/nn/CMakeFiles/fairwos_nn.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fairwos_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fairwos_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fairwos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

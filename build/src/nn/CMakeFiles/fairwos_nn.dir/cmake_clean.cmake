@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/fairwos_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/fairwos_nn.dir/gnn.cc.o"
+  "CMakeFiles/fairwos_nn.dir/gnn.cc.o.d"
+  "CMakeFiles/fairwos_nn.dir/init.cc.o"
+  "CMakeFiles/fairwos_nn.dir/init.cc.o.d"
+  "CMakeFiles/fairwos_nn.dir/linear.cc.o"
+  "CMakeFiles/fairwos_nn.dir/linear.cc.o.d"
+  "CMakeFiles/fairwos_nn.dir/optim.cc.o"
+  "CMakeFiles/fairwos_nn.dir/optim.cc.o.d"
+  "CMakeFiles/fairwos_nn.dir/schedule.cc.o"
+  "CMakeFiles/fairwos_nn.dir/schedule.cc.o.d"
+  "libfairwos_nn.a"
+  "libfairwos_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_tensor.dir/ops.cc.o"
+  "CMakeFiles/fairwos_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/fairwos_tensor.dir/sparse.cc.o"
+  "CMakeFiles/fairwos_tensor.dir/sparse.cc.o.d"
+  "CMakeFiles/fairwos_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fairwos_tensor.dir/tensor.cc.o.d"
+  "libfairwos_tensor.a"
+  "libfairwos_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

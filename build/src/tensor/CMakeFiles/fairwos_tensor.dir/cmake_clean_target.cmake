@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfairwos_tensor.a"
+)

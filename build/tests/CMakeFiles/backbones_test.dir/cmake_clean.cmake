@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbones_test.dir/backbones_test.cc.o"
+  "CMakeFiles/backbones_test.dir/backbones_test.cc.o.d"
+  "backbones_test"
+  "backbones_test.pdb"
+  "backbones_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbones_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

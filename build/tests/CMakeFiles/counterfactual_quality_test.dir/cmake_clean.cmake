@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterfactual_quality_test.dir/counterfactual_quality_test.cc.o"
+  "CMakeFiles/counterfactual_quality_test.dir/counterfactual_quality_test.cc.o.d"
+  "counterfactual_quality_test"
+  "counterfactual_quality_test.pdb"
+  "counterfactual_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterfactual_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numerics_test.dir/numerics_test.cc.o"
+  "CMakeFiles/numerics_test.dir/numerics_test.cc.o.d"
+  "numerics_test"
+  "numerics_test.pdb"
+  "numerics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numerics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_stat_test.dir/rng_stat_test.cc.o"
+  "CMakeFiles/rng_stat_test.dir/rng_stat_test.cc.o.d"
+  "rng_stat_test"
+  "rng_stat_test.pdb"
+  "rng_stat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_stat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

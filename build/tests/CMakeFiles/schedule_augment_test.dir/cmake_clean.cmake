@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_augment_test.dir/schedule_augment_test.cc.o"
+  "CMakeFiles/schedule_augment_test.dir/schedule_augment_test.cc.o.d"
+  "schedule_augment_test"
+  "schedule_augment_test.pdb"
+  "schedule_augment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_augment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

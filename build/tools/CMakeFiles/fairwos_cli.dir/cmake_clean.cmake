@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairwos_cli.dir/fairwos_cli.cc.o"
+  "CMakeFiles/fairwos_cli.dir/fairwos_cli.cc.o.d"
+  "fairwos_cli"
+  "fairwos_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairwos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

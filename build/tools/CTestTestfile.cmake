@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/fairwos_cli" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_train_toy "/root/repo/build/tools/fairwos_cli" "train" "--dataset" "toy" "--method" "vanilla" "--epochs" "40")
+set_tests_properties(cli_train_toy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate_roundtrip "sh" "-c" "/root/repo/build/tools/fairwos_cli generate --dataset toy --out /root/repo/build/tools/toy_ds && /root/repo/build/tools/fairwos_cli train --data-dir /root/repo/build/tools/toy_ds --method vanilla --epochs 40")
+set_tests_properties(cli_generate_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_unknown_method "/root/repo/build/tools/fairwos_cli" "train" "--dataset" "toy" "--method" "nope")
+set_tests_properties(cli_unknown_method PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/fairwos_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
