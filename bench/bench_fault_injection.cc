@@ -1,0 +1,153 @@
+// Robustness bench (not a paper figure): measures the self-healing training
+// loop under deterministic injected faults. Each scenario poisons the
+// Fairwos run at a chosen site/schedule and reports how training fared:
+// recovery retries, graceful degradations, accuracy relative to the clean
+// run, and wall-clock cost of the recovery work.
+//
+//   ./bench_fault_injection [--dataset toy] [--scale 20] [--trials 3]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/fault.h"
+#include "common/stopwatch.h"
+#include "core/fairwos.h"
+#include "fairness/metrics.h"
+
+namespace fairwos::bench {
+namespace {
+
+using ::fairwos::testing::FaultInjector;
+using ::fairwos::testing::FaultSite;
+using ::fairwos::testing::ScopedFaultInjector;
+
+struct Scenario {
+  const char* name;
+  FaultSite site;
+  /// Visit offset relative to the end of the run (optimizer-step sites) or
+  /// an absolute fraction of all visits (loss site).
+  int64_t from_end;
+  int64_t count;
+  int64_t every;
+};
+
+struct Outcome {
+  double acc_sum = 0.0;
+  int64_t retries = 0;
+  int64_t degraded = 0;
+  int64_t failed = 0;
+  double seconds = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  BenchOptions bench = ParseBenchOptions(flags);
+  const std::string dataset_name = flags.GetString("dataset", "toy");
+  data::DatasetOptions data_options;
+  data_options.scale = bench.scale;
+  data_options.seed = bench.seed;
+  auto ds = DieOnError(data::MakeDataset(dataset_name, data_options));
+  std::printf("self-healing training under injected faults on %s\n\n",
+              ds.name.c_str());
+
+  core::FairwosConfig config;
+  config.pretrain_epochs = bench.epochs;
+  const std::vector<Scenario> scenarios = {
+      {"gradient NaN x1 (fine-tune)", FaultSite::kGradient, 6, 1, 1},
+      {"gradient NaN x1 (pre-train)", FaultSite::kGradient, 40, 1, 1},
+      {"parameter NaN x1 (fine-tune)", FaultSite::kParameter, 6, 1, 1},
+      {"loss NaN x1 (pre-train)", FaultSite::kLossValue, 60, 1, 1},
+      {"gradient NaN every 4th step", FaultSite::kGradient, 12, -1, 4},
+      {"gradient NaN every step", FaultSite::kGradient, 12, -1, 1},
+  };
+
+  Outcome clean;
+  std::vector<Outcome> outcomes(scenarios.size());
+  std::vector<int64_t> clean_steps;   // kGradient visits per trial
+  std::vector<int64_t> clean_losses;  // kLossValue visits per trial
+  for (int64_t t = 0; t < bench.trials; ++t) {
+    const uint64_t seed = bench.seed + static_cast<uint64_t>(t);
+    // The clean run doubles as the visit-count calibration: an installed
+    // but never-armed injector observes every site.
+    FaultInjector counter(seed);
+    core::FairwosStats stats;
+    common::Result<core::MethodOutput> out = common::Status::Internal("");
+    common::Stopwatch watch;
+    {
+      ScopedFaultInjector scoped(&counter);
+      out = core::TrainFairwos(config, ds, seed, &stats);
+    }
+    const double elapsed = watch.Seconds();
+    if (!out.ok()) {
+      std::fprintf(stderr, "FATAL: clean run failed: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    clean_steps.push_back(counter.visits(FaultSite::kGradient));
+    clean_losses.push_back(counter.visits(FaultSite::kLossValue));
+    clean.acc_sum +=
+        fairness::AccuracyPct(out->pred, ds.labels, ds.split.test);
+    clean.seconds += elapsed;
+  }
+
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const Scenario& scenario = scenarios[s];
+    Outcome& outcome = outcomes[s];
+    for (int64_t t = 0; t < bench.trials; ++t) {
+      const uint64_t seed = bench.seed + static_cast<uint64_t>(t);
+      const int64_t total = scenario.site == FaultSite::kLossValue
+                                ? clean_losses[static_cast<size_t>(t)]
+                                : clean_steps[static_cast<size_t>(t)];
+      FaultInjector injector(seed);
+      injector.Arm(scenario.site, total - scenario.from_end, scenario.count,
+                   scenario.every);
+      core::FairwosStats stats;
+      common::Result<core::MethodOutput> out = common::Status::Internal("");
+      common::Stopwatch watch;
+      {
+        ScopedFaultInjector scoped(&injector);
+        out = core::TrainFairwos(config, ds, seed, &stats);
+      }
+      const double elapsed = watch.Seconds();
+      if (!out.ok()) {
+        ++outcome.failed;
+        continue;
+      }
+      outcome.acc_sum +=
+          fairness::AccuracyPct(out->pred, ds.labels, ds.split.test);
+      outcome.retries += stats.pretrain_retries + stats.finetune_retries;
+      outcome.degraded += stats.finetune_degraded ? 1 : 0;
+      outcome.seconds += elapsed;
+    }
+  }
+
+  eval::TablePrinter table({"scenario", "ACC (^)", "retries", "degraded",
+                            "failed", "seconds"});
+  auto add_row = [&](const char* name, const Outcome& o) {
+    const int64_t ok_trials = bench.trials - o.failed;
+    table.AddRow(
+        {name,
+         ok_trials > 0 ? common::StrFormat("%.2f", o.acc_sum / ok_trials)
+                       : "-",
+         std::to_string(o.retries), std::to_string(o.degraded),
+         std::to_string(o.failed),
+         common::StrFormat("%.3f", o.seconds / bench.trials)});
+  };
+  add_row("clean (no fault)", clean);
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    add_row(scenarios[s].name, outcomes[s]);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected: single faults are absorbed with one retry and accuracy "
+      "within noise of the clean run; the every-step gradient fault "
+      "exhausts the retry budget and degrades to the pre-trained "
+      "classifier (degraded = trials) — no scenario fails a run.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairwos::bench
+
+int main(int argc, char** argv) { return fairwos::bench::Main(argc, argv); }

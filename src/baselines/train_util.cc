@@ -16,14 +16,17 @@ namespace fairwos::baselines {
 int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
                         const tensor::Tensor& features,
                         const PenaltyFn& penalty, nn::GnnClassifier* model,
-                        common::Rng* rng) {
+                        common::Rng* rng, TrainDiagnostics* diag) {
   FW_CHECK(model != nullptr);
   nn::Adam opt(model->parameters(), options.lr, 0.9f, 0.999f, 1e-8f,
                options.weight_decay);
+  opt.set_max_grad_norm(options.max_grad_norm);
+  nn::SelfHealing healer(options.recovery, *model, &opt, "baseline train");
   auto best_snapshot = nn::SnapshotParameters(*model);
   double best_val_loss = std::numeric_limits<double>::infinity();
   int64_t since_best = 0;
   int64_t epochs_run = 0;
+  bool aborted = false;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
     ++epochs_run;
     opt.ZeroGrad();
@@ -36,7 +39,14 @@ int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
       if (extra.defined()) loss = tensor::Add(loss, extra);
     }
     loss.Backward();
-    opt.Step();
+    if (!healer.GuardedStep(loss.item())) {
+      if (!healer.Recover()) {
+        aborted = true;  // budget spent: keep the best-validation parameters
+        break;
+      }
+      continue;  // retry the epoch from the rolled-back parameters
+    }
+    healer.Commit();
 
     // Early stopping on validation *loss*: accuracy on small validation
     // splits is too coarsely quantised to be a stopping signal.
@@ -50,6 +60,10 @@ int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
     }
   }
   nn::RestoreParameters(*model, best_snapshot);
+  if (diag != nullptr) {
+    diag->retries = healer.retries();
+    diag->aborted = aborted;
+  }
   return epochs_run;
 }
 

@@ -10,6 +10,7 @@
 #include "core/method.h"
 #include "data/dataset.h"
 #include "nn/gnn.h"
+#include "nn/guard.h"
 
 namespace fairwos::baselines {
 
@@ -18,6 +19,19 @@ struct TrainOptions {
   int64_t patience = 30;  // early stop on validation accuracy; <= 0 disables
   float lr = 1e-3f;       // paper §V-A4: Adam, 0.001
   float weight_decay = 5e-4f;
+  /// Rollback-and-retry policy on NaN/Inf divergence (docs/robustness.md).
+  nn::RecoveryConfig recovery;
+  /// Steady-state global-norm gradient clip; <= 0 disables until recovery.
+  float max_grad_norm = 0.0f;
+};
+
+/// Robustness diagnostics of one TrainClassifier run.
+struct TrainDiagnostics {
+  /// Divergence recoveries (rollback + lr halving) performed.
+  int64_t retries = 0;
+  /// True when the retry budget was exhausted and training stopped early;
+  /// the best-validation parameters seen so far are kept.
+  bool aborted = false;
 };
 
 /// Optional extra loss computed from the representation and logits of the
@@ -26,11 +40,15 @@ using PenaltyFn = std::function<tensor::Tensor(const tensor::Tensor& h,
                                                const tensor::Tensor& logits)>;
 
 /// Trains `model` on `features`, minimising CE(train) [+ penalty], keeping
-/// the best-validation parameters. Returns epochs actually run.
+/// the best-validation parameters. Steps are guarded: a NaN/Inf loss,
+/// gradient, or parameter rolls the model back to the last-good snapshot,
+/// halves the learning rate, and retries within `options.recovery`'s
+/// budget. Returns epochs actually run; `diag` (may be null) receives the
+/// recovery counters.
 int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
                         const tensor::Tensor& features,
                         const PenaltyFn& penalty, nn::GnnClassifier* model,
-                        common::Rng* rng);
+                        common::Rng* rng, TrainDiagnostics* diag = nullptr);
 
 /// Evaluation-mode predictions for every node.
 nn::PredictionResult EvaluateAll(const nn::GnnClassifier& model,

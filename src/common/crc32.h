@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, the zlib polynomial) over byte buffers. Used by the
+// checkpoint format to detect bit-flips and truncation: the payload checksum
+// is verified before any parameter is restored, so a corrupt file is rejected
+// with a Status instead of loading garbage weights.
+#ifndef FAIRWOS_COMMON_CRC32_H_
+#define FAIRWOS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fairwos::common {
+
+/// CRC-32 of `n` bytes. `seed` chains incremental computations: pass the
+/// previous call's return value to continue a running checksum.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_CRC32_H_

@@ -1,0 +1,108 @@
+#include "common/fault.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace fairwos::testing {
+namespace {
+
+FaultInjector* g_active = nullptr;
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kLossValue:
+      return "loss-value";
+    case FaultSite::kGradient:
+      return "gradient";
+    case FaultSite::kParameter:
+      return "parameter";
+    case FaultSite::kCheckpointFlip:
+      return "checkpoint-flip";
+    case FaultSite::kCheckpointTruncate:
+      return "checkpoint-truncate";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FaultSite site, int64_t at_visit, int64_t count,
+                        int64_t every) {
+  FW_CHECK_GE(at_visit, 0);
+  FW_CHECK_GE(every, 1);
+  Plan& plan = plans_[static_cast<size_t>(site)];
+  plan.armed = true;
+  plan.at_visit = at_visit;
+  plan.every = every;
+  plan.remaining = count;
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  Plan& plan = plans_[static_cast<size_t>(site)];
+  const int64_t visit = plan.visits++;
+  if (!plan.armed || plan.remaining == 0) return false;
+  if (visit < plan.at_visit || (visit - plan.at_visit) % plan.every != 0) {
+    return false;
+  }
+  if (plan.remaining > 0) --plan.remaining;
+  ++plan.fires;
+  return true;
+}
+
+int64_t FaultInjector::visits(FaultSite site) const {
+  return plans_[static_cast<size_t>(site)].visits;
+}
+
+int64_t FaultInjector::fires(FaultSite site) const {
+  return plans_[static_cast<size_t>(site)].fires;
+}
+
+common::Status FaultInjector::FlipByte(const std::string& path, int64_t offset,
+                                       uint8_t mask) {
+  FW_CHECK_NE(mask, 0) << "FlipByte with a zero mask is a no-op";
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) return common::Status::IoError("cannot open for corruption: " + path);
+  f.seekg(0, std::ios::end);
+  const int64_t size = static_cast<int64_t>(f.tellg());
+  if (offset < 0 || offset >= size) {
+    return common::Status::OutOfRange("flip offset " + std::to_string(offset) +
+                                      " outside file of " +
+                                      std::to_string(size) + " bytes");
+  }
+  f.seekg(offset);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ mask);
+  f.seekp(offset);
+  f.write(&byte, 1);
+  if (!f) return common::Status::IoError("corruption write failed: " + path);
+  return common::Status::OK();
+}
+
+common::Status FaultInjector::Truncate(const std::string& path,
+                                       int64_t keep_bytes) {
+  FW_CHECK_GE(keep_bytes, 0);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return common::Status::IoError("cannot stat: " + path);
+  if (static_cast<uint64_t>(keep_bytes) > size) {
+    return common::Status::OutOfRange("cannot truncate " + path + " to " +
+                                      std::to_string(keep_bytes) +
+                                      " bytes: file has only " +
+                                      std::to_string(size));
+  }
+  std::filesystem::resize_file(path, static_cast<uint64_t>(keep_bytes), ec);
+  if (ec) return common::Status::IoError("truncate failed: " + path);
+  return common::Status::OK();
+}
+
+FaultInjector* ActiveFaultInjector() { return g_active; }
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
+    : previous_(g_active) {
+  g_active = injector;
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() { g_active = previous_; }
+
+}  // namespace fairwos::testing

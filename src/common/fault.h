@@ -1,0 +1,99 @@
+// Deterministic fault injection for robustness testing. A FaultInjector is
+// armed per *site* (a named hook point compiled into the library: the loss
+// kernel, the optimizer step, checkpoint I/O) with a visit schedule; library
+// code queries ShouldFire() at each hook and, when it fires, corrupts its own
+// state (poisons a gradient with NaN, flips a payload bit, ...). Everything
+// is counter-driven from the injector's seed and visit counts, so a faulty
+// run is reproducible bit-for-bit — tests and bench_fault_injection rely on
+// that to prove every guardrail actually fires.
+//
+// The injector is installed process-globally via ScopedFaultInjector
+// (training here is single-threaded); when none is installed every hook is a
+// branch-on-null no-op, so production paths pay nothing.
+#ifndef FAIRWOS_COMMON_FAULT_H_
+#define FAIRWOS_COMMON_FAULT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fairwos::testing {
+
+/// Hook points compiled into the library. Keep in sync with kNumFaultSites.
+enum class FaultSite : int {
+  kLossValue = 0,       // tensor::SoftmaxCrossEntropy output scalar
+  kGradient,            // parameter gradients at the top of Optimizer::Step
+  kParameter,           // parameter values after an optimizer update
+  kCheckpointFlip,      // one payload bit during SaveCheckpoint
+  kCheckpointTruncate,  // drop the tail of the payload during SaveCheckpoint
+};
+inline constexpr int kNumFaultSites = 5;
+
+const char* FaultSiteName(FaultSite site);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// Arms `site`: starting at 0-based visit `at_visit`, every `every`-th
+  /// visit fires, up to `count` total fires (count < 0 = unlimited).
+  void Arm(FaultSite site, int64_t at_visit, int64_t count = 1,
+           int64_t every = 1);
+
+  /// Advances the site's visit counter and reports whether the fault fires
+  /// on this visit. Called by the library hooks, not by tests.
+  bool ShouldFire(FaultSite site);
+
+  /// How often the site has been visited / has actually fired — tests assert
+  /// on these to prove the hook under test was reached.
+  int64_t visits(FaultSite site) const;
+  int64_t fires(FaultSite site) const;
+
+  /// Deterministic randomness for fault payloads (which bit to flip, ...).
+  common::Rng* rng() { return &rng_; }
+
+  // --- Direct file corruption, for checkpoint robustness tests ------------
+
+  /// XORs the byte at `offset` with `mask` (mask must be non-zero).
+  static common::Status FlipByte(const std::string& path, int64_t offset,
+                                 uint8_t mask = 0x01);
+
+  /// Truncates the file to its first `keep_bytes` bytes.
+  static common::Status Truncate(const std::string& path, int64_t keep_bytes);
+
+ private:
+  struct Plan {
+    bool armed = false;
+    int64_t at_visit = 0;
+    int64_t every = 1;
+    int64_t remaining = 0;  // fires left; -1 = unlimited
+    int64_t visits = 0;
+    int64_t fires = 0;
+  };
+
+  common::Rng rng_;
+  std::array<Plan, kNumFaultSites> plans_;
+};
+
+/// The currently installed injector, or nullptr (the default). Library hooks
+/// call this; a null return means "no fault injection in this process".
+FaultInjector* ActiveFaultInjector();
+
+/// Installs `injector` globally for its own lifetime (RAII).
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector);
+  ~ScopedFaultInjector();
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace fairwos::testing
+
+#endif  // FAIRWOS_COMMON_FAULT_H_

@@ -1,0 +1,53 @@
+#include "common/health.h"
+
+#include <cmath>
+
+namespace fairwos::common {
+
+std::string HealthReport::ToString() const {
+  if (ok()) return "healthy";
+  std::string s;
+  if (nan_count > 0) s += std::to_string(nan_count) + " NaN";
+  if (inf_count > 0) {
+    if (!s.empty()) s += ", ";
+    s += std::to_string(inf_count) + " Inf";
+  }
+  s += " (first at " + std::to_string(first_bad_index) + ")";
+  return s;
+}
+
+bool IsFinite(double v) { return std::isfinite(v); }
+
+bool AllFinite(const float* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const std::vector<float>& v) {
+  return AllFinite(v.data(), v.size());
+}
+
+HealthReport CheckHealth(const float* data, size_t n) {
+  HealthReport report;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isnan(data[i])) {
+      ++report.nan_count;
+    } else if (std::isinf(data[i])) {
+      ++report.inf_count;
+    } else {
+      continue;
+    }
+    if (report.first_bad_index < 0) {
+      report.first_bad_index = static_cast<int64_t>(i);
+    }
+  }
+  return report;
+}
+
+HealthReport CheckHealth(const std::vector<float>& v) {
+  return CheckHealth(v.data(), v.size());
+}
+
+}  // namespace fairwos::common

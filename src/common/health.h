@@ -1,0 +1,43 @@
+// Numerical health checks: cheap scans for NaN/Inf in scalars and float
+// buffers. These are the detection half of the robustness layer — the
+// training loops (core/fairwos, baselines/train_util) consult them every
+// step through nn::GradientGuard and trigger rollback-and-retry recovery
+// when a check fails (docs/robustness.md).
+#ifndef FAIRWOS_COMMON_HEALTH_H_
+#define FAIRWOS_COMMON_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fairwos::common {
+
+/// Outcome of scanning one buffer. `ok()` iff every element is finite.
+struct HealthReport {
+  int64_t nan_count = 0;
+  int64_t inf_count = 0;
+  /// Index of the first non-finite element; -1 when healthy.
+  int64_t first_bad_index = -1;
+
+  bool ok() const { return nan_count == 0 && inf_count == 0; }
+
+  /// "healthy" or e.g. "3 NaN, 1 Inf (first at 17)".
+  std::string ToString() const;
+};
+
+/// True iff `v` is neither NaN nor ±Inf.
+bool IsFinite(double v);
+
+/// True iff every element of the buffer is finite. Short-circuits on the
+/// first offender — this is the fast path called once per training step.
+bool AllFinite(const float* data, size_t n);
+bool AllFinite(const std::vector<float>& v);
+
+/// Full scan with counts, for diagnostics once AllFinite has failed.
+HealthReport CheckHealth(const float* data, size_t n);
+HealthReport CheckHealth(const std::vector<float>& v);
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_HEALTH_H_

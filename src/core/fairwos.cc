@@ -60,13 +60,17 @@ std::vector<double> MeasureDistances(const tensor::Tensor& emb,
   return distances;
 }
 
-/// Pre-trains the classifier (Eq. 10) with best-validation checkpointing.
-/// Returns the number of epochs actually run.
+/// Pre-trains the classifier (Eq. 10) with best-validation checkpointing and
+/// rollback-and-retry divergence recovery. Returns the number of epochs
+/// actually run; `retries` (if non-null) receives the recovery count.
 int64_t PretrainClassifier(const FairwosConfig& config,
                            const data::Dataset& ds, const tensor::Tensor& x,
-                           nn::GnnClassifier* model, common::Rng* rng) {
+                           nn::GnnClassifier* model, common::Rng* rng,
+                           int64_t* retries) {
   nn::Adam opt(model->parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
                config.weight_decay);
+  opt.set_max_grad_norm(config.max_grad_norm);
+  nn::SelfHealing healer(config.recovery, *model, &opt, "Fairwos pre-train");
   auto best_snapshot = nn::SnapshotParameters(*model);
   double best_val_loss = std::numeric_limits<double>::infinity();
   int64_t since_best = 0;
@@ -75,8 +79,14 @@ int64_t PretrainClassifier(const FairwosConfig& config,
     ++epochs_run;
     opt.ZeroGrad();
     tensor::Tensor logits = model->Forward(x, /*training=*/true, rng);
-    tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train).Backward();
-    opt.Step();
+    tensor::Tensor loss =
+        tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train);
+    loss.Backward();
+    if (!healer.GuardedStep(loss.item())) {
+      if (!healer.Recover()) break;  // budget spent: keep best-val params
+      continue;                      // retry from the rolled-back parameters
+    }
+    healer.Commit();
 
     const double val_loss = ValLoss(*model, x, ds, rng);
     if (val_loss < best_val_loss) {
@@ -89,6 +99,7 @@ int64_t PretrainClassifier(const FairwosConfig& config,
     }
   }
   nn::RestoreParameters(*model, best_snapshot);
+  if (retries != nullptr) *retries = healer.retries();
   return epochs_run;
 }
 
@@ -121,8 +132,8 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
   nn::GnnConfig gnn = config.gnn;
   gnn.in_features = num_attrs;
   nn::GnnClassifier model(gnn, ds.graph, &rng);
-  local_stats.pretrain_epochs_run =
-      PretrainClassifier(config, ds, x0, &model, &rng);
+  local_stats.pretrain_epochs_run = PretrainClassifier(
+      config, ds, x0, &model, &rng, &local_stats.pretrain_retries);
 
   // Pseudo-labels for the counterfactual search (semi-supervised setting).
   std::vector<int> pseudo_labels = Evaluate(model, x0, &rng).pred;
@@ -139,6 +150,11 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
         1.0 / static_cast<double>(num_attrs));  // Algorithm 1 line 2
     nn::Adam opt(model.parameters(), config.finetune_lr, 0.9f, 0.999f, 1e-8f,
                  config.weight_decay);
+    opt.set_max_grad_norm(config.max_grad_norm);
+    nn::SelfHealing healer(config.recovery, model, &opt, "Fairwos fine-tune");
+    // Degradation target when fine-tuning cannot stabilize: the pre-trained
+    // classifier, i.e. the "w/o F" ablation.
+    const auto pretrained_snapshot = nn::SnapshotParameters(model);
     // Utility reference for model selection: the pre-trained model.
     const double pretrain_val_acc = fairness::AccuracyPct(
         Evaluate(model, x0, &rng).pred, ds.labels, ds.split.val);
@@ -227,7 +243,14 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
                                                  lambda[static_cast<size_t>(i)])));
       }
       total.Backward();
-      opt.Step();
+      if (!healer.GuardedStep(total.item())) {
+        if (!healer.Recover()) {
+          local_stats.finetune_degraded = true;
+          break;
+        }
+        continue;  // retry the epoch from the rolled-back parameters
+      }
+      healer.Commit();
 
       // Model selection within fine-tuning: later epochs are fairer, so we
       // keep the *latest* epoch whose validation accuracy stays within the
@@ -245,8 +268,17 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
         fallback_snapshot = nn::SnapshotParameters(model);
       }
     }
-    nn::RestoreParameters(model,
-                          have_tolerated ? best_snapshot : fallback_snapshot);
+    if (local_stats.finetune_degraded) {
+      FW_LOG(Warning) << "Fairwos fine-tuning could not stabilize within "
+                      << config.recovery.max_retries
+                      << " retries; falling back to the pre-trained "
+                         "classifier (degrading to the w/o F ablation)";
+      nn::RestoreParameters(model, pretrained_snapshot);
+    } else {
+      nn::RestoreParameters(
+          model, have_tolerated ? best_snapshot : fallback_snapshot);
+    }
+    local_stats.finetune_retries = healer.retries();
     local_stats.lambda = lambda;
   }
 

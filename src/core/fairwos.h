@@ -19,6 +19,7 @@
 #include "core/encoder.h"
 #include "core/method.h"
 #include "nn/gnn.h"
+#include "nn/guard.h"
 
 namespace fairwos::core {
 
@@ -60,6 +61,18 @@ struct FairwosConfig {
 
   /// See lambda_solver.h: false = Eq. 24 verbatim, true = prose reading.
   bool invert_lambda_preference = false;
+
+  /// Rollback-and-retry policy for both training phases: on a NaN/Inf loss,
+  /// gradient, or parameter the loop restores the last-good parameters,
+  /// halves the learning rate, and retries (docs/robustness.md). When
+  /// fine-tuning cannot stabilize within the budget, training degrades to
+  /// the pre-trained classifier (the "w/o F" ablation) instead of failing.
+  nn::RecoveryConfig recovery;
+
+  /// Steady-state global-norm gradient clip applied on every optimizer
+  /// step; <= 0 (the default) leaves steps unclipped until the recovery
+  /// path enables clipping after a divergence.
+  float max_grad_norm = 0.0f;
 };
 
 /// Diagnostics exposed to benches and tests.
@@ -69,6 +82,12 @@ struct FairwosStats {
   double encoder_val_acc_pct = 0.0;
   int64_t pretrain_epochs_run = 0;
   int64_t finetune_epochs_run = 0;
+  /// Divergence recoveries (rollback + lr halving) performed per phase.
+  int64_t pretrain_retries = 0;
+  int64_t finetune_retries = 0;
+  /// True when fine-tuning exhausted its retry budget and the pre-trained
+  /// classifier was kept — graceful degradation to the "w/o F" ablation.
+  bool finetune_degraded = false;
 };
 
 /// Trains Fairwos once. Deterministic in (config, dataset, seed).

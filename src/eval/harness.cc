@@ -1,5 +1,6 @@
 #include "eval/harness.h"
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "fairness/metrics.h"
 
@@ -33,15 +34,31 @@ common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
   }
   common::Rng seed_stream(base_seed);
   std::vector<double> acc, f1, auc, dsp, deo, seconds;
+  int64_t failed = 0;
+  common::Status last_error = common::Status::OK();
   for (int64_t t = 0; t < trials; ++t) {
-    FW_ASSIGN_OR_RETURN(TrialMetrics m,
-                        RunTrial(method, ds, seed_stream.NextU64()));
+    auto trial = RunTrial(method, ds, seed_stream.NextU64());
+    if (!trial.ok()) {
+      // One bad trial must not poison the whole aggregation: skip it, keep
+      // the failure visible in the logs and in `failed_trials`.
+      ++failed;
+      last_error = trial.status();
+      FW_LOG(Warning) << method->name() << " trial " << t + 1 << "/" << trials
+                      << " failed, skipping: " << last_error.ToString();
+      continue;
+    }
+    const TrialMetrics& m = *trial;
     acc.push_back(m.acc);
     f1.push_back(m.f1);
     auc.push_back(m.auc);
     dsp.push_back(m.dsp);
     deo.push_back(m.deo);
     seconds.push_back(m.seconds);
+  }
+  if (acc.empty()) {
+    return common::Status::Internal(
+        method->name() + ": all " + std::to_string(trials) +
+        " trials failed; last error: " + last_error.ToString());
   }
   AggregateMetrics agg;
   agg.acc = ComputeMeanStd(acc);
@@ -50,7 +67,8 @@ common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
   agg.dsp = ComputeMeanStd(dsp);
   agg.deo = ComputeMeanStd(deo);
   agg.seconds = ComputeMeanStd(seconds);
-  agg.trials = trials;
+  agg.trials = static_cast<int64_t>(acc.size());
+  agg.failed_trials = failed;
   return agg;
 }
 

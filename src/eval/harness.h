@@ -23,10 +23,13 @@ struct TrialMetrics {
   double seconds = 0.0;
 };
 
-/// Mean ± std over trials.
+/// Mean ± std over the trials that succeeded. `trials` counts successes;
+/// `failed_trials` counts trials whose method returned an error and were
+/// skipped (logged) instead of aborting the aggregation.
 struct AggregateMetrics {
   MeanStd acc, f1, auc, dsp, deo, seconds;
   int64_t trials = 0;
+  int64_t failed_trials = 0;
 };
 
 /// Trains `method` once with `seed` and evaluates on ds.split.test.
@@ -35,6 +38,8 @@ common::Result<TrialMetrics> RunTrial(core::FairMethod* method,
                                       const data::Dataset& ds, uint64_t seed);
 
 /// Runs `trials` independent trials with seeds derived from `base_seed`.
+/// Tolerates partial failure: an errored trial is skipped and counted in
+/// `failed_trials`; an error is returned only when every trial fails.
 common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
                                              const data::Dataset& ds,
                                              int64_t trials,

@@ -1,71 +1,174 @@
 #include "nn/checkpoint.h"
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <vector>
+
+#include "common/crc32.h"
+#include "common/fault.h"
 
 namespace fairwos::nn {
 namespace {
 
 constexpr uint32_t kMagic = 0x46574350;  // "FWCP"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr size_t kHeaderBytes = 3 * sizeof(uint64_t);
 
-void WriteU64(std::ofstream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-bool ReadU64(std::ifstream& in, uint64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
+/// Bounds-checked sequential reads from the verified payload buffer.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& buffer) : buffer_(buffer) {}
+
+  bool ReadU64(uint64_t* v) {
+    if (buffer_.size() - pos_ < sizeof(*v)) return false;
+    std::memcpy(v, buffer_.data() + pos_, sizeof(*v));
+    pos_ += sizeof(*v);
+    return true;
+  }
+
+  bool ReadFloats(std::vector<float>* out) {
+    const size_t bytes = out->size() * sizeof(float);
+    if (buffer_.size() - pos_ < bytes) return false;
+    std::memcpy(out->data(), buffer_.data() + pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == buffer_.size(); }
+
+ private:
+  const std::string& buffer_;
+  size_t pos_ = 0;
+};
 
 }  // namespace
 
 common::Status SaveCheckpoint(const std::string& path, const Module& module) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return common::Status::IoError("cannot open for write: " + path);
-  WriteU64(out, (static_cast<uint64_t>(kMagic) << 32) | kVersion);
-  WriteU64(out, module.parameters().size());
+  std::string payload;
+  AppendU64(&payload, module.parameters().size());
   for (const auto& p : module.parameters()) {
-    WriteU64(out, p.shape().size());
-    for (int64_t d : p.shape()) WriteU64(out, static_cast<uint64_t>(d));
-    out.write(reinterpret_cast<const char*>(p.data().data()),
-              static_cast<std::streamsize>(p.data().size() * sizeof(float)));
+    AppendU64(&payload, p.shape().size());
+    for (int64_t d : p.shape()) AppendU64(&payload, static_cast<uint64_t>(d));
+    payload.append(reinterpret_cast<const char*>(p.data().data()),
+                   p.data().size() * sizeof(float));
   }
-  if (!out) return common::Status::IoError("write failed: " + path);
+  const uint64_t payload_size = payload.size();
+  const uint32_t crc = common::Crc32(payload.data(), payload.size());
+
+  // Fault-injection sites modelling a failing disk: the checksum above is of
+  // the intended bytes, so either corruption is caught at load time.
+  if (auto* fi = testing::ActiveFaultInjector(); fi != nullptr) {
+    if (!payload.empty() &&
+        fi->ShouldFire(testing::FaultSite::kCheckpointFlip)) {
+      const auto offset = static_cast<size_t>(
+          fi->rng()->UniformInt(static_cast<int64_t>(payload.size())));
+      payload[offset] = static_cast<char>(
+          payload[offset] ^ (1 << fi->rng()->UniformInt(8)));
+    }
+    if (fi->ShouldFire(testing::FaultSite::kCheckpointTruncate)) {
+      payload.resize(payload.size() / 2);
+    }
+  }
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return common::Status::IoError("cannot open for write: " + tmp_path);
+    }
+    std::string header;
+    AppendU64(&header, (static_cast<uint64_t>(kMagic) << 32) | kVersion);
+    AppendU64(&header, payload_size);
+    AppendU64(&header, crc);
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return common::Status::IoError("write failed: " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return common::Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
   return common::Status::OK();
 }
 
 common::Status LoadCheckpoint(const std::string& path, const Module& module) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return common::Status::IoError("cannot open for read: " + path);
-  uint64_t header = 0;
-  if (!ReadU64(in, &header) ||
-      header != ((static_cast<uint64_t>(kMagic) << 32) | kVersion)) {
+
+  char header[kHeaderBytes];
+  in.read(header, static_cast<std::streamsize>(kHeaderBytes));
+  if (!in) return common::Status::IoError("truncated checkpoint header: " + path);
+  uint64_t magic_version = 0, payload_size = 0, crc_expected = 0;
+  std::memcpy(&magic_version, header, sizeof(uint64_t));
+  std::memcpy(&payload_size, header + sizeof(uint64_t), sizeof(uint64_t));
+  std::memcpy(&crc_expected, header + 2 * sizeof(uint64_t), sizeof(uint64_t));
+  if ((magic_version >> 32) != kMagic) {
     return common::Status::InvalidArgument("not a Fairwos checkpoint: " + path);
   }
-  uint64_t count = 0;
-  if (!ReadU64(in, &count)) {
+  if ((magic_version & 0xFFFFFFFFu) != kVersion) {
+    return common::Status::InvalidArgument(
+        "unsupported checkpoint version " +
+        std::to_string(magic_version & 0xFFFFFFFFu) + " (expected " +
+        std::to_string(kVersion) + "): " + path);
+  }
+
+  // Validate the (untrusted) size field against the real file size before
+  // allocating anything — a flipped bit in it must not become a huge alloc.
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  if (payload_size != file_size - kHeaderBytes) {
+    return common::Status::IoError(
+        "checkpoint size mismatch: header promises " +
+        std::to_string(payload_size) + " payload bytes, file has " +
+        std::to_string(file_size - kHeaderBytes) + ": " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(kHeaderBytes));
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<uint64_t>(in.gcount()) != payload_size) {
     return common::Status::IoError("truncated checkpoint: " + path);
+  }
+  const uint32_t crc_actual = common::Crc32(payload.data(), payload.size());
+  if (crc_actual != static_cast<uint32_t>(crc_expected)) {
+    return common::Status::IoError("checkpoint CRC mismatch (corrupt file): " +
+                                   path);
+  }
+
+  // The payload is authenticated; a parse failure past this point means an
+  // architecture mismatch or a malformed writer, not disk corruption.
+  PayloadReader reader(payload);
+  uint64_t count = 0;
+  if (!reader.ReadU64(&count)) {
+    return common::Status::IoError("payload too short for header: " + path);
   }
   if (count != module.parameters().size()) {
     return common::Status::FailedPrecondition(
         "checkpoint has " + std::to_string(count) + " parameters, module has " +
         std::to_string(module.parameters().size()));
   }
-  // Stage everything first so a mismatch mid-file leaves the module intact.
+  // Stage everything first so a mismatch mid-payload leaves the module intact.
   std::vector<std::vector<float>> staged;
   staged.reserve(count);
   for (const auto& p : module.parameters()) {
     uint64_t rank = 0;
-    if (!ReadU64(in, &rank)) {
-      return common::Status::IoError("truncated checkpoint: " + path);
+    if (!reader.ReadU64(&rank)) {
+      return common::Status::IoError("payload ends inside a shape: " + path);
     }
     tensor::Shape shape(rank);
     for (auto& d : shape) {
       uint64_t v = 0;
-      if (!ReadU64(in, &v)) {
-        return common::Status::IoError("truncated checkpoint: " + path);
+      if (!reader.ReadU64(&v)) {
+        return common::Status::IoError("payload ends inside a shape: " + path);
       }
       d = static_cast<int64_t>(v);
     }
@@ -75,10 +178,14 @@ common::Status LoadCheckpoint(const std::string& path, const Module& module) {
           " does not match module shape " + tensor::ShapeToString(p.shape()));
     }
     std::vector<float> data(p.data().size());
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in) return common::Status::IoError("truncated checkpoint: " + path);
+    if (!reader.ReadFloats(&data)) {
+      return common::Status::IoError("payload ends inside tensor data: " +
+                                     path);
+    }
     staged.push_back(std::move(data));
+  }
+  if (!reader.exhausted()) {
+    return common::Status::IoError("payload has trailing bytes: " + path);
   }
   RestoreParameters(module, staged);
   return common::Status::OK();

@@ -1,6 +1,29 @@
 // Model checkpointing: serialize a Module's parameters to a small binary
-// file and restore them into an identically-constructed module. The format
-// is self-describing enough to fail loudly on architecture mismatches.
+// file and restore them into an identically-constructed module.
+//
+// Format v2 (little-endian, see docs/robustness.md):
+//   u64  (magic "FWCP" << 32) | version
+//   u64  payload byte size
+//   u64  CRC-32 of the payload (zero-extended)
+//   payload:
+//     u64  parameter count
+//     per parameter: u64 rank, u64 dims..., float32 data
+//
+// Robustness guarantees:
+//   * Saves are atomic: the file is written to `<path>.tmp` and renamed into
+//     place, so a crash mid-save never leaves a half-written checkpoint at
+//     `path`.
+//   * Loads verify the header and the payload CRC before touching the
+//     module; a truncated or bit-flipped file is rejected with a precise
+//     Status and the module keeps its current parameters. Load never
+//     FW_CHECK-aborts on malformed input.
+//
+// Status codes returned by LoadCheckpoint:
+//   InvalidArgument     wrong magic or unsupported version
+//   IoError             unreadable, truncated, size-mismatched, or
+//                       CRC-mismatched (corrupt) file
+//   FailedPrecondition  well-formed checkpoint whose parameter count or
+//                       shapes do not match the module
 #ifndef FAIRWOS_NN_CHECKPOINT_H_
 #define FAIRWOS_NN_CHECKPOINT_H_
 
@@ -11,13 +34,13 @@
 
 namespace fairwos::nn {
 
-/// Writes every parameter tensor (shapes + float32 data, little-endian) to
-/// `path`. Overwrites existing files.
+/// Writes every parameter tensor to `path` (atomically; overwrites existing
+/// files).
 common::Status SaveCheckpoint(const std::string& path, const Module& module);
 
 /// Restores parameters saved by SaveCheckpoint. The module must have the
-/// same parameter count and shapes (i.e. be built from the same config);
-/// mismatches return FailedPrecondition and leave the module untouched.
+/// same parameter count and shapes (i.e. be built from the same config).
+/// On any error the module is left untouched.
 common::Status LoadCheckpoint(const std::string& path, const Module& module);
 
 }  // namespace fairwos::nn

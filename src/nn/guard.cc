@@ -1,0 +1,103 @@
+#include "nn/guard.h"
+
+#include <cmath>
+
+#include "common/health.h"
+#include "common/logging.h"
+
+namespace fairwos::nn {
+
+double GlobalGradNorm(const std::vector<tensor::Tensor>& params) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  return std::sqrt(total);
+}
+
+double ClipGradNorm(const std::vector<tensor::Tensor>& params,
+                    double max_norm) {
+  FW_CHECK_GT(max_norm, 0.0);
+  const double norm = GlobalGradNorm(params);
+  if (!common::IsFinite(norm) || norm <= max_norm) return norm;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (const auto& p : params) {
+    for (float& g : tensor::Tensor(p).mutable_grad()) g *= scale;
+  }
+  return norm;
+}
+
+common::Status GradientGuard::CheckLoss(double loss) const {
+  if (common::IsFinite(loss)) return common::Status::OK();
+  return common::Status::Internal("non-finite loss: " + std::to_string(loss));
+}
+
+common::Status GradientGuard::CheckGradients() const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const auto& grad = params_[i].grad();
+    if (common::AllFinite(grad)) continue;
+    return common::Status::Internal(
+        "non-finite gradient on parameter " + std::to_string(i) + " " +
+        tensor::ShapeToString(params_[i].shape()) + ": " +
+        common::CheckHealth(grad).ToString());
+  }
+  return common::Status::OK();
+}
+
+common::Status GradientGuard::CheckParameters() const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const auto& data = params_[i].data();
+    if (common::AllFinite(data)) continue;
+    return common::Status::Internal(
+        "non-finite parameter " + std::to_string(i) + " " +
+        tensor::ShapeToString(params_[i].shape()) + ": " +
+        common::CheckHealth(data).ToString());
+  }
+  return common::Status::OK();
+}
+
+SelfHealing::SelfHealing(const RecoveryConfig& config, const Module& model,
+                         Optimizer* opt, std::string context)
+    : config_(config),
+      model_(model),
+      opt_(opt),
+      context_(std::move(context)),
+      guard_(model.parameters()),
+      last_good_(SnapshotParameters(model)) {
+  FW_CHECK(opt_ != nullptr);
+}
+
+bool SelfHealing::GuardedStep(double loss) {
+  last_failure_ = guard_.CheckLoss(loss);
+  if (!last_failure_.ok()) return false;
+  last_failure_ = guard_.CheckGradients();
+  if (!last_failure_.ok()) return false;
+  opt_->Step();
+  last_failure_ = guard_.CheckParameters();
+  return last_failure_.ok();
+}
+
+void SelfHealing::Commit() { last_good_ = SnapshotParameters(model_); }
+
+bool SelfHealing::Recover() {
+  RestoreParameters(model_, last_good_);
+  if (retries_ >= config_.max_retries) {
+    FW_LOG(Warning) << context_ << ": retry budget (" << config_.max_retries
+                    << ") exhausted after " << last_failure_.ToString()
+                    << "; rolled back to last-good parameters";
+    return false;
+  }
+  ++retries_;
+  opt_->ResetState();
+  const float new_lr = opt_->lr() * static_cast<float>(config_.lr_decay);
+  opt_->set_lr(new_lr);
+  if (config_.retry_clip_norm > 0.0) {
+    opt_->set_max_grad_norm(static_cast<float>(config_.retry_clip_norm));
+  }
+  FW_LOG(Warning) << context_ << ": divergence (" << last_failure_.ToString()
+                  << "); rolled back, lr -> " << new_lr << ", retry "
+                  << retries_ << "/" << config_.max_retries;
+  return true;
+}
+
+}  // namespace fairwos::nn

@@ -1,15 +1,51 @@
 #include "nn/optim.h"
 
 #include <cmath>
+#include <limits>
+
+#include "common/fault.h"
+#include "nn/guard.h"
 
 namespace fairwos::nn {
 
-Sgd::Sgd(std::vector<tensor::Tensor> params, float lr, float weight_decay)
-    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {
-  FW_CHECK_GT(lr_, 0.0f);
+void Optimizer::PrepareStep() {
+  if (auto* fi = testing::ActiveFaultInjector();
+      fi != nullptr && fi->ShouldFire(testing::FaultSite::kGradient)) {
+    // Poison one element of the first live gradient, as a bad kernel or
+    // flipped exponent bit would.
+    for (auto& p : params_) {
+      auto& grad = p.mutable_grad();
+      if (grad.empty()) continue;
+      grad[static_cast<size_t>(fi->rng()->UniformInt(
+          static_cast<int64_t>(grad.size())))] =
+          std::numeric_limits<float>::quiet_NaN();
+      break;
+    }
+  }
+  if (max_grad_norm_ > 0.0f) {
+    ClipGradNorm(params_, static_cast<double>(max_grad_norm_));
+  }
 }
 
+void Optimizer::FinishStep() {
+  if (auto* fi = testing::ActiveFaultInjector();
+      fi != nullptr && fi->ShouldFire(testing::FaultSite::kParameter)) {
+    for (auto& p : params_) {
+      auto& data = p.mutable_data();
+      if (data.empty()) continue;
+      data[static_cast<size_t>(fi->rng()->UniformInt(
+          static_cast<int64_t>(data.size())))] =
+          std::numeric_limits<float>::quiet_NaN();
+      break;
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<tensor::Tensor> params, float lr, float weight_decay)
+    : Optimizer(std::move(params), lr), weight_decay_(weight_decay) {}
+
 void Sgd::Step() {
+  PrepareStep();
   for (auto& p : params_) {
     if (p.grad().empty()) continue;  // never received a gradient
     auto& data = p.mutable_data();
@@ -18,17 +54,16 @@ void Sgd::Step() {
       data[i] -= lr_ * (grad[i] + weight_decay_ * data[i]);
     }
   }
+  FinishStep();
 }
 
 Adam::Adam(std::vector<tensor::Tensor> params, float lr, float beta1,
            float beta2, float eps, float weight_decay)
-    : Optimizer(std::move(params)),
-      lr_(lr),
+    : Optimizer(std::move(params), lr),
       beta1_(beta1),
       beta2_(beta2),
       eps_(eps),
       weight_decay_(weight_decay) {
-  FW_CHECK_GT(lr_, 0.0f);
   m_.resize(params_.size());
   v_.resize(params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
@@ -37,7 +72,14 @@ Adam::Adam(std::vector<tensor::Tensor> params, float lr, float beta1,
   }
 }
 
+void Adam::ResetState() {
+  t_ = 0;
+  for (auto& m : m_) m.assign(m.size(), 0.0f);
+  for (auto& v : v_) v.assign(v.size(), 0.0f);
+}
+
 void Adam::Step() {
+  PrepareStep();
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -57,6 +99,7 @@ void Adam::Step() {
       data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+  FinishStep();
 }
 
 }  // namespace fairwos::nn

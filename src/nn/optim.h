@@ -1,5 +1,11 @@
 // First-order optimizers over Module parameters. The paper trains with Adam
 // (lr = 0.001, §V-A4); SGD is kept for tests and ablations.
+//
+// Robustness hooks (docs/robustness.md): every optimizer supports global-
+// norm gradient clipping (set_max_grad_norm) applied at the top of Step(),
+// and a mutable learning rate (set_lr) so the self-healing training loops
+// can decay it when recovering from a divergence. Step() also carries the
+// fairwos::testing fault-injection sites for gradients and parameters.
 #ifndef FAIRWOS_NN_OPTIM_H_
 #define FAIRWOS_NN_OPTIM_H_
 
@@ -13,8 +19,10 @@ namespace fairwos::nn {
 /// accumulated on the parameters; ZeroGrad() clears them.
 class Optimizer {
  public:
-  explicit Optimizer(std::vector<tensor::Tensor> params)
-      : params_(std::move(params)) {}
+  Optimizer(std::vector<tensor::Tensor> params, float lr)
+      : params_(std::move(params)), lr_(lr) {
+    FW_CHECK_GT(lr_, 0.0f);
+  }
   virtual ~Optimizer() = default;
 
   virtual void Step() = 0;
@@ -23,8 +31,36 @@ class Optimizer {
     for (auto& p : params_) p.ZeroGrad();
   }
 
+  /// Current learning rate; mutable so recovery policies can decay it
+  /// mid-training without rebuilding the optimizer (moments are kept).
+  float lr() const { return lr_; }
+  void set_lr(float lr) {
+    FW_CHECK_GT(lr, 0.0f);
+    lr_ = lr;
+  }
+
+  /// Global-norm gradient clipping applied at the top of every Step();
+  /// <= 0 (the default) disables it.
+  float max_grad_norm() const { return max_grad_norm_; }
+  void set_max_grad_norm(float max_norm) { max_grad_norm_ = max_norm; }
+
+  /// Discards internal optimizer state (Adam moments, step count). The
+  /// self-healing recovery path calls this: moments that absorbed a NaN
+  /// gradient stay NaN forever and would re-poison every later step.
+  virtual void ResetState() {}
+
  protected:
+  /// Runs the fault-injection gradient hook and clipping; every Step()
+  /// implementation calls this first.
+  void PrepareStep();
+
+  /// Runs the fault-injection parameter hook; every Step() implementation
+  /// calls this last.
+  void FinishStep();
+
   std::vector<tensor::Tensor> params_;
+  float lr_;
+  float max_grad_norm_ = 0.0f;
 };
 
 /// Plain SGD with optional L2 weight decay.
@@ -34,7 +70,6 @@ class Sgd : public Optimizer {
   void Step() override;
 
  private:
-  float lr_;
   float weight_decay_;
 };
 
@@ -44,9 +79,10 @@ class Adam : public Optimizer {
   Adam(std::vector<tensor::Tensor> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step() override;
+  void ResetState() override;
 
  private:
-  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  float beta1_, beta2_, eps_, weight_decay_;
   int64_t t_ = 0;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace fairwos::tensor {
 namespace {
 
@@ -459,6 +461,10 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
     loss += std::log(denom) + mx - row[label];
   }
   loss /= static_cast<double>(indices.size());
+  if (auto* fi = fairwos::testing::ActiveFaultInjector();
+      fi != nullptr && fi->ShouldFire(fairwos::testing::FaultSite::kLossValue)) {
+    loss = std::numeric_limits<double>::quiet_NaN();
+  }
   ImplPtr li = logits.impl_ptr();
   std::vector<int64_t> idx = indices;
   std::vector<int> lab = labels;

@@ -129,6 +129,10 @@ class Tensor {
   /// never received a gradient.
   const std::vector<float>& grad() const { return impl().grad; }
 
+  /// Mutable gradient storage (possibly zero-length); used by gradient
+  /// clipping and fault injection. Does not allocate.
+  std::vector<float>& mutable_grad() { return impl().grad; }
+
   /// Clears the accumulated gradient (keeps allocation).
   void ZeroGrad();
 
