@@ -1,14 +1,22 @@
 // Shared plumbing for the table/figure bench binaries: flag parsing into
-// harness options and the paper-shaped row formatting.
+// harness options, the paper-shaped row formatting, and the observability
+// session (trace/metrics/telemetry sinks + the shared Stopwatch-based
+// wall-clock summary every bench prints on exit).
 #ifndef FAIRWOS_BENCH_BENCH_COMMON_H_
 #define FAIRWOS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "baselines/registry.h"
 #include "common/cli.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "data/synthetic.h"
 #include "eval/harness.h"
 #include "eval/table.h"
@@ -60,6 +68,90 @@ inline std::string DspCell(const eval::AggregateMetrics& m) {
 inline std::string DeoCell(const eval::AggregateMetrics& m) {
   return common::FormatMeanStd(m.deo.mean, m.deo.stddev);
 }
+
+/// "3/3" (succeeded/attempted) cell for partial-failure visibility.
+inline std::string TrialsCell(const eval::AggregateMetrics& m) {
+  return common::StrFormat("%lld/%lld", static_cast<long long>(m.trials),
+                           static_cast<long long>(m.trials + m.failed_trials));
+}
+
+/// Prints why trials failed (AggregateMetrics::failure_reasons), if any.
+inline void PrintFailureReasons(const std::string& method_name,
+                                const eval::AggregateMetrics& m) {
+  for (const std::string& reason : m.failure_reasons) {
+    std::printf("  ! %s %s\n", method_name.c_str(), reason.c_str());
+  }
+}
+
+/// Observability session shared by the bench mains: parses --trace-out,
+/// --profile-out, --metrics-out, --telemetry-out, and --log-level, installs
+/// the sinks, and writes the export files (plus a Stopwatch wall-clock
+/// summary) when destroyed at the end of the run.
+class ObsSession {
+ public:
+  explicit ObsSession(const common::CliFlags& flags)
+      : trace_out_(flags.GetString("trace-out", "")),
+        profile_out_(flags.GetString("profile-out", "")),
+        metrics_out_(flags.GetString("metrics-out", "")) {
+    const std::string level = flags.GetString("log-level", "");
+    if (!level.empty()) {
+      common::SetLogLevel(DieOnErrorStatus(common::ParseLogLevel(level)));
+    }
+    if (!trace_out_.empty() || !profile_out_.empty()) {
+      obs::TraceRecorder::Global().Enable();
+    }
+    const std::string telemetry_out = flags.GetString("telemetry-out", "");
+    if (!telemetry_out.empty()) {
+      telemetry_ = DieOnErrorStatus(obs::JsonlFileSink::Open(telemetry_out));
+      obs::SetEventSink(telemetry_.get());
+    }
+  }
+
+  ~ObsSession() {
+    obs::SetEventSink(nullptr);
+    const obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (!trace_out_.empty()) {
+      ReportStatus(recorder.WriteChromeTrace(trace_out_), trace_out_);
+    }
+    if (!profile_out_.empty()) {
+      ReportStatus(recorder.WriteTextProfile(profile_out_), profile_out_);
+    }
+    if (!metrics_out_.empty()) {
+      const auto& registry = obs::MetricsRegistry::Global();
+      ReportStatus(metrics_out_.size() > 4 &&
+                           metrics_out_.rfind(".csv") == metrics_out_.size() - 4
+                       ? registry.WriteCsv(metrics_out_)
+                       : registry.WriteJson(metrics_out_),
+                   metrics_out_);
+    }
+    std::printf("[bench] total wall time %.1f ms\n", watch_.Millis());
+  }
+
+ private:
+  template <typename T>
+  static T DieOnErrorStatus(common::Result<T> result) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", result.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(result).value();
+  }
+
+  static void ReportStatus(const common::Status& status,
+                           const std::string& path) {
+    if (status.ok()) {
+      std::printf("[bench] wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] %s\n", status.ToString().c_str());
+    }
+  }
+
+  std::string trace_out_;
+  std::string profile_out_;
+  std::string metrics_out_;
+  std::unique_ptr<obs::JsonlFileSink> telemetry_;
+  common::Stopwatch watch_;
+};
 
 /// Prints a status line and aborts on error — bench binaries fail fast.
 template <typename T>

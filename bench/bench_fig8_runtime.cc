@@ -12,6 +12,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  ObsSession obs_session(flags);
   BenchOptions bench = ParseBenchOptions(flags);
   bench.backbone = flags.GetString("backbone", "both");
   std::vector<nn::Backbone> backbones;

@@ -14,6 +14,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  ObsSession obs_session(flags);
   BenchOptions bench = ParseBenchOptions(flags);
   bench.backbone = flags.GetString("backbone", "both");
 
@@ -50,7 +51,8 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(ds.graph.num_edges()));
     for (nn::Backbone backbone : backbones) {
       eval::TablePrinter table({"backbone", "method", "ACC (^)", "dSP (v)",
-                                "dEO (v)"});
+                                "dEO (v)", "trials"});
+      std::vector<std::pair<std::string, eval::AggregateMetrics>> failures;
       for (const std::string& method_name : methods) {
         baselines::MethodOptions options = MakeMethodOptions(bench, backbone, dataset_name);
         auto method = DieOnError(
@@ -58,9 +60,13 @@ int Main(int argc, char** argv) {
         auto agg = DieOnError(eval::RunRepeated(method.get(), ds,
                                                 bench.trials, bench.seed));
         table.AddRow({nn::BackboneName(backbone), method->name(),
-                      AccCell(agg), DspCell(agg), DeoCell(agg)});
+                      AccCell(agg), DspCell(agg), DeoCell(agg),
+                      TrialsCell(agg)});
+        if (agg.failed_trials > 0) failures.emplace_back(method->name(), agg);
       }
-      std::printf("%s\n", table.Render().c_str());
+      std::printf("%s", table.Render().c_str());
+      for (const auto& [name, agg] : failures) PrintFailureReasons(name, agg);
+      std::printf("\n");
     }
   }
   return 0;

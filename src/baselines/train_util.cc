@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "eval/kmeans.h"
 #include "graph/algorithms.h"
 #include "eval/stats.h"
@@ -18,6 +20,7 @@ int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
                         const PenaltyFn& penalty, nn::GnnClassifier* model,
                         common::Rng* rng, TrainDiagnostics* diag) {
   FW_CHECK(model != nullptr);
+  FW_TRACE_SPAN("baseline/train");
   nn::Adam opt(model->parameters(), options.lr, 0.9f, 0.999f, 1e-8f,
                options.weight_decay);
   opt.set_max_grad_norm(options.max_grad_norm);
@@ -28,18 +31,24 @@ int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
   int64_t epochs_run = 0;
   bool aborted = false;
   for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    FW_TRACE_SPAN("baseline/train_epoch");
     ++epochs_run;
     opt.ZeroGrad();
     tensor::Tensor h = model->Embed(features, /*training=*/true, rng);
     tensor::Tensor logits = model->Logits(h);
-    tensor::Tensor loss =
+    tensor::Tensor ce =
         tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train);
+    tensor::Tensor loss = ce;
     if (penalty) {
       tensor::Tensor extra = penalty(h, logits);
       if (extra.defined()) loss = tensor::Add(loss, extra);
     }
     loss.Backward();
-    if (!healer.GuardedStep(loss.item())) {
+    const double loss_total = loss.item();
+    const double grad_norm = obs::TelemetryEnabled()
+                                 ? nn::GlobalGradNorm(model->parameters())
+                                 : 0.0;
+    if (!healer.GuardedStep(loss_total)) {
       if (!healer.Recover()) {
         aborted = true;  // budget spent: keep the best-validation parameters
         break;
@@ -51,6 +60,17 @@ int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
     // Early stopping on validation *loss*: accuracy on small validation
     // splits is too coarsely quantised to be a stopping signal.
     const double val_loss = ValidationLoss(*model, features, ds, rng);
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("epoch")
+                         .Set("phase", "baseline")
+                         .Set("epoch", epoch)
+                         .Set("loss_total", loss_total)
+                         .Set("loss_cls", ce.item())
+                         .Set("loss_penalty", loss_total - ce.item())
+                         .Set("val_loss", val_loss)
+                         .Set("grad_norm", grad_norm)
+                         .Set("lr", static_cast<double>(opt.lr())));
+    }
     if (val_loss < best_val_loss) {
       best_val_loss = val_loss;
       best_snapshot = nn::SnapshotParameters(*model);

@@ -1,26 +1,33 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <iostream>
+#include <mutex>
 
 namespace fairwos::common {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
-const char* LevelName(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug:
-      return "DEBUG";
-    case LogLevel::kInfo:
-      return "INFO";
-    case LogLevel::kWarning:
-      return "WARN";
-    case LogLevel::kError:
-      return "ERROR";
-  }
-  return "?";
+std::string* g_capture = nullptr;  // guarded by EmitMutex()
+
+LogLevel EnvLevelOr(LogLevel fallback) {
+  const char* env = std::getenv("FAIRWOS_LOG_LEVEL");
+  if (env == nullptr) return fallback;
+  auto parsed = ParseLogLevel(env);
+  return parsed.ok() ? parsed.value() : fallback;
+}
+
+std::atomic<LogLevel>& Level() {
+  // First consultation seeds the level from FAIRWOS_LOG_LEVEL.
+  static std::atomic<LogLevel> level{EnvLevelOr(LogLevel::kInfo)};
+  return level;
 }
 
 const char* Basename(const char* path) {
@@ -30,19 +37,79 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) { Level().store(level); }
+LogLevel GetLogLevel() { return Level().load(); }
+
+Result<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return Status::InvalidArgument(
+      "unknown log level '" + name +
+      "' (expected debug, info, warning, or error)");
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void InitLogLevelFromEnv() { Level().store(EnvLevelOr(Level().load())); }
+
+void SetLogCaptureForTest(std::string* capture) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  g_capture = capture;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
+    : emit_(level >= GetLogLevel()) {
+  if (!emit_) return;  // dropped messages skip formatting entirely
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      tag = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      tag = "INFO";
+      break;
+    case LogLevel::kWarning:
+      tag = "WARN";
+      break;
+    case LogLevel::kError:
+      tag = "ERROR";
+      break;
+  }
+  stream_ << "[" << tag << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level.load()) {
-    std::cerr << stream_.str() << "\n";
+  if (!emit_) return;
+  stream_ << "\n";
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  if (g_capture != nullptr) {
+    g_capture->append(line);
+    return;
   }
+  // One fwrite per line: stdio's own locking then guarantees the bytes of
+  // concurrent log statements never interleave.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace fairwos::common

@@ -1,11 +1,20 @@
 // Minimal leveled logging to stderr. Benchmarks and examples print their
 // primary output on stdout; diagnostics go through FW_LOG so they can be
 // silenced globally.
+//
+// The initial level comes from the FAIRWOS_LOG_LEVEL environment variable
+// ("debug" | "info" | "warning" | "error", case-insensitive) the first time
+// the logger is consulted; SetLogLevel overrides it at runtime, and the CLI
+// exposes it as --log-level. Emission is thread-safe: each statement is
+// formatted into one buffer and written with a single call, so concurrent
+// log lines never interleave.
 #ifndef FAIRWOS_COMMON_LOGGING_H_
 #define FAIRWOS_COMMON_LOGGING_H_
 
 #include <sstream>
 #include <string>
+
+#include "common/status.h"
 
 namespace fairwos::common {
 
@@ -15,6 +24,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warning" (or "warn") / "error",
+/// case-insensitive.
+Result<LogLevel> ParseLogLevel(const std::string& name);
+
+/// Stable lowercase name for a level ("warning").
+const char* LogLevelName(LogLevel level);
+
+/// Re-reads FAIRWOS_LOG_LEVEL and applies it; malformed or absent values
+/// leave the current level untouched. Called implicitly on first use.
+void InitLogLevelFromEnv();
+
+/// Test seam: when `capture` is non-null, emitted lines are appended to it
+/// (under the logger's lock) instead of being written to stderr.
+void SetLogCaptureForTest(std::string* capture);
+
 /// One log statement; flushes a single line to stderr on destruction.
 class LogMessage {
  public:
@@ -23,12 +47,12 @@ class LogMessage {
 
   template <typename T>
   LogMessage& operator<<(const T& v) {
-    stream_ << v;
+    if (emit_) stream_ << v;
     return *this;
   }
 
  private:
-  LogLevel level_;
+  bool emit_;
   std::ostringstream stream_;
 };
 

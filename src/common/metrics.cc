@@ -1,0 +1,178 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace fairwos::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  FW_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket bounds must be sorted";
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.assign(buckets_.size(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+          1000, 2500, 5000, 10000};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += common::StrFormat("%s\"%s\":%lld", first ? "" : ",",
+                             common::JsonEscape(name).c_str(),
+                             static_cast<long long>(c->value()));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += common::StrFormat("%s\"%s\":%.9g", first ? "" : ",",
+                             common::JsonEscape(name).c_str(), g->value());
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += common::StrFormat(
+        "%s\"%s\":{\"count\":%lld,\"sum\":%.9g,\"bounds\":[",
+        first ? "" : ",", common::JsonEscape(name).c_str(),
+        static_cast<long long>(h->count()), h->sum());
+    const auto& bounds = h->bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      out += common::StrFormat("%s%.9g", i == 0 ? "" : ",", bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    const auto buckets = h->bucket_counts();
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      out += common::StrFormat("%s%lld", i == 0 ? "" : ",",
+                               static_cast<long long>(buckets[i]));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "}}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "kind,name,field,value\n";
+  for (const auto& [name, c] : counters_) {
+    out += common::StrFormat("counter,%s,value,%lld\n", name.c_str(),
+                             static_cast<long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += common::StrFormat("gauge,%s,value,%.9g\n", name.c_str(),
+                             g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += common::StrFormat("histogram,%s,count,%lld\n", name.c_str(),
+                             static_cast<long long>(h->count()));
+    out += common::StrFormat("histogram,%s,sum,%.9g\n", name.c_str(),
+                             h->sum());
+    const auto& bounds = h->bounds();
+    const auto buckets = h->bucket_counts();
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      const std::string edge =
+          i < bounds.size() ? common::StrFormat("le_%.9g", bounds[i]) : "le_inf";
+      out += common::StrFormat("histogram,%s,%s,%lld\n", name.c_str(),
+                               edge.c_str(),
+                               static_cast<long long>(buckets[i]));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+common::Status WriteWholeFile(const std::string& path,
+                              const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return common::Status::IoError("cannot open for write: " + path);
+  out << contents;
+  out.flush();
+  if (!out) return common::Status::IoError("write failed: " + path);
+  return common::Status::OK();
+}
+
+}  // namespace
+
+common::Status MetricsRegistry::WriteJson(const std::string& path) const {
+  return WriteWholeFile(path, ToJson());
+}
+
+common::Status MetricsRegistry::WriteCsv(const std::string& path) const {
+  return WriteWholeFile(path, ToCsv());
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace fairwos::obs

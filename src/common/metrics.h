@@ -1,0 +1,105 @@
+// Process-wide metrics registry (fairwos::obs — see docs/observability.md):
+// named counters, gauges, and fixed-bucket histograms, exportable as JSON or
+// CSV. Instrumented code fetches a metric once (pointers are stable for the
+// process lifetime) and then updates it with a single atomic operation —
+// cheap enough for per-optimizer-step hot paths even when no export is ever
+// requested. Reset() zeroes values in place so cached pointers survive.
+#ifndef FAIRWOS_COMMON_METRICS_H_
+#define FAIRWOS_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairwos::obs {
+
+/// Monotonically increasing integer (events, steps, rollbacks...).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written double (current learning rate, last loss...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges; one
+/// implicit overflow bucket catches everything above the last edge.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t count() const;
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<int64_t> bucket_counts() const;
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Millisecond-latency edges spanning 0.1 ms .. 10 s.
+std::vector<double> DefaultLatencyBucketsMs();
+
+/// Name -> metric map. Get* registers on first use and returns the same
+/// pointer forever after; a metric name lives in exactly one family.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is consulted only on first registration.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = DefaultLatencyBucketsMs());
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  std::string ToJson() const;
+  /// One `kind,name,field,value` row per exported scalar.
+  std::string ToCsv() const;
+  common::Status WriteJson(const std::string& path) const;
+  common::Status WriteCsv(const std::string& path) const;
+
+  /// Zeroes every metric in place; registered pointers stay valid.
+  void Reset();
+
+  MetricsRegistry() = default;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fairwos::obs
+
+#endif  // FAIRWOS_COMMON_METRICS_H_

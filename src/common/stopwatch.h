@@ -19,6 +19,10 @@ class Stopwatch {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Elapsed wall-clock milliseconds — the unit the obs layer and the
+  /// bench summaries report in.
+  double Millis() const { return Seconds() * 1e3; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -29,6 +29,10 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// Renders "mean ± std" with two decimals, matching the paper's tables.
 std::string FormatMeanStd(double mean, double stddev);
 
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (used by the obs exporters).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace fairwos::common
 
 #endif  // FAIRWOS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,114 @@
+#include "common/telemetry.h"
+
+#include <atomic>
+
+#include "common/string_util.h"
+
+namespace fairwos::obs {
+namespace {
+
+std::atomic<EventSink*> g_sink{nullptr};
+
+}  // namespace
+
+Event& Event::Set(const std::string& key, double v) {
+  fields_.emplace_back(key, Value(v));
+  return *this;
+}
+
+Event& Event::Set(const std::string& key, int64_t v) {
+  fields_.emplace_back(key, Value(v));
+  return *this;
+}
+
+Event& Event::Set(const std::string& key, std::string v) {
+  fields_.emplace_back(key, Value(std::move(v)));
+  return *this;
+}
+
+std::string Event::GetString(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k != key) continue;
+    if (const auto* s = std::get_if<std::string>(&v)) return *s;
+    if (const auto* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+    return common::StrFormat("%.9g", std::get<double>(v));
+  }
+  return "";
+}
+
+double Event::GetDouble(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : fields_) {
+    if (k != key) continue;
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    if (const auto* i = std::get_if<int64_t>(&v)) {
+      return static_cast<double>(*i);
+    }
+    return fallback;
+  }
+  return fallback;
+}
+
+std::string Event::ToJson() const {
+  std::string out = "{\"event\":\"" + common::JsonEscape(name_) + "\"";
+  for (const auto& [key, value] : fields_) {
+    out += ",\"" + common::JsonEscape(key) + "\":";
+    if (const auto* d = std::get_if<double>(&value)) {
+      out += common::StrFormat("%.9g", *d);
+    } else if (const auto* i = std::get_if<int64_t>(&value)) {
+      out += std::to_string(*i);
+    } else {
+      out += "\"" + common::JsonEscape(std::get<std::string>(value)) + "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+common::Result<std::unique_ptr<JsonlFileSink>> JsonlFileSink::Open(
+    const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::Status::IoError("cannot open telemetry sink: " + path);
+  }
+  return std::unique_ptr<JsonlFileSink>(new JsonlFileSink(std::move(out)));
+}
+
+void JsonlFileSink::Emit(const Event& event) {
+  const std::string line = event.ToJson() + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  out_.flush();
+  ++events_written_;
+}
+
+int64_t JsonlFileSink::events_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_written_;
+}
+
+void CollectingSink::Emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<Event> CollectingSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void SetEventSink(EventSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+EventSink* GetEventSink() { return g_sink.load(std::memory_order_acquire); }
+
+bool TelemetryEnabled() {
+  return g_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+void EmitEvent(const Event& event) {
+  EventSink* sink = g_sink.load(std::memory_order_acquire);
+  if (sink != nullptr) sink->Emit(event);
+}
+
+}  // namespace fairwos::obs

@@ -1,0 +1,108 @@
+// Structured training telemetry (fairwos::obs — see docs/observability.md).
+//
+// Training loops emit one Event per epoch (phase, losses, gradient norm,
+// learning rate) plus discrete events for rollbacks, retries, degradations,
+// trial failures, and checkpoint saves. Events flow to a process-wide
+// EventSink; the shipped sink serialises each event as one JSON object per
+// line (JSONL), which post-processing scripts can stream without a JSON
+// library. With no sink installed, EmitEvent is a single relaxed atomic
+// load — telemetry call sites stay in the hot paths permanently.
+#ifndef FAIRWOS_COMMON_TELEMETRY_H_
+#define FAIRWOS_COMMON_TELEMETRY_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairwos::obs {
+
+/// One structured event: a name plus ordered key/value fields.
+class Event {
+ public:
+  explicit Event(std::string name) : name_(std::move(name)) {}
+
+  Event& Set(const std::string& key, double v);
+  Event& Set(const std::string& key, int64_t v);
+  Event& Set(const std::string& key, int v) {
+    return Set(key, static_cast<int64_t>(v));
+  }
+  Event& Set(const std::string& key, std::string v);
+  Event& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Returns the string value of `key`, numbers rendered as text;
+  /// empty when absent. Convenience for tests and report tooling.
+  std::string GetString(const std::string& key) const;
+  /// Returns the numeric value of `key`, or `fallback` when absent or
+  /// non-numeric.
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+
+  /// {"event":"<name>","k1":v1,...} — no trailing newline.
+  std::string ToJson() const;
+
+ private:
+  using Value = std::variant<double, int64_t, std::string>;
+  std::string name_;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Receives every emitted event; implementations must be thread-safe.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Emit(const Event& event) = 0;
+};
+
+/// Writes one JSON object per line, flushed per event so a crashed run
+/// still leaves a readable prefix.
+class JsonlFileSink : public EventSink {
+ public:
+  static common::Result<std::unique_ptr<JsonlFileSink>> Open(
+      const std::string& path);
+
+  void Emit(const Event& event) override;
+  int64_t events_written() const;
+
+ private:
+  explicit JsonlFileSink(std::ofstream out) : out_(std::move(out)) {}
+
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  int64_t events_written_ = 0;
+};
+
+/// In-memory sink for tests.
+class CollectingSink : public EventSink {
+ public:
+  void Emit(const Event& event) override;
+  std::vector<Event> events() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// Installs `sink` (non-owning; nullptr detaches). The caller keeps the
+/// sink alive until it is detached.
+void SetEventSink(EventSink* sink);
+EventSink* GetEventSink();
+
+/// True when a sink is installed; guards expensive field computation
+/// (e.g. gradient norms) at call sites.
+bool TelemetryEnabled();
+
+/// Forwards to the installed sink; no-op (one atomic load) without one.
+void EmitEvent(const Event& event);
+
+}  // namespace fairwos::obs
+
+#endif  // FAIRWOS_COMMON_TELEMETRY_H_

@@ -1,0 +1,168 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace fairwos::obs {
+namespace {
+
+/// Per-thread span stack: names of the currently-open spans, used to build
+/// TraceEvent::path. Only touched when the recorder is enabled.
+thread_local std::vector<const char*> t_span_stack;
+
+/// Dense thread index for the Chrome trace "tid" field.
+int ThreadIndex() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1);
+  return index;
+}
+
+std::string JoinStack(const std::vector<const char*>& stack, size_t depth) {
+  std::string out;
+  for (size_t i = 0; i < depth; ++i) {
+    if (!out.empty()) out += '>';
+    out += stack[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"traceEvents\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += common::StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"fairwos\",\"ph\":\"X\",\"ts\":%lld,"
+        "\"dur\":%lld,\"pid\":1,\"tid\":%d,\"args\":{\"path\":\"%s\"}}",
+        common::JsonEscape(e.name).c_str(),
+        static_cast<long long>(e.start_us),
+        static_cast<long long>(e.duration_us), e.tid,
+        common::JsonEscape(e.path).c_str());
+    out += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string TraceRecorder::ToTextProfile() const {
+  struct Agg {
+    int64_t count = 0;
+    int64_t total_us = 0;
+    int depth = 0;
+  };
+  // Keyed by the full path ("a>b>c"); lexicographic order keeps children
+  // grouped directly under their parents ('>' sorts below alphanumerics).
+  std::map<std::string, Agg> by_path;
+  for (const TraceEvent& e : snapshot()) {
+    Agg& agg = by_path[e.path];
+    ++agg.count;
+    agg.total_us += e.duration_us;
+    agg.depth = e.depth;
+  }
+  std::string out = "span                                        "
+                    "count     total ms      mean ms\n";
+  for (const auto& [path, agg] : by_path) {
+    const size_t leaf = path.rfind('>');
+    std::string label(static_cast<size_t>(agg.depth) * 2, ' ');
+    label += leaf == std::string::npos ? path : path.substr(leaf + 1);
+    if (label.size() < 40) label.resize(40, ' ');
+    out += common::StrFormat(
+        "%s %8lld %12.3f %12.6f\n", label.c_str(),
+        static_cast<long long>(agg.count),
+        static_cast<double>(agg.total_us) / 1e3,
+        static_cast<double>(agg.total_us) / 1e3 /
+            static_cast<double>(std::max<int64_t>(agg.count, 1)));
+  }
+  return out;
+}
+
+namespace {
+
+common::Status WriteWholeFile(const std::string& path,
+                              const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return common::Status::IoError("cannot open for write: " + path);
+  out << contents;
+  out.flush();
+  if (!out) return common::Status::IoError("write failed: " + path);
+  return common::Status::OK();
+}
+
+}  // namespace
+
+common::Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteWholeFile(path, ToChromeTraceJson());
+}
+
+common::Status TraceRecorder::WriteTextProfile(const std::string& path) const {
+  return WriteWholeFile(path, ToTextProfile());
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  start_us_ = recorder.NowMicros();
+  depth_ = static_cast<int>(t_span_stack.size());
+  t_span_stack.push_back(name_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (start_us_ < 0) return;  // recorder was disabled at construction
+  TraceRecorder& recorder = TraceRecorder::Global();
+  TraceEvent event;
+  event.name = name_;
+  // The stack may have been cleared if the recorder was toggled mid-span;
+  // guard rather than assume our frame is still on top.
+  if (!t_span_stack.empty() && t_span_stack.back() == name_) {
+    t_span_stack.pop_back();
+  }
+  event.path = JoinStack(t_span_stack, static_cast<size_t>(depth_) <=
+                                               t_span_stack.size()
+                                           ? static_cast<size_t>(depth_)
+                                           : t_span_stack.size());
+  if (!event.path.empty()) event.path += '>';
+  event.path += name_;
+  event.start_us = start_us_;
+  event.duration_us = recorder.NowMicros() - start_us_;
+  event.tid = ThreadIndex();
+  event.depth = depth_;
+  recorder.Append(std::move(event));
+}
+
+}  // namespace fairwos::obs

@@ -1,0 +1,110 @@
+// Scoped-span tracing (fairwos::obs — see docs/observability.md).
+//
+// ScopedSpan is an RAII span: construction records a steady-clock start and
+// pushes onto a thread-local span stack; destruction pops the stack and
+// appends one complete event to the process-wide TraceRecorder. Spans nest
+// naturally ("fairwos/train" > "fairwos/finetune" > "optimizer/step") and
+// the recorder exports either Chrome-trace-compatible JSON (load it at
+// chrome://tracing or https://ui.perfetto.dev) or an aggregated
+// hierarchical text profile.
+//
+// Overhead contract: when the recorder is disabled (the default) a span
+// costs one relaxed atomic load and two branches — cheap enough to leave in
+// per-epoch and per-step hot paths permanently. All recording state is
+// mutex-protected; spans from multiple threads interleave safely and carry
+// a dense per-thread id.
+#ifndef FAIRWOS_COMMON_TRACE_H_
+#define FAIRWOS_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fairwos::obs {
+
+/// One completed span. `path` is the '>'-joined chain of span names from
+/// the outermost enclosing span on the same thread down to this one, e.g.
+/// "fairwos/train>fairwos/finetune>optimizer/step" for an optimizer step.
+struct TraceEvent {
+  std::string name;
+  std::string path;
+  int64_t start_us = 0;     // microseconds since the recorder epoch
+  int64_t duration_us = 0;  // wall time between construction and destruction
+  int tid = 0;              // dense per-thread index (0 = first thread seen)
+  int depth = 0;            // nesting depth at construction (0 = root span)
+};
+
+/// Thread-safe in-process collector of completed spans.
+class TraceRecorder {
+ public:
+  /// The process-wide recorder every ScopedSpan reports to.
+  static TraceRecorder& Global();
+
+  /// Recording is off by default; spans created while disabled cost one
+  /// atomic load and record nothing.
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed event (normally called by ~ScopedSpan).
+  void Append(TraceEvent event);
+
+  /// Drops all recorded events (the enabled flag is untouched).
+  void Clear();
+
+  size_t size() const;
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Microseconds since the recorder's construction (steady clock).
+  int64_t NowMicros() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]} with one complete
+  /// ("ph":"X") event per line, timestamps in microseconds.
+  std::string ToChromeTraceJson() const;
+
+  /// Aggregated hierarchical profile: one line per distinct span path with
+  /// call count and total/mean wall time, children indented under parents.
+  std::string ToTextProfile() const;
+
+  common::Status WriteChromeTrace(const std::string& path) const;
+  common::Status WriteTextProfile(const std::string& path) const;
+
+ private:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  std::atomic<bool> enabled_{false};
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span. `name` must outlive the span (string literals in practice).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_us_ = -1;  // -1: recorder was disabled at construction
+  int depth_ = 0;
+};
+
+}  // namespace fairwos::obs
+
+#define FW_OBS_CONCAT_INNER_(a, b) a##b
+#define FW_OBS_CONCAT_(a, b) FW_OBS_CONCAT_INNER_(a, b)
+
+/// Declares an anonymous scoped span covering the rest of the block.
+#define FW_TRACE_SPAN(name) \
+  ::fairwos::obs::ScopedSpan FW_OBS_CONCAT_(_fw_span_, __LINE__)(name)
+
+#endif  // FAIRWOS_COMMON_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "fairness/metrics.h"
 #include "tensor/ops.h"
 
@@ -28,6 +30,7 @@ PretrainedEncoder::PretrainedEncoder(const EncoderConfig& config,
   double best_val_loss = std::numeric_limits<double>::infinity();
   int64_t since_best = 0;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    FW_TRACE_SPAN("encoder/pretrain_epoch");
     opt.ZeroGrad();
     tensor::Tensor logits = model.Forward(ds.features, /*training=*/true, &rng);
     tensor::Tensor loss =
@@ -43,6 +46,14 @@ PretrainedEncoder::PretrainedEncoder(const EncoderConfig& config,
     const double val_loss =
         tensor::SoftmaxCrossEntropy(eval_logits, ds.labels, ds.split.val)
             .item();
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("epoch")
+                         .Set("phase", "encoder")
+                         .Set("epoch", epoch)
+                         .Set("loss_cls", loss.item())
+                         .Set("val_loss", val_loss)
+                         .Set("lr", static_cast<double>(opt.lr())));
+    }
     if (val_loss < best_val_loss) {
       best_val_loss = val_loss;
       snapshot = nn::SnapshotParameters(model);

@@ -4,7 +4,10 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/lambda_solver.h"
 #include "fairness/metrics.h"
 #include "nn/optim.h"
@@ -67,6 +70,7 @@ int64_t PretrainClassifier(const FairwosConfig& config,
                            const data::Dataset& ds, const tensor::Tensor& x,
                            nn::GnnClassifier* model, common::Rng* rng,
                            int64_t* retries) {
+  FW_TRACE_SPAN("fairwos/classifier_pretrain");
   nn::Adam opt(model->parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
                config.weight_decay);
   opt.set_max_grad_norm(config.max_grad_norm);
@@ -76,12 +80,18 @@ int64_t PretrainClassifier(const FairwosConfig& config,
   int64_t since_best = 0;
   int64_t epochs_run = 0;
   for (int64_t epoch = 0; epoch < config.pretrain_epochs; ++epoch) {
+    FW_TRACE_SPAN("fairwos/pretrain_epoch");
     ++epochs_run;
     opt.ZeroGrad();
     tensor::Tensor logits = model->Forward(x, /*training=*/true, rng);
     tensor::Tensor loss =
         tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train);
     loss.Backward();
+    // Gradient norms cost a full parameter sweep — only pay it when a
+    // telemetry sink is attached.
+    const double grad_norm = obs::TelemetryEnabled()
+                                 ? nn::GlobalGradNorm(model->parameters())
+                                 : 0.0;
     if (!healer.GuardedStep(loss.item())) {
       if (!healer.Recover()) break;  // budget spent: keep best-val params
       continue;                      // retry from the rolled-back parameters
@@ -89,6 +99,15 @@ int64_t PretrainClassifier(const FairwosConfig& config,
     healer.Commit();
 
     const double val_loss = ValLoss(*model, x, ds, rng);
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("epoch")
+                         .Set("phase", "pretrain")
+                         .Set("epoch", epoch)
+                         .Set("loss_cls", loss.item())
+                         .Set("val_loss", val_loss)
+                         .Set("grad_norm", grad_norm)
+                         .Set("lr", static_cast<double>(opt.lr())));
+    }
     if (val_loss < best_val_loss) {
       best_val_loss = val_loss;
       best_snapshot = nn::SnapshotParameters(*model);
@@ -108,6 +127,7 @@ int64_t PretrainClassifier(const FairwosConfig& config,
 common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
                                           const data::Dataset& ds,
                                           uint64_t seed, FairwosStats* stats) {
+  FW_TRACE_SPAN("fairwos/train");
   FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
   if (config.alpha < 0.0) {
     return common::Status::InvalidArgument("alpha must be non-negative");
@@ -118,6 +138,7 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
   // --- Step 1: pseudo-sensitive attributes (Eq. 4-6) ----------------------
   tensor::Tensor x0;
   if (config.use_encoder) {
+    FW_TRACE_SPAN("fairwos/encoder_pretrain");
     PretrainedEncoder encoder(config.encoder, ds, rng.NextU64());
     x0 = encoder.pseudo_attributes();
     local_stats.encoder_val_acc_pct = encoder.best_val_accuracy_pct();
@@ -144,6 +165,7 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
 
   // --- Step 3: fairness fine-tuning (Eq. 12-16, Algorithm 1 lines 5-13) ---
   if (config.use_fairness && config.finetune_epochs > 0) {
+    FW_TRACE_SPAN("fairwos/finetune");
     const auto bins = MedianBins(x0);
     std::vector<double> lambda(
         static_cast<size_t>(num_attrs),
@@ -165,6 +187,7 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
     auto fallback_snapshot = best_snapshot;
     double best_val = -1.0;
     for (int64_t epoch = 0; epoch < config.finetune_epochs; ++epoch) {
+      FW_TRACE_SPAN("fairwos/finetune_epoch");
       ++local_stats.finetune_epochs_run;
       // (a) refresh the counterfactual set from current embeddings.
       tensor::Tensor frozen_emb;
@@ -172,8 +195,11 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
         tensor::NoGradGuard no_grad;
         frozen_emb = model.Embed(x0, /*training=*/false, &rng);
       }
-      CounterfactualSet cf = FindCounterfactuals(
-          frozen_emb, bins, pseudo_labels, config.counterfactual, &rng);
+      CounterfactualSet cf = [&] {
+        FW_TRACE_SPAN("fairwos/counterfactual_search");
+        return FindCounterfactuals(frozen_emb, bins, pseudo_labels,
+                                   config.counterfactual, &rng);
+      }();
 
       // (b) λ update (Algorithm 1 lines 9-12) from the *current*
       // embeddings, solved before the θ step so the importance weights
@@ -199,6 +225,7 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
       tensor::Tensor logits = model.Logits(h);
       tensor::Tensor total =
           tensor::SoftmaxCrossEntropy(logits, ds.labels, ds.split.train);
+      const double loss_cls = total.item();  // CE before the fairness term
       local_stats.final_distances.assign(static_cast<size_t>(num_attrs), 0.0);
       const double anchor_norm =
           1.0 / static_cast<double>(std::max<size_t>(cf.anchors.size(), 1));
@@ -243,7 +270,11 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
                                                  lambda[static_cast<size_t>(i)])));
       }
       total.Backward();
-      if (!healer.GuardedStep(total.item())) {
+      const double loss_total = total.item();
+      const double grad_norm = obs::TelemetryEnabled()
+                                   ? nn::GlobalGradNorm(model.parameters())
+                                   : 0.0;
+      if (!healer.GuardedStep(loss_total)) {
         if (!healer.Recover()) {
           local_stats.finetune_degraded = true;
           break;
@@ -259,6 +290,18 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
       auto eval = Evaluate(model, x0, &rng);
       const double val_acc =
           fairness::AccuracyPct(eval.pred, ds.labels, ds.split.val);
+      if (obs::TelemetryEnabled()) {
+        obs::EmitEvent(obs::Event("epoch")
+                           .Set("phase", "finetune")
+                           .Set("epoch", epoch)
+                           .Set("loss_total", loss_total)
+                           .Set("loss_cls", loss_cls)
+                           .Set("loss_fair", loss_total - loss_cls)
+                           .Set("mean_distance", mean_distance)
+                           .Set("grad_norm", grad_norm)
+                           .Set("lr", static_cast<double>(opt.lr()))
+                           .Set("val_acc", val_acc));
+      }
       if (val_acc >= acceptable_val_acc) {
         best_snapshot = nn::SnapshotParameters(model);
         have_tolerated = true;
@@ -273,6 +316,13 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
                       << config.recovery.max_retries
                       << " retries; falling back to the pre-trained "
                          "classifier (degrading to the w/o F ablation)";
+      obs::MetricsRegistry::Global()
+          .GetCounter("fairwos.finetune_degraded")
+          ->Increment();
+      obs::EmitEvent(obs::Event("degraded")
+                         .Set("phase", "finetune")
+                         .Set("retries", healer.retries())
+                         .Set("fallback", "pretrained classifier (w/o F)"));
       nn::RestoreParameters(model, pretrained_snapshot);
     } else {
       nn::RestoreParameters(

@@ -1,7 +1,10 @@
 #include "eval/harness.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "fairness/metrics.h"
 
 namespace fairwos::eval {
@@ -9,6 +12,7 @@ namespace fairwos::eval {
 common::Result<TrialMetrics> RunTrial(core::FairMethod* method,
                                       const data::Dataset& ds, uint64_t seed) {
   FW_CHECK(method != nullptr);
+  FW_TRACE_SPAN("eval/trial");
   FW_ASSIGN_OR_RETURN(core::MethodOutput out, method->Run(ds, seed));
   if (static_cast<int64_t>(out.pred.size()) != ds.num_nodes()) {
     return common::Status::Internal(method->name() +
@@ -32,22 +36,45 @@ common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
   if (trials <= 0) {
     return common::Status::InvalidArgument("trials must be positive");
   }
+  FW_TRACE_SPAN("eval/run_repeated");
   common::Rng seed_stream(base_seed);
   std::vector<double> acc, f1, auc, dsp, deo, seconds;
   int64_t failed = 0;
+  std::vector<std::string> failure_reasons;
   common::Status last_error = common::Status::OK();
   for (int64_t t = 0; t < trials; ++t) {
     auto trial = RunTrial(method, ds, seed_stream.NextU64());
     if (!trial.ok()) {
       // One bad trial must not poison the whole aggregation: skip it, keep
-      // the failure visible in the logs and in `failed_trials`.
+      // the failure visible in the logs, in `failed_trials`, and — with the
+      // precise Status — in `failure_reasons` and the telemetry stream.
       ++failed;
       last_error = trial.status();
+      failure_reasons.push_back("trial " + std::to_string(t + 1) + ": " +
+                                last_error.ToString());
+      obs::MetricsRegistry::Global()
+          .GetCounter("eval.failed_trials")
+          ->Increment();
+      obs::EmitEvent(obs::Event("trial_failed")
+                         .Set("method", method->name())
+                         .Set("trial", t + 1)
+                         .Set("trials", trials)
+                         .Set("reason", last_error.ToString()));
       FW_LOG(Warning) << method->name() << " trial " << t + 1 << "/" << trials
                       << " failed, skipping: " << last_error.ToString();
       continue;
     }
     const TrialMetrics& m = *trial;
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("trial_done")
+                         .Set("method", method->name())
+                         .Set("trial", t + 1)
+                         .Set("trials", trials)
+                         .Set("acc", m.acc)
+                         .Set("dsp", m.dsp)
+                         .Set("deo", m.deo)
+                         .Set("seconds", m.seconds));
+    }
     acc.push_back(m.acc);
     f1.push_back(m.f1);
     auc.push_back(m.auc);
@@ -69,6 +96,7 @@ common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
   agg.seconds = ComputeMeanStd(seconds);
   agg.trials = static_cast<int64_t>(acc.size());
   agg.failed_trials = failed;
+  agg.failure_reasons = std::move(failure_reasons);
   return agg;
 }
 

@@ -6,6 +6,8 @@
 #define FAIRWOS_EVAL_HARNESS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/method.h"
 #include "data/dataset.h"
@@ -30,6 +32,9 @@ struct AggregateMetrics {
   MeanStd acc, f1, auc, dsp, deo, seconds;
   int64_t trials = 0;
   int64_t failed_trials = 0;
+  /// One "trial <n>: <Status>" entry per failed trial, in trial order — so
+  /// telemetry and the Table II output can report *why* trials failed.
+  std::vector<std::string> failure_reasons;
 };
 
 /// Trains `method` once with `seed` and evaluates on ds.split.test.

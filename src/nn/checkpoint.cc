@@ -8,6 +8,9 @@
 
 #include "common/crc32.h"
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 
 namespace fairwos::nn {
 namespace {
@@ -50,6 +53,7 @@ class PayloadReader {
 }  // namespace
 
 common::Status SaveCheckpoint(const std::string& path, const Module& module) {
+  FW_TRACE_SPAN("checkpoint/save");
   std::string payload;
   AppendU64(&payload, module.parameters().size());
   for (const auto& p : module.parameters()) {
@@ -98,6 +102,11 @@ common::Status SaveCheckpoint(const std::string& path, const Module& module) {
     std::remove(tmp_path.c_str());
     return common::Status::IoError("cannot rename " + tmp_path + " to " + path);
   }
+  obs::MetricsRegistry::Global().GetCounter("checkpoint.saves")->Increment();
+  obs::EmitEvent(obs::Event("checkpoint_save")
+                     .Set("path", path)
+                     .Set("bytes", static_cast<int64_t>(kHeaderBytes +
+                                                        payload.size())));
   return common::Status::OK();
 }
 

@@ -1,5 +1,6 @@
 #include "nn/gnn.h"
 
+#include "common/trace.h"
 #include "nn/init.h"
 #include "tensor/ops.h"
 
@@ -35,6 +36,7 @@ GcnConv::GcnConv(int64_t in_features, int64_t out_features, common::Rng* rng)
 tensor::Tensor GcnConv::Forward(
     const std::shared_ptr<const tensor::SparseMatrix>& adj_norm,
     const tensor::Tensor& x) const {
+  FW_TRACE_SPAN("gcn_conv/forward");
   return linear_.Forward(tensor::SpMM(adj_norm, x));
 }
 
@@ -48,6 +50,7 @@ GinConv::GinConv(int64_t in_features, int64_t out_features, float eps,
 tensor::Tensor GinConv::Forward(
     const std::shared_ptr<const tensor::SparseMatrix>& adj_plain,
     const tensor::Tensor& x, bool training, common::Rng* rng) const {
+  FW_TRACE_SPAN("gin_conv/forward");
   tensor::Tensor aggregated = tensor::SpMM(adj_plain, x);
   tensor::Tensor self = tensor::MulScalar(x, 1.0f + eps_);
   return mlp_.Forward(tensor::Add(self, aggregated), training, rng);

@@ -4,6 +4,8 @@
 
 #include "common/health.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/telemetry.h"
 
 namespace fairwos::nn {
 
@@ -69,11 +71,16 @@ SelfHealing::SelfHealing(const RecoveryConfig& config, const Module& model,
 
 bool SelfHealing::GuardedStep(double loss) {
   last_failure_ = guard_.CheckLoss(loss);
-  if (!last_failure_.ok()) return false;
-  last_failure_ = guard_.CheckGradients();
-  if (!last_failure_.ok()) return false;
-  opt_->Step();
-  last_failure_ = guard_.CheckParameters();
+  if (last_failure_.ok()) last_failure_ = guard_.CheckGradients();
+  if (last_failure_.ok()) {
+    opt_->Step();
+    last_failure_ = guard_.CheckParameters();
+  }
+  if (!last_failure_.ok()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("selfheal.guard_trips")
+        ->Increment();
+  }
   return last_failure_.ok();
 }
 
@@ -85,6 +92,13 @@ bool SelfHealing::Recover() {
     FW_LOG(Warning) << context_ << ": retry budget (" << config_.max_retries
                     << ") exhausted after " << last_failure_.ToString()
                     << "; rolled back to last-good parameters";
+    obs::MetricsRegistry::Global()
+        .GetCounter("selfheal.budget_exhausted")
+        ->Increment();
+    obs::EmitEvent(obs::Event("recovery_exhausted")
+                       .Set("context", context_)
+                       .Set("max_retries", config_.max_retries)
+                       .Set("reason", last_failure_.ToString()));
     return false;
   }
   ++retries_;
@@ -97,6 +111,13 @@ bool SelfHealing::Recover() {
   FW_LOG(Warning) << context_ << ": divergence (" << last_failure_.ToString()
                   << "); rolled back, lr -> " << new_lr << ", retry "
                   << retries_ << "/" << config_.max_retries;
+  obs::MetricsRegistry::Global().GetCounter("selfheal.rollbacks")->Increment();
+  obs::EmitEvent(obs::Event("rollback")
+                     .Set("context", context_)
+                     .Set("retry", retries_)
+                     .Set("max_retries", config_.max_retries)
+                     .Set("new_lr", static_cast<double>(new_lr))
+                     .Set("reason", last_failure_.ToString()));
   return true;
 }
 

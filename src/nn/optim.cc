@@ -4,9 +4,22 @@
 #include <limits>
 
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nn/guard.h"
 
 namespace fairwos::nn {
+
+void Optimizer::Step() {
+  FW_TRACE_SPAN("optimizer/step");
+  // Registry lookup once per process; afterwards one relaxed atomic add.
+  static obs::Counter* steps =
+      obs::MetricsRegistry::Global().GetCounter("optimizer.steps");
+  steps->Increment();
+  PrepareStep();
+  StepImpl();
+  FinishStep();
+}
 
 void Optimizer::PrepareStep() {
   if (auto* fi = testing::ActiveFaultInjector();
@@ -44,8 +57,7 @@ void Optimizer::FinishStep() {
 Sgd::Sgd(std::vector<tensor::Tensor> params, float lr, float weight_decay)
     : Optimizer(std::move(params), lr), weight_decay_(weight_decay) {}
 
-void Sgd::Step() {
-  PrepareStep();
+void Sgd::StepImpl() {
   for (auto& p : params_) {
     if (p.grad().empty()) continue;  // never received a gradient
     auto& data = p.mutable_data();
@@ -54,7 +66,6 @@ void Sgd::Step() {
       data[i] -= lr_ * (grad[i] + weight_decay_ * data[i]);
     }
   }
-  FinishStep();
 }
 
 Adam::Adam(std::vector<tensor::Tensor> params, float lr, float beta1,
@@ -78,8 +89,7 @@ void Adam::ResetState() {
   for (auto& v : v_) v.assign(v.size(), 0.0f);
 }
 
-void Adam::Step() {
-  PrepareStep();
+void Adam::StepImpl() {
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -99,7 +109,6 @@ void Adam::Step() {
       data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
-  FinishStep();
 }
 
 }  // namespace fairwos::nn

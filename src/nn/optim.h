@@ -25,7 +25,9 @@ class Optimizer {
   }
   virtual ~Optimizer() = default;
 
-  virtual void Step() = 0;
+  /// Applies one update. Wraps the subclass update in an "optimizer/step"
+  /// trace span and bumps the `optimizer.steps` counter (obs layer).
+  void Step();
 
   void ZeroGrad() {
     for (auto& p : params_) p.ZeroGrad();
@@ -50,12 +52,16 @@ class Optimizer {
   virtual void ResetState() {}
 
  protected:
-  /// Runs the fault-injection gradient hook and clipping; every Step()
-  /// implementation calls this first.
+  /// The subclass update rule, invoked by Step() between PrepareStep() and
+  /// FinishStep().
+  virtual void StepImpl() = 0;
+
+  /// Runs the fault-injection gradient hook and clipping; Step() calls
+  /// this before StepImpl().
   void PrepareStep();
 
-  /// Runs the fault-injection parameter hook; every Step() implementation
-  /// calls this last.
+  /// Runs the fault-injection parameter hook; Step() calls this after
+  /// StepImpl().
   void FinishStep();
 
   std::vector<tensor::Tensor> params_;
@@ -67,7 +73,9 @@ class Optimizer {
 class Sgd : public Optimizer {
  public:
   Sgd(std::vector<tensor::Tensor> params, float lr, float weight_decay = 0.0f);
-  void Step() override;
+
+ protected:
+  void StepImpl() override;
 
  private:
   float weight_decay_;
@@ -78,8 +86,10 @@ class Adam : public Optimizer {
  public:
   Adam(std::vector<tensor::Tensor> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
-  void Step() override;
   void ResetState() override;
+
+ protected:
+  void StepImpl() override;
 
  private:
   float beta1_, beta2_, eps_, weight_decay_;

@@ -1,0 +1,507 @@
+// Tests for the fairwos::obs observability stack (docs/observability.md):
+// scoped-span tracing (nesting, Chrome-trace export, text profile, the
+// disabled-path contract), the metrics registry (counters, gauges,
+// histogram bucketing, JSON/CSV export, in-place Reset), structured
+// telemetry (Event JSON, JSONL sink, collecting sink, the global sink
+// hook), leveled logging (parsing, env override, filtering, thread-safe
+// emission), and the harness-level failure-reason plumbing.
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+
+namespace fairwos {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------- tracing --
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceRecorder::Global().Clear();
+    obs::TraceRecorder::Global().Enable();
+  }
+  void TearDown() override {
+    obs::TraceRecorder::Global().Disable();
+    obs::TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, RecordsNestedSpansWithDepthAndPath) {
+  {
+    FW_TRACE_SPAN("outer");
+    {
+      FW_TRACE_SPAN("middle");
+      { FW_TRACE_SPAN("inner"); }
+    }
+  }
+  auto events = obs::TraceRecorder::Global().snapshot();
+  ASSERT_EQ(events.size(), 3u);  // innermost finishes (and records) first
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[0].path, "outer>middle>inner");
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[1].path, "outer>middle");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0);
+  EXPECT_EQ(events[2].path, "outer");
+  // A parent's span covers its children.
+  EXPECT_LE(events[2].start_us, events[0].start_us);
+  EXPECT_GE(events[2].start_us + events[2].duration_us,
+            events[0].start_us + events[0].duration_us);
+}
+
+TEST_F(TraceTest, DisabledRecorderRecordsNothing) {
+  obs::TraceRecorder::Global().Disable();
+  {
+    FW_TRACE_SPAN("ghost");
+    { FW_TRACE_SPAN("ghost_child"); }
+  }
+  EXPECT_EQ(obs::TraceRecorder::Global().size(), 0u);
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledIsNotRecordedOnEnable) {
+  obs::TraceRecorder::Global().Disable();
+  {
+    FW_TRACE_SPAN("started_disabled");
+    obs::TraceRecorder::Global().Enable();
+    // The enclosing span saw a disabled recorder at construction; only
+    // spans opened from here on are recorded.
+    { FW_TRACE_SPAN("started_enabled"); }
+  }
+  auto events = obs::TraceRecorder::Global().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "started_enabled");
+  EXPECT_EQ(events[0].depth, 0);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  {
+    FW_TRACE_SPAN("alpha");
+    { FW_TRACE_SPAN("beta"); }
+  }
+  const std::string json = obs::TraceRecorder::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"alpha>beta\""), std::string::npos);
+  // One event object per line so line-oriented tools can scan it.
+  EXPECT_GE(std::count(json.begin(), json.end(), '\n'), 3);
+}
+
+TEST_F(TraceTest, TextProfileAggregatesRepeatedSpans) {
+  for (int i = 0; i < 3; ++i) {
+    FW_TRACE_SPAN("repeat");
+  }
+  const std::string profile = obs::TraceRecorder::Global().ToTextProfile();
+  EXPECT_NE(profile.find("repeat"), std::string::npos);
+  // The aggregated call count appears as a column.
+  EXPECT_NE(profile.find("3"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeTraceRoundTrips) {
+  { FW_TRACE_SPAN("to_disk"); }
+  const std::string path = TempPath("fairwos_trace_test.json");
+  ASSERT_TRUE(obs::TraceRecorder::Global().WriteChromeTrace(path).ok());
+  const std::string contents = ReadAll(path);
+  EXPECT_NE(contents.find("\"to_disk\""), std::string::npos);
+  fs::remove(path);
+}
+
+TEST_F(TraceTest, ClearDropsEventsButKeepsEnabled) {
+  { FW_TRACE_SPAN("gone"); }
+  EXPECT_EQ(obs::TraceRecorder::Global().size(), 1u);
+  obs::TraceRecorder::Global().Clear();
+  EXPECT_EQ(obs::TraceRecorder::Global().size(), 0u);
+  EXPECT_TRUE(obs::TraceRecorder::Global().enabled());
+}
+
+TEST_F(TraceTest, SpansFromMultipleThreadsGetDistinctTids) {
+  std::thread t([] { FW_TRACE_SPAN("worker"); });
+  t.join();
+  { FW_TRACE_SPAN("main"); }
+  auto events = obs::TraceRecorder::Global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  // Each thread has its own stack: both spans are roots.
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 0);
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(MetricsTest, CounterIncrementsAndResets) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c->value(), 0);
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5);
+  // Same name -> same pointer.
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0);  // pointer survived the reset
+}
+
+TEST(MetricsTest, GaugeHoldsLastValue) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* g = registry.GetGauge("test.gauge");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(g->value(), -2.25);
+}
+
+TEST(MetricsTest, HistogramBucketsOnInclusiveUpperBounds) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("test.hist", {1.0, 10.0});
+  h->Observe(0.5);   // <= 1      -> bucket 0
+  h->Observe(1.0);   // == 1      -> bucket 0 (inclusive edge)
+  h->Observe(5.0);   // <= 10     -> bucket 1
+  h->Observe(50.0);  // overflow  -> bucket 2
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_DOUBLE_EQ(h->sum(), 56.5);
+  std::vector<int64_t> expected = {2, 1, 1};
+  EXPECT_EQ(h->bucket_counts(), expected);
+  h->Reset();
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(h->bucket_counts(), (std::vector<int64_t>{0, 0, 0}));
+}
+
+TEST(MetricsTest, JsonExportContainsAllFamilies) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c.one")->Increment(7);
+  registry.GetGauge("g.one")->Set(0.5);
+  registry.GetHistogram("h.one", {1.0})->Observe(2.0);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.one\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsTest, CsvExportHasOneRowPerScalar) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(3);
+  registry.GetHistogram("h", {2.0})->Observe(1.0);
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("counter,c,value,3"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("le_inf"), std::string::npos);
+}
+
+TEST(MetricsTest, GlobalRegistryIsProcessWide) {
+  obs::Counter* a = obs::MetricsRegistry::Global().GetCounter("global.same");
+  obs::Counter* b = obs::MetricsRegistry::Global().GetCounter("global.same");
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsTest, DefaultLatencyBucketsAreSorted) {
+  auto bounds = obs::DefaultLatencyBucketsMs();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// -------------------------------------------------------------- telemetry --
+
+TEST(TelemetryTest, EventToJsonPreservesOrderAndTypes) {
+  obs::Event e("epoch");
+  e.Set("epoch", 3).Set("loss", 0.5).Set("phase", "finetune");
+  const std::string json = e.ToJson();
+  EXPECT_EQ(json.find("{\"event\":\"epoch\""), 0u);
+  EXPECT_NE(json.find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"phase\":\"finetune\""), std::string::npos);
+  // Insertion order is preserved.
+  EXPECT_LT(json.find("\"epoch\":3"), json.find("\"loss\""));
+  EXPECT_LT(json.find("\"loss\""), json.find("\"phase\""));
+}
+
+TEST(TelemetryTest, EventJsonEscapesStrings) {
+  obs::Event e("note");
+  e.Set("msg", "line1\n\"quoted\"\\");
+  const std::string json = e.ToJson();
+  EXPECT_NE(json.find("line1\\n\\\"quoted\\\"\\\\"), std::string::npos);
+}
+
+TEST(TelemetryTest, EventAccessors) {
+  obs::Event e("x");
+  e.Set("phase", "pretrain").Set("loss", 1.25).Set("epoch", 7);
+  EXPECT_EQ(e.GetString("phase"), "pretrain");
+  EXPECT_DOUBLE_EQ(e.GetDouble("loss"), 1.25);
+  EXPECT_DOUBLE_EQ(e.GetDouble("epoch"), 7.0);
+  EXPECT_EQ(e.GetString("absent"), "");
+  EXPECT_DOUBLE_EQ(e.GetDouble("absent", -1.0), -1.0);
+}
+
+TEST(TelemetryTest, EmitWithoutSinkIsNoOp) {
+  obs::SetEventSink(nullptr);
+  EXPECT_FALSE(obs::TelemetryEnabled());
+  obs::EmitEvent(obs::Event("ignored"));  // must not crash
+}
+
+TEST(TelemetryTest, CollectingSinkReceivesEvents) {
+  obs::CollectingSink sink;
+  obs::SetEventSink(&sink);
+  EXPECT_TRUE(obs::TelemetryEnabled());
+  obs::EmitEvent(obs::Event("one"));
+  obs::EmitEvent(obs::Event("two"));
+  obs::SetEventSink(nullptr);
+  obs::EmitEvent(obs::Event("after_detach"));
+  auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name(), "one");
+  EXPECT_EQ(events[1].name(), "two");
+}
+
+TEST(TelemetryTest, JsonlFileSinkWritesOneObjectPerLine) {
+  const std::string path = TempPath("fairwos_telemetry_test.jsonl");
+  auto sink_or = obs::JsonlFileSink::Open(path);
+  ASSERT_TRUE(sink_or.ok());
+  auto sink = std::move(sink_or).value();
+  sink->Emit(obs::Event("a").Set("v", 1));
+  sink->Emit(obs::Event("b").Set("v", 2.5));
+  EXPECT_EQ(sink->events_written(), 2);
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"event\":"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  fs::remove(path);
+}
+
+TEST(TelemetryTest, JsonlFileSinkRejectsBadPath) {
+  auto sink_or = obs::JsonlFileSink::Open("/nonexistent-dir/x/y.jsonl");
+  EXPECT_FALSE(sink_or.ok());
+}
+
+// ---------------------------------------------------------------- logging --
+
+TEST(LoggingTest, ParseLogLevelAcceptsAllNamesCaseInsensitive) {
+  using common::LogLevel;
+  EXPECT_EQ(common::ParseLogLevel("debug").value(), LogLevel::kDebug);
+  EXPECT_EQ(common::ParseLogLevel("INFO").value(), LogLevel::kInfo);
+  EXPECT_EQ(common::ParseLogLevel("Warning").value(), LogLevel::kWarning);
+  EXPECT_EQ(common::ParseLogLevel("warn").value(), LogLevel::kWarning);
+  EXPECT_EQ(common::ParseLogLevel("error").value(), LogLevel::kError);
+  EXPECT_FALSE(common::ParseLogLevel("loud").ok());
+  EXPECT_FALSE(common::ParseLogLevel("").ok());
+}
+
+TEST(LoggingTest, LogLevelNameRoundTrips) {
+  using common::LogLevel;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarning, LogLevel::kError}) {
+    EXPECT_EQ(common::ParseLogLevel(common::LogLevelName(level)).value(),
+              level);
+  }
+}
+
+TEST(LoggingTest, MessagesBelowLevelAreDropped) {
+  std::string captured;
+  common::SetLogCaptureForTest(&captured);
+  common::SetLogLevel(common::LogLevel::kWarning);
+  FW_LOG(Info) << "invisible";
+  FW_LOG(Warning) << "visible warning";
+  FW_LOG(Error) << "visible error";
+  common::SetLogCaptureForTest(nullptr);
+  common::SetLogLevel(common::LogLevel::kInfo);
+  EXPECT_EQ(captured.find("invisible"), std::string::npos);
+  EXPECT_NE(captured.find("visible warning"), std::string::npos);
+  EXPECT_NE(captured.find("visible error"), std::string::npos);
+}
+
+TEST(LoggingTest, EnvVariableOverridesLevel) {
+  ASSERT_EQ(setenv("FAIRWOS_LOG_LEVEL", "error", /*overwrite=*/1), 0);
+  common::InitLogLevelFromEnv();
+  EXPECT_EQ(common::GetLogLevel(), common::LogLevel::kError);
+  // Malformed values leave the level untouched.
+  ASSERT_EQ(setenv("FAIRWOS_LOG_LEVEL", "shouting", 1), 0);
+  common::InitLogLevelFromEnv();
+  EXPECT_EQ(common::GetLogLevel(), common::LogLevel::kError);
+  ASSERT_EQ(unsetenv("FAIRWOS_LOG_LEVEL"), 0);
+  common::SetLogLevel(common::LogLevel::kInfo);
+}
+
+TEST(LoggingTest, ConcurrentLogLinesNeverInterleave) {
+  std::string captured;
+  common::SetLogCaptureForTest(&captured);
+  common::SetLogLevel(common::LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        FW_LOG(Info) << "thread-" << t << "-line-" << i << "-end";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  common::SetLogCaptureForTest(nullptr);
+  // Every emitted line must be intact: "thread-T-line-I-end" with no
+  // fragments of other lines spliced in.
+  std::istringstream in(captured);
+  std::string line;
+  int intact = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("thread-"), std::string::npos) << line;
+    EXPECT_EQ(line.find("thread-", line.find("thread-") + 1),
+              std::string::npos)
+        << "interleaved line: " << line;
+    EXPECT_EQ(line.rfind("-end"), line.size() - 4) << line;
+    ++intact;
+  }
+  EXPECT_EQ(intact, kThreads * kLines);
+}
+
+// ------------------------------------------------------ harness telemetry --
+
+/// Fails every other call (1st, 3rd, ...) with a distinctive message.
+class FlakyMethod : public core::FairMethod {
+ public:
+  std::string name() const override { return "Flaky"; }
+
+  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
+                                         uint64_t /*seed*/) override {
+    if (calls_++ % 2 == 0) {
+      return common::Status::Internal("loss diverged (call " +
+                                      std::to_string(calls_) + ")");
+    }
+    core::MethodOutput out;
+    out.pred.assign(static_cast<size_t>(ds.num_nodes()), 0);
+    out.prob1.assign(static_cast<size_t>(ds.num_nodes()), 0.5f);
+    return out;
+  }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(HarnessTelemetryTest, RunRepeatedRecordsFailureReasons) {
+  auto ds = data::MakeDataset("toy", {}).value();
+  FlakyMethod method;
+  // Trials 1 and 3 fail, 2 and 4 succeed.
+  auto agg = eval::RunRepeated(&method, ds, /*trials=*/4, /*base_seed=*/0);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg.value().trials, 2);
+  EXPECT_EQ(agg.value().failed_trials, 2);
+  ASSERT_EQ(agg.value().failure_reasons.size(), 2u);
+  EXPECT_NE(agg.value().failure_reasons[0].find("loss diverged"),
+            std::string::npos);
+  EXPECT_NE(agg.value().failure_reasons[0].find("trial"), std::string::npos);
+}
+
+TEST(HarnessTelemetryTest, RunRepeatedEmitsTrialEvents) {
+  auto ds = data::MakeDataset("toy", {}).value();
+  FlakyMethod method;
+  obs::CollectingSink sink;
+  obs::SetEventSink(&sink);
+  auto agg = eval::RunRepeated(&method, ds, /*trials=*/4, /*base_seed=*/0);
+  obs::SetEventSink(nullptr);
+  ASSERT_TRUE(agg.ok());
+  int done = 0, failed = 0;
+  for (const auto& e : sink.events()) {
+    if (e.name() == "trial_done") ++done;
+    if (e.name() == "trial_failed") {
+      ++failed;
+      EXPECT_EQ(e.GetString("method"), "Flaky");
+      EXPECT_NE(e.GetString("reason").find("loss diverged"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(failed, 2);
+}
+
+TEST(HarnessTelemetryTest, TrainingEmitsEpochEventsAndSpans) {
+  auto ds = data::MakeDataset("toy", {}).value();
+  baselines::MethodOptions options;
+  options.train.epochs = 5;
+  options.train.patience = 0;
+  auto method = baselines::MakeMethod("vanilla", options).value();
+
+  obs::CollectingSink sink;
+  obs::SetEventSink(&sink);
+  obs::TraceRecorder::Global().Clear();
+  obs::TraceRecorder::Global().Enable();
+  auto result = eval::RunTrial(method.get(), ds, /*seed=*/1);
+  obs::TraceRecorder::Global().Disable();
+  obs::SetEventSink(nullptr);
+  ASSERT_TRUE(result.ok());
+
+  int epoch_events = 0;
+  for (const auto& e : sink.events()) {
+    if (e.name() != "epoch") continue;
+    ++epoch_events;
+    EXPECT_EQ(e.GetString("phase"), "baseline");
+    EXPECT_NE(e.GetString("loss_total"), "");
+    EXPECT_NE(e.GetString("grad_norm"), "");
+  }
+  EXPECT_EQ(epoch_events, 5);
+
+  bool saw_train = false, saw_epoch = false, saw_step = false;
+  for (const auto& ev : obs::TraceRecorder::Global().snapshot()) {
+    if (ev.name == "baseline/train") saw_train = true;
+    if (ev.name == "baseline/train_epoch") saw_epoch = true;
+    if (ev.name == "optimizer/step") {
+      saw_step = true;
+      // Optimizer steps nest inside the per-epoch span.
+      EXPECT_NE(ev.path.find("baseline/train_epoch>"), std::string::npos);
+    }
+  }
+  obs::TraceRecorder::Global().Clear();
+  EXPECT_TRUE(saw_train);
+  EXPECT_TRUE(saw_epoch);
+  EXPECT_TRUE(saw_step);
+}
+
+// ------------------------------------------------------------ string util --
+
+TEST(JsonEscapeTest, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(common::JsonEscape("plain"), "plain");
+  EXPECT_EQ(common::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(common::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(common::JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(common::JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace fairwos

@@ -14,13 +14,34 @@
 //   fairwos_cli audit --dataset bail | --data-dir DIR
 //                     [--backbone gcn] [--trials 3] [--seed 42]
 //       Runs every method in the registry and prints the comparison table.
+//
+//   fairwos_cli trace-report --in trace.json [--telemetry run.jsonl]
+//       Summarises a Chrome-trace file written by --trace-out (span counts
+//       and wall time per span name) and, optionally, a JSONL telemetry
+//       stream written by --telemetry-out. Fails on malformed input, so it
+//       doubles as the validator in CI.
+//
+// Observability flags accepted by train and audit (docs/observability.md):
+//   --trace-out FILE      write a Chrome-trace JSON of all spans
+//   --profile-out FILE    write the aggregated hierarchical text profile
+//   --metrics-out FILE    write the metrics registry (.csv => CSV, else JSON)
+//   --telemetry-out FILE  stream per-epoch training events as JSONL
+//   --log-level LEVEL     debug|info|warning|error (default: info, or the
+//                         FAIRWOS_LOG_LEVEL environment variable)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
 #include <string>
 
 #include "baselines/registry.h"
 #include "common/cli.h"
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "data/io.h"
 #include "data/synthetic.h"
 #include "eval/harness.h"
@@ -35,11 +56,76 @@ int Fail(const common::Status& status) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: fairwos_cli <list|generate|train|audit> [flags]\n"
-               "run with a subcommand to see its flags in the header of\n"
-               "tools/fairwos_cli.cc\n");
+  std::fprintf(
+      stderr,
+      "usage: fairwos_cli <list|generate|train|audit|trace-report> [flags]\n"
+      "run with a subcommand to see its flags in the header of\n"
+      "tools/fairwos_cli.cc\n");
   return 2;
+}
+
+/// Installs the requested observability sinks for the duration of a
+/// subcommand and writes the export files on destruction.
+class ObsSession {
+ public:
+  static common::Result<std::unique_ptr<ObsSession>> FromFlags(
+      const common::CliFlags& flags) {
+    auto session = std::unique_ptr<ObsSession>(new ObsSession());
+    session->trace_out_ = flags.GetString("trace-out", "");
+    session->profile_out_ = flags.GetString("profile-out", "");
+    session->metrics_out_ = flags.GetString("metrics-out", "");
+    if (!session->trace_out_.empty() || !session->profile_out_.empty()) {
+      obs::TraceRecorder::Global().Enable();
+    }
+    const std::string telemetry_out = flags.GetString("telemetry-out", "");
+    if (!telemetry_out.empty()) {
+      FW_ASSIGN_OR_RETURN(session->telemetry_,
+                          obs::JsonlFileSink::Open(telemetry_out));
+      obs::SetEventSink(session->telemetry_.get());
+    }
+    return session;
+  }
+
+  ~ObsSession() {
+    obs::SetEventSink(nullptr);
+    const obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    if (!trace_out_.empty()) {
+      Report(recorder.WriteChromeTrace(trace_out_), trace_out_);
+    }
+    if (!profile_out_.empty()) {
+      Report(recorder.WriteTextProfile(profile_out_), profile_out_);
+    }
+    if (!metrics_out_.empty()) {
+      const auto& registry = obs::MetricsRegistry::Global();
+      const bool csv = metrics_out_.size() > 4 &&
+                       metrics_out_.rfind(".csv") == metrics_out_.size() - 4;
+      Report(csv ? registry.WriteCsv(metrics_out_)
+                 : registry.WriteJson(metrics_out_),
+             metrics_out_);
+    }
+  }
+
+ private:
+  ObsSession() = default;
+
+  static void Report(const common::Status& status, const std::string& path) {
+    if (status.ok()) {
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    }
+  }
+
+  std::string trace_out_;
+  std::string profile_out_;
+  std::string metrics_out_;
+  std::unique_ptr<obs::JsonlFileSink> telemetry_;
+};
+
+void PrintFailureReasons(const eval::AggregateMetrics& agg) {
+  for (const std::string& reason : agg.failure_reasons) {
+    std::printf("  failed %s\n", reason.c_str());
+  }
 }
 
 common::Result<data::Dataset> ResolveDataset(const common::CliFlags& flags) {
@@ -101,6 +187,8 @@ int Generate(const common::CliFlags& flags) {
 }
 
 int Train(const common::CliFlags& flags) {
+  auto obs_or = ObsSession::FromFlags(flags);
+  if (!obs_or.ok()) return Fail(obs_or.status());
   auto ds_or = ResolveDataset(flags);
   if (!ds_or.ok()) return Fail(ds_or.status());
   const data::Dataset& ds = ds_or.value();
@@ -126,10 +214,18 @@ int Train(const common::CliFlags& flags) {
       common::FormatMeanStd(agg.dsp.mean, agg.dsp.stddev).c_str(),
       common::FormatMeanStd(agg.deo.mean, agg.deo.stddev).c_str(),
       agg.seconds.mean);
+  if (agg.failed_trials > 0) {
+    std::printf("  %lld/%lld trial(s) failed:\n",
+                static_cast<long long>(agg.failed_trials),
+                static_cast<long long>(trials));
+    PrintFailureReasons(agg);
+  }
   return 0;
 }
 
 int Audit(const common::CliFlags& flags) {
+  auto obs_or = ObsSession::FromFlags(flags);
+  if (!obs_or.ok()) return Fail(obs_or.status());
   auto ds_or = ResolveDataset(flags);
   if (!ds_or.ok()) return Fail(ds_or.status());
   const data::Dataset& ds = ds_or.value();
@@ -150,8 +246,122 @@ int Audit(const common::CliFlags& flags) {
                   common::FormatMeanStd(agg.dsp.mean, agg.dsp.stddev),
                   common::FormatMeanStd(agg.deo.mean, agg.deo.stddev),
                   common::StrFormat("%.2f", agg.seconds.mean)});
+    PrintFailureReasons(agg);
   }
   std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+/// Pulls the value of a `"key":"string"` or `"key":number` field out of one
+/// JSON object line. Tolerant of field order; returns false when absent.
+bool ExtractJsonString(const std::string& line, const std::string& key,
+                       std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  const size_t begin = pos + needle.size();
+  size_t end = begin;
+  while (end < line.size() && line[end] != '"') {
+    end += line[end] == '\\' ? 2 : 1;  // skip escaped characters
+  }
+  if (end >= line.size()) return false;
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool ExtractJsonNumber(const std::string& line, const std::string& key,
+                       double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  size_t end = pos + needle.size();
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  auto parsed = common::ParseDouble(
+      line.substr(pos + needle.size(), end - (pos + needle.size())));
+  if (!parsed.ok()) return false;
+  *out = parsed.value();
+  return true;
+}
+
+/// Summarises a --trace-out file (and optionally a --telemetry-out stream):
+/// span counts and wall time per name, event counts per event name. Returns
+/// an error on malformed input so ctest can use it as a validator.
+int TraceReport(const common::CliFlags& flags) {
+  const std::string in = flags.GetString("in", "");
+  if (in.empty()) {
+    return Fail(common::Status::InvalidArgument("--in <trace.json> is required"));
+  }
+  std::ifstream trace_file(in);
+  if (!trace_file) {
+    return Fail(common::Status::IoError("cannot open " + in));
+  }
+  struct SpanAgg {
+    int64_t count = 0;
+    double total_ms = 0.0;
+  };
+  std::map<std::string, SpanAgg> spans;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(trace_file, line)) {
+    if (line.find("\"traceEvents\"") != std::string::npos) saw_header = true;
+    std::string name;
+    if (!ExtractJsonString(line, "name", &name)) continue;
+    double dur_us = 0.0;
+    if (!ExtractJsonNumber(line, "dur", &dur_us)) {
+      return Fail(common::Status::InvalidArgument(
+          in + ": span '" + name + "' has no \"dur\" field"));
+    }
+    SpanAgg& agg = spans[name];
+    ++agg.count;
+    agg.total_ms += dur_us / 1e3;
+  }
+  if (!saw_header) {
+    return Fail(common::Status::InvalidArgument(
+        in + " is not a fairwos Chrome-trace file (no \"traceEvents\" key)"));
+  }
+  if (spans.empty()) {
+    return Fail(common::Status::InvalidArgument(in + " contains no spans"));
+  }
+  eval::TablePrinter span_table({"span", "count", "total ms", "mean ms"});
+  for (const auto& [name, agg] : spans) {
+    span_table.AddRow({name, std::to_string(agg.count),
+                       common::StrFormat("%.3f", agg.total_ms),
+                       common::StrFormat("%.6f", agg.total_ms /
+                                                     static_cast<double>(
+                                                         agg.count))});
+  }
+  std::printf("%s", span_table.Render().c_str());
+
+  const std::string telemetry = flags.GetString("telemetry", "");
+  if (!telemetry.empty()) {
+    std::ifstream events_file(telemetry);
+    if (!events_file) {
+      return Fail(common::Status::IoError("cannot open " + telemetry));
+    }
+    std::map<std::string, int64_t> events;
+    int64_t line_no = 0;
+    while (std::getline(events_file, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      std::string name;
+      if (line.front() != '{' || line.back() != '}' ||
+          !ExtractJsonString(line, "event", &name)) {
+        return Fail(common::Status::InvalidArgument(
+            telemetry + ":" + std::to_string(line_no) +
+            ": not a JSONL telemetry event"));
+      }
+      ++events[name];
+    }
+    if (events.empty()) {
+      return Fail(
+          common::Status::InvalidArgument(telemetry + " contains no events"));
+    }
+    eval::TablePrinter event_table({"event", "count"});
+    for (const auto& [name, count] : events) {
+      event_table.AddRow({name, std::to_string(count)});
+    }
+    std::printf("\n%s", event_table.Render().c_str());
+  }
   return 0;
 }
 
@@ -160,10 +370,17 @@ int Main(int argc, char** argv) {
   const std::string command = argv[1];
   auto flags_or = common::CliFlags::Parse(argc - 1, argv + 1);
   if (!flags_or.ok()) return Fail(flags_or.status());
+  const std::string log_level = flags_or.value().GetString("log-level", "");
+  if (!log_level.empty()) {
+    auto level_or = common::ParseLogLevel(log_level);
+    if (!level_or.ok()) return Fail(level_or.status());
+    common::SetLogLevel(level_or.value());
+  }
   if (command == "list") return List();
   if (command == "generate") return Generate(flags_or.value());
   if (command == "train") return Train(flags_or.value());
   if (command == "audit") return Audit(flags_or.value());
+  if (command == "trace-report") return TraceReport(flags_or.value());
   return Usage();
 }
 
