@@ -1,0 +1,194 @@
+// Crash-resume bench (not a paper figure): measures the durability layer of
+// docs/resume.md. Reports (a) SaveTrainState / LoadTrainState throughput at
+// several state sizes — the atomic+fsync write path and the CRC-verified
+// read path, (b) CheckpointRotation Save/LoadLatestValid latency at rotation
+// depth, and (c) the end-to-end overhead periodic checkpointing adds to a
+// real Fairwos training run, plus the cost of an interrupt-and-resume cycle
+// versus training straight through.
+//
+//   ./bench_checkpoint [--dataset toy] [--scale 20] [--epochs 60] [--seed 42]
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/fairwos.h"
+#include "nn/checkpoint.h"
+
+namespace fairwos::bench {
+namespace {
+
+nn::TrainState MakeState(int64_t num_params, int64_t param_size,
+                         common::Rng* rng) {
+  nn::TrainState st;
+  st.phase = 1;
+  st.epoch = 100;
+  st.rng = rng->SaveState();
+  st.optimizer.lr = 1e-3f;
+  st.optimizer.step_count = 1000;
+  for (int64_t p = 0; p < num_params; ++p) {
+    std::vector<float> values(param_size);
+    for (auto& v : values) v = static_cast<float>(rng->Normal());
+    st.optimizer.moment1.push_back(values);
+    st.optimizer.moment2.push_back(values);
+    st.params.push_back(values);
+    st.blobs.push_back(values);  // best-model snapshot, like the real loops
+  }
+  st.scalars = {0.5, 1.5};
+  st.counters = {0, 100, 0, num_params};
+  return st;
+}
+
+void Check(const common::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+int64_t StateBytes(const nn::TrainState& st) {
+  int64_t floats = 0;
+  for (const auto& v : st.params) floats += static_cast<int64_t>(v.size());
+  return 4 * floats * 4;  // params + 2 moments + blobs, 4 bytes each
+}
+
+void BenchSerialization(const std::string& dir) {
+  std::printf("TrainState serialization (atomic write + fsync / CRC read)\n");
+  std::printf("%-14s %10s %12s %12s %12s %12s\n", "state", "bytes",
+              "save ms", "save MB/s", "load ms", "load MB/s");
+  common::Rng rng(42);
+  const std::string path = dir + "/bench-state.fwck";
+  for (const auto& [num_params, param_size] :
+       std::vector<std::pair<int64_t, int64_t>>{
+           {4, 1024}, {8, 16384}, {8, 262144}}) {
+    const nn::TrainState st = MakeState(num_params, param_size, &rng);
+    const double mb = static_cast<double>(StateBytes(st)) / (1024.0 * 1024.0);
+    constexpr int kReps = 20;
+    common::Stopwatch save_watch;
+    for (int r = 0; r < kReps; ++r) {
+      Check(nn::SaveTrainState(path, st));
+    }
+    const double save_ms = save_watch.Millis() / kReps;
+    nn::TrainState loaded;
+    common::Stopwatch load_watch;
+    for (int r = 0; r < kReps; ++r) {
+      Check(nn::LoadTrainState(path, &loaded));
+    }
+    const double load_ms = load_watch.Millis() / kReps;
+    std::printf("%3lldx%-10lld %10lld %12.3f %12.1f %12.3f %12.1f\n",
+                static_cast<long long>(num_params),
+                static_cast<long long>(param_size),
+                static_cast<long long>(StateBytes(st)), save_ms,
+                mb / (save_ms / 1e3), load_ms, mb / (load_ms / 1e3));
+  }
+  std::printf("\n");
+}
+
+void BenchRotation(const std::string& dir) {
+  std::printf("CheckpointRotation (keep=3): rotating save + latest-valid\n");
+  common::Rng rng(7);
+  const nn::TrainState st = MakeState(8, 16384, &rng);
+  const std::string rotation_dir = dir + "/rotation";
+  std::filesystem::remove_all(rotation_dir);
+  nn::CheckpointRotation rotation(rotation_dir, /*keep=*/3);
+  constexpr int kReps = 30;
+  common::Stopwatch save_watch;
+  for (int r = 0; r < kReps; ++r) {
+    Check(rotation.Save(st));
+  }
+  const double save_ms = save_watch.Millis() / kReps;
+  common::Stopwatch load_watch;
+  for (int r = 0; r < kReps; ++r) {
+    Check(rotation.LoadLatestValid().status());
+  }
+  const double load_ms = load_watch.Millis() / kReps;
+  std::printf("  Save (incl. prune)  %8.3f ms\n  LoadLatestValid     %8.3f ms\n\n",
+              save_ms, load_ms);
+}
+
+void BenchTrainingOverhead(const data::Dataset& ds, const BenchOptions& bench,
+                           const std::string& dir) {
+  std::printf("End-to-end on %s: checkpointing overhead and resume cost\n",
+              ds.name.c_str());
+  core::FairwosConfig config;
+  config.pretrain_epochs = bench.epochs;
+
+  common::Stopwatch plain_watch;
+  auto plain = core::TrainFairwos(config, ds, bench.seed, nullptr);
+  Check(plain.status());
+  const double plain_s = plain_watch.Seconds();
+
+  core::FairwosConfig ckpt_config = config;
+  ckpt_config.checkpoint.dir = dir + "/overhead";
+  ckpt_config.checkpoint.every = 5;
+  std::filesystem::remove_all(ckpt_config.checkpoint.dir);
+  common::Stopwatch ckpt_watch;
+  auto ckpt = core::TrainFairwos(ckpt_config, ds, bench.seed, nullptr);
+  Check(ckpt.status());
+  const double ckpt_s = ckpt_watch.Seconds();
+
+  // Interrupt after the encoder + a few pre-train epochs, then resume.
+  core::FairwosConfig cut_config = ckpt_config;
+  cut_config.checkpoint.dir = dir + "/resume";
+  std::filesystem::remove_all(cut_config.checkpoint.dir);
+  cut_config.deadline =
+      common::Deadline::AfterChecks(config.encoder.epochs + 2 +
+                                    bench.epochs / 2);
+  common::Stopwatch cut_watch;
+  auto cut = core::TrainFairwos(cut_config, ds, bench.seed, nullptr);
+  const double cut_s = cut_watch.Seconds();
+  if (cut.status().code() != common::StatusCode::kDeadlineExceeded) {
+    Check(common::Status::Internal(
+        "expected the injected deadline to interrupt training, got: " +
+        cut.status().ToString()));
+  }
+  core::FairwosConfig resume_config = cut_config;
+  resume_config.deadline = common::Deadline::Never();
+  resume_config.checkpoint.resume = true;
+  common::Stopwatch resume_watch;
+  auto resumed = core::TrainFairwos(resume_config, ds, bench.seed, nullptr);
+  Check(resumed.status());
+  const double resume_s = resume_watch.Seconds();
+
+  std::printf("  plain run                 %8.2f s\n", plain_s);
+  std::printf("  + checkpoints (every 5)   %8.2f s  (%.1f%% overhead)\n",
+              ckpt_s, 100.0 * (ckpt_s - plain_s) / plain_s);
+  std::printf("  interrupted + resumed     %8.2f s  (%.1f%% vs plain)\n",
+              cut_s + resume_s, 100.0 * (cut_s + resume_s - plain_s) / plain_s);
+  const bool identical = resumed.value().pred == plain.value().pred &&
+                         resumed.value().prob1 == plain.value().prob1;
+  std::printf("  resume bit-identical      %s\n", identical ? "yes" : "NO");
+}
+
+int Main(int argc, char** argv) {
+  auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
+  BenchOptions bench = ParseBenchOptions(flags);
+  if (!flags.Has("epochs")) bench.epochs = 60;
+  const std::string dataset_name = flags.GetString("dataset", "toy");
+  data::DatasetOptions data_options;
+  data_options.scale = bench.scale;
+  data_options.seed = bench.seed;
+  auto ds = DieOnError(data::MakeDataset(dataset_name, data_options));
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "fw_bench_checkpoint")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::printf("durable crash-resume microbenchmarks (docs/resume.md)\n\n");
+  BenchSerialization(dir);
+  BenchRotation(dir);
+  BenchTrainingOverhead(ds, bench, dir);
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairwos::bench
+
+int main(int argc, char** argv) { return fairwos::bench::Main(argc, argv); }

@@ -57,8 +57,13 @@ tensor::Tensor TrainStructureTeacher(const FairGkdConfig& config,
   nn::GnnClassifier teacher(gnn, ds.graph, rng);
   TrainOptions teacher_train = train;
   teacher_train.epochs = config.teacher_epochs;
-  TrainClassifier(teacher_train, ds, struct_features, /*penalty=*/nullptr,
-                  &teacher, rng);
+  // The teacher is not independently checkpointable (the student loop owns
+  // the checkpoint directory); a deadline expiry here is ignored — the
+  // student's own TrainClassifier call sees the expired deadline on its
+  // first poll and propagates DeadlineExceeded from there.
+  teacher_train.checkpoint = nn::CheckpointOptions{};
+  (void)TrainClassifier(teacher_train, ds, struct_features,
+                        /*penalty=*/nullptr, &teacher, rng);
   tensor::NoGradGuard no_grad;
   return tensor::Softmax(
              teacher.Forward(struct_features, /*training=*/false, rng))
@@ -121,7 +126,9 @@ common::Result<core::MethodOutput> FairGkdMethod::Run(const data::Dataset& ds,
   nn::GnnConfig gnn = gnn_;
   gnn.in_features = ds.num_attrs();
   nn::GnnClassifier student(gnn, ds.graph, &rng);
-  TrainClassifier(train_, ds, ds.features, penalty, &student, &rng);
+  FW_RETURN_IF_ERROR(
+      TrainClassifier(train_, ds, ds.features, penalty, &student, &rng)
+          .status());
   core::MethodOutput out = MakeOutput(student, ds.features, &rng);
   out.train_seconds = watch.Seconds();
   return out;

@@ -51,7 +51,9 @@ common::Result<core::MethodOutput> PerturbCfMethod::Run(
   nn::GnnConfig gnn = gnn_;
   gnn.in_features = x0.dim(1);
   nn::GnnClassifier model(gnn, ds.graph, &rng);
-  TrainClassifier(train_, ds, x0, /*penalty=*/nullptr, &model, &rng);
+  FW_RETURN_IF_ERROR(
+      TrainClassifier(train_, ds, x0, /*penalty=*/nullptr, &model, &rng)
+          .status());
 
   // Fine-tune with the fabricated counterfactual (the non-realistic kind).
   const double pretrain_val_acc = [&] {

@@ -46,7 +46,9 @@ common::Result<core::MethodOutput> RemoveRMethod::Run(const data::Dataset& ds,
   nn::GnnConfig gnn = gnn_;
   gnn.in_features = f_kept;
   nn::GnnClassifier model(gnn, ds.graph, &rng);
-  TrainClassifier(train_, ds, features, /*penalty=*/nullptr, &model, &rng);
+  FW_RETURN_IF_ERROR(
+      TrainClassifier(train_, ds, features, /*penalty=*/nullptr, &model, &rng)
+          .status());
   core::MethodOutput out = MakeOutput(model, features, &rng);
   out.train_seconds = watch.Seconds();
   return out;

@@ -7,8 +7,10 @@
 
 #include <functional>
 
+#include "common/deadline.h"
 #include "core/method.h"
 #include "data/dataset.h"
+#include "nn/checkpoint.h"
 #include "nn/gnn.h"
 #include "nn/guard.h"
 
@@ -23,6 +25,14 @@ struct TrainOptions {
   nn::RecoveryConfig recovery;
   /// Steady-state global-norm gradient clip; <= 0 disables until recovery.
   float max_grad_norm = 0.0f;
+  /// Durable crash-resume (docs/resume.md): rotating phase-0 TrainState
+  /// checkpoints at epoch boundaries, and deterministic restart from the
+  /// newest valid one. Disabled while `checkpoint.dir` is empty.
+  nn::CheckpointOptions checkpoint;
+  /// Cooperative stop token polled at every epoch boundary; on expiry the
+  /// loop writes one final checkpoint (when checkpointing is enabled) and
+  /// TrainClassifier returns Status::DeadlineExceeded.
+  common::Deadline deadline;
 };
 
 /// Robustness diagnostics of one TrainClassifier run.
@@ -32,6 +42,12 @@ struct TrainDiagnostics {
   /// True when the retry budget was exhausted and training stopped early;
   /// the best-validation parameters seen so far are kept.
   bool aborted = false;
+  /// True when the deadline expired and the loop stopped at an epoch
+  /// boundary (after the graceful final checkpoint, when enabled).
+  bool deadline_exceeded = false;
+  /// Crash-resume provenance (docs/resume.md).
+  bool resumed = false;
+  int64_t resume_epoch = 0;
 };
 
 /// Optional extra loss computed from the representation and logits of the
@@ -44,11 +60,20 @@ using PenaltyFn = std::function<tensor::Tensor(const tensor::Tensor& h,
 /// gradient, or parameter rolls the model back to the last-good snapshot,
 /// halves the learning rate, and retries within `options.recovery`'s
 /// budget. Returns epochs actually run; `diag` (may be null) receives the
-/// recovery counters.
-int64_t TrainClassifier(const TrainOptions& options, const data::Dataset& ds,
-                        const tensor::Tensor& features,
-                        const PenaltyFn& penalty, nn::GnnClassifier* model,
-                        common::Rng* rng, TrainDiagnostics* diag = nullptr);
+/// recovery counters — on every return path, including the errors.
+///
+/// With `options.checkpoint` enabled the loop writes phase-0 TrainState
+/// checkpoints and can resume from one bit-identically (docs/resume.md);
+/// on `options.deadline` expiry it writes a final checkpoint and returns
+/// DeadlineExceeded. Other error Statuses mean a malformed or mismatched
+/// checkpoint, or a failed checkpoint write.
+common::Result<int64_t> TrainClassifier(const TrainOptions& options,
+                                        const data::Dataset& ds,
+                                        const tensor::Tensor& features,
+                                        const PenaltyFn& penalty,
+                                        nn::GnnClassifier* model,
+                                        common::Rng* rng,
+                                        TrainDiagnostics* diag = nullptr);
 
 /// Evaluation-mode predictions for every node.
 nn::PredictionResult EvaluateAll(const nn::GnnClassifier& model,

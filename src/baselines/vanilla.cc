@@ -12,7 +12,10 @@ common::Result<core::MethodOutput> VanillaMethod::Run(const data::Dataset& ds,
   nn::GnnConfig gnn = gnn_;
   gnn.in_features = ds.num_attrs();
   nn::GnnClassifier model(gnn, ds.graph, &rng);
-  TrainClassifier(train_, ds, ds.features, /*penalty=*/nullptr, &model, &rng);
+  FW_RETURN_IF_ERROR(
+      TrainClassifier(train_, ds, ds.features, /*penalty=*/nullptr, &model,
+                      &rng)
+          .status());
   core::MethodOutput out = MakeOutput(model, ds.features, &rng);
   out.train_seconds = watch.Seconds();
   return out;

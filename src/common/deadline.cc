@@ -1,0 +1,90 @@
+#include "common/deadline.h"
+
+#include <atomic>
+#include <csignal>
+#include <limits>
+
+namespace fairwos::common {
+namespace {
+
+std::atomic<bool> g_cancel_requested{false};
+
+extern "C" void HandleStopSignal(int /*signum*/) {
+  // Only async-signal-safe work here: set the flag and return. The training
+  // loop notices at its next Expired() poll.
+  g_cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kWallClock:
+      return "wall-clock";
+    case StopReason::kSignal:
+      return "signal";
+    case StopReason::kInjected:
+      return "injected";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::After(double seconds) {
+  Deadline d;
+  d.has_wall_clock_ = true;
+  d.wall_deadline_ =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  return d;
+}
+
+Deadline Deadline::AfterChecks(int64_t checks) {
+  Deadline d;
+  d.has_check_budget_ = true;
+  d.checks_left_ = checks;
+  return d;
+}
+
+bool Deadline::Expired() const {
+  if (g_cancel_requested.load(std::memory_order_relaxed)) {
+    reason_ = StopReason::kSignal;
+    return true;
+  }
+  if (has_check_budget_ && --checks_left_ < 0) {
+    checks_left_ = 0;  // stay expired without underflowing
+    reason_ = StopReason::kInjected;
+    return true;
+  }
+  if (has_wall_clock_ && Clock::now() >= wall_deadline_) {
+    reason_ = StopReason::kWallClock;
+    return true;
+  }
+  reason_ = StopReason::kNone;
+  return false;
+}
+
+double Deadline::RemainingSeconds() const {
+  if (!has_wall_clock_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(wall_deadline_ - Clock::now()).count();
+}
+
+void RequestCancellation() {
+  g_cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+bool CancellationRequested() {
+  return g_cancel_requested.load(std::memory_order_relaxed);
+}
+
+void ClearCancellation() {
+  g_cancel_requested.store(false, std::memory_order_relaxed);
+}
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+}
+
+}  // namespace fairwos::common

@@ -1,0 +1,93 @@
+// Cooperative cancellation for long-running training loops.
+//
+// A Deadline bundles the three ways a run is asked to stop early:
+//   * a wall-clock budget (`Deadline::After(seconds)` — the CLI's
+//     --max-wall-clock flag),
+//   * a process-wide cancellation flag raised by SIGINT/SIGTERM
+//     (InstallSignalHandlers), and
+//   * a deterministic poll budget (`Deadline::AfterChecks(n)`) used by
+//     tests and the CLI's --deadline-after-checks hook to interrupt a run
+//     at an exact epoch boundary, reproducibly.
+//
+// Training loops poll `Expired()` once per epoch; on expiry they write a
+// final checkpoint and return Status::DeadlineExceeded instead of losing
+// the run (docs/resume.md). Polling is cheap: a steady_clock read plus one
+// relaxed atomic load.
+#ifndef FAIRWOS_COMMON_DEADLINE_H_
+#define FAIRWOS_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fairwos::common {
+
+/// Why a Deadline reported expiry.
+enum class StopReason {
+  kNone = 0,      // not expired
+  kWallClock,     // the wall-clock budget ran out
+  kSignal,        // SIGINT/SIGTERM (or RequestCancellation) was seen
+  kInjected,      // the deterministic poll budget was consumed
+};
+
+const char* StopReasonName(StopReason reason);
+
+/// Copyable stop token. The default-constructed Deadline never expires on
+/// its own but still honors the process-wide cancellation flag, so every
+/// loop that threads a Deadline through is signal-interruptible for free.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Never expires (except on cancellation). Same as default construction;
+  /// reads better at call sites.
+  static Deadline Never() { return Deadline(); }
+
+  /// Expires once `seconds` of wall time have elapsed from this call.
+  static Deadline After(double seconds);
+
+  /// Deterministic test hook: the first `checks` polls report not-expired,
+  /// every later poll reports expired. `checks <= 0` expires immediately.
+  static Deadline AfterChecks(int64_t checks);
+
+  /// True when the wall-clock budget is spent, the poll budget is consumed,
+  /// or cancellation was requested. Training loops call this once per epoch
+  /// (the counted poll for AfterChecks deadlines).
+  bool Expired() const;
+
+  /// Why the most recent Expired() call returned true; kNone otherwise.
+  StopReason reason() const { return reason_; }
+
+  /// Wall-clock seconds left; +infinity for untimed deadlines. Diagnostic
+  /// only — does not consume a poll.
+  double RemainingSeconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool has_wall_clock_ = false;
+  Clock::time_point wall_deadline_{};
+  bool has_check_budget_ = false;
+  // Mutable: Expired() is conceptually a const query, but the poll budget
+  // and the reported reason advance with each call. Training is
+  // single-threaded (see common/fault.h), so plain fields suffice.
+  mutable int64_t checks_left_ = 0;
+  mutable StopReason reason_ = StopReason::kNone;
+};
+
+/// Raises the process-wide cancellation flag; every Deadline observes it.
+/// Safe to call from a signal handler.
+void RequestCancellation();
+
+/// True once RequestCancellation was called (and not cleared).
+bool CancellationRequested();
+
+/// Clears the flag so later runs in the same process start fresh (tests).
+void ClearCancellation();
+
+/// Routes SIGINT and SIGTERM to RequestCancellation so an interrupted run
+/// checkpoints and exits cleanly instead of dying mid-epoch. Idempotent.
+void InstallSignalHandlers();
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_DEADLINE_H_

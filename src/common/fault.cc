@@ -22,6 +22,8 @@ const char* FaultSiteName(FaultSite site) {
       return "checkpoint-flip";
     case FaultSite::kCheckpointTruncate:
       return "checkpoint-truncate";
+    case FaultSite::kCheckpointRead:
+      return "checkpoint-read";
   }
   return "unknown";
 }

@@ -29,8 +29,9 @@ enum class FaultSite : int {
   kParameter,           // parameter values after an optimizer update
   kCheckpointFlip,      // one payload bit during SaveCheckpoint
   kCheckpointTruncate,  // drop the tail of the payload during SaveCheckpoint
+  kCheckpointRead,      // one payload bit in the buffer read back at load
 };
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 6;
 
 const char* FaultSiteName(FaultSite site);
 

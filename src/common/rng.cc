@@ -99,4 +99,18 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+RngState Rng::SaveState() const {
+  RngState state;
+  for (size_t i = 0; i < state.words.size(); ++i) state.words[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::LoadState(const RngState& state) {
+  for (size_t i = 0; i < state.words.size(); ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace fairwos::common

@@ -4,12 +4,25 @@
 #ifndef FAIRWOS_COMMON_RNG_H_
 #define FAIRWOS_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "common/check.h"
 
 namespace fairwos::common {
+
+/// Complete serializable generator state: the four xoshiro256++ words plus
+/// the Box-Muller cache. Restoring this into any Rng continues the exact
+/// stream — including after an odd number of Normal() draws — which is what
+/// makes crash-resumed training bit-identical (docs/resume.md).
+struct RngState {
+  std::array<uint64_t, 4> words{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  bool operator==(const RngState& other) const = default;
+};
 
 /// xoshiro256++ generator: fast, high-quality, and fully deterministic from
 /// its 64-bit seed. Satisfies the UniformRandomBitGenerator concept is not a
@@ -57,6 +70,13 @@ class Rng {
   /// Derives an unrelated child generator; used to hand independent streams
   /// to sub-components (e.g. per-trial seeds from a base seed).
   Rng Fork();
+
+  /// Captures the complete generator state for checkpointing.
+  RngState SaveState() const;
+
+  /// Overwrites this generator with `state`; the stream continues exactly
+  /// where SaveState left off.
+  void LoadState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -45,6 +46,7 @@ class Status {
   static Status FailedPrecondition(std::string msg);
   static Status IoError(std::string msg);
   static Status Internal(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -11,7 +11,8 @@
 namespace fairwos::core {
 
 PretrainedEncoder::PretrainedEncoder(const EncoderConfig& config,
-                                     const data::Dataset& ds, uint64_t seed) {
+                                     const data::Dataset& ds, uint64_t seed,
+                                     const common::Deadline* deadline) {
   FW_CHECK_GT(config.out_dim, 0);
   FW_CHECK_GT(config.epochs, 0);
   common::Rng rng(seed);
@@ -30,6 +31,7 @@ PretrainedEncoder::PretrainedEncoder(const EncoderConfig& config,
   double best_val_loss = std::numeric_limits<double>::infinity();
   int64_t since_best = 0;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (deadline != nullptr && deadline->Expired()) break;
     FW_TRACE_SPAN("encoder/pretrain_epoch");
     opt.ZeroGrad();
     tensor::Tensor logits = model.Forward(ds.features, /*training=*/true, &rng);

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "data/dataset.h"
 #include "nn/gnn.h"
@@ -30,9 +31,14 @@ struct EncoderConfig {
 /// then returns the frozen low-dimensional attributes X⁰ = Encoder(G).
 class PretrainedEncoder {
  public:
-  /// Trains on ds (Eq. 5) deterministically from `seed`.
+  /// Trains on ds (Eq. 5) deterministically from `seed`. A non-null
+  /// `deadline` is polled once per epoch; on expiry training stops early
+  /// with the best parameters so far (the caller — core::TrainFairwos —
+  /// re-checks the deadline and aborts the run cleanly; a half-trained
+  /// encoder is never checkpointed, see docs/resume.md).
   PretrainedEncoder(const EncoderConfig& config, const data::Dataset& ds,
-                    uint64_t seed);
+                    uint64_t seed,
+                    const common::Deadline* deadline = nullptr);
 
   /// X⁰: [N, out_dim] pseudo-sensitive attributes, detached constants.
   const tensor::Tensor& pseudo_attributes() const { return x0_; }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -15,6 +18,59 @@
 
 namespace fairwos::core {
 namespace {
+
+// Checkpoint phase ids (docs/resume.md). Phase 0 is reserved for
+// baselines::TrainClassifier; the encoder phase keeps no durable state.
+constexpr int64_t kPhasePretrain = 1;
+constexpr int64_t kPhaseFinetune = 2;
+
+void AppendSnapshot(std::vector<std::vector<float>>* blobs,
+                    const std::vector<std::vector<float>>& snapshot) {
+  blobs->insert(blobs->end(), snapshot.begin(), snapshot.end());
+}
+
+/// Checkpoint sections are validated against the live module before
+/// RestoreParameters (which FW_CHECK-aborts on mismatch) ever sees them, so
+/// a checkpoint from a different config surfaces as a Status.
+common::Status CheckParamsMatch(
+    const std::vector<tensor::Tensor>& params,
+    const std::vector<std::vector<float>>& saved, const char* what) {
+  if (saved.size() != params.size()) {
+    return common::Status::FailedPrecondition(
+        std::string("checkpoint ") + what + " holds " +
+        std::to_string(saved.size()) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < saved.size(); ++i) {
+    if (saved[i].size() != params[i].data().size()) {
+      return common::Status::FailedPrecondition(
+          std::string("checkpoint ") + what + " tensor " + std::to_string(i) +
+          " has " + std::to_string(saved[i].size()) + " values, model wants " +
+          std::to_string(params[i].data().size()));
+    }
+  }
+  return common::Status::OK();
+}
+
+void EmitResumeEvent(const std::string& path, const nn::TrainState& st) {
+  obs::MetricsRegistry::Global().GetCounter("resume.success")->Increment();
+  obs::EmitEvent(obs::Event("resume")
+                     .Set("path", path)
+                     .Set("phase", st.phase)
+                     .Set("epoch", st.epoch));
+}
+
+void EmitDeadlineEvent(const char* phase, int64_t epoch,
+                       const common::Deadline& deadline, bool checkpointed) {
+  obs::MetricsRegistry::Global()
+      .GetCounter("resume.deadline_exceeded")
+      ->Increment();
+  obs::EmitEvent(obs::Event("deadline_exceeded")
+                     .Set("phase", phase)
+                     .Set("epoch", epoch)
+                     .Set("reason", common::StopReasonName(deadline.reason()))
+                     .Set("checkpointed", static_cast<int64_t>(checkpointed)));
+}
 
 /// Evaluation-mode predictions for every node.
 nn::PredictionResult Evaluate(const nn::GnnClassifier& model,
@@ -64,22 +120,90 @@ std::vector<double> MeasureDistances(const tensor::Tensor& emb,
 }
 
 /// Pre-trains the classifier (Eq. 10) with best-validation checkpointing and
-/// rollback-and-retry divergence recovery. Returns the number of epochs
-/// actually run; `retries` (if non-null) receives the recovery count.
-int64_t PretrainClassifier(const FairwosConfig& config,
-                           const data::Dataset& ds, const tensor::Tensor& x,
-                           nn::GnnClassifier* model, common::Rng* rng,
-                           int64_t* retries) {
+/// rollback-and-retry divergence recovery. With a non-null `rotation`, the
+/// loop additionally writes phase-1 TrainState checkpoints every
+/// `config.checkpoint.every` epochs; a non-null `resume` restarts from that
+/// state (see the layout comment at PackPretrainState). On deadline expiry
+/// it saves one final checkpoint and returns DeadlineExceeded; the epoch
+/// and retry counts written so far stay valid either way.
+///
+/// Phase-1 TrainState layout (docs/resume.md):
+///   params          model parameters at the boundary
+///   blobs[0]        X⁰ flattened row-major ([N, num_attrs])
+///   blobs[1..1+P)   best-validation snapshot (P = parameter count)
+///   scalars         [best_val_loss, encoder_val_acc_pct]
+///   counters        [since_best, epochs_run, retries, num_attrs]
+common::Status PretrainClassifier(
+    const FairwosConfig& config, const data::Dataset& ds,
+    const tensor::Tensor& x, double encoder_val_acc,
+    nn::GnnClassifier* model, common::Rng* rng,
+    nn::CheckpointRotation* rotation, const nn::TrainState* resume,
+    int64_t* epochs_run_out, int64_t* retries_out) {
   FW_TRACE_SPAN("fairwos/classifier_pretrain");
   nn::Adam opt(model->parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
                config.weight_decay);
   opt.set_max_grad_norm(config.max_grad_norm);
-  nn::SelfHealing healer(config.recovery, *model, &opt, "Fairwos pre-train");
   auto best_snapshot = nn::SnapshotParameters(*model);
   double best_val_loss = std::numeric_limits<double>::infinity();
   int64_t since_best = 0;
   int64_t epochs_run = 0;
-  for (int64_t epoch = 0; epoch < config.pretrain_epochs; ++epoch) {
+  int64_t start_epoch = 0;
+  int64_t restored_retries = 0;
+  if (resume != nullptr) {
+    const size_t num_params = model->parameters().size();
+    if (resume->blobs.size() != 1 + num_params ||
+        resume->scalars.size() != 2 || resume->counters.size() != 4) {
+      return common::Status::FailedPrecondition(
+          "pre-train checkpoint has unexpected section sizes");
+    }
+    std::vector<std::vector<float>> saved_best(resume->blobs.begin() + 1,
+                                               resume->blobs.end());
+    FW_RETURN_IF_ERROR(
+        CheckParamsMatch(model->parameters(), resume->params, "parameters"));
+    FW_RETURN_IF_ERROR(CheckParamsMatch(model->parameters(), saved_best,
+                                        "best-validation snapshot"));
+    nn::RestoreParameters(*model, resume->params);
+    FW_RETURN_IF_ERROR(opt.ImportState(resume->optimizer));
+    best_snapshot = std::move(saved_best);
+    best_val_loss = resume->scalars[0];
+    since_best = resume->counters[0];
+    epochs_run = resume->counters[1];
+    restored_retries = resume->counters[2];
+    start_epoch = resume->epoch;
+  }
+  // Constructed after any restore so its rollback target is the restored
+  // parameters — exactly what the interrupted run's healer held committed.
+  nn::SelfHealing healer(config.recovery, *model, &opt, "Fairwos pre-train");
+  if (resume != nullptr) {
+    healer.RestoreRetries(restored_retries);
+    rng->LoadState(resume->rng);
+  }
+  const auto pack = [&](int64_t next_epoch) {
+    nn::TrainState st;
+    st.phase = kPhasePretrain;
+    st.epoch = next_epoch;
+    st.rng = rng->SaveState();
+    st.optimizer = opt.ExportState();
+    st.params = nn::SnapshotParameters(*model);
+    st.blobs.push_back(x.data());
+    AppendSnapshot(&st.blobs, best_snapshot);
+    st.scalars = {best_val_loss, encoder_val_acc};
+    st.counters = {since_best, epochs_run, healer.retries(), x.dim(1)};
+    return st;
+  };
+  for (int64_t epoch = start_epoch; epoch < config.pretrain_epochs; ++epoch) {
+    if (config.deadline.Expired()) {
+      bool checkpointed = false;
+      if (rotation != nullptr) {
+        FW_RETURN_IF_ERROR(rotation->Save(pack(epoch)));
+        checkpointed = true;
+      }
+      *epochs_run_out = epochs_run;
+      *retries_out = healer.retries();
+      EmitDeadlineEvent("pretrain", epoch, config.deadline, checkpointed);
+      return common::Status::DeadlineExceeded(
+          "Fairwos pre-train interrupted at epoch " + std::to_string(epoch));
+    }
     FW_TRACE_SPAN("fairwos/pretrain_epoch");
     ++epochs_run;
     opt.ZeroGrad();
@@ -116,10 +240,15 @@ int64_t PretrainClassifier(const FairwosConfig& config,
                ++since_best >= config.pretrain_patience) {
       break;
     }
+    if (rotation != nullptr && config.checkpoint.every > 0 &&
+        (epoch + 1) % config.checkpoint.every == 0) {
+      FW_RETURN_IF_ERROR(rotation->Save(pack(epoch + 1)));
+    }
   }
   nn::RestoreParameters(*model, best_snapshot);
-  if (retries != nullptr) *retries = healer.retries();
-  return epochs_run;
+  *epochs_run_out = epochs_run;
+  *retries_out = healer.retries();
+  return common::Status::OK();
 }
 
 }  // namespace
@@ -135,17 +264,80 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
   common::Rng rng(seed);
   FairwosStats local_stats;
 
+  // --- Crash-resume bootstrap (docs/resume.md) ----------------------------
+  std::unique_ptr<nn::CheckpointRotation> rotation;
+  nn::TrainState resume_state;
+  bool resuming = false;
+  if (config.checkpoint.enabled()) {
+    rotation = std::make_unique<nn::CheckpointRotation>(config.checkpoint.dir,
+                                                        config.checkpoint.keep);
+    if (config.checkpoint.resume) {
+      obs::MetricsRegistry::Global().GetCounter("resume.attempts")->Increment();
+      auto loaded = rotation->LoadLatestValid();
+      if (loaded.ok()) {
+        resume_state = std::move(loaded).value();
+        if (resume_state.phase != kPhasePretrain &&
+            resume_state.phase != kPhaseFinetune) {
+          return common::Status::FailedPrecondition(
+              "checkpoint phase " + std::to_string(resume_state.phase) +
+              " is not a Fairwos phase (was it written by a baseline?)");
+        }
+        resuming = true;
+        local_stats.resumed = true;
+        local_stats.resume_phase = resume_state.phase;
+        local_stats.resume_epoch = resume_state.epoch;
+        EmitResumeEvent(rotation->last_loaded_path(), resume_state);
+      } else if (loaded.status().code() != common::StatusCode::kNotFound) {
+        return loaded.status();
+      }
+      // NotFound: an empty checkpoint directory means a fresh start.
+    }
+  }
+
   // --- Step 1: pseudo-sensitive attributes (Eq. 4-6) ----------------------
   tensor::Tensor x0;
-  if (config.use_encoder) {
-    FW_TRACE_SPAN("fairwos/encoder_pretrain");
-    PretrainedEncoder encoder(config.encoder, ds, rng.NextU64());
-    x0 = encoder.pseudo_attributes();
-    local_stats.encoder_val_acc_pct = encoder.best_val_accuracy_pct();
+  if (resuming) {
+    // X⁰ is frozen after step 1, so checkpoints carry it verbatim (both
+    // phase layouts put num_attrs at counters[3] and the flattened X⁰ in
+    // blobs[0]); resume never re-runs the encoder.
+    const int64_t num_nodes = ds.num_nodes();
+    const int64_t saved_attrs =
+        resume_state.counters.size() >= 4 ? resume_state.counters[3] : 0;
+    if (saved_attrs <= 0 || resume_state.blobs.empty() ||
+        static_cast<int64_t>(resume_state.blobs[0].size()) !=
+            num_nodes * saved_attrs) {
+      return common::Status::FailedPrecondition(
+          "checkpoint pseudo-attributes do not match this dataset");
+    }
+    x0 = tensor::Tensor::FromVector({num_nodes, saved_attrs},
+                                    resume_state.blobs[0]);
   } else {
-    // Ablation Fwos w/o E: every non-sensitive attribute is its own
-    // pseudo-sensitive attribute.
-    x0 = ds.features.DetachCopy();
+    if (config.deadline.Expired()) {
+      EmitDeadlineEvent("encoder", 0, config.deadline, /*checkpointed=*/false);
+      if (stats != nullptr) *stats = local_stats;
+      return common::Status::DeadlineExceeded(
+          "deadline expired before Fairwos training started");
+    }
+    if (config.use_encoder) {
+      FW_TRACE_SPAN("fairwos/encoder_pretrain");
+      PretrainedEncoder encoder(config.encoder, ds, rng.NextU64(),
+                                &config.deadline);
+      x0 = encoder.pseudo_attributes();
+      local_stats.encoder_val_acc_pct = encoder.best_val_accuracy_pct();
+    } else {
+      // Ablation Fwos w/o E: every non-sensitive attribute is its own
+      // pseudo-sensitive attribute.
+      x0 = ds.features.DetachCopy();
+    }
+    if (config.deadline.Expired()) {
+      // The encoder phase keeps no durable state (it is cheap relative to
+      // the classifier phases): an interruption here aborts cleanly and a
+      // resumed run restarts the encoder from scratch.
+      EmitDeadlineEvent("encoder", 0, config.deadline, /*checkpointed=*/false);
+      if (stats != nullptr) *stats = local_stats;
+      return common::Status::DeadlineExceeded(
+          "Fairwos encoder pre-train interrupted");
+    }
   }
   const int64_t num_attrs = x0.dim(1);
 
@@ -153,14 +345,45 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
   nn::GnnConfig gnn = config.gnn;
   gnn.in_features = num_attrs;
   nn::GnnClassifier model(gnn, ds.graph, &rng);
-  local_stats.pretrain_epochs_run = PretrainClassifier(
-      config, ds, x0, &model, &rng, &local_stats.pretrain_retries);
 
-  // Pseudo-labels for the counterfactual search (semi-supervised setting).
-  std::vector<int> pseudo_labels = Evaluate(model, x0, &rng).pred;
-  // Ground-truth labels override pseudo-labels where known.
-  for (int64_t v : ds.split.train) {
-    pseudo_labels[static_cast<size_t>(v)] = ds.labels[static_cast<size_t>(v)];
+  const bool resume_finetune =
+      resuming && resume_state.phase == kPhaseFinetune;
+  if (resume_finetune &&
+      !(config.use_fairness && config.finetune_epochs > 0)) {
+    // With fine-tuning disabled the resumed run would keep a never-trained
+    // model (the phase-2 path skips classifier pre-training entirely).
+    return common::Status::FailedPrecondition(
+        "fine-tune checkpoint cannot be resumed with fairness fine-tuning "
+        "disabled");
+  }
+  std::vector<int> pseudo_labels;
+  if (!resume_finetune) {
+    const nn::TrainState* pretrain_resume =
+        resuming && resume_state.phase == kPhasePretrain ? &resume_state
+                                                         : nullptr;
+    if (pretrain_resume != nullptr) {
+      if (resume_state.scalars.size() != 2) {
+        return common::Status::FailedPrecondition(
+            "pre-train checkpoint has unexpected section sizes");
+      }
+      local_stats.encoder_val_acc_pct = resume_state.scalars[1];
+    }
+    common::Status pretrain_status = PretrainClassifier(
+        config, ds, x0, local_stats.encoder_val_acc_pct, &model, &rng,
+        rotation.get(), pretrain_resume, &local_stats.pretrain_epochs_run,
+        &local_stats.pretrain_retries);
+    if (!pretrain_status.ok()) {
+      if (stats != nullptr) *stats = local_stats;
+      return pretrain_status;
+    }
+
+    // Pseudo-labels for the counterfactual search (semi-supervised
+    // setting). Ground-truth labels override pseudo-labels where known.
+    pseudo_labels = Evaluate(model, x0, &rng).pred;
+    for (int64_t v : ds.split.train) {
+      pseudo_labels[static_cast<size_t>(v)] =
+          ds.labels[static_cast<size_t>(v)];
+    }
   }
 
   // --- Step 3: fairness fine-tuning (Eq. 12-16, Algorithm 1 lines 5-13) ---
@@ -173,20 +396,144 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
     nn::Adam opt(model.parameters(), config.finetune_lr, 0.9f, 0.999f, 1e-8f,
                  config.weight_decay);
     opt.set_max_grad_norm(config.max_grad_norm);
-    nn::SelfHealing healer(config.recovery, model, &opt, "Fairwos fine-tune");
     // Degradation target when fine-tuning cannot stabilize: the pre-trained
     // classifier, i.e. the "w/o F" ablation.
-    const auto pretrained_snapshot = nn::SnapshotParameters(model);
+    auto pretrained_snapshot = nn::SnapshotParameters(model);
     // Utility reference for model selection: the pre-trained model.
-    const double pretrain_val_acc = fairness::AccuracyPct(
-        Evaluate(model, x0, &rng).pred, ds.labels, ds.split.val);
-    const double acceptable_val_acc =
-        pretrain_val_acc - config.utility_tolerance_pct;
-    auto best_snapshot = nn::SnapshotParameters(model);
+    double pretrain_val_acc = 0.0;
+    auto best_snapshot = pretrained_snapshot;
     bool have_tolerated = false;
     auto fallback_snapshot = best_snapshot;
     double best_val = -1.0;
-    for (int64_t epoch = 0; epoch < config.finetune_epochs; ++epoch) {
+    int64_t start_epoch = 0;
+    int64_t restored_retries = 0;
+    if (resume_finetune) {
+      // Phase-2 TrainState layout (docs/resume.md):
+      //   params            model parameters at the boundary
+      //   blobs[0]          X⁰; [1..1+P) pretrained, [1+P..1+2P) best,
+      //                     [1+2P..1+3P) fallback snapshots
+      //   scalars           [pretrain_val_acc, best_val, encoder_val_acc,
+      //                     λ₀..λ_A, D₀..D_A]
+      //   counters          [finetune_epochs_run, retries, have_tolerated,
+      //                     num_attrs, pretrain_epochs_run,
+      //                     pretrain_retries, pseudo_label₀..pseudo_label_N]
+      const size_t num_params = model.parameters().size();
+      const size_t num_nodes = static_cast<size_t>(ds.num_nodes());
+      const size_t attrs = static_cast<size_t>(num_attrs);
+      if (resume_state.blobs.size() != 1 + 3 * num_params ||
+          resume_state.scalars.size() != 3 + 2 * attrs ||
+          resume_state.counters.size() != 6 + num_nodes) {
+        return common::Status::FailedPrecondition(
+            "fine-tune checkpoint has unexpected section sizes");
+      }
+      const auto blob_slice = [&](size_t first) {
+        return std::vector<std::vector<float>>(
+            resume_state.blobs.begin() + 1 + first * num_params,
+            resume_state.blobs.begin() + 1 + (first + 1) * num_params);
+      };
+      auto saved_pretrained = blob_slice(0);
+      auto saved_best = blob_slice(1);
+      auto saved_fallback = blob_slice(2);
+      FW_RETURN_IF_ERROR(CheckParamsMatch(model.parameters(),
+                                          resume_state.params, "parameters"));
+      FW_RETURN_IF_ERROR(CheckParamsMatch(model.parameters(), saved_pretrained,
+                                          "pre-trained snapshot"));
+      FW_RETURN_IF_ERROR(CheckParamsMatch(model.parameters(), saved_best,
+                                          "best snapshot"));
+      FW_RETURN_IF_ERROR(CheckParamsMatch(model.parameters(), saved_fallback,
+                                          "fallback snapshot"));
+      nn::RestoreParameters(model, resume_state.params);
+      FW_RETURN_IF_ERROR(opt.ImportState(resume_state.optimizer));
+      pretrained_snapshot = std::move(saved_pretrained);
+      best_snapshot = std::move(saved_best);
+      fallback_snapshot = std::move(saved_fallback);
+      pretrain_val_acc = resume_state.scalars[0];
+      best_val = resume_state.scalars[1];
+      local_stats.encoder_val_acc_pct = resume_state.scalars[2];
+      lambda.assign(resume_state.scalars.begin() + 3,
+                    resume_state.scalars.begin() + 3 + attrs);
+      local_stats.finetune_epochs_run = resume_state.counters[0];
+      restored_retries = resume_state.counters[1];
+      have_tolerated = resume_state.counters[2] != 0;
+      local_stats.pretrain_epochs_run = resume_state.counters[4];
+      local_stats.pretrain_retries = resume_state.counters[5];
+      // Dᵢ diagnostics are only meaningful once an epoch has run; an
+      // all-zero placeholder marks a checkpoint written before the first.
+      if (local_stats.finetune_epochs_run > 0) {
+        local_stats.final_distances.assign(
+            resume_state.scalars.begin() + 3 + attrs,
+            resume_state.scalars.begin() + 3 + 2 * attrs);
+      }
+      pseudo_labels.resize(num_nodes);
+      for (size_t v = 0; v < num_nodes; ++v) {
+        pseudo_labels[v] = static_cast<int>(resume_state.counters[6 + v]);
+      }
+      start_epoch = resume_state.epoch;
+    } else {
+      pretrain_val_acc = fairness::AccuracyPct(
+          Evaluate(model, x0, &rng).pred, ds.labels, ds.split.val);
+    }
+    // Constructed after any restore so its rollback target matches the
+    // interrupted run's committed parameters.
+    nn::SelfHealing healer(config.recovery, model, &opt, "Fairwos fine-tune");
+    if (resume_finetune) {
+      healer.RestoreRetries(restored_retries);
+      rng.LoadState(resume_state.rng);
+    }
+    const double acceptable_val_acc =
+        pretrain_val_acc - config.utility_tolerance_pct;
+    const auto pack = [&](int64_t next_epoch) {
+      nn::TrainState st;
+      st.phase = kPhaseFinetune;
+      st.epoch = next_epoch;
+      st.rng = rng.SaveState();
+      st.optimizer = opt.ExportState();
+      st.params = nn::SnapshotParameters(model);
+      st.blobs.push_back(x0.data());
+      AppendSnapshot(&st.blobs, pretrained_snapshot);
+      AppendSnapshot(&st.blobs, best_snapshot);
+      AppendSnapshot(&st.blobs, fallback_snapshot);
+      st.scalars = {pretrain_val_acc, best_val,
+                    local_stats.encoder_val_acc_pct};
+      st.scalars.insert(st.scalars.end(), lambda.begin(), lambda.end());
+      if (local_stats.final_distances.empty()) {
+        st.scalars.insert(st.scalars.end(), static_cast<size_t>(num_attrs),
+                          0.0);
+      } else {
+        st.scalars.insert(st.scalars.end(),
+                          local_stats.final_distances.begin(),
+                          local_stats.final_distances.end());
+      }
+      st.counters = {local_stats.finetune_epochs_run,
+                     healer.retries(),
+                     have_tolerated ? int64_t{1} : int64_t{0},
+                     num_attrs,
+                     local_stats.pretrain_epochs_run,
+                     local_stats.pretrain_retries};
+      st.counters.reserve(st.counters.size() + pseudo_labels.size());
+      for (int label : pseudo_labels) st.counters.push_back(label);
+      return st;
+    };
+    for (int64_t epoch = start_epoch; epoch < config.finetune_epochs;
+         ++epoch) {
+      if (config.deadline.Expired()) {
+        bool checkpointed = false;
+        if (rotation != nullptr) {
+          common::Status save_status = rotation->Save(pack(epoch));
+          if (!save_status.ok()) {
+            if (stats != nullptr) *stats = local_stats;
+            return save_status;
+          }
+          checkpointed = true;
+        }
+        local_stats.finetune_retries = healer.retries();
+        local_stats.lambda = lambda;
+        EmitDeadlineEvent("finetune", epoch, config.deadline, checkpointed);
+        if (stats != nullptr) *stats = local_stats;
+        return common::Status::DeadlineExceeded(
+            "Fairwos fine-tune interrupted at epoch " +
+            std::to_string(epoch));
+      }
       FW_TRACE_SPAN("fairwos/finetune_epoch");
       ++local_stats.finetune_epochs_run;
       // (a) refresh the counterfactual set from current embeddings.
@@ -309,6 +656,14 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
       if (val_acc > best_val) {
         best_val = val_acc;
         fallback_snapshot = nn::SnapshotParameters(model);
+      }
+      if (rotation != nullptr && config.checkpoint.every > 0 &&
+          (epoch + 1) % config.checkpoint.every == 0) {
+        common::Status save_status = rotation->Save(pack(epoch + 1));
+        if (!save_status.ok()) {
+          if (stats != nullptr) *stats = local_stats;
+          return save_status;
+        }
       }
     }
     if (local_stats.finetune_degraded) {

@@ -15,9 +15,11 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/counterfactual.h"
 #include "core/encoder.h"
 #include "core/method.h"
+#include "nn/checkpoint.h"
 #include "nn/gnn.h"
 #include "nn/guard.h"
 
@@ -73,6 +75,17 @@ struct FairwosConfig {
   /// step; <= 0 (the default) leaves steps unclipped until the recovery
   /// path enables clipping after a divergence.
   float max_grad_norm = 0.0f;
+
+  /// Durable crash-resume (docs/resume.md): rotating full-training-state
+  /// checkpoints written at epoch boundaries of the classifier pre-train
+  /// and fairness fine-tune phases, and deterministic restart from the
+  /// newest valid one. Disabled while `checkpoint.dir` is empty.
+  nn::CheckpointOptions checkpoint;
+
+  /// Cooperative stop token, polled at every epoch boundary (including the
+  /// encoder's). On expiry the run writes one final checkpoint (when
+  /// checkpointing is enabled) and returns Status::DeadlineExceeded.
+  common::Deadline deadline;
 };
 
 /// Diagnostics exposed to benches and tests.
@@ -88,10 +101,18 @@ struct FairwosStats {
   /// True when fine-tuning exhausted its retry budget and the pre-trained
   /// classifier was kept — graceful degradation to the "w/o F" ablation.
   bool finetune_degraded = false;
+  /// Crash-resume provenance: whether this run restarted from a checkpoint,
+  /// and if so from which phase/epoch boundary (docs/resume.md).
+  bool resumed = false;
+  int64_t resume_phase = 0;
+  int64_t resume_epoch = 0;
 };
 
-/// Trains Fairwos once. Deterministic in (config, dataset, seed).
-/// `stats` may be nullptr.
+/// Trains Fairwos once. Deterministic in (config, dataset, seed); with
+/// checkpointing enabled, a run interrupted at any epoch boundary and then
+/// resumed produces bit-identical outputs to an uninterrupted run.
+/// `stats` may be nullptr; it is also written on the DeadlineExceeded error
+/// path so callers can report how far the run got.
 common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
                                           const data::Dataset& ds,
                                           uint64_t seed, FairwosStats* stats);

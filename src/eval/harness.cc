@@ -32,7 +32,8 @@ common::Result<TrialMetrics> RunTrial(core::FairMethod* method,
 common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
                                              const data::Dataset& ds,
                                              int64_t trials,
-                                             uint64_t base_seed) {
+                                             uint64_t base_seed,
+                                             const common::Deadline* deadline) {
   if (trials <= 0) {
     return common::Status::InvalidArgument("trials must be positive");
   }
@@ -40,11 +41,34 @@ common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
   common::Rng seed_stream(base_seed);
   std::vector<double> acc, f1, auc, dsp, deo, seconds;
   int64_t failed = 0;
+  int64_t skipped = 0;
   std::vector<std::string> failure_reasons;
   common::Status last_error = common::Status::OK();
   for (int64_t t = 0; t < trials; ++t) {
+    if (deadline != nullptr && deadline->Expired()) {
+      skipped = trials - t;
+      obs::EmitEvent(
+          obs::Event("deadline_exceeded")
+              .Set("phase", "harness")
+              .Set("trial", t + 1)
+              .Set("trials", trials)
+              .Set("reason", common::StopReasonName(deadline->reason()))
+              .Set("skipped_trials", skipped));
+      FW_LOG(Warning) << method->name() << ": deadline expired before trial "
+                      << t + 1 << "/" << trials << "; skipping the rest";
+      if (acc.empty()) {
+        return common::Status::DeadlineExceeded(
+            method->name() + ": deadline expired before any trial completed");
+      }
+      break;
+    }
     auto trial = RunTrial(method, ds, seed_stream.NextU64());
     if (!trial.ok()) {
+      // An interrupted training loop left a resume checkpoint behind —
+      // surface that to the caller instead of aggregating around it.
+      if (trial.status().code() == common::StatusCode::kDeadlineExceeded) {
+        return trial.status();
+      }
       // One bad trial must not poison the whole aggregation: skip it, keep
       // the failure visible in the logs, in `failed_trials`, and — with the
       // precise Status — in `failure_reasons` and the telemetry stream.
@@ -97,6 +121,7 @@ common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
   agg.trials = static_cast<int64_t>(acc.size());
   agg.failed_trials = failed;
   agg.failure_reasons = std::move(failure_reasons);
+  agg.skipped_trials = skipped;
   return agg;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/method.h"
 #include "data/dataset.h"
 #include "eval/stats.h"
@@ -35,6 +36,9 @@ struct AggregateMetrics {
   /// One "trial <n>: <Status>" entry per failed trial, in trial order — so
   /// telemetry and the Table II output can report *why* trials failed.
   std::vector<std::string> failure_reasons;
+  /// Trials never launched because the deadline expired between trials
+  /// (docs/resume.md); the aggregate over the completed ones stays valid.
+  int64_t skipped_trials = 0;
 };
 
 /// Trains `method` once with `seed` and evaluates on ds.split.test.
@@ -45,10 +49,16 @@ common::Result<TrialMetrics> RunTrial(core::FairMethod* method,
 /// Runs `trials` independent trials with seeds derived from `base_seed`.
 /// Tolerates partial failure: an errored trial is skipped and counted in
 /// `failed_trials`; an error is returned only when every trial fails.
-common::Result<AggregateMetrics> RunRepeated(core::FairMethod* method,
-                                             const data::Dataset& ds,
-                                             int64_t trials,
-                                             uint64_t base_seed);
+///
+/// A non-null `deadline` is polled between trials: on expiry the remaining
+/// trials are counted in `skipped_trials` and the completed ones are
+/// aggregated (DeadlineExceeded when none completed). A trial that *itself*
+/// returns DeadlineExceeded — an interrupted training loop that saved a
+/// resume checkpoint — propagates immediately, so callers can print the
+/// resume hint instead of a half-aggregated table.
+common::Result<AggregateMetrics> RunRepeated(
+    core::FairMethod* method, const data::Dataset& ds, int64_t trials,
+    uint64_t base_seed, const common::Deadline* deadline = nullptr);
 
 }  // namespace fairwos::eval
 

@@ -93,6 +93,13 @@ class SelfHealing {
   /// Number of recoveries performed so far.
   int64_t retries() const { return retries_; }
 
+  /// Restores a retry count consumed before a crash, so a resumed run
+  /// continues with the same remaining budget (docs/resume.md).
+  void RestoreRetries(int64_t retries) {
+    FW_CHECK_GE(retries, 0);
+    retries_ = retries;
+  }
+
   /// Why the most recent GuardedStep failed (for logs and stats).
   const common::Status& last_failure() const { return last_failure_; }
 

@@ -54,6 +54,23 @@ void Optimizer::FinishStep() {
   }
 }
 
+OptimizerState Optimizer::ExportState() const {
+  OptimizerState state;
+  state.lr = lr_;
+  state.max_grad_norm = max_grad_norm_;
+  return state;
+}
+
+common::Status Optimizer::ImportState(const OptimizerState& state) {
+  if (state.lr <= 0.0f) {
+    return common::Status::FailedPrecondition(
+        "optimizer state has non-positive lr");
+  }
+  lr_ = state.lr;
+  max_grad_norm_ = state.max_grad_norm;
+  return common::Status::OK();
+}
+
 Sgd::Sgd(std::vector<tensor::Tensor> params, float lr, float weight_decay)
     : Optimizer(std::move(params), lr), weight_decay_(weight_decay) {}
 
@@ -87,6 +104,36 @@ void Adam::ResetState() {
   t_ = 0;
   for (auto& m : m_) m.assign(m.size(), 0.0f);
   for (auto& v : v_) v.assign(v.size(), 0.0f);
+}
+
+OptimizerState Adam::ExportState() const {
+  OptimizerState state = Optimizer::ExportState();
+  state.step_count = t_;
+  state.moment1 = m_;
+  state.moment2 = v_;
+  return state;
+}
+
+common::Status Adam::ImportState(const OptimizerState& state) {
+  if (state.moment1.size() != m_.size() || state.moment2.size() != v_.size()) {
+    return common::Status::FailedPrecondition(
+        "Adam state covers " + std::to_string(state.moment1.size()) +
+        " parameters, optimizer has " + std::to_string(m_.size()));
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    if (state.moment1[i].size() != m_[i].size() ||
+        state.moment2[i].size() != v_[i].size()) {
+      return common::Status::FailedPrecondition(
+          "Adam moment " + std::to_string(i) + " has " +
+          std::to_string(state.moment1[i].size()) + " elements, expected " +
+          std::to_string(m_[i].size()));
+    }
+  }
+  FW_RETURN_IF_ERROR(Optimizer::ImportState(state));
+  t_ = state.step_count;
+  m_ = state.moment1;
+  v_ = state.moment2;
+  return common::Status::OK();
 }
 
 void Adam::StepImpl() {

@@ -11,9 +11,22 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace fairwos::nn {
+
+/// Complete serializable optimizer state, captured by ExportState and
+/// replayed by ImportState so a crash-resumed run continues with the exact
+/// update dynamics of the interrupted one (docs/resume.md). SGD uses only
+/// the base fields; Adam adds its step count and per-parameter moments.
+struct OptimizerState {
+  float lr = 0.0f;
+  float max_grad_norm = 0.0f;
+  int64_t step_count = 0;
+  std::vector<std::vector<float>> moment1;  // Adam m, one entry per parameter
+  std::vector<std::vector<float>> moment2;  // Adam v, one entry per parameter
+};
 
 /// Interface: Step() applies one update from the gradients currently
 /// accumulated on the parameters; ZeroGrad() clears them.
@@ -51,6 +64,16 @@ class Optimizer {
   /// gradient stay NaN forever and would re-poison every later step.
   virtual void ResetState() {}
 
+  /// Captures every mutable knob and buffer for checkpointing. The base
+  /// implementation covers lr and the clip norm; stateful subclasses
+  /// append their buffers.
+  virtual OptimizerState ExportState() const;
+
+  /// Restores state captured by ExportState on an optimizer built over the
+  /// same parameters. FailedPrecondition when buffer shapes do not match;
+  /// the optimizer is left untouched on error.
+  virtual common::Status ImportState(const OptimizerState& state);
+
  protected:
   /// The subclass update rule, invoked by Step() between PrepareStep() and
   /// FinishStep().
@@ -87,6 +110,8 @@ class Adam : public Optimizer {
   Adam(std::vector<tensor::Tensor> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void ResetState() override;
+  OptimizerState ExportState() const override;
+  common::Status ImportState(const OptimizerState& state) override;
 
  protected:
   void StepImpl() override;

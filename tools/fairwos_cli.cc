@@ -28,6 +28,20 @@
 //   --telemetry-out FILE  stream per-epoch training events as JSONL
 //   --log-level LEVEL     debug|info|warning|error (default: info, or the
 //                         FAIRWOS_LOG_LEVEL environment variable)
+//
+// Crash-resume flags accepted by train (docs/resume.md):
+//   --checkpoint-dir DIR  rotating full-training-state checkpoints in DIR
+//   --checkpoint-every N  save every N epochs (default 10; <= 0 saves only
+//                         the graceful final checkpoint on interruption)
+//   --keep-checkpoints N  rotation depth (default 3)
+//   --resume              restart from the newest valid checkpoint in DIR
+//   --max-wall-clock S    stop cleanly after S seconds at the next epoch
+//                         boundary; exit code 3 signals "resumable"
+//   --deadline-after-checks N
+//                         deterministic test hook: expire the deadline after
+//                         N polls instead of after wall-clock time
+// SIGINT/SIGTERM are handled cooperatively: the run stops at the next epoch
+// boundary, writes a final checkpoint when enabled, and exits with code 3.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,6 +51,7 @@
 
 #include "baselines/registry.h"
 #include "common/cli.h"
+#include "common/deadline.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -46,6 +61,7 @@
 #include "data/synthetic.h"
 #include "eval/harness.h"
 #include "eval/table.h"
+#include "nn/checkpoint.h"
 
 namespace fairwos::cli {
 namespace {
@@ -186,6 +202,27 @@ int Generate(const common::CliFlags& flags) {
   return 0;
 }
 
+/// --checkpoint-dir / --checkpoint-every / --keep-checkpoints / --resume.
+nn::CheckpointOptions ResolveCheckpointOptions(const common::CliFlags& flags) {
+  nn::CheckpointOptions ckpt;
+  ckpt.dir = flags.GetString("checkpoint-dir", "");
+  ckpt.every = flags.GetInt("checkpoint-every", 10);
+  ckpt.keep = flags.GetInt("keep-checkpoints", 3);
+  ckpt.resume = flags.GetBool("resume", false);
+  return ckpt;
+}
+
+/// --deadline-after-checks (deterministic test hook) wins over
+/// --max-wall-clock; with neither, the deadline never fires on its own but
+/// SIGINT/SIGTERM still stop the run cooperatively.
+common::Deadline ResolveDeadline(const common::CliFlags& flags) {
+  const int64_t checks = flags.GetInt("deadline-after-checks", -1);
+  if (checks >= 0) return common::Deadline::AfterChecks(checks);
+  const double wall = flags.GetDouble("max-wall-clock", 0.0);
+  if (wall > 0.0) return common::Deadline::After(wall);
+  return common::Deadline::Never();
+}
+
 int Train(const common::CliFlags& flags) {
   auto obs_or = ObsSession::FromFlags(flags);
   if (!obs_or.ok()) return Fail(obs_or.status());
@@ -194,13 +231,42 @@ int Train(const common::CliFlags& flags) {
   const data::Dataset& ds = ds_or.value();
   auto options_or = ResolveMethodOptions(flags, ds.name);
   if (!options_or.ok()) return Fail(options_or.status());
+  const nn::CheckpointOptions ckpt = ResolveCheckpointOptions(flags);
+  const common::Deadline deadline = ResolveDeadline(flags);
+  common::InstallSignalHandlers();
+  baselines::MethodOptions options = options_or.value();
+  // Each copy of an AfterChecks deadline counts its own polls; with a
+  // single method per `train` invocation only the method's copy matters.
+  options.train.checkpoint = ckpt;
+  options.train.deadline = deadline;
+  options.fairwos.checkpoint = ckpt;
+  options.fairwos.deadline = deadline;
   const std::string method_name = flags.GetString("method", "fairwos");
-  auto method_or = baselines::MakeMethod(method_name, options_or.value());
+  auto method_or = baselines::MakeMethod(method_name, options);
   if (!method_or.ok()) return Fail(method_or.status());
   const int64_t trials = flags.GetInt("trials", 1);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  auto agg_or = eval::RunRepeated(method_or.value().get(), ds, trials, seed);
-  if (!agg_or.ok()) return Fail(agg_or.status());
+  if (ckpt.enabled() && trials > 1) {
+    std::fprintf(stderr,
+                 "warning: --checkpoint-dir shares one directory across all "
+                 "trials; checkpointing and --resume are only well-defined "
+                 "with --trials 1\n");
+  }
+  auto agg_or =
+      eval::RunRepeated(method_or.value().get(), ds, trials, seed, &deadline);
+  if (!agg_or.ok()) {
+    if (agg_or.status().code() == common::StatusCode::kDeadlineExceeded) {
+      std::fprintf(stderr, "deadline exceeded: %s\n",
+                   agg_or.status().ToString().c_str());
+      if (ckpt.enabled()) {
+        std::fprintf(stderr,
+                     "resume with: --checkpoint-dir %s --resume true\n",
+                     ckpt.dir.c_str());
+      }
+      return 3;  // distinct from generic failure: the run is resumable
+    }
+    return Fail(agg_or.status());
+  }
   const auto& agg = agg_or.value();
   std::printf(
       "%s on %s (%lld trial(s)):\n"
@@ -219,6 +285,11 @@ int Train(const common::CliFlags& flags) {
                 static_cast<long long>(agg.failed_trials),
                 static_cast<long long>(trials));
     PrintFailureReasons(agg);
+  }
+  if (agg.skipped_trials > 0) {
+    std::printf("  %lld/%lld trial(s) skipped (deadline)\n",
+                static_cast<long long>(agg.skipped_trials),
+                static_cast<long long>(trials));
   }
   return 0;
 }
