@@ -16,6 +16,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/telemetry.h"
+#include "common/threadpool.h"
 #include "common/trace.h"
 #include "data/synthetic.h"
 #include "eval/harness.h"
@@ -30,6 +31,7 @@ struct BenchOptions {
   int64_t epochs = 300;    // pre-training epochs (paper: 1000, GPU)
   uint64_t seed = 42;
   std::string backbone = "gcn";
+  int64_t threads = 0;     // 0 = keep the pool default (docs/parallelism.md)
 };
 
 inline BenchOptions ParseBenchOptions(const common::CliFlags& flags) {
@@ -39,6 +41,10 @@ inline BenchOptions ParseBenchOptions(const common::CliFlags& flags) {
   out.epochs = flags.GetInt("epochs", out.epochs);
   out.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   out.backbone = flags.GetString("backbone", out.backbone);
+  out.threads = flags.GetInt("threads", out.threads);
+  if (out.threads > 0) {
+    common::SetGlobalThreadCount(static_cast<int>(out.threads));
+  }
   return out;
 }
 

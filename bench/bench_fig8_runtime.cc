@@ -3,18 +3,137 @@
 // runs), for GCN and GIN backbones.
 //
 //   ./bench_fig8_runtime [--scale 20] [--trials 3] [--backbone both]
+//
+// Thread-scaling mode (docs/parallelism.md):
+//   ./bench_fig8_runtime --thread-sweep 1,2,4 [--sweep-json BENCH_parallel.json]
+// times the full Fairwos RunRepeated at each thread count, verifies the
+// aggregates are bit-identical across counts, and optionally records the
+// sweep as JSON.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 
 namespace fairwos::bench {
 namespace {
 
+/// One measured point of the thread sweep.
+struct SweepPoint {
+  int threads = 0;
+  double wall_seconds = 0.0;
+  eval::AggregateMetrics agg;
+};
+
+int RunThreadSweep(const std::string& spec, const std::string& json_out,
+                   const BenchOptions& bench) {
+  std::vector<int> counts;
+  for (const std::string& field : common::Split(spec, ',')) {
+    auto parsed = common::ParseDouble(field);
+    if (!parsed.ok() || parsed.value() < 1.0 ||
+        parsed.value() != static_cast<int>(parsed.value())) {
+      std::fprintf(stderr, "FATAL: bad --thread-sweep entry '%s'\n",
+                   field.c_str());
+      return 1;
+    }
+    counts.push_back(static_cast<int>(parsed.value()));
+  }
+  if (counts.empty()) {
+    std::fprintf(stderr, "FATAL: --thread-sweep needs at least one count\n");
+    return 1;
+  }
+
+  const std::string dataset_name = "nba";
+  data::DatasetOptions data_options;
+  data_options.scale = bench.scale;
+  data_options.seed = bench.seed;
+  auto ds = DieOnError(data::MakeDataset(dataset_name, data_options));
+  const nn::Backbone backbone =
+      DieOnError(nn::ParseBackbone(bench.backbone == "both" ? "gcn"
+                                                            : bench.backbone));
+  std::printf(
+      "Thread sweep — Fairwos RunRepeated on %s, %lld trial(s), "
+      "hardware threads: %d\n\n",
+      ds.name.c_str(), static_cast<long long>(bench.trials),
+      common::HardwareThreads());
+
+  std::vector<SweepPoint> points;
+  for (int threads : counts) {
+    common::SetGlobalThreadCount(threads);
+    baselines::MethodOptions options =
+        MakeMethodOptions(bench, backbone, dataset_name);
+    auto method = DieOnError(baselines::MakeMethod("fairwos", options));
+    common::Stopwatch watch;
+    auto agg = DieOnError(
+        eval::RunRepeated(method.get(), ds, bench.trials, bench.seed));
+    points.push_back({threads, watch.Seconds(), agg});
+  }
+  common::SetGlobalThreadCount(0);  // restore the default
+
+  // The determinism contract: every thread count must produce the same
+  // aggregate, bit for bit.
+  bool identical = true;
+  for (const SweepPoint& p : points) {
+    if (p.agg.acc.mean != points[0].agg.acc.mean ||
+        p.agg.acc.stddev != points[0].agg.acc.stddev ||
+        p.agg.dsp.mean != points[0].agg.dsp.mean ||
+        p.agg.deo.mean != points[0].agg.deo.mean) {
+      identical = false;
+    }
+  }
+
+  eval::TablePrinter table({"threads", "wall seconds", "speedup", "ACC %"});
+  for (const SweepPoint& p : points) {
+    table.AddRow({common::StrFormat("%d", p.threads),
+                  common::StrFormat("%.3f", p.wall_seconds),
+                  common::StrFormat("%.2fx",
+                                    points[0].wall_seconds / p.wall_seconds),
+                  AccCell(p.agg)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("aggregates bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — determinism violation");
+
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig8_thread_sweep\",\n"
+                 "  \"dataset\": \"%s\",\n  \"backbone\": \"%s\",\n"
+                 "  \"trials\": %lld,\n  \"scale\": %g,\n"
+                 "  \"hardware_threads\": %d,\n"
+                 "  \"bit_identical\": %s,\n  \"points\": [\n",
+                 ds.name.c_str(), nn::BackboneName(backbone),
+                 static_cast<long long>(bench.trials), bench.scale,
+                 common::HardwareThreads(), identical ? "true" : "false");
+    for (size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"wall_seconds\": %.6f, "
+                   "\"speedup\": %.4f, \"acc_mean\": %.10g}%s\n",
+                   p.threads, p.wall_seconds,
+                   points[0].wall_seconds / p.wall_seconds, p.agg.acc.mean,
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[bench] wrote %s\n", json_out.c_str());
+  }
+  return identical ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   auto flags = DieOnError(common::CliFlags::Parse(argc, argv));
   ObsSession obs_session(flags);
   BenchOptions bench = ParseBenchOptions(flags);
   bench.backbone = flags.GetString("backbone", "both");
+  const std::string sweep = flags.GetString("thread-sweep", "");
+  if (!sweep.empty()) {
+    return RunThreadSweep(sweep, flags.GetString("sweep-json", ""), bench);
+  }
   std::vector<nn::Backbone> backbones;
   if (bench.backbone == "both") {
     backbones = {nn::Backbone::kGcn, nn::Backbone::kGin};

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/metrics.h"
+#include "common/threadpool.h"
 #include "common/trace.h"
 #include "core/counterfactual.h"
 #include "core/lambda_solver.h"
@@ -32,6 +33,25 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
 
+// Thread-scaling variant: Args are (n, threads). The pool is resized per
+// run; compare rows to see the parallel speedup of the dense kernels.
+void BM_MatMulThreaded(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::SetGlobalThreadCount(static_cast<int>(state.range(1)));
+  common::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::RandNormal({n, n}, 1.0f, &rng);
+  tensor::Tensor b = tensor::Tensor::RandNormal({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  common::SetGlobalThreadCount(0);  // restore the default
+}
+BENCHMARK(BM_MatMulThreaded)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
+
 void BM_SpMM(benchmark::State& state) {
   const int64_t n = state.range(0);
   common::Rng rng(2);
@@ -48,6 +68,28 @@ void BM_SpMM(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * adj->nnz() * 16);
 }
 BENCHMARK(BM_SpMM)->Arg(1000)->Arg(10000);
+
+// Thread-scaling variant of the sparse product: Args are (n, threads).
+void BM_SpMMThreaded(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  common::SetGlobalThreadCount(static_cast<int>(state.range(1)));
+  common::Rng rng(2);
+  graph::Graph g(n);
+  for (int64_t e = 0; e < 5 * n; ++e) {
+    g.AddEdge(rng.UniformInt(n), rng.UniformInt(n));
+  }
+  auto adj = g.GcnNormalizedAdjacency();
+  tensor::Tensor x = tensor::Tensor::RandNormal({n, 16}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::SpMM(adj, x));
+  }
+  state.SetItemsProcessed(state.iterations() * adj->nnz() * 16);
+  common::SetGlobalThreadCount(0);  // restore the default
+}
+BENCHMARK(BM_SpMMThreaded)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 4});
 
 void BM_AutogradRoundTrip(benchmark::State& state) {
   // One GCN-classifier forward + backward on a synthetic graph.

@@ -43,25 +43,30 @@ Deadline Deadline::After(double seconds) {
 Deadline Deadline::AfterChecks(int64_t checks) {
   Deadline d;
   d.has_check_budget_ = true;
-  d.checks_left_ = checks;
+  d.checks_left_.store(checks, std::memory_order_relaxed);
   return d;
 }
 
 bool Deadline::Expired() const {
   if (g_cancel_requested.load(std::memory_order_relaxed)) {
-    reason_ = StopReason::kSignal;
+    reason_.store(StopReason::kSignal, std::memory_order_relaxed);
     return true;
   }
-  if (has_check_budget_ && --checks_left_ < 0) {
-    checks_left_ = 0;  // stay expired without underflowing
-    reason_ = StopReason::kInjected;
-    return true;
+  if (has_check_budget_) {
+    const int64_t prev = checks_left_.fetch_sub(1, std::memory_order_relaxed);
+    if (prev <= 0) {
+      // Stay expired without drifting toward underflow; a lost clamp under
+      // contention is harmless (the counter is already non-positive).
+      checks_left_.store(0, std::memory_order_relaxed);
+      reason_.store(StopReason::kInjected, std::memory_order_relaxed);
+      return true;
+    }
   }
   if (has_wall_clock_ && Clock::now() >= wall_deadline_) {
-    reason_ = StopReason::kWallClock;
+    reason_.store(StopReason::kWallClock, std::memory_order_relaxed);
     return true;
   }
-  reason_ = StopReason::kNone;
+  reason_.store(StopReason::kNone, std::memory_order_relaxed);
   return false;
 }
 

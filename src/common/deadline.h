@@ -11,11 +11,13 @@
 //
 // Training loops poll `Expired()` once per epoch; on expiry they write a
 // final checkpoint and return Status::DeadlineExceeded instead of losing
-// the run (docs/resume.md). Polling is cheap: a steady_clock read plus one
-// relaxed atomic load.
+// the run (docs/resume.md). Polling is cheap: a steady_clock read plus a
+// couple of relaxed atomic operations, and it is thread-safe — parallel
+// trials (eval::RunRepeated) may poll copies of one deadline concurrently.
 #ifndef FAIRWOS_COMMON_DEADLINE_H_
 #define FAIRWOS_COMMON_DEADLINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -38,6 +40,14 @@ class Deadline {
  public:
   Deadline() = default;
 
+  // Copies carry over the remaining poll budget and the last reason; the
+  // atomics make each copy an independent, thread-safe counter.
+  Deadline(const Deadline& other) { CopyFrom(other); }
+  Deadline& operator=(const Deadline& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
   /// Never expires (except on cancellation). Same as default construction;
   /// reads better at call sites.
   static Deadline Never() { return Deadline(); }
@@ -51,11 +61,14 @@ class Deadline {
 
   /// True when the wall-clock budget is spent, the poll budget is consumed,
   /// or cancellation was requested. Training loops call this once per epoch
-  /// (the counted poll for AfterChecks deadlines).
+  /// (the counted poll for AfterChecks deadlines). Safe to call from
+  /// multiple threads on one Deadline instance.
   bool Expired() const;
 
   /// Why the most recent Expired() call returned true; kNone otherwise.
-  StopReason reason() const { return reason_; }
+  StopReason reason() const {
+    return reason_.load(std::memory_order_relaxed);
+  }
 
   /// Wall-clock seconds left; +infinity for untimed deadlines. Diagnostic
   /// only — does not consume a poll.
@@ -64,14 +77,24 @@ class Deadline {
  private:
   using Clock = std::chrono::steady_clock;
 
+  void CopyFrom(const Deadline& other) {
+    has_wall_clock_ = other.has_wall_clock_;
+    wall_deadline_ = other.wall_deadline_;
+    has_check_budget_ = other.has_check_budget_;
+    checks_left_.store(other.checks_left_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    reason_.store(other.reason_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+
   bool has_wall_clock_ = false;
   Clock::time_point wall_deadline_{};
   bool has_check_budget_ = false;
   // Mutable: Expired() is conceptually a const query, but the poll budget
-  // and the reported reason advance with each call. Training is
-  // single-threaded (see common/fault.h), so plain fields suffice.
-  mutable int64_t checks_left_ = 0;
-  mutable StopReason reason_ = StopReason::kNone;
+  // and the reported reason advance with each call. Atomics so parallel
+  // trials can poll one instance without a data race.
+  mutable std::atomic<int64_t> checks_left_{0};
+  mutable std::atomic<StopReason> reason_{StopReason::kNone};
 };
 
 /// Raises the process-wide cancellation flag; every Deadline observes it.

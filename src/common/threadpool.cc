@@ -1,0 +1,213 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace fairwos::common {
+namespace {
+
+/// Cached pool.* metrics; GetCounter takes a registry lock, so fetch once.
+struct PoolMetrics {
+  obs::Counter* parallel_fors;
+  obs::Counter* chunks;
+  obs::Counter* tasks;
+  obs::Gauge* threads;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m{
+      obs::MetricsRegistry::Global().GetCounter("pool.parallel_fors"),
+      obs::MetricsRegistry::Global().GetCounter("pool.chunks"),
+      obs::MetricsRegistry::Global().GetCounter("pool.tasks"),
+      obs::MetricsRegistry::Global().GetGauge("pool.threads"),
+  };
+  return m;
+}
+
+}  // namespace
+
+/// Shared bookkeeping of one RunChunked call. Runner tasks hold it by
+/// shared_ptr: a task dequeued after the caller returned only touches the
+/// atomic claim counter (every fn invocation happens before the caller's
+/// wait completes, so the borrowed RangeFnRef never dangles).
+struct ThreadPool::ChunkState {
+  ChunkState(internal::RangeFnRef fn_in, int64_t begin_in, int64_t end_in,
+             int64_t grain_in, int64_t num_chunks_in)
+      : fn(fn_in),
+        begin(begin_in),
+        end(end_in),
+        grain(grain_in),
+        num_chunks(num_chunks_in) {}
+
+  const internal::RangeFnRef fn;
+  const int64_t begin;
+  const int64_t end;
+  const int64_t grain;
+  const int64_t num_chunks;
+
+  std::atomic<int64_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t done = 0;  // under mu
+  std::exception_ptr error;  // first chunk exception, under mu
+
+  /// Claims and runs chunks until none remain. Called by the RunChunked
+  /// caller and by every helper task.
+  void Drain() {
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const int64_t lo = begin + c * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      std::exception_ptr thrown;
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      int64_t settled = 1;  // this chunk
+      if (thrown) {
+        // Abandon the unclaimed chunks and settle them here, so the caller's
+        // done == num_chunks wait still completes; it rethrows the first
+        // exception once every in-flight chunk finishes.
+        const int64_t claimed = std::min(
+            next.exchange(num_chunks, std::memory_order_relaxed), num_chunks);
+        settled += num_chunks - claimed;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (thrown && !error) error = thrown;
+      done += settled;
+      if (done == num_chunks) done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) {
+  threads_.store(std::max(threads, 1), std::memory_order_relaxed);
+  StartWorkers(this->threads() - 1);
+  Metrics().threads->Set(static_cast<double>(this->threads()));
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::Resize(int threads) {
+  threads = std::max(threads, 1);
+  if (threads == this->threads()) return;
+  StopWorkers();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  threads_.store(threads, std::memory_order_relaxed);
+  StartWorkers(threads - 1);
+  Metrics().threads->Set(static_cast<double>(threads));
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  Metrics().tasks->Increment();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!workers_.empty()) {
+      queue_.push_back(std::move(task));
+      wake_.notify_one();
+      return;
+    }
+  }
+  task();  // no workers: run inline so the task is never lost
+}
+
+void ThreadPool::RunChunked(int64_t begin, int64_t end, int64_t grain,
+                            internal::RangeFnRef fn) {
+  FW_TRACE_SPAN("pool/parallel_for");
+  // Abandoned chunks on exception aside, every claimed chunk completes and
+  // count/boundaries depend only on (begin, end, grain) — see header.
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  auto state = std::make_shared<ChunkState>(fn, begin, end, grain, num_chunks);
+  Metrics().parallel_fors->Increment();
+  Metrics().chunks->Increment(num_chunks);
+  // The caller always takes chunks itself, so helpers beyond num_chunks - 1
+  // (or beyond the worker count) would only churn the queue.
+  int helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    helpers = static_cast<int>(
+        std::min<int64_t>(static_cast<int64_t>(workers_.size()),
+                          num_chunks - 1));
+    for (int i = 0; i < helpers; ++i) {
+      queue_.push_back([state] {
+        FW_TRACE_SPAN("pool/chunks");
+        state->Drain();
+      });
+    }
+    if (helpers > 0) wake_.notify_all();
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->done == state->num_chunks; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::StartWorkers(int count) {
+  workers_.reserve(static_cast<size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked deliberately: joining worker threads from a static destructor
+  // deadlocks on some runtimes, and the OS reclaims them at exit anyway.
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return *pool;
+}
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("FAIRWOS_THREADS"); env != nullptr) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  return HardwareThreads();
+}
+
+int GlobalThreadCount() { return ThreadPool::Global().threads(); }
+
+void SetGlobalThreadCount(int threads) {
+  ThreadPool::Global().Resize(threads > 0 ? threads : DefaultThreadCount());
+}
+
+}  // namespace fairwos::common

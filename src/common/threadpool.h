@@ -1,0 +1,150 @@
+// Persistent work-sharing thread pool and the ParallelFor primitive behind
+// every parallel hot path (docs/parallelism.md).
+//
+// Design:
+//  * One process-wide pool (ThreadPool::Global()) holds `threads - 1` worker
+//    threads; the thread that calls ParallelFor always participates, so a
+//    parallel region completes even when every worker is busy — nested
+//    ParallelFor calls (a trial running on a worker that itself hits a
+//    parallel kernel) degrade to inline execution instead of deadlocking.
+//  * ParallelFor splits [begin, end) into fixed-size chunks of `grain`
+//    iterations. Chunk boundaries depend only on (begin, end, grain), never
+//    on the pool size or on scheduling, so a loop body that writes disjoint
+//    slots keyed by index produces bit-identical results at any --threads
+//    value — the determinism discipline every parallel kernel follows.
+//  * The first exception thrown by a chunk is captured, remaining chunks are
+//    abandoned (best effort), and the exception is rethrown on the calling
+//    thread once in-flight chunks finish.
+//
+// Sizing: the global pool starts at FAIRWOS_THREADS (when set to a positive
+// integer) or std::thread::hardware_concurrency(); the CLI's --threads flag
+// overrides both via SetGlobalThreadCount. The pool exports a `pool.*`
+// metrics family (docs/observability.md): pool.threads gauge plus
+// pool.parallel_fors / pool.chunks / pool.tasks counters.
+#ifndef FAIRWOS_COMMON_THREADPOOL_H_
+#define FAIRWOS_COMMON_THREADPOOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fairwos::common {
+
+namespace internal {
+
+/// Non-owning type-erased reference to a `void(int64_t, int64_t)` range
+/// callable. ParallelFor guarantees every invocation happens before it
+/// returns, so borrowing the caller's lambda is safe and allocation-free.
+class RangeFnRef {
+ public:
+  // Constrained so that copying a RangeFnRef uses the copy constructor, not
+  // a template instantiation wrapping a pointer to the other RangeFnRef.
+  template <typename Fn>
+    requires(!std::is_same_v<std::remove_const_t<Fn>, RangeFnRef>)
+  explicit RangeFnRef(Fn& fn)
+      : obj_(&fn), call_([](void* obj, int64_t lo, int64_t hi) {
+          (*static_cast<Fn*>(obj))(lo, hi);
+        }) {}
+
+  void operator()(int64_t lo, int64_t hi) const { call_(obj_, lo, hi); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, int64_t, int64_t);
+};
+
+}  // namespace internal
+
+/// A fixed set of worker threads sharing one task queue. Construction
+/// spawns the workers; destruction drains the queue and joins them.
+/// Thread-safe except Resize, which must not race with in-flight work.
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread, so
+  /// ThreadPool(1) spawns no workers and every ParallelFor runs inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (worker threads + the caller).
+  int threads() const { return threads_.load(std::memory_order_relaxed); }
+
+  /// Joins the current workers and spawns a new set so that threads() ==
+  /// max(threads, 1). Queued tasks are drained first; the caller must
+  /// ensure no ParallelFor is in flight on another thread.
+  void Resize(int threads);
+
+  /// Enqueues a fire-and-forget task; runs it inline when the pool has no
+  /// workers. Prefer ParallelFor — Submit has no completion handle.
+  void Submit(std::function<void()> task);
+
+  /// Applies `fn(lo, hi)` over disjoint subranges covering [begin, end),
+  /// carved into ceil((end-begin)/grain) chunks executed by the caller and
+  /// any idle workers. Runs inline when the range fits one chunk or the
+  /// pool has no workers. Rethrows the first chunk exception; on exception
+  /// the remaining chunks are skipped (best effort), so side effects of
+  /// unvisited iterations must not be relied upon.
+  template <typename Fn>
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+    if (end <= begin) return;
+    if (grain < 1) grain = 1;
+    if (end - begin <= grain || threads() <= 1) {
+      fn(begin, end);
+      return;
+    }
+    RunChunked(begin, end, grain, internal::RangeFnRef(fn));
+  }
+
+  /// The process-wide pool, created on first use at DefaultThreadCount()
+  /// and intentionally never destroyed (worker threads must not be joined
+  /// from static destructors).
+  static ThreadPool& Global();
+
+ private:
+  struct ChunkState;
+
+  void RunChunked(int64_t begin, int64_t end, int64_t grain,
+                  internal::RangeFnRef fn);
+  void WorkerLoop();
+  void StartWorkers(int count);
+  void StopWorkers();
+
+  std::atomic<int> threads_{1};
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// std::thread::hardware_concurrency(), floored at 1.
+int HardwareThreads();
+
+/// FAIRWOS_THREADS when set to a positive integer, else HardwareThreads().
+int DefaultThreadCount();
+
+/// Total concurrency of the global pool.
+int GlobalThreadCount();
+
+/// Resizes the global pool; `threads <= 0` restores DefaultThreadCount().
+/// Call from one thread with no parallel work in flight (CLI startup,
+/// between bench sweep points, test setup).
+void SetGlobalThreadCount(int threads);
+
+/// ParallelFor on the global pool — the form the kernels use.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, std::forward<Fn>(fn));
+}
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_THREADPOOL_H_

@@ -705,10 +705,19 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
 common::Result<MethodOutput> FairwosMethod::Run(const data::Dataset& ds,
                                                 uint64_t seed) {
   common::Stopwatch watch;
-  FW_ASSIGN_OR_RETURN(MethodOutput out,
-                      TrainFairwos(config_, ds, seed, &last_stats_));
-  out.train_seconds = watch.Seconds();
-  return out;
+  // Train into a local and publish under the lock: concurrent trials must
+  // not scribble on last_stats_ mid-run (TrainFairwos writes *stats on the
+  // deadline path too, so publish on error as well).
+  FairwosStats stats;
+  common::Result<MethodOutput> out = TrainFairwos(config_, ds, seed, &stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_ = stats;
+  }
+  FW_RETURN_IF_ERROR(out.status());
+  MethodOutput value = std::move(out).value();
+  value.train_seconds = watch.Seconds();
+  return value;
 }
 
 }  // namespace fairwos::core

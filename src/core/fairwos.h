@@ -12,6 +12,7 @@
 #define FAIRWOS_CORE_FAIRWOS_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -125,15 +126,24 @@ class FairwosMethod : public FairMethod {
       : name_(std::move(name)), config_(std::move(config)) {}
 
   std::string name() const override { return name_; }
+
+  /// Thread-safe: one FairwosMethod may run concurrent trials
+  /// (eval::RunRepeated with --threads > 1); each Run writes last_stats()
+  /// under a lock, so after parallel trials it holds the stats of whichever
+  /// trial finished last.
   common::Result<MethodOutput> Run(const data::Dataset& ds,
                                    uint64_t seed) override;
 
-  const FairwosStats& last_stats() const { return last_stats_; }
+  FairwosStats last_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return last_stats_;
+  }
 
  private:
   std::string name_;
   FairwosConfig config_;
-  FairwosStats last_stats_;
+  mutable std::mutex stats_mu_;
+  FairwosStats last_stats_;  // under stats_mu_
 };
 
 }  // namespace fairwos::core

@@ -50,11 +50,19 @@ common::Result<TrialMetrics> RunTrial(core::FairMethod* method,
 /// Tolerates partial failure: an errored trial is skipped and counted in
 /// `failed_trials`; an error is returned only when every trial fails.
 ///
-/// A non-null `deadline` is polled between trials: on expiry the remaining
-/// trials are counted in `skipped_trials` and the completed ones are
-/// aggregated (DeadlineExceeded when none completed). A trial that *itself*
-/// returns DeadlineExceeded — an interrupted training loop that saved a
-/// resume checkpoint — propagates immediately, so callers can print the
+/// Trials execute in parallel on the global thread pool (--threads /
+/// FAIRWOS_THREADS; docs/parallelism.md). Every trial seed is pre-drawn
+/// from `base_seed` before any trial starts and results land in per-trial
+/// slots that are aggregated in trial order after the join, so the
+/// aggregate — and the trial_done/trial_failed telemetry order — is
+/// bit-identical at any thread count and unaffected by failed or skipped
+/// trials.
+///
+/// A non-null `deadline` is polled before each trial launches: on expiry
+/// the unlaunched trials are counted in `skipped_trials` and the completed
+/// ones are aggregated (DeadlineExceeded when none completed). A trial that
+/// *itself* returns DeadlineExceeded — an interrupted training loop that
+/// saved a resume checkpoint — takes precedence, so callers can print the
 /// resume hint instead of a half-aggregated table.
 common::Result<AggregateMetrics> RunRepeated(
     core::FairMethod* method, const data::Dataset& ds, int64_t trials,

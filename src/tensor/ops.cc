@@ -6,12 +6,29 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "common/threadpool.h"
 
 namespace fairwos::tensor {
 namespace {
 
 using internal::TensorImpl;
 using ImplPtr = std::shared_ptr<TensorImpl>;
+
+// Parallelism discipline (docs/parallelism.md): every ParallelFor below
+// chunks over disjoint output slots, and a chunk computes each slot in the
+// same order the serial loop would, so results are bit-identical at any
+// --threads value. Reductions accumulate fixed-size chunk partials that are
+// combined in chunk order — deterministic, independent of the worker count.
+
+/// Elements per chunk for memory-bound elementwise loops.
+constexpr int64_t kElemGrain = 1 << 15;
+
+/// Rows per chunk for row-blocked loops, scaled so a chunk carries roughly
+/// kRowWorkTarget inner iterations regardless of the row width.
+int64_t RowGrain(int64_t row_cost) {
+  constexpr int64_t kRowWorkTarget = 1 << 16;
+  return std::max<int64_t>(1, kRowWorkTarget / std::max<int64_t>(row_cost, 1));
+}
 
 /// Builds an op output: takes the forward result, remembers inputs and the
 /// backward closure only when recording is on and some input needs a grad.
@@ -43,49 +60,59 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
       << ShapeToString(b.shape());
 }
 
-/// c[n,m] += a[n,k] * b[k,m]  (ikj loop order for locality).
+/// c[n,m] += a[n,k] * b[k,m]  (ikj loop order for locality). Row-blocked:
+/// each chunk owns rows [lo, hi) of c.
 void GemmNN(const float* a, const float* b, float* c, int64_t n, int64_t k,
             int64_t m) {
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * m;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * m;
-      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+  common::ParallelFor(0, n, RowGrain(k * m), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * m;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * m;
+        for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
-/// c[n,k] += a[n,m] * b[k,m]ᵀ  (i.e. c = a · bᵀ).
+/// c[n,k] += a[n,m] * b[k,m]ᵀ  (i.e. c = a · bᵀ). Row-blocked over c rows.
 void GemmNT(const float* a, const float* b, float* c, int64_t n, int64_t m,
             int64_t k) {
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * m;
-    float* crow = c + i * k;
-    for (int64_t j = 0; j < k; ++j) {
-      const float* brow = b + j * m;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < m; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
+  common::ParallelFor(0, n, RowGrain(m * k), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = a + i * m;
+      float* crow = c + i * k;
+      for (int64_t j = 0; j < k; ++j) {
+        const float* brow = b + j * m;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < m; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
     }
-  }
+  });
 }
 
-/// c[k,m] += a[n,k]ᵀ * b[n,m]  (i.e. c = aᵀ · b).
+/// c[k,m] += a[n,k]ᵀ * b[n,m]  (i.e. c = aᵀ · b). Chunked over the k output
+/// rows of c with i kept as the outer loop inside each chunk, so every c
+/// element accumulates its n contributions in the same order as the serial
+/// ikj nest.
 void GemmTN(const float* a, const float* b, float* c, int64_t n, int64_t k,
             int64_t m) {
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * m;
-    for (int64_t j = 0; j < k; ++j) {
-      const float av = arow[j];
-      if (av == 0.0f) continue;
-      float* crow = c + j * m;
-      for (int64_t p = 0; p < m; ++p) crow[p] += av * brow[p];
+  common::ParallelFor(0, k, RowGrain(n * m), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* arow = a + i * k;
+      const float* brow = b + i * m;
+      for (int64_t j = lo; j < hi; ++j) {
+        const float av = arow[j];
+        if (av == 0.0f) continue;
+        float* crow = c + j * m;
+        for (int64_t p = 0; p < m; ++p) crow[p] += av * brow[p];
+      }
     }
-  }
+  });
 }
 
 /// Elementwise unary op with derivative computed from the *output* value.
@@ -93,15 +120,74 @@ void GemmTN(const float* a, const float* b, float* c, int64_t n, int64_t k,
 template <typename Fwd, typename Dfn>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfn dfn) {
   std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(a.data()[i]);
+  common::ParallelFor(
+      0, static_cast<int64_t>(out.size()), kElemGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          out[static_cast<size_t>(i)] = fwd(a.data()[static_cast<size_t>(i)]);
+        }
+      });
   ImplPtr ai = a.impl_ptr();
   return MakeOp(a.shape(), std::move(out), {a},
                 [ai, dfn](TensorImpl& self) {
                   if (!NeedsGrad(ai)) return;
                   ai->EnsureGrad();
-                  for (size_t i = 0; i < self.data.size(); ++i) {
-                    ai->grad[i] +=
-                        self.grad[i] * dfn(self.data[i], ai->data[i]);
+                  common::ParallelFor(
+                      0, static_cast<int64_t>(self.data.size()), kElemGrain,
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          const auto u = static_cast<size_t>(i);
+                          ai->grad[u] +=
+                              self.grad[u] * dfn(self.data[u], ai->data[u]);
+                        }
+                      });
+                });
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared chunked-elementwise body for the binary arithmetic ops: fills
+/// `out[i] = fwd(a[i], b[i])` and builds a backward that applies `dfa`/`dfb`
+/// per element (each writes its own disjoint grad slot).
+template <typename Fwd, typename Dfa, typename Dfb>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
+                Dfa dfa, Dfb dfb) {
+  CheckSameShape(a, b, name);
+  std::vector<float> out(a.data().size());
+  common::ParallelFor(
+      0, static_cast<int64_t>(out.size()), kElemGrain,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const auto u = static_cast<size_t>(i);
+          out[u] = fwd(a.data()[u], b.data()[u]);
+        }
+      });
+  ImplPtr ai = a.impl_ptr(), bi = b.impl_ptr();
+  return MakeOp(a.shape(), std::move(out), {a, b},
+                [ai, bi, dfa, dfb](TensorImpl& self) {
+                  if (NeedsGrad(ai)) {
+                    ai->EnsureGrad();
+                    common::ParallelFor(
+                        0, static_cast<int64_t>(self.grad.size()), kElemGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            const auto u = static_cast<size_t>(i);
+                            ai->grad[u] += dfa(self, *ai, *bi, u);
+                          }
+                        });
+                  }
+                  if (NeedsGrad(bi)) {
+                    bi->EnsureGrad();
+                    common::ParallelFor(
+                        0, static_cast<int64_t>(self.grad.size()), kElemGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            const auto u = static_cast<size_t>(i);
+                            bi->grad[u] += dfb(self, *ai, *bi, u);
+                          }
+                        });
                   }
                 });
 }
@@ -109,58 +195,30 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfn dfn) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b, "Add");
-  std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + b.data()[i];
-  ImplPtr ai = a.impl_ptr(), bi = b.impl_ptr();
-  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl& self) {
-    if (NeedsGrad(ai)) {
-      ai->EnsureGrad();
-      for (size_t i = 0; i < self.grad.size(); ++i) ai->grad[i] += self.grad[i];
-    }
-    if (NeedsGrad(bi)) {
-      bi->EnsureGrad();
-      for (size_t i = 0; i < self.grad.size(); ++i) bi->grad[i] += self.grad[i];
-    }
-  });
+  return BinaryOp(
+      a, b, "Add", [](float x, float y) { return x + y; },
+      [](const TensorImpl& self, const TensorImpl&, const TensorImpl&,
+         size_t i) { return self.grad[i]; },
+      [](const TensorImpl& self, const TensorImpl&, const TensorImpl&,
+         size_t i) { return self.grad[i]; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b, "Sub");
-  std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] - b.data()[i];
-  ImplPtr ai = a.impl_ptr(), bi = b.impl_ptr();
-  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl& self) {
-    if (NeedsGrad(ai)) {
-      ai->EnsureGrad();
-      for (size_t i = 0; i < self.grad.size(); ++i) ai->grad[i] += self.grad[i];
-    }
-    if (NeedsGrad(bi)) {
-      bi->EnsureGrad();
-      for (size_t i = 0; i < self.grad.size(); ++i) bi->grad[i] -= self.grad[i];
-    }
-  });
+  return BinaryOp(
+      a, b, "Sub", [](float x, float y) { return x - y; },
+      [](const TensorImpl& self, const TensorImpl&, const TensorImpl&,
+         size_t i) { return self.grad[i]; },
+      [](const TensorImpl& self, const TensorImpl&, const TensorImpl&,
+         size_t i) { return -self.grad[i]; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b, "Mul");
-  std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * b.data()[i];
-  ImplPtr ai = a.impl_ptr(), bi = b.impl_ptr();
-  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl& self) {
-    if (NeedsGrad(ai)) {
-      ai->EnsureGrad();
-      for (size_t i = 0; i < self.grad.size(); ++i) {
-        ai->grad[i] += self.grad[i] * bi->data[i];
-      }
-    }
-    if (NeedsGrad(bi)) {
-      bi->EnsureGrad();
-      for (size_t i = 0; i < self.grad.size(); ++i) {
-        bi->grad[i] += self.grad[i] * ai->data[i];
-      }
-    }
-  });
+  return BinaryOp(
+      a, b, "Mul", [](float x, float y) { return x * y; },
+      [](const TensorImpl& self, const TensorImpl&, const TensorImpl& bi,
+         size_t i) { return self.grad[i] * bi.data[i]; },
+      [](const TensorImpl& self, const TensorImpl& ai, const TensorImpl&,
+         size_t i) { return self.grad[i] * ai.data[i]; });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
@@ -183,24 +241,34 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
   const int64_t n = x.dim(0), c = x.dim(1);
   FW_CHECK_EQ(bias.dim(0), c) << "AddRowBroadcast: bias length mismatch";
   std::vector<float> out(x.data().size());
-  for (int64_t i = 0; i < n; ++i) {
-    for (int64_t j = 0; j < c; ++j) {
-      out[static_cast<size_t>(i * c + j)] =
-          x.data()[static_cast<size_t>(i * c + j)] +
-          bias.data()[static_cast<size_t>(j)];
+  common::ParallelFor(0, n, RowGrain(c), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = 0; j < c; ++j) {
+        out[static_cast<size_t>(i * c + j)] =
+            x.data()[static_cast<size_t>(i * c + j)] +
+            bias.data()[static_cast<size_t>(j)];
+      }
     }
-  }
+  });
   ImplPtr xi = x.impl_ptr(), bi = bias.impl_ptr();
   return MakeOp(x.shape(), std::move(out), {x, bias},
                 [xi, bi, n, c](TensorImpl& self) {
                   if (NeedsGrad(xi)) {
                     xi->EnsureGrad();
-                    for (size_t i = 0; i < self.grad.size(); ++i) {
-                      xi->grad[i] += self.grad[i];
-                    }
+                    common::ParallelFor(
+                        0, static_cast<int64_t>(self.grad.size()), kElemGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            xi->grad[static_cast<size_t>(i)] +=
+                                self.grad[static_cast<size_t>(i)];
+                          }
+                        });
                   }
                   if (NeedsGrad(bi)) {
                     bi->EnsureGrad();
+                    // Every row folds into the same c bias slots; stays
+                    // serial to keep the accumulation order fixed (c is
+                    // tiny, so this is never the hot part).
                     for (int64_t i = 0; i < n; ++i) {
                       for (int64_t j = 0; j < c; ++j) {
                         bi->grad[static_cast<size_t>(j)] +=
@@ -318,15 +386,54 @@ Tensor Tanh(const Tensor& a) {
       [](float y, float) { return 1.0f - y * y; });
 }
 
-Tensor Sum(const Tensor& a) {
+namespace {
+
+/// Deterministic parallel reduction: fixed-size chunks accumulate into
+/// per-chunk double partials (disjoint slots), which are then combined in
+/// chunk order. The chunk layout depends only on the length and kElemGrain,
+/// so the result is bit-identical at any --threads value.
+template <typename ChunkFn>
+double ChunkedReduce(int64_t size, ChunkFn chunk_fn) {
+  const int64_t num_chunks = (size + kElemGrain - 1) / kElemGrain;
+  if (num_chunks <= 1) return size > 0 ? chunk_fn(0, size) : 0.0;
+  // Iterate over chunk indices, not elements: even when ParallelFor runs
+  // inline (one thread) every partial is still computed per chunk, so the
+  // summation association never depends on the thread count.
+  std::vector<double> partials(static_cast<size_t>(num_chunks), 0.0);
+  common::ParallelFor(0, num_chunks, 1, [&](int64_t clo, int64_t chi) {
+    for (int64_t ch = clo; ch < chi; ++ch) {
+      const int64_t lo = ch * kElemGrain;
+      const int64_t hi = std::min(size, lo + kElemGrain);
+      partials[static_cast<size_t>(ch)] = chunk_fn(lo, hi);
+    }
+  });
   double acc = 0.0;
-  for (float v : a.data()) acc += v;
+  for (double p : partials) acc += p;
+  return acc;
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& a) {
+  const double acc =
+      ChunkedReduce(a.numel(), [&](int64_t lo, int64_t hi) {
+        double part = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          part += a.data()[static_cast<size_t>(i)];
+        }
+        return part;
+      });
   ImplPtr ai = a.impl_ptr();
   return MakeOp({1}, {static_cast<float>(acc)}, {a}, [ai](TensorImpl& self) {
     if (!NeedsGrad(ai)) return;
     ai->EnsureGrad();
     const float g = self.grad[0];
-    for (auto& v : ai->grad) v += g;
+    common::ParallelFor(0, static_cast<int64_t>(ai->grad.size()), kElemGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            ai->grad[static_cast<size_t>(i)] += g;
+                          }
+                        });
   });
 }
 
@@ -336,16 +443,27 @@ Tensor Mean(const Tensor& a) {
 }
 
 Tensor SumSquares(const Tensor& a) {
-  double acc = 0.0;
-  for (float v : a.data()) acc += static_cast<double>(v) * v;
+  const double acc =
+      ChunkedReduce(a.numel(), [&](int64_t lo, int64_t hi) {
+        double part = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          const float v = a.data()[static_cast<size_t>(i)];
+          part += static_cast<double>(v) * v;
+        }
+        return part;
+      });
   ImplPtr ai = a.impl_ptr();
   return MakeOp({1}, {static_cast<float>(acc)}, {a}, [ai](TensorImpl& self) {
     if (!NeedsGrad(ai)) return;
     ai->EnsureGrad();
     const float g = self.grad[0];
-    for (size_t i = 0; i < ai->data.size(); ++i) {
-      ai->grad[i] += 2.0f * g * ai->data[i];
-    }
+    common::ParallelFor(0, static_cast<int64_t>(ai->data.size()), kElemGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            const auto u = static_cast<size_t>(i);
+                            ai->grad[u] += 2.0f * g * ai->data[u];
+                          }
+                        });
   });
 }
 
@@ -401,33 +519,38 @@ Tensor Softmax(const Tensor& logits) {
   FW_CHECK_EQ(logits.rank(), 2);
   const int64_t n = logits.dim(0), c = logits.dim(1);
   std::vector<float> out(logits.data().size());
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = logits.data().data() + i * c;
-    float* orow = out.data() + i * c;
-    float mx = row[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < c; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
+  common::ParallelFor(0, n, RowGrain(c), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* row = logits.data().data() + i * c;
+      float* orow = out.data() + i * c;
+      float mx = row[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < c; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        denom += orow[j];
+      }
+      for (int64_t j = 0; j < c; ++j) orow[j] /= denom;
     }
-    for (int64_t j = 0; j < c; ++j) orow[j] /= denom;
-  }
+  });
   ImplPtr li = logits.impl_ptr();
   return MakeOp(logits.shape(), std::move(out), {logits},
                 [li, n, c](TensorImpl& self) {
                   if (!NeedsGrad(li)) return;
                   li->EnsureGrad();
-                  for (int64_t i = 0; i < n; ++i) {
-                    const float* y = self.data.data() + i * c;
-                    const float* gy = self.grad.data() + i * c;
-                    float dot = 0.0f;
-                    for (int64_t j = 0; j < c; ++j) dot += y[j] * gy[j];
-                    float* gx = li->grad.data() + i * c;
-                    for (int64_t j = 0; j < c; ++j) {
-                      gx[j] += y[j] * (gy[j] - dot);
-                    }
-                  }
+                  common::ParallelFor(
+                      0, n, RowGrain(c), [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          const float* y = self.data.data() + i * c;
+                          const float* gy = self.grad.data() + i * c;
+                          float dot = 0.0f;
+                          for (int64_t j = 0; j < c; ++j) dot += y[j] * gy[j];
+                          float* gx = li->grad.data() + i * c;
+                          for (int64_t j = 0; j < c; ++j) {
+                            gx[j] += y[j] * (gy[j] - dot);
+                          }
+                        }
+                      });
                 });
 }
 
@@ -438,28 +561,36 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, const std::vector<int>& labels,
   const int64_t n = logits.dim(0), c = logits.dim(1);
   FW_CHECK_EQ(static_cast<int64_t>(labels.size()), n)
       << "labels must cover every row";
-  // Cache the softmax for the selected rows; reused by backward.
+  // Cache the softmax for the selected rows; reused by backward. Rows fill
+  // disjoint probs/term slots in parallel; the per-row loss terms are then
+  // summed serially in row order, so the total matches the serial loop
+  // bit-for-bit at any thread count.
   std::vector<float> probs(indices.size() * static_cast<size_t>(c));
-  double loss = 0.0;
-  for (size_t r = 0; r < indices.size(); ++r) {
-    const int64_t i = indices[r];
-    FW_CHECK_GE(i, 0);
-    FW_CHECK_LT(i, n);
-    const int label = labels[static_cast<size_t>(i)];
-    FW_CHECK_GE(label, 0);
-    FW_CHECK_LT(label, c);
-    const float* row = logits.data().data() + i * c;
-    float* prow = probs.data() + static_cast<int64_t>(r) * c;
-    float mx = row[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < c; ++j) {
-      prow[j] = std::exp(row[j] - mx);
-      denom += prow[j];
+  std::vector<double> terms(indices.size(), 0.0);
+  const int64_t rows = static_cast<int64_t>(indices.size());
+  common::ParallelFor(0, rows, RowGrain(c), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t i = indices[static_cast<size_t>(r)];
+      FW_CHECK_GE(i, 0);
+      FW_CHECK_LT(i, n);
+      const int label = labels[static_cast<size_t>(i)];
+      FW_CHECK_GE(label, 0);
+      FW_CHECK_LT(label, c);
+      const float* row = logits.data().data() + i * c;
+      float* prow = probs.data() + r * c;
+      float mx = row[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < c; ++j) {
+        prow[j] = std::exp(row[j] - mx);
+        denom += prow[j];
+      }
+      for (int64_t j = 0; j < c; ++j) prow[j] /= denom;
+      terms[static_cast<size_t>(r)] = std::log(denom) + mx - row[label];
     }
-    for (int64_t j = 0; j < c; ++j) prow[j] /= denom;
-    loss += std::log(denom) + mx - row[label];
-  }
+  });
+  double loss = 0.0;
+  for (double t : terms) loss += t;
   loss /= static_cast<double>(indices.size());
   if (auto* fi = fairwos::testing::ActiveFaultInjector();
       fi != nullptr && fi->ShouldFire(fairwos::testing::FaultSite::kLossValue)) {
@@ -495,25 +626,37 @@ Tensor SoftCrossEntropy(const Tensor& logits, const Tensor& soft_targets,
       << "SoftCrossEntropy: logits vs targets shape";
   FW_CHECK(!indices.empty()) << "SoftCrossEntropy: empty index set";
   const int64_t n = logits.dim(0), c = logits.dim(1);
+  // Two passes: the exp-heavy softmax fills disjoint probs/log_denom slots
+  // in parallel, then a cheap serial loop accumulates the loss in exactly
+  // the order the serial kernel used — bit-identical at any thread count.
   std::vector<float> probs(indices.size() * static_cast<size_t>(c));
+  std::vector<float> log_denoms(indices.size(), 0.0f);
+  const int64_t rows = static_cast<int64_t>(indices.size());
+  common::ParallelFor(0, rows, RowGrain(c), [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      const int64_t i = indices[static_cast<size_t>(r)];
+      FW_CHECK_GE(i, 0);
+      FW_CHECK_LT(i, n);
+      const float* row = logits.data().data() + i * c;
+      float* prow = probs.data() + r * c;
+      float mx = row[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < c; ++j) {
+        prow[j] = std::exp(row[j] - mx);
+        denom += prow[j];
+      }
+      log_denoms[static_cast<size_t>(r)] = std::log(denom) + mx;
+      for (int64_t j = 0; j < c; ++j) prow[j] /= denom;
+    }
+  });
   double loss = 0.0;
   for (size_t r = 0; r < indices.size(); ++r) {
     const int64_t i = indices[r];
-    FW_CHECK_GE(i, 0);
-    FW_CHECK_LT(i, n);
     const float* row = logits.data().data() + i * c;
     const float* target = soft_targets.data().data() + i * c;
-    float* prow = probs.data() + static_cast<int64_t>(r) * c;
-    float mx = row[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.0f;
+    const float log_denom = log_denoms[r];
     for (int64_t j = 0; j < c; ++j) {
-      prow[j] = std::exp(row[j] - mx);
-      denom += prow[j];
-    }
-    const float log_denom = std::log(denom) + mx;
-    for (int64_t j = 0; j < c; ++j) {
-      prow[j] /= denom;
       loss -= static_cast<double>(target[j]) * (row[j] - log_denom);
     }
   }
@@ -581,25 +724,15 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b, "Div");
-  std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] / b.data()[i];
-  ImplPtr ai = a.impl_ptr(), bi = b.impl_ptr();
-  return MakeOp(a.shape(), std::move(out), {a, b}, [ai, bi](TensorImpl& self) {
-    if (NeedsGrad(ai)) {
-      ai->EnsureGrad();
-      for (size_t i = 0; i < self.grad.size(); ++i) {
-        ai->grad[i] += self.grad[i] / bi->data[i];
-      }
-    }
-    if (NeedsGrad(bi)) {
-      bi->EnsureGrad();
-      for (size_t i = 0; i < self.grad.size(); ++i) {
+  return BinaryOp(
+      a, b, "Div", [](float x, float y) { return x / y; },
+      [](const TensorImpl& self, const TensorImpl&, const TensorImpl& bi,
+         size_t i) { return self.grad[i] / bi.data[i]; },
+      [](const TensorImpl& self, const TensorImpl&, const TensorImpl& bi,
+         size_t i) {
         // d(a/b)/db = -a/b² = -out/b.
-        bi->grad[i] -= self.grad[i] * self.data[i] / bi->data[i];
-      }
-    }
-  });
+        return -self.grad[i] * self.data[i] / bi.data[i];
+      });
 }
 
 Tensor Exp(const Tensor& a) {
@@ -685,37 +818,45 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
   const int64_t n = a.dim(0), c = a.dim(1);
   std::vector<float> norms(static_cast<size_t>(n));
   std::vector<float> out(a.data().size());
-  for (int64_t i = 0; i < n; ++i) {
-    double sq = 0.0;
-    for (int64_t j = 0; j < c; ++j) {
-      const float v = a.data()[static_cast<size_t>(i * c + j)];
-      sq += static_cast<double>(v) * v;
+  common::ParallelFor(0, n, RowGrain(c), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      double sq = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        const float v = a.data()[static_cast<size_t>(i * c + j)];
+        sq += static_cast<double>(v) * v;
+      }
+      norms[static_cast<size_t>(i)] =
+          std::max(static_cast<float>(std::sqrt(sq)), eps);
+      for (int64_t j = 0; j < c; ++j) {
+        out[static_cast<size_t>(i * c + j)] =
+            a.data()[static_cast<size_t>(i * c + j)] /
+            norms[static_cast<size_t>(i)];
+      }
     }
-    norms[static_cast<size_t>(i)] =
-        std::max(static_cast<float>(std::sqrt(sq)), eps);
-    for (int64_t j = 0; j < c; ++j) {
-      out[static_cast<size_t>(i * c + j)] =
-          a.data()[static_cast<size_t>(i * c + j)] /
-          norms[static_cast<size_t>(i)];
-    }
-  }
+  });
   ImplPtr ai = a.impl_ptr();
   return MakeOp(a.shape(), std::move(out), {a},
                 [ai, norms = std::move(norms), n, c](TensorImpl& self) {
                   if (!NeedsGrad(ai)) return;
                   ai->EnsureGrad();
-                  for (int64_t i = 0; i < n; ++i) {
-                    // d(x/‖x‖)/dx = (I − yyᵀ)/‖x‖ with y = x/‖x‖.
-                    const float* y = self.data.data() + i * c;
-                    const float* gy = self.grad.data() + i * c;
-                    float dot = 0.0f;
-                    for (int64_t j = 0; j < c; ++j) dot += y[j] * gy[j];
-                    const float inv = 1.0f / norms[static_cast<size_t>(i)];
-                    float* gx = ai->grad.data() + i * c;
-                    for (int64_t j = 0; j < c; ++j) {
-                      gx[j] += (gy[j] - dot * y[j]) * inv;
-                    }
-                  }
+                  common::ParallelFor(
+                      0, n, RowGrain(c), [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          // d(x/‖x‖)/dx = (I − yyᵀ)/‖x‖ with y = x/‖x‖.
+                          const float* y = self.data.data() + i * c;
+                          const float* gy = self.grad.data() + i * c;
+                          float dot = 0.0f;
+                          for (int64_t j = 0; j < c; ++j) {
+                            dot += y[j] * gy[j];
+                          }
+                          const float inv =
+                              1.0f / norms[static_cast<size_t>(i)];
+                          float* gx = ai->grad.data() + i * c;
+                          for (int64_t j = 0; j < c; ++j) {
+                            gx[j] += (gy[j] - dot * y[j]) * inv;
+                          }
+                        }
+                      });
                 });
 }
 
@@ -848,32 +989,37 @@ Tensor GatAggregate(const std::shared_ptr<const SparseMatrix>& adj,
   const float* d = dst_score.data().data();
   const float* s = src_score.data().data();
   const float* x = values.data().data();
-  for (int64_t v = 0; v < n; ++v) {
-    const int64_t begin = row_ptr[static_cast<size_t>(v)];
-    const int64_t end = row_ptr[static_cast<size_t>(v) + 1];
-    if (begin == end) continue;  // isolated node with no self-loop
-    // Numerically stable per-row softmax of the LeakyReLU'd scores.
-    float mx = -std::numeric_limits<float>::infinity();
-    for (int64_t p = begin; p < end; ++p) {
-      const float pre = d[v] + s[col_idx[static_cast<size_t>(p)]];
-      const float e = pre > 0.0f ? pre : negative_slope * pre;
-      alpha[static_cast<size_t>(p)] = e;
-      mx = std::max(mx, e);
+  // Each destination row owns its alpha edge slots and its out row, so rows
+  // parallelize with bit-identical results; the backward scatters into
+  // source-node slots shared across rows and stays serial.
+  common::ParallelFor(0, n, RowGrain(c * 8), [&](int64_t lo, int64_t hi) {
+    for (int64_t v = lo; v < hi; ++v) {
+      const int64_t begin = row_ptr[static_cast<size_t>(v)];
+      const int64_t end = row_ptr[static_cast<size_t>(v) + 1];
+      if (begin == end) continue;  // isolated node with no self-loop
+      // Numerically stable per-row softmax of the LeakyReLU'd scores.
+      float mx = -std::numeric_limits<float>::infinity();
+      for (int64_t p = begin; p < end; ++p) {
+        const float pre = d[v] + s[col_idx[static_cast<size_t>(p)]];
+        const float e = pre > 0.0f ? pre : negative_slope * pre;
+        alpha[static_cast<size_t>(p)] = e;
+        mx = std::max(mx, e);
+      }
+      float denom = 0.0f;
+      for (int64_t p = begin; p < end; ++p) {
+        alpha[static_cast<size_t>(p)] =
+            std::exp(alpha[static_cast<size_t>(p)] - mx);
+        denom += alpha[static_cast<size_t>(p)];
+      }
+      float* orow = out.data() + v * c;
+      for (int64_t p = begin; p < end; ++p) {
+        alpha[static_cast<size_t>(p)] /= denom;
+        const float a = alpha[static_cast<size_t>(p)];
+        const float* xrow = x + col_idx[static_cast<size_t>(p)] * c;
+        for (int64_t j = 0; j < c; ++j) orow[j] += a * xrow[j];
+      }
     }
-    float denom = 0.0f;
-    for (int64_t p = begin; p < end; ++p) {
-      alpha[static_cast<size_t>(p)] =
-          std::exp(alpha[static_cast<size_t>(p)] - mx);
-      denom += alpha[static_cast<size_t>(p)];
-    }
-    float* orow = out.data() + v * c;
-    for (int64_t p = begin; p < end; ++p) {
-      alpha[static_cast<size_t>(p)] /= denom;
-      const float a = alpha[static_cast<size_t>(p)];
-      const float* xrow = x + col_idx[static_cast<size_t>(p)] * c;
-      for (int64_t j = 0; j < c; ++j) orow[j] += a * xrow[j];
-    }
-  }
+  });
   ImplPtr di = dst_score.impl_ptr(), si = src_score.impl_ptr(),
           xi = values.impl_ptr();
   return MakeOp(

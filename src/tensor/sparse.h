@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -38,11 +39,14 @@ class SparseMatrix {
   const std::vector<float>& values() const { return values_; }
 
   /// y = this * x for a dense row-major x with `x_cols` columns; `y` must
-  /// have rows()*x_cols elements and is overwritten.
+  /// have rows()*x_cols elements and is overwritten. Rows are computed in
+  /// parallel on the global pool (common/threadpool.h); the result is
+  /// bit-identical for any thread count.
   void Multiply(const float* x, int64_t x_cols, float* y) const;
 
-  /// The transposed matrix; computed once and cached (thread-compatible,
-  /// not thread-safe — training is single-threaded per model).
+  /// The transposed matrix; computed once under std::call_once and cached,
+  /// so concurrent trials sharing one adjacency may race to first use
+  /// safely (docs/parallelism.md).
   const SparseMatrix& Transposed() const;
 
  private:
@@ -53,6 +57,7 @@ class SparseMatrix {
   std::vector<int64_t> row_ptr_;
   std::vector<int64_t> col_idx_;
   std::vector<float> values_;
+  mutable std::once_flag transpose_once_;
   mutable std::shared_ptr<SparseMatrix> transpose_cache_;
 };
 

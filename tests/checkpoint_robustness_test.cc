@@ -2,6 +2,8 @@
 // file damage (truncation, wrong magic/version, flipped payload bit, size
 // lies, architecture mismatch) must be rejected with the documented Status
 // code, must never FW_CHECK-abort, and must leave the module untouched.
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -40,7 +42,10 @@ int64_t FileSize(const std::string& path) {
 class CheckpointRobustnessTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = TempPath("fw_ckpt_robust_test.bin");
+    // PID-qualified so concurrently running test processes (ctest -j) never
+    // clobber each other's checkpoint file.
+    path_ = TempPath("fw_ckpt_robust_test." +
+                     std::to_string(::getpid()) + ".bin");
     std::filesystem::remove(path_);
   }
   void TearDown() override {

@@ -1,8 +1,11 @@
 // Round-trip tests for dataset persistence (data/io.h).
 #include "data/io.h"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -14,7 +17,11 @@ namespace {
 class DataIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "fw_dataset_io").string();
+    // PID-qualified so concurrently running test processes (ctest -j) never
+    // remove each other's directory from TearDown.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("fw_dataset_io." + std::to_string(::getpid())))
+               .string();
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -5,6 +5,7 @@
 // telemetry (Event JSON, JSONL sink, collecting sink, the global sink
 // hook), leveled logging (parsing, env override, filtering, thread-safe
 // emission), and the harness-level failure-reason plumbing.
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -18,6 +19,7 @@
 #include "baselines/registry.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/string_util.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
@@ -394,16 +396,27 @@ TEST(LoggingTest, ConcurrentLogLinesNeverInterleave) {
 
 // ------------------------------------------------------ harness telemetry --
 
-/// Fails every other call (1st, 3rd, ...) with a distinctive message.
+/// Fails the 1st and 3rd of four trials with a distinctive message.
+/// Failures are keyed on the trial seed — reproducing RunRepeated's
+/// pre-drawn stream for base_seed 0 — not on call order, so the double is
+/// unaffected by trials running in parallel.
 class FlakyMethod : public core::FairMethod {
  public:
+  FlakyMethod() {
+    common::Rng seed_stream(/*base_seed=*/0);
+    for (int t = 0; t < 4; ++t) {
+      const uint64_t seed = seed_stream.NextU64();
+      if (t % 2 == 0) failing_seeds_.push_back(seed);
+    }
+  }
+
   std::string name() const override { return "Flaky"; }
 
   common::Result<core::MethodOutput> Run(const data::Dataset& ds,
-                                         uint64_t /*seed*/) override {
-    if (calls_++ % 2 == 0) {
-      return common::Status::Internal("loss diverged (call " +
-                                      std::to_string(calls_) + ")");
+                                         uint64_t seed) override {
+    if (std::find(failing_seeds_.begin(), failing_seeds_.end(), seed) !=
+        failing_seeds_.end()) {
+      return common::Status::Internal("loss diverged");
     }
     core::MethodOutput out;
     out.pred.assign(static_cast<size_t>(ds.num_nodes()), 0);
@@ -412,7 +425,7 @@ class FlakyMethod : public core::FairMethod {
   }
 
  private:
-  int calls_ = 0;
+  std::vector<uint64_t> failing_seeds_;
 };
 
 TEST(HarnessTelemetryTest, RunRepeatedRecordsFailureReasons) {

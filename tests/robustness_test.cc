@@ -3,6 +3,7 @@
 // gradient clipping, SelfHealing rollback-and-retry, the fault-injected
 // Fairwos fine-tune recovery demanded by the PR acceptance criteria, and
 // partial-failure tolerance in eval::RunRepeated.
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "common/crc32.h"
 #include "common/fault.h"
 #include "common/health.h"
+#include "common/rng.h"
 #include "core/fairwos.h"
 #include "data/synthetic.h"
 #include "eval/harness.h"
@@ -484,20 +486,26 @@ TEST(FairwosFaultRecoveryTest, PretrainRecoveryIsCountedSeparately) {
 
 // --- eval::RunRepeated partial failure ----------------------------------------
 
-/// Fails on a configurable subset of calls, succeeds (with a vanilla-style
-/// constant prediction) otherwise.
+/// Fails on a configurable subset of trials, succeeds (with a vanilla-style
+/// constant prediction) otherwise. Failures are keyed on the trial seed —
+/// reproducing RunRepeated's pre-drawn seed stream — rather than on call
+/// order, so the double behaves identically when trials run in parallel.
 class FlakyMethod : public core::FairMethod {
  public:
-  explicit FlakyMethod(std::vector<bool> fail_on_call)
-      : fail_on_call_(std::move(fail_on_call)) {}
+  FlakyMethod(uint64_t base_seed, const std::vector<bool>& fail_on_trial) {
+    common::Rng seed_stream(base_seed);
+    for (bool fail : fail_on_trial) {
+      const uint64_t seed = seed_stream.NextU64();
+      if (fail) failing_seeds_.push_back(seed);
+    }
+  }
 
   std::string name() const override { return "Flaky"; }
 
   common::Result<core::MethodOutput> Run(const data::Dataset& ds,
                                          uint64_t seed) override {
-    const size_t call = calls_++;
-    (void)seed;
-    if (call < fail_on_call_.size() && fail_on_call_[call]) {
+    if (std::find(failing_seeds_.begin(), failing_seeds_.end(), seed) !=
+        failing_seeds_.end()) {
       return common::Status::Internal("injected trial failure");
     }
     core::MethodOutput out;
@@ -508,13 +516,12 @@ class FlakyMethod : public core::FairMethod {
   }
 
  private:
-  std::vector<bool> fail_on_call_;
-  size_t calls_ = 0;
+  std::vector<uint64_t> failing_seeds_;
 };
 
 TEST(RunRepeatedPartialFailureTest, SkipsFailedTrialsAndCountsThem) {
   auto ds = ToyDataset();
-  FlakyMethod method({false, true, false, true, false});
+  FlakyMethod method(/*base_seed=*/1, {false, true, false, true, false});
   auto agg = eval::RunRepeated(&method, ds, 5, /*base_seed=*/1);
   ASSERT_TRUE(agg.ok());
   EXPECT_EQ(agg->trials, 3);
@@ -524,7 +531,7 @@ TEST(RunRepeatedPartialFailureTest, SkipsFailedTrialsAndCountsThem) {
 
 TEST(RunRepeatedPartialFailureTest, AllTrialsFailingIsAnError) {
   auto ds = ToyDataset();
-  FlakyMethod method({true, true, true});
+  FlakyMethod method(/*base_seed=*/1, {true, true, true});
   auto agg = eval::RunRepeated(&method, ds, 3, /*base_seed=*/1);
   ASSERT_FALSE(agg.ok());
   EXPECT_EQ(agg.status().code(), common::StatusCode::kInternal);
@@ -532,7 +539,7 @@ TEST(RunRepeatedPartialFailureTest, AllTrialsFailingIsAnError) {
 
 TEST(RunRepeatedPartialFailureTest, NoFailuresReportsZero) {
   auto ds = ToyDataset();
-  FlakyMethod method({});
+  FlakyMethod method(/*base_seed=*/1, {});
   auto agg = eval::RunRepeated(&method, ds, 3, /*base_seed=*/1);
   ASSERT_TRUE(agg.ok());
   EXPECT_EQ(agg->trials, 3);

@@ -1,0 +1,331 @@
+// Tests for the parallel runtime (common/threadpool.h) and the determinism
+// discipline built on it: ParallelFor correctness, exception propagation,
+// pool reuse and nesting, the thread-safe lazy transpose cache and Deadline
+// poll budget, and the bit-identical --threads 1 vs --threads N guarantee
+// for kernels and eval::RunRepeated (docs/parallelism.md). Run under
+// -DFAIRWOS_SANITIZE=thread in CI to catch data races.
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "common/deadline.h"
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "data/synthetic.h"
+#include "eval/harness.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace fairwos {
+namespace {
+
+// ------------------------------------------------------- ParallelFor core --
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  common::ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 16, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(0, 3, 16, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 3);
+  });
+  EXPECT_EQ(calls, 1);  // fits one chunk: runs inline as a single call
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesDependOnlyOnRangeAndGrain) {
+  // The same (begin, end, grain) must produce the same chunk set no matter
+  // how many workers execute it — the root of the determinism guarantee.
+  auto collect = [](common::ThreadPool& pool) {
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> chunks;
+    pool.ParallelFor(3, 1003, 100, [&](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({lo, hi});
+    });
+    return chunks;
+  };
+  common::ThreadPool two(2), eight(8);
+  EXPECT_EQ(collect(two), collect(eight));
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  common::ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 100000, 10, [&](int64_t, int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 1000, 1,
+                                [&](int64_t lo, int64_t) {
+                                  if (lo == 500) {
+                                    throw std::runtime_error("chunk boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 1,
+                                [](int64_t, int64_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must come back clean: full coverage, no stuck workers.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 1000, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletesWithoutDeadlock) {
+  common::ThreadPool pool(4);
+  constexpr int64_t kOuter = 8, kInner = 1000;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(0, kOuter, 1, [&](int64_t olo, int64_t ohi) {
+    for (int64_t o = olo; o < ohi; ++o) {
+      pool.ParallelFor(0, kInner, 100, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          hits[static_cast<size_t>(o * kInner + i)].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ResizeChangesConcurrencyAndKeepsWorking) {
+  common::ThreadPool pool(2);
+  EXPECT_EQ(pool.threads(), 2);
+  pool.Resize(5);
+  EXPECT_EQ(pool.threads(), 5);
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(0, 1000, 10,
+                   [&](int64_t lo, int64_t hi) { count.fetch_add(hi - lo); });
+  EXPECT_EQ(count.load(), 1000);
+  pool.Resize(1);
+  EXPECT_EQ(pool.threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  common::ThreadPool pool(3);
+  constexpr int kTasks = 50;
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (done.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done.load() == kTasks; });
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, GlobalThreadCountRoundTrips) {
+  const int before = common::GlobalThreadCount();
+  common::SetGlobalThreadCount(3);
+  EXPECT_EQ(common::GlobalThreadCount(), 3);
+  common::SetGlobalThreadCount(0);  // restore the default
+  EXPECT_EQ(common::GlobalThreadCount(), common::DefaultThreadCount());
+  common::SetGlobalThreadCount(before);
+}
+
+// ------------------------------------------- thread-safety bug regressions --
+
+TEST(SparseTransposeTest, ConcurrentFirstUseBuildsOneCache) {
+  common::Rng rng(7);
+  std::vector<tensor::CooEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    entries.push_back({rng.UniformInt(50), rng.UniformInt(40),
+                       static_cast<float>(rng.Uniform(-1.0, 1.0))});
+  }
+  auto m = tensor::SparseMatrix::FromCoo(50, 40, entries);
+  // Race 8 threads to the lazy transpose; std::call_once must hand every
+  // thread the same fully-built matrix.
+  std::vector<const tensor::SparseMatrix*> seen(8, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&, t] { seen[static_cast<size_t>(t)] = &m->Transposed(); });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto* p : seen) EXPECT_EQ(p, seen[0]);
+  EXPECT_EQ(seen[0]->rows(), 40);
+  EXPECT_EQ(seen[0]->cols(), 50);
+  EXPECT_EQ(seen[0]->nnz(), m->nnz());
+}
+
+TEST(DeadlineTest, ConcurrentPollsConsumeExactBudget) {
+  constexpr int64_t kBudget = 1000;
+  constexpr int kThreads = 8;
+  constexpr int kPollsPerThread = 300;  // 2400 total polls > budget
+  common::Deadline d = common::Deadline::AfterChecks(kBudget);
+  std::atomic<int64_t> not_expired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPollsPerThread; ++i) {
+        if (!d.Expired()) not_expired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly the first kBudget polls (in fetch_sub order) see not-expired.
+  EXPECT_EQ(not_expired.load(), kBudget);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.reason(), common::StopReason::kInjected);
+}
+
+TEST(DeadlineTest, CopyCarriesRemainingBudget) {
+  common::Deadline d = common::Deadline::AfterChecks(2);
+  EXPECT_FALSE(d.Expired());
+  common::Deadline copy = d;  // one poll left
+  EXPECT_FALSE(copy.Expired());
+  EXPECT_TRUE(copy.Expired());
+  // The original's budget is independent of the copy's polls.
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(d.Expired());
+}
+
+// ----------------------------------------------- bit-identical determinism --
+
+/// Runs `fn` at both thread counts and returns the two results.
+template <typename Fn>
+auto AtThreadCounts(int a, int b, Fn fn)
+    -> std::pair<decltype(fn()), decltype(fn())> {
+  common::SetGlobalThreadCount(a);
+  auto ra = fn();
+  common::SetGlobalThreadCount(b);
+  auto rb = fn();
+  common::SetGlobalThreadCount(0);  // restore the default
+  return {ra, rb};
+}
+
+TEST(ParallelDeterminismTest, MatMulBitIdenticalAcrossThreadCounts) {
+  auto run = [] {
+    common::Rng rng(11);
+    tensor::Tensor a = tensor::Tensor::RandNormal({97, 64}, 1.0f, &rng);
+    tensor::Tensor b = tensor::Tensor::RandNormal({64, 33}, 1.0f, &rng);
+    return tensor::MatMul(a, b).data();
+  };
+  auto [one, eight] = AtThreadCounts(1, 8, run);
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], eight[i]) << "element " << i;
+  }
+}
+
+TEST(ParallelDeterminismTest, SumReductionBitIdenticalAcrossThreadCounts) {
+  // Large enough for several reduction chunks (kElemGrain = 32768).
+  auto run = [] {
+    common::Rng rng(13);
+    tensor::Tensor a = tensor::Tensor::RandNormal({200, 1000}, 1.0f, &rng);
+    return tensor::Sum(a).item();
+  };
+  auto [one, eight] = AtThreadCounts(1, 8, run);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(ParallelDeterminismTest, RunRepeatedBitIdenticalAcrossThreadCounts) {
+  auto ds = data::MakeDataset("toy", {}).value();
+  auto run = [&ds] {
+    baselines::MethodOptions options;
+    options.train.epochs = 5;
+    options.train.patience = 0;
+    auto method = baselines::MakeMethod("vanilla", options).value();
+    return eval::RunRepeated(method.get(), ds, /*trials=*/4, /*base_seed=*/3)
+        .value();
+  };
+  auto [one, eight] = AtThreadCounts(1, 8, run);
+  EXPECT_EQ(one.trials, eight.trials);
+  EXPECT_EQ(one.failed_trials, eight.failed_trials);
+  // Exact double equality: same seeds, same kernels, same trial-order
+  // aggregation — any scheduling leak shows up here.
+  EXPECT_EQ(one.acc.mean, eight.acc.mean);
+  EXPECT_EQ(one.acc.stddev, eight.acc.stddev);
+  EXPECT_EQ(one.f1.mean, eight.f1.mean);
+  EXPECT_EQ(one.auc.mean, eight.auc.mean);
+  EXPECT_EQ(one.dsp.mean, eight.dsp.mean);
+  EXPECT_EQ(one.dsp.stddev, eight.dsp.stddev);
+  EXPECT_EQ(one.deo.mean, eight.deo.mean);
+  EXPECT_EQ(one.deo.stddev, eight.deo.stddev);
+}
+
+TEST(ParallelDeterminismTest, ParallelTrialsMatchSequentialSeedStream) {
+  // The pre-drawn seed contract: trial t's seed is the t-th draw of
+  // Rng(base_seed) regardless of execution order. A seed-recording method
+  // must observe exactly that set.
+  class SeedRecorder : public core::FairMethod {
+   public:
+    std::string name() const override { return "SeedRecorder"; }
+    common::Result<core::MethodOutput> Run(const data::Dataset& ds,
+                                           uint64_t seed) override {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        seeds_.insert(seed);
+      }
+      core::MethodOutput out;
+      out.pred.assign(static_cast<size_t>(ds.num_nodes()), 0);
+      out.prob1.assign(static_cast<size_t>(ds.num_nodes()), 0.5f);
+      return out;
+    }
+    std::set<uint64_t> seeds() const {
+      std::lock_guard<std::mutex> lock(mu_);
+      return seeds_;
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::set<uint64_t> seeds_;
+  };
+
+  auto ds = data::MakeDataset("toy", {}).value();
+  common::SetGlobalThreadCount(8);
+  SeedRecorder method;
+  ASSERT_TRUE(eval::RunRepeated(&method, ds, /*trials=*/6, /*base_seed=*/21)
+                  .ok());
+  common::SetGlobalThreadCount(0);
+
+  std::set<uint64_t> expected;
+  common::Rng stream(21);
+  for (int t = 0; t < 6; ++t) expected.insert(stream.NextU64());
+  EXPECT_EQ(method.seeds(), expected);
+}
+
+}  // namespace
+}  // namespace fairwos

@@ -21,6 +21,12 @@
 //       stream written by --telemetry-out. Fails on malformed input, so it
 //       doubles as the validator in CI.
 //
+// Parallelism flags accepted by train and audit (docs/parallelism.md):
+//   --threads N           total worker concurrency for parallel kernels and
+//                         trial execution (default: the FAIRWOS_THREADS
+//                         environment variable, else the hardware thread
+//                         count). Results are bit-identical for any N.
+//
 // Observability flags accepted by train and audit (docs/observability.md):
 //   --trace-out FILE      write a Chrome-trace JSON of all spans
 //   --profile-out FILE    write the aggregated hierarchical text profile
@@ -56,6 +62,7 @@
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/telemetry.h"
+#include "common/threadpool.h"
 #include "common/trace.h"
 #include "data/io.h"
 #include "data/synthetic.h"
@@ -137,6 +144,13 @@ class ObsSession {
   std::string metrics_out_;
   std::unique_ptr<obs::JsonlFileSink> telemetry_;
 };
+
+/// Sizes the global thread pool from --threads; without the flag the pool
+/// keeps its default (FAIRWOS_THREADS or the hardware thread count).
+void ApplyThreadsFlag(const common::CliFlags& flags) {
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads > 0) common::SetGlobalThreadCount(static_cast<int>(threads));
+}
 
 void PrintFailureReasons(const eval::AggregateMetrics& agg) {
   for (const std::string& reason : agg.failure_reasons) {
@@ -224,6 +238,7 @@ common::Deadline ResolveDeadline(const common::CliFlags& flags) {
 }
 
 int Train(const common::CliFlags& flags) {
+  ApplyThreadsFlag(flags);
   auto obs_or = ObsSession::FromFlags(flags);
   if (!obs_or.ok()) return Fail(obs_or.status());
   auto ds_or = ResolveDataset(flags);
@@ -295,6 +310,7 @@ int Train(const common::CliFlags& flags) {
 }
 
 int Audit(const common::CliFlags& flags) {
+  ApplyThreadsFlag(flags);
   auto obs_or = ObsSession::FromFlags(flags);
   if (!obs_or.ok()) return Fail(obs_or.status());
   auto ds_or = ResolveDataset(flags);
