@@ -91,8 +91,8 @@ tensor::Tensor StructureOnlyFeatures(const graph::Graph& g) {
   return out;
 }
 
-common::Result<core::MethodOutput> FairGkdMethod::Run(const data::Dataset& ds,
-                                                      uint64_t seed) {
+common::Result<std::unique_ptr<core::FittedModel>> FairGkdMethod::Fit(
+    const data::Dataset& ds, uint64_t seed) {
   FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
   if (config_.gamma < 0.0) {
     return common::Status::InvalidArgument("gamma must be non-negative");
@@ -129,9 +129,9 @@ common::Result<core::MethodOutput> FairGkdMethod::Run(const data::Dataset& ds,
   FW_RETURN_IF_ERROR(
       TrainClassifier(train_, ds, ds.features, penalty, &student, &rng)
           .status());
-  core::MethodOutput out = MakeOutput(student, ds.features, &rng);
-  out.train_seconds = watch.Seconds();
-  return out;
+  return core::MakeFittedGnn(
+      std::move(student), core::FittedGnnModel::InputKind::kDatasetFeatures,
+      tensor::Tensor(), {name(), ds.name, seed}, watch.Seconds());
 }
 
 }  // namespace fairwos::baselines

@@ -8,8 +8,8 @@
 
 namespace fairwos::baselines {
 
-common::Result<core::MethodOutput> FairRFMethod::Run(const data::Dataset& ds,
-                                                     uint64_t seed) {
+common::Result<std::unique_ptr<core::FittedModel>> FairRFMethod::Fit(
+    const data::Dataset& ds, uint64_t seed) {
   FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
   if (config_.related_fraction <= 0.0 || config_.related_fraction > 1.0) {
     return common::Status::InvalidArgument(
@@ -76,9 +76,9 @@ common::Result<core::MethodOutput> FairRFMethod::Run(const data::Dataset& ds,
   FW_RETURN_IF_ERROR(
       TrainClassifier(train_, ds, ds.features, penalty, &model, &rng)
           .status());
-  core::MethodOutput out = MakeOutput(model, ds.features, &rng);
-  out.train_seconds = watch.Seconds();
-  return out;
+  return core::MakeFittedGnn(
+      std::move(model), core::FittedGnnModel::InputKind::kDatasetFeatures,
+      tensor::Tensor(), {name(), ds.name, seed}, watch.Seconds());
 }
 
 }  // namespace fairwos::baselines

@@ -25,8 +25,8 @@ class FairRFMethod : public core::FairMethod {
       : gnn_(gnn), train_(train), config_(config) {}
 
   std::string name() const override { return "FairRF"; }
-  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
-                                         uint64_t seed) override;
+  common::Result<std::unique_ptr<core::FittedModel>> Fit(
+      const data::Dataset& ds, uint64_t seed) override;
 
  private:
   nn::GnnConfig gnn_;

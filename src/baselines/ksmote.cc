@@ -6,8 +6,8 @@
 
 namespace fairwos::baselines {
 
-common::Result<core::MethodOutput> KSmoteMethod::Run(const data::Dataset& ds,
-                                                     uint64_t seed) {
+common::Result<std::unique_ptr<core::FittedModel>> KSmoteMethod::Fit(
+    const data::Dataset& ds, uint64_t seed) {
   FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
   if (config_.clusters < 2) {
     return common::Status::InvalidArgument("need at least 2 clusters");
@@ -54,9 +54,9 @@ common::Result<core::MethodOutput> KSmoteMethod::Run(const data::Dataset& ds,
   FW_RETURN_IF_ERROR(
       TrainClassifier(train_, ds, ds.features, penalty, &model, &rng)
           .status());
-  core::MethodOutput out = MakeOutput(model, ds.features, &rng);
-  out.train_seconds = watch.Seconds();
-  return out;
+  return core::MakeFittedGnn(
+      std::move(model), core::FittedGnnModel::InputKind::kDatasetFeatures,
+      tensor::Tensor(), {name(), ds.name, seed}, watch.Seconds());
 }
 
 }  // namespace fairwos::baselines

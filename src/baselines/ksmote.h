@@ -23,8 +23,8 @@ class KSmoteMethod : public core::FairMethod {
       : gnn_(gnn), train_(train), config_(config) {}
 
   std::string name() const override { return "KSMOTE"; }
-  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
-                                         uint64_t seed) override;
+  common::Result<std::unique_ptr<core::FittedModel>> Fit(
+      const data::Dataset& ds, uint64_t seed) override;
 
  private:
   nn::GnnConfig gnn_;

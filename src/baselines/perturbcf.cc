@@ -35,7 +35,7 @@ tensor::Tensor FlipPseudoAttributes(const tensor::Tensor& x0,
   return out;
 }
 
-common::Result<core::MethodOutput> PerturbCfMethod::Run(
+common::Result<std::unique_ptr<core::FittedModel>> PerturbCfMethod::Fit(
     const data::Dataset& ds, uint64_t seed) {
   FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
   if (config_.alpha < 0.0) {
@@ -102,10 +102,10 @@ common::Result<core::MethodOutput> PerturbCfMethod::Run(
   nn::RestoreParameters(model,
                         have_tolerated ? best_snapshot : fallback_snapshot);
 
-  core::MethodOutput out = MakeOutput(model, x0, &rng);
-  out.pseudo_sens = x0;
-  out.train_seconds = watch.Seconds();
-  return out;
+  return core::MakeFittedGnn(std::move(model),
+                             core::FittedGnnModel::InputKind::kFrozen, x0,
+                             {name(), ds.name, seed}, watch.Seconds(),
+                             /*pseudo_sens=*/x0);
 }
 
 }  // namespace fairwos::baselines

@@ -7,8 +7,8 @@
 
 namespace fairwos::baselines {
 
-common::Result<core::MethodOutput> RemoveRMethod::Run(const data::Dataset& ds,
-                                                      uint64_t seed) {
+common::Result<std::unique_ptr<core::FittedModel>> RemoveRMethod::Fit(
+    const data::Dataset& ds, uint64_t seed) {
   FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
   if (config_.drop_fraction < 0.0 || config_.drop_fraction >= 1.0) {
     return common::Status::InvalidArgument(
@@ -49,9 +49,12 @@ common::Result<core::MethodOutput> RemoveRMethod::Run(const data::Dataset& ds,
   FW_RETURN_IF_ERROR(
       TrainClassifier(train_, ds, features, /*penalty=*/nullptr, &model, &rng)
           .status());
-  core::MethodOutput out = MakeOutput(model, features, &rng);
-  out.train_seconds = watch.Seconds();
-  return out;
+  // The reduced matrix is frozen into the model: prediction must see the
+  // same columns training did, whatever dataset object it is handed later.
+  return core::MakeFittedGnn(std::move(model),
+                             core::FittedGnnModel::InputKind::kFrozen,
+                             features, {name(), ds.name, seed},
+                             watch.Seconds());
 }
 
 }  // namespace fairwos::baselines

@@ -23,8 +23,8 @@ class RemoveRMethod : public core::FairMethod {
       : gnn_(gnn), train_(train), config_(config) {}
 
   std::string name() const override { return "RemoveR"; }
-  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
-                                         uint64_t seed) override;
+  common::Result<std::unique_ptr<core::FittedModel>> Fit(
+      const data::Dataset& ds, uint64_t seed) override;
 
  private:
   nn::GnnConfig gnn_;

@@ -26,21 +26,7 @@ constexpr int64_t kPhaseBaseline = 0;
 common::Status CheckParamsMatch(
     const std::vector<tensor::Tensor>& params,
     const std::vector<std::vector<float>>& saved, const char* what) {
-  if (saved.size() != params.size()) {
-    return common::Status::FailedPrecondition(
-        std::string("checkpoint ") + what + " holds " +
-        std::to_string(saved.size()) + " tensors, model has " +
-        std::to_string(params.size()));
-  }
-  for (size_t i = 0; i < saved.size(); ++i) {
-    if (saved[i].size() != params[i].data().size()) {
-      return common::Status::FailedPrecondition(
-          std::string("checkpoint ") + what + " tensor " + std::to_string(i) +
-          " has " + std::to_string(saved[i].size()) + " values, model wants " +
-          std::to_string(params[i].data().size()));
-    }
-  }
-  return common::Status::OK();
+  return nn::CheckParamsCompatible(params, saved, what);
 }
 
 }  // namespace
@@ -238,18 +224,6 @@ nn::PredictionResult EvaluateAll(const nn::GnnClassifier& model,
                                  const tensor::Tensor& x, common::Rng* rng) {
   tensor::NoGradGuard no_grad;
   return nn::PredictFromLogits(model.Forward(x, /*training=*/false, rng));
-}
-
-core::MethodOutput MakeOutput(const nn::GnnClassifier& model,
-                              const tensor::Tensor& x, common::Rng* rng) {
-  tensor::NoGradGuard no_grad;
-  core::MethodOutput out;
-  tensor::Tensor h = model.Embed(x, /*training=*/false, rng);
-  auto eval = nn::PredictFromLogits(model.Logits(h));
-  out.pred = std::move(eval.pred);
-  out.prob1 = std::move(eval.prob1);
-  out.embeddings = h.DetachCopy();
-  return out;
 }
 
 tensor::Tensor LogitMargin(const tensor::Tensor& logits) {

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "common/deadline.h"
+#include "core/fitted.h"
 #include "core/method.h"
 #include "data/dataset.h"
 #include "nn/checkpoint.h"
@@ -75,7 +76,8 @@ common::Result<int64_t> TrainClassifier(const TrainOptions& options,
                                         common::Rng* rng,
                                         TrainDiagnostics* diag = nullptr);
 
-/// Evaluation-mode predictions for every node.
+/// Evaluation-mode predictions for every node (the merged prediction type;
+/// only `pred` and `prob1` are filled here).
 nn::PredictionResult EvaluateAll(const nn::GnnClassifier& model,
                                  const tensor::Tensor& x, common::Rng* rng);
 
@@ -84,11 +86,6 @@ nn::PredictionResult EvaluateAll(const nn::GnnClassifier& model,
 double ValidationLoss(const nn::GnnClassifier& model,
                       const tensor::Tensor& features, const data::Dataset& ds,
                       common::Rng* rng);
-
-/// Packs predictions + embeddings of a trained model into a MethodOutput
-/// (train_seconds left for the caller's stopwatch).
-core::MethodOutput MakeOutput(const nn::GnnClassifier& model,
-                              const tensor::Tensor& x, common::Rng* rng);
 
 /// The "difference of class logits" margin used by penalty terms:
 /// margin = logits · [−1, +1]ᵀ, shape [N, 1]. Differentiable.

@@ -4,8 +4,8 @@
 
 namespace fairwos::baselines {
 
-common::Result<core::MethodOutput> VanillaMethod::Run(const data::Dataset& ds,
-                                                      uint64_t seed) {
+common::Result<std::unique_ptr<core::FittedModel>> VanillaMethod::Fit(
+    const data::Dataset& ds, uint64_t seed) {
   FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
   common::Stopwatch watch;
   common::Rng rng(seed);
@@ -16,9 +16,9 @@ common::Result<core::MethodOutput> VanillaMethod::Run(const data::Dataset& ds,
       TrainClassifier(train_, ds, ds.features, /*penalty=*/nullptr, &model,
                       &rng)
           .status());
-  core::MethodOutput out = MakeOutput(model, ds.features, &rng);
-  out.train_seconds = watch.Seconds();
-  return out;
+  return core::MakeFittedGnn(
+      std::move(model), core::FittedGnnModel::InputKind::kDatasetFeatures,
+      tensor::Tensor(), {name(), ds.name, seed}, watch.Seconds());
 }
 
 }  // namespace fairwos::baselines

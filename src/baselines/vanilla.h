@@ -15,8 +15,8 @@ class VanillaMethod : public core::FairMethod {
       : gnn_(gnn), train_(train) {}
 
   std::string name() const override { return "Vanilla\\S"; }
-  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
-                                         uint64_t seed) override;
+  common::Result<std::unique_ptr<core::FittedModel>> Fit(
+      const data::Dataset& ds, uint64_t seed) override;
 
  private:
   nn::GnnConfig gnn_;

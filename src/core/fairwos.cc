@@ -35,21 +35,7 @@ void AppendSnapshot(std::vector<std::vector<float>>* blobs,
 common::Status CheckParamsMatch(
     const std::vector<tensor::Tensor>& params,
     const std::vector<std::vector<float>>& saved, const char* what) {
-  if (saved.size() != params.size()) {
-    return common::Status::FailedPrecondition(
-        std::string("checkpoint ") + what + " holds " +
-        std::to_string(saved.size()) + " tensors, model has " +
-        std::to_string(params.size()));
-  }
-  for (size_t i = 0; i < saved.size(); ++i) {
-    if (saved[i].size() != params[i].data().size()) {
-      return common::Status::FailedPrecondition(
-          std::string("checkpoint ") + what + " tensor " + std::to_string(i) +
-          " has " + std::to_string(saved[i].size()) + " values, model wants " +
-          std::to_string(params[i].data().size()));
-    }
-  }
-  return common::Status::OK();
+  return nn::CheckParamsCompatible(params, saved, what);
 }
 
 void EmitResumeEvent(const std::string& path, const nn::TrainState& st) {
@@ -253,14 +239,15 @@ common::Status PretrainClassifier(
 
 }  // namespace
 
-common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
-                                          const data::Dataset& ds,
-                                          uint64_t seed, FairwosStats* stats) {
+common::Result<std::unique_ptr<FittedGnnModel>> FitFairwos(
+    const FairwosConfig& config, const data::Dataset& ds, uint64_t seed,
+    FairwosStats* stats) {
   FW_TRACE_SPAN("fairwos/train");
   FW_RETURN_IF_ERROR(data::ValidateDataset(ds));
   if (config.alpha < 0.0) {
     return common::Status::InvalidArgument("alpha must be non-negative");
   }
+  common::Stopwatch watch;
   common::Rng rng(seed);
   FairwosStats local_stats;
 
@@ -687,37 +674,44 @@ common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
     local_stats.lambda = lambda;
   }
 
-  // --- Final predictions ---------------------------------------------------
-  MethodOutput out;
-  {
-    tensor::NoGradGuard no_grad;
-    tensor::Tensor h = model.Embed(x0, /*training=*/false, &rng);
-    auto eval = nn::PredictFromLogits(model.Logits(h));
-    out.pred = std::move(eval.pred);
-    out.prob1 = std::move(eval.prob1);
-    out.embeddings = h.DetachCopy();
-  }
-  if (config.use_encoder) out.pseudo_sens = x0;
+  // --- Freeze --------------------------------------------------------------
+  // X⁰ is the frozen model input: the dataset's raw features never reach
+  // the classifier directly, so the fitted model carries X⁰ itself.
+  auto fitted = std::make_unique<FittedGnnModel>(
+      std::move(model), FittedGnnModel::InputKind::kFrozen, x0,
+      FittedGnnModel::Provenance{"Fairwos", ds.name, seed});
+  if (config.use_encoder) fitted->set_pseudo_sens(x0);
+  fitted->set_train_seconds(watch.Seconds());
   if (stats != nullptr) *stats = local_stats;
-  return out;
+  return fitted;
 }
 
-common::Result<MethodOutput> FairwosMethod::Run(const data::Dataset& ds,
-                                                uint64_t seed) {
-  common::Stopwatch watch;
-  // Train into a local and publish under the lock: concurrent trials must
-  // not scribble on last_stats_ mid-run (TrainFairwos writes *stats on the
+common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
+                                          const data::Dataset& ds,
+                                          uint64_t seed, FairwosStats* stats) {
+  FW_ASSIGN_OR_RETURN(std::unique_ptr<FittedGnnModel> fitted,
+                      FitFairwos(config, ds, seed, stats));
+  return fitted->Predict(ds);
+}
+
+common::Result<std::unique_ptr<FittedModel>> FairwosMethod::Fit(
+    const data::Dataset& ds, uint64_t seed) {
+  // Fit into a local and publish under the lock: concurrent trials must
+  // not scribble on last_stats_ mid-run (FitFairwos writes *stats on the
   // deadline path too, so publish on error as well).
   FairwosStats stats;
-  common::Result<MethodOutput> out = TrainFairwos(config_, ds, seed, &stats);
+  common::Result<std::unique_ptr<FittedGnnModel>> fitted =
+      FitFairwos(config_, ds, seed, &stats);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     last_stats_ = stats;
   }
-  FW_RETURN_IF_ERROR(out.status());
-  MethodOutput value = std::move(out).value();
-  value.train_seconds = watch.Seconds();
-  return value;
+  FW_RETURN_IF_ERROR(fitted.status());
+  auto model = std::move(fitted).value();
+  // The ablation variants share the Fairwos pipeline but report their own
+  // display names; restamp so exported artifacts carry the actual method.
+  model->set_method_name(name_);
+  return std::unique_ptr<FittedModel>(std::move(model));
 }
 
 }  // namespace fairwos::core

@@ -19,6 +19,7 @@
 #include "common/deadline.h"
 #include "core/counterfactual.h"
 #include "core/encoder.h"
+#include "core/fitted.h"
 #include "core/method.h"
 #include "nn/checkpoint.h"
 #include "nn/gnn.h"
@@ -109,11 +110,17 @@ struct FairwosStats {
   int64_t resume_epoch = 0;
 };
 
-/// Trains Fairwos once. Deterministic in (config, dataset, seed); with
-/// checkpointing enabled, a run interrupted at any epoch boundary and then
-/// resumed produces bit-identical outputs to an uninterrupted run.
+/// Trains Fairwos once and freezes the result. Deterministic in (config,
+/// dataset, seed); with checkpointing enabled, a run interrupted at any
+/// epoch boundary and then resumed produces a bit-identical model.
 /// `stats` may be nullptr; it is also written on the DeadlineExceeded error
 /// path so callers can report how far the run got.
+common::Result<std::unique_ptr<FittedGnnModel>> FitFairwos(
+    const FairwosConfig& config, const data::Dataset& ds, uint64_t seed,
+    FairwosStats* stats);
+
+/// Fit-then-predict convenience kept for benches and tests that consume the
+/// predictions directly; behaviour-identical to the pre-split fused run.
 common::Result<MethodOutput> TrainFairwos(const FairwosConfig& config,
                                           const data::Dataset& ds,
                                           uint64_t seed, FairwosStats* stats);
@@ -128,11 +135,11 @@ class FairwosMethod : public FairMethod {
   std::string name() const override { return name_; }
 
   /// Thread-safe: one FairwosMethod may run concurrent trials
-  /// (eval::RunRepeated with --threads > 1); each Run writes last_stats()
+  /// (eval::RunRepeated with --threads > 1); each Fit writes last_stats()
   /// under a lock, so after parallel trials it holds the stats of whichever
   /// trial finished last.
-  common::Result<MethodOutput> Run(const data::Dataset& ds,
-                                   uint64_t seed) override;
+  common::Result<std::unique_ptr<FittedModel>> Fit(const data::Dataset& ds,
+                                                   uint64_t seed) override;
 
   FairwosStats last_stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);

@@ -1,0 +1,60 @@
+#include "core/fitted.h"
+
+#include "common/rng.h"
+#include "common/trace.h"
+#include "tensor/ops.h"
+
+namespace fairwos::core {
+
+FittedGnnModel::FittedGnnModel(nn::GnnClassifier model, InputKind input_kind,
+                               tensor::Tensor input, Provenance provenance)
+    : model_(std::move(model)),
+      input_kind_(input_kind),
+      input_(std::move(input)),
+      provenance_(std::move(provenance)) {
+  if (input_kind_ == InputKind::kFrozen) {
+    FW_CHECK(input_.defined());
+    FW_CHECK_EQ(input_.rank(), 2);
+    FW_CHECK_EQ(input_.dim(1), model_.encoder().config().in_features);
+  }
+}
+
+const tensor::Tensor& FittedGnnModel::ResolveInput(
+    const data::Dataset& ds) const {
+  const tensor::Tensor& x =
+      input_kind_ == InputKind::kDatasetFeatures ? ds.features : input_;
+  // Shape mismatches mean Predict was handed a different dataset than Fit —
+  // a caller bug, not an input error.
+  FW_CHECK_EQ(x.dim(0), ds.num_nodes());
+  FW_CHECK_EQ(x.dim(1), model_.encoder().config().in_features);
+  return x;
+}
+
+nn::PredictionResult FittedGnnModel::Predict(const data::Dataset& ds) const {
+  FW_TRACE_SPAN("fitted/predict");
+  const tensor::Tensor& x = ResolveInput(ds);
+  tensor::NoGradGuard no_grad;
+  // The eval-mode forward draws nothing from the stream (dropout is a
+  // no-op), so prediction is RNG-free; the instance only satisfies the
+  // Embed signature.
+  common::Rng rng(0);
+  tensor::Tensor h = model_.Embed(x, /*training=*/false, &rng);
+  nn::PredictionResult out = nn::PredictFromLogits(model_.Logits(h));
+  out.embeddings = h.DetachCopy();
+  if (pseudo_sens_.defined()) out.pseudo_sens = pseudo_sens_;
+  out.train_seconds = train_seconds_;
+  return out;
+}
+
+common::Result<std::unique_ptr<FittedModel>> MakeFittedGnn(
+    nn::GnnClassifier model, FittedGnnModel::InputKind input_kind,
+    tensor::Tensor input, FittedGnnModel::Provenance provenance,
+    double train_seconds, tensor::Tensor pseudo_sens) {
+  auto fitted = std::make_unique<FittedGnnModel>(
+      std::move(model), input_kind, std::move(input), std::move(provenance));
+  fitted->set_train_seconds(train_seconds);
+  if (pseudo_sens.defined()) fitted->set_pseudo_sens(std::move(pseudo_sens));
+  return std::unique_ptr<FittedModel>(std::move(fitted));
+}
+
+}  // namespace fairwos::core

@@ -1,0 +1,93 @@
+// The frozen form of every GNN-backed method: a trained GnnClassifier plus
+// the exact input matrix its predictions are computed from. This is what
+// Fit returns, what serve/artifact.h serializes to a .fwmodel, and what the
+// inference engine evaluates (docs/serving.md).
+#ifndef FAIRWOS_CORE_FITTED_H_
+#define FAIRWOS_CORE_FITTED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/method.h"
+#include "nn/gnn.h"
+#include "tensor/tensor.h"
+
+namespace fairwos::core {
+
+/// A trained GnnClassifier frozen for prediction. The graph is bound inside
+/// the classifier (transductive setting), so Predict is one eval-mode
+/// forward pass over the full node set — deterministic, RNG-free, and
+/// bit-identical at any thread count.
+class FittedGnnModel : public FittedModel {
+ public:
+  /// Where Predict takes the model input from.
+  enum class InputKind {
+    /// `ds.features` of the dataset passed to Predict — the common case
+    /// (Vanilla\S, KSMOTE, FairRF, FairGKD\S train on the raw attributes).
+    kDatasetFeatures,
+    /// A matrix frozen at fit time and carried by the model: the encoder's
+    /// X⁰ (Fairwos, PerturbCF) or RemoveR's column-reduced features.
+    kFrozen,
+  };
+
+  /// Where this model came from — stamped into exported artifacts.
+  struct Provenance {
+    std::string method;   // producing method's display name
+    std::string dataset;  // ds.name at fit time
+    uint64_t seed = 0;    // fit seed
+  };
+
+  /// `input` must be defined for kFrozen and is ignored (may be undefined)
+  /// for kDatasetFeatures.
+  FittedGnnModel(nn::GnnClassifier model, InputKind input_kind,
+                 tensor::Tensor input, Provenance provenance);
+
+  /// One eval-mode forward pass; fills pred/prob1/embeddings (+ pseudo_sens
+  /// when set) exactly like the former fused Run paths did.
+  nn::PredictionResult Predict(const data::Dataset& ds) const override;
+
+  std::string method_name() const override { return provenance_.method; }
+  double train_seconds() const override { return train_seconds_; }
+  const FittedGnnModel* AsGnn() const override { return this; }
+
+  /// Resolves the input matrix Predict would use for `ds` (FW_CHECKs the
+  /// shape contract). The engine uses this to run the forward itself.
+  const tensor::Tensor& ResolveInput(const data::Dataset& ds) const;
+
+  const nn::GnnClassifier& classifier() const { return model_; }
+  InputKind input_kind() const { return input_kind_; }
+  /// The frozen input matrix; undefined for kDatasetFeatures.
+  const tensor::Tensor& frozen_input() const { return input_; }
+  const Provenance& provenance() const { return provenance_; }
+  const tensor::Tensor& pseudo_sens() const { return pseudo_sens_; }
+
+  /// X⁰ to expose through every Predict (encoder-based methods).
+  void set_pseudo_sens(tensor::Tensor x0) { pseudo_sens_ = std::move(x0); }
+  void set_train_seconds(double seconds) { train_seconds_ = seconds; }
+  /// Restamps the producing method's display name (ablation variants share
+  /// one fit pipeline but report their own names).
+  void set_method_name(std::string name) {
+    provenance_.method = std::move(name);
+  }
+
+ private:
+  nn::GnnClassifier model_;
+  InputKind input_kind_;
+  tensor::Tensor input_;  // defined iff input_kind_ == kFrozen
+  Provenance provenance_;
+  tensor::Tensor pseudo_sens_;  // optional
+  double train_seconds_ = 0.0;
+};
+
+/// Convenience for Fit implementations: wraps a freshly trained classifier
+/// as a Result<unique_ptr<FittedModel>> in one expression.
+common::Result<std::unique_ptr<FittedModel>> MakeFittedGnn(
+    nn::GnnClassifier model, FittedGnnModel::InputKind input_kind,
+    tensor::Tensor input, FittedGnnModel::Provenance provenance,
+    double train_seconds, tensor::Tensor pseudo_sens = tensor::Tensor());
+
+}  // namespace fairwos::core
+
+#endif  // FAIRWOS_CORE_FITTED_H_

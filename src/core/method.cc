@@ -1,0 +1,13 @@
+#include "core/method.h"
+
+namespace fairwos::core {
+
+common::Result<MethodOutput> FairMethod::Run(const data::Dataset& ds,
+                                             uint64_t seed) {
+  FW_ASSIGN_OR_RETURN(std::unique_ptr<FittedModel> fitted, Fit(ds, seed));
+  MethodOutput out = fitted->Predict(ds);
+  out.train_seconds = fitted->train_seconds();
+  return out;
+}
+
+}  // namespace fairwos::core

@@ -1,33 +1,77 @@
 // The uniform interface every fair-learning method implements (Fairwos and
 // all baselines), so the experiment harness and benches can treat methods
 // interchangeably.
+//
+// The lifecycle is split in two (docs/serving.md):
+//   Fit(dataset, seed)      trains and returns a frozen FittedModel
+//   FittedModel::Predict    evaluates the frozen model — repeatable,
+//                           side-effect free, and bit-identical across calls
+// Run(dataset, seed) remains as a fit-then-predict convenience shim; the
+// eval harness still drives it, so existing aggregates are unchanged.
 #ifndef FAIRWOS_CORE_METHOD_H_
 #define FAIRWOS_CORE_METHOD_H_
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
+#include "nn/prediction.h"
 #include "tensor/tensor.h"
 
 namespace fairwos::core {
 
-/// What a method produces for one training run on one dataset.
-struct MethodOutput {
-  /// Hard predictions, one per node (train/val/test alike).
-  std::vector<int> pred;
-  /// P(y = 1) per node; used for AUC.
-  std::vector<float> prob1;
-  /// Final node representations [N, hidden]; may be undefined for methods
-  /// that do not expose one.
-  tensor::Tensor embeddings;
-  /// Pseudo-sensitive attributes X⁰ [N, I]; defined only for Fairwos
-  /// (visualised by the Fig. 7 bench).
-  tensor::Tensor pseudo_sens;
-  /// Wall-clock training time, for the Fig. 8 runtime comparison.
-  double train_seconds = 0.0;
+class FittedGnnModel;
+
+/// What a method produces for one training run on one dataset. Alias of the
+/// repository-wide prediction type (nn/prediction.h); kept so existing call
+/// sites read naturally.
+using MethodOutput = nn::PredictionResult;
+
+/// A trained, frozen model: no optimizer state, no training inputs beyond
+/// what prediction needs. Predict must be deterministic and repeatable —
+/// calling it twice, at any thread count, yields bit-identical results.
+class FittedModel {
+ public:
+  virtual ~FittedModel() = default;
+
+  /// Predictions for every node of `ds`. The dataset must be the one the
+  /// model was fitted on (same graph and feature schema); implementations
+  /// check what they can and abort on contract violations.
+  virtual nn::PredictionResult Predict(const data::Dataset& ds) const = 0;
+
+  /// Display name of the method that produced this model.
+  virtual std::string method_name() const = 0;
+
+  /// Wall-clock seconds the producing Fit spent; 0 when unknown (e.g. a
+  /// model restored from a serialized artifact).
+  virtual double train_seconds() const { return 0.0; }
+
+  /// Checked downcast for the GNN-backed models every built-in method
+  /// produces — what artifact export (serve/artifact.h) requires. Returns
+  /// nullptr for models without a serializable GNN core.
+  virtual const FittedGnnModel* AsGnn() const { return nullptr; }
+};
+
+/// Trivial FittedModel around a fixed prediction — for test doubles and
+/// methods whose fit step computes the predictions directly.
+class PrecomputedModel : public FittedModel {
+ public:
+  PrecomputedModel(std::string method_name, nn::PredictionResult result)
+      : method_name_(std::move(method_name)), result_(std::move(result)) {}
+
+  nn::PredictionResult Predict(const data::Dataset& ds) const override {
+    (void)ds;
+    return result_;
+  }
+  std::string method_name() const override { return method_name_; }
+  double train_seconds() const override { return result_.train_seconds; }
+
+ private:
+  std::string method_name_;
+  nn::PredictionResult result_;
 };
 
 /// A fair node-classification method. Implementations must be deterministic
@@ -39,11 +83,18 @@ class FairMethod {
   /// Display name used in tables ("Fairwos", "Vanilla\\S", ...).
   virtual std::string name() const = 0;
 
-  /// Trains on ds.split.train (labels visible only there), predicts for all
-  /// nodes. The sensitive attribute in `ds.sens` must not be read — it is
+  /// Trains on ds.split.train (labels visible only there) and freezes the
+  /// result. The sensitive attribute in `ds.sens` must not be read — it is
   /// evaluation-only; tests enforce this by perturbation.
+  virtual common::Result<std::unique_ptr<FittedModel>> Fit(
+      const data::Dataset& ds, uint64_t seed) = 0;
+
+  /// Fit-then-predict convenience, the single call the eval harness uses.
+  /// The default shim is behaviour-identical to the pre-split fused
+  /// implementations: the eval-mode forward pass consumes no RNG, so
+  /// Fit + Predict reproduces the fused run bit for bit.
   virtual common::Result<MethodOutput> Run(const data::Dataset& ds,
-                                           uint64_t seed) = 0;
+                                           uint64_t seed);
 };
 
 }  // namespace fairwos::core

@@ -22,87 +22,18 @@
 #include "common/string_util.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "nn/payload.h"
 
 namespace fairwos::nn {
 namespace {
 
 constexpr uint32_t kMagic = 0x46574350;  // "FWCP"
-constexpr uint32_t kModuleVersion = 2;
-constexpr uint32_t kTrainStateVersion = 3;
+constexpr uint32_t kModuleVersion = kModuleCheckpointVersion;
+constexpr uint32_t kTrainStateVersion = kTrainStateCheckpointVersion;
 constexpr size_t kHeaderBytes = 3 * sizeof(uint64_t);
 
 constexpr char kRotationPrefix[] = "state-";
 constexpr char kRotationSuffix[] = ".fwck";
-
-void AppendU64(std::string* out, uint64_t v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void AppendF32(std::string* out, float v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void AppendF64(std::string* out, double v) {
-  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void AppendFloats(std::string* out, const std::vector<float>& v) {
-  out->append(reinterpret_cast<const char*>(v.data()),
-              v.size() * sizeof(float));
-}
-
-/// Bounds-checked sequential reads from the verified payload buffer.
-class PayloadReader {
- public:
-  explicit PayloadReader(const std::string& buffer) : buffer_(buffer) {}
-
-  bool ReadU64(uint64_t* v) {
-    if (remaining() < sizeof(*v)) return false;
-    std::memcpy(v, buffer_.data() + pos_, sizeof(*v));
-    pos_ += sizeof(*v);
-    return true;
-  }
-
-  bool ReadF32(float* v) {
-    if (remaining() < sizeof(*v)) return false;
-    std::memcpy(v, buffer_.data() + pos_, sizeof(*v));
-    pos_ += sizeof(*v);
-    return true;
-  }
-
-  bool ReadF64(double* v) {
-    if (remaining() < sizeof(*v)) return false;
-    std::memcpy(v, buffer_.data() + pos_, sizeof(*v));
-    pos_ += sizeof(*v);
-    return true;
-  }
-
-  bool ReadFloats(std::vector<float>* out) {
-    const size_t bytes = out->size() * sizeof(float);
-    if (remaining() < bytes) return false;
-    std::memcpy(out->data(), buffer_.data() + pos_, bytes);
-    pos_ += bytes;
-    return true;
-  }
-
-  /// u64 element count followed by that many floats. The count is validated
-  /// against the remaining payload before the allocation, so a flipped size
-  /// field never becomes a huge alloc.
-  bool ReadSizedFloats(std::vector<float>* out) {
-    uint64_t n = 0;
-    if (!ReadU64(&n)) return false;
-    if (remaining() / sizeof(float) < n) return false;
-    out->resize(n);
-    return ReadFloats(out);
-  }
-
-  size_t remaining() const { return buffer_.size() - pos_; }
-  bool exhausted() const { return pos_ == buffer_.size(); }
-
- private:
-  const std::string& buffer_;
-  size_t pos_ = 0;
-};
 
 /// Fault-injection sites modelling a failing disk on the write path: the
 /// checksum is computed from the intended bytes *before* these run, so
@@ -213,12 +144,11 @@ common::Status WriteFileDurably(const std::string& path,
   return common::Status::OK();
 }
 
-/// Shared v2/v3 envelope reader: validates magic, version, size, and CRC,
-/// and runs the read-path fault hook. On success `payload` holds the
-/// authenticated bytes.
-common::Status ReadVerifiedPayload(const std::string& path,
-                                   uint32_t expected_version,
-                                   std::string* payload) {
+}  // namespace
+
+common::Status ReadCheckpointEnvelope(const std::string& path,
+                                      uint32_t expected_version,
+                                      std::string* payload) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return common::Status::IoError("cannot open for read: " + path);
 
@@ -266,8 +196,8 @@ common::Status ReadVerifiedPayload(const std::string& path,
   return common::Status::OK();
 }
 
-common::Status WriteEnvelope(const std::string& path, uint32_t version,
-                             std::string payload) {
+common::Status WriteCheckpointEnvelope(const std::string& path,
+                                       uint32_t version, std::string payload) {
   const uint64_t payload_size = payload.size();
   const uint32_t crc = common::Crc32(payload.data(), payload.size());
   MaybeCorruptForSave(&payload);
@@ -284,6 +214,28 @@ common::Status WriteEnvelope(const std::string& path, uint32_t version,
           .Set("bytes", static_cast<int64_t>(kHeaderBytes + payload.size())));
   return common::Status::OK();
 }
+
+common::Status CheckParamsCompatible(
+    const std::vector<tensor::Tensor>& params,
+    const std::vector<std::vector<float>>& saved, const char* what) {
+  if (saved.size() != params.size()) {
+    return common::Status::FailedPrecondition(
+        std::string("checkpoint ") + what + " holds " +
+        std::to_string(saved.size()) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < saved.size(); ++i) {
+    if (saved[i].size() != params[i].data().size()) {
+      return common::Status::FailedPrecondition(
+          std::string("checkpoint ") + what + " tensor " + std::to_string(i) +
+          " has " + std::to_string(saved[i].size()) + " values, model wants " +
+          std::to_string(params[i].data().size()));
+    }
+  }
+  return common::Status::OK();
+}
+
+namespace {
 
 /// Parses the rotation sequence number out of a `state-<seq>.fwck`
 /// filename; returns -1 for anything else.
@@ -316,12 +268,12 @@ common::Status SaveCheckpoint(const std::string& path, const Module& module) {
     payload.append(reinterpret_cast<const char*>(p.data().data()),
                    p.data().size() * sizeof(float));
   }
-  return WriteEnvelope(path, kModuleVersion, std::move(payload));
+  return WriteCheckpointEnvelope(path, kModuleVersion, std::move(payload));
 }
 
 common::Status LoadCheckpoint(const std::string& path, const Module& module) {
   std::string payload;
-  FW_RETURN_IF_ERROR(ReadVerifiedPayload(path, kModuleVersion, &payload));
+  FW_RETURN_IF_ERROR(ReadCheckpointEnvelope(path, kModuleVersion, &payload));
 
   // The payload is authenticated; a parse failure past this point means an
   // architecture mismatch or a malformed writer, not disk corruption.
@@ -404,13 +356,13 @@ common::Status SaveTrainState(const std::string& path,
   for (int64_t c : state.counters) {
     AppendU64(&payload, static_cast<uint64_t>(c));
   }
-  return WriteEnvelope(path, kTrainStateVersion, std::move(payload));
+  return WriteCheckpointEnvelope(path, kTrainStateVersion, std::move(payload));
 }
 
 common::Status LoadTrainState(const std::string& path, TrainState* state) {
   FW_CHECK(state != nullptr);
   std::string payload;
-  FW_RETURN_IF_ERROR(ReadVerifiedPayload(path, kTrainStateVersion, &payload));
+  FW_RETURN_IF_ERROR(ReadCheckpointEnvelope(path, kTrainStateVersion, &payload));
 
   const auto malformed = [&path](const std::string& what) {
     return common::Status::IoError("payload ends inside " + what + ": " + path);

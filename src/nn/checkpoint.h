@@ -47,6 +47,38 @@
 
 namespace fairwos::nn {
 
+// --------------------------------------------------------------------------
+// FWCP envelope — shared by all checkpoint-family codecs
+// --------------------------------------------------------------------------
+
+/// Envelope versions in use. v2/v3 are implemented here; v4 is the frozen
+/// model artifact (serve/artifact.h), which reuses the same envelope.
+inline constexpr uint32_t kModuleCheckpointVersion = 2;
+inline constexpr uint32_t kTrainStateCheckpointVersion = 3;
+inline constexpr uint32_t kModelArtifactVersion = 4;
+
+/// Writes `payload` to `path` inside the FWCP magic/size/CRC header,
+/// atomically and durably (tmp file + fsync + rename + directory fsync).
+/// Carries the kCheckpointFlip/kCheckpointTruncate write-path fault hooks.
+common::Status WriteCheckpointEnvelope(const std::string& path,
+                                       uint32_t version, std::string payload);
+
+/// Reads and authenticates an FWCP file: validates the magic, the exact
+/// `expected_version`, the size field, and the payload CRC before any byte
+/// reaches the caller. Carries the kCheckpointRead read-path fault hook.
+/// Errors follow the Status contract in the header comment above.
+common::Status ReadCheckpointEnvelope(const std::string& path,
+                                      uint32_t expected_version,
+                                      std::string* payload);
+
+/// Validates a snapshot (or any per-parameter float blob list) against a
+/// module's parameters — count and per-tensor element count — so that
+/// RestoreParameters (which FW_CHECK-aborts on mismatch) only ever sees
+/// compatible data. `what` names the section in the error message.
+common::Status CheckParamsCompatible(
+    const std::vector<tensor::Tensor>& params,
+    const std::vector<std::vector<float>>& saved, const char* what);
+
 /// Writes every parameter tensor to `path` (atomically and durably;
 /// overwrites existing files).
 common::Status SaveCheckpoint(const std::string& path, const Module& module);

@@ -11,6 +11,7 @@
 #include "graph/graph.h"
 #include "nn/linear.h"
 #include "nn/module.h"
+#include "nn/prediction.h"
 
 namespace fairwos::nn {
 
@@ -156,11 +157,8 @@ class GnnClassifier : public Module {
 };
 
 /// Hard predictions (argmax) and P(class 1) from logits, computed without
-/// touching the tape.
-struct PredictionResult {
-  std::vector<int> pred;
-  std::vector<float> prob1;
-};
+/// touching the tape. Only `pred` and `prob1` are filled; callers that
+/// expose embeddings or pseudo-attributes add them afterwards.
 PredictionResult PredictFromLogits(const tensor::Tensor& logits);
 
 }  // namespace fairwos::nn

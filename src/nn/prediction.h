@@ -1,0 +1,33 @@
+// The one prediction type of the repository: what any trained model — a
+// live FairMethod run, a FittedModel, or a restored .fwmodel artifact —
+// produces for a dataset. Replaces the former core::MethodOutput /
+// nn::PredictionResult pair (docs/serving.md, "Fit/Predict migration").
+#ifndef FAIRWOS_NN_PREDICTION_H_
+#define FAIRWOS_NN_PREDICTION_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fairwos::nn {
+
+/// Predictions for every node of a dataset (train/val/test alike).
+struct PredictionResult {
+  /// Hard predictions (argmax), one per node.
+  std::vector<int> pred;
+  /// P(y = 1) per node; used for AUC.
+  std::vector<float> prob1;
+  /// Final node representations [N, hidden]; may be undefined for methods
+  /// that do not expose one.
+  tensor::Tensor embeddings;
+  /// Pseudo-sensitive attributes X⁰ [N, I]; defined only for the
+  /// encoder-based methods (visualised by the Fig. 7 bench).
+  tensor::Tensor pseudo_sens;
+  /// Wall-clock fit time, for the Fig. 8 runtime comparison; 0 when the
+  /// producing model's fit time is unknown (e.g. a restored artifact).
+  double train_seconds = 0.0;
+};
+
+}  // namespace fairwos::nn
+
+#endif  // FAIRWOS_NN_PREDICTION_H_

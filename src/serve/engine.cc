@@ -1,0 +1,260 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "tensor/ops.h"
+
+namespace fairwos::serve {
+namespace {
+
+/// Batch sizes are small integers; the default latency edges would lump
+/// them all into the first bucket.
+std::vector<double> BatchSizeBuckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+common::Status ValidateOptions(const EngineOptions& options) {
+  if (options.max_batch_size < 1) {
+    return common::Status::InvalidArgument("max_batch_size must be >= 1");
+  }
+  if (options.flush_interval_ms < 0.0) {
+    return common::Status::InvalidArgument(
+        "flush_interval_ms must be >= 0");
+  }
+  if (options.cache_capacity < 0) {
+    return common::Status::InvalidArgument("cache_capacity must be >= 0");
+  }
+  return common::Status::OK();
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<InferenceEngine>> InferenceEngine::Load(
+    const std::string& artifact_path, const data::Dataset& ds,
+    EngineOptions options) {
+  FW_RETURN_IF_ERROR(ValidateOptions(options));
+  FW_ASSIGN_OR_RETURN(ModelArtifact artifact,
+                      LoadModelArtifact(artifact_path));
+  std::string model_id = artifact.model_id;
+  FW_ASSIGN_OR_RETURN(std::unique_ptr<core::FittedGnnModel> model,
+                      RestoreFittedModel(artifact, ds));
+  return std::make_unique<InferenceEngine>(std::move(model),
+                                           std::move(model_id), ds, options);
+}
+
+InferenceEngine::InferenceEngine(std::unique_ptr<core::FittedGnnModel> model,
+                                 std::string model_id, const data::Dataset& ds,
+                                 EngineOptions options)
+    : model_(std::move(model)),
+      model_id_(std::move(model_id)),
+      input_(model_->ResolveInput(ds)),
+      num_nodes_(ds.num_nodes()),
+      options_(options),
+      cache_(static_cast<size_t>(std::max<int64_t>(0, options.cache_capacity))) {
+  auto& registry = obs::MetricsRegistry::Global();
+  requests_counter_ = registry.GetCounter("serve.requests");
+  batches_counter_ = registry.GetCounter("serve.batches");
+  hits_counter_ = registry.GetCounter("serve.cache.hits");
+  misses_counter_ = registry.GetCounter("serve.cache.misses");
+  queue_depth_gauge_ = registry.GetGauge("serve.queue_depth");
+  batch_size_hist_ =
+      registry.GetHistogram("serve.batch_size", BatchSizeBuckets());
+  latency_hist_ = registry.GetHistogram("serve.request_latency_ms");
+}
+
+NodePrediction InferenceEngine::RowPrediction(const nn::PredictionResult& full,
+                                              int64_t node) const {
+  NodePrediction p;
+  p.node = node;
+  p.label = full.pred[static_cast<size_t>(node)];
+  p.prob1 = full.prob1[static_cast<size_t>(node)];
+  return p;
+}
+
+void InferenceEngine::EmitRequestTelemetry(const NodePrediction& p,
+                                           double latency_ms) const {
+  if (!obs::TelemetryEnabled()) return;
+  obs::EmitEvent(obs::Event("serve_request")
+                     .Set("model", model_id_)
+                     .Set("node", p.node)
+                     .Set("label", p.label)
+                     .Set("prob1", static_cast<double>(p.prob1))
+                     .Set("cache_hit", p.cache_hit ? 1 : 0)
+                     .Set("latency_ms", latency_ms));
+}
+
+void InferenceEngine::ExecuteBatch(
+    std::vector<std::shared_ptr<PendingRequest>>* batch) {
+  FW_TRACE_SPAN("serve/batch");
+  batches_counter_->Increment();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_size_hist_->Observe(static_cast<double>(batch->size()));
+
+  // The transductive forward computes every node at once; each request
+  // just reads its row. This is the same RNG-free eval pass as
+  // FittedGnnModel::Predict, so results are bit-identical to it.
+  tensor::NoGradGuard no_grad;
+  common::Rng rng(0);
+  const nn::PredictionResult full = nn::PredictFromLogits(
+      model_->classifier().Forward(input_, /*training=*/false, &rng));
+  for (auto& req : *batch) {
+    req->result = RowPrediction(full, req->node);
+  }
+}
+
+void InferenceEngine::RunAsLeader(std::unique_lock<std::mutex>& lock) {
+  // Give followers a chance to join the batch, bounded by the flush
+  // interval; a full queue flushes immediately.
+  if (static_cast<int64_t>(pending_.size()) < options_.max_batch_size &&
+      options_.flush_interval_ms > 0.0) {
+    batch_ready_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(options_.flush_interval_ms),
+        [&] {
+          return static_cast<int64_t>(pending_.size()) >=
+                 options_.max_batch_size;
+        });
+  }
+  std::vector<std::shared_ptr<PendingRequest>> batch;
+  batch.swap(pending_);
+  queue_depth_gauge_->Set(0.0);
+
+  lock.unlock();
+  ExecuteBatch(&batch);
+  lock.lock();
+
+  for (auto& req : batch) {
+    cache_.Put({model_id_, req->node}, req->result);
+    req->done = true;
+  }
+  leader_active_ = false;
+  done_.notify_all();
+}
+
+common::Result<NodePrediction> InferenceEngine::Predict(int64_t node) {
+  if (node < 0 || node >= num_nodes_) {
+    return common::Status::InvalidArgument(
+        "node " + std::to_string(node) + " out of range [0, " +
+        std::to_string(num_nodes_) + ")");
+  }
+  common::Stopwatch watch;
+  requests_counter_->Increment();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (const NodePrediction* cached = cache_.Get({model_id_, node})) {
+    NodePrediction result = *cached;
+    result.cache_hit = true;
+    hits_counter_->Increment();
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    const double latency_ms = watch.Millis();
+    latency_hist_->Observe(latency_ms);
+    EmitRequestTelemetry(result, latency_ms);
+    return result;
+  }
+  misses_counter_->Increment();
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
+  auto req = std::make_shared<PendingRequest>();
+  req->node = node;
+  pending_.push_back(req);
+  queue_depth_gauge_->Set(static_cast<double>(pending_.size()));
+
+  while (!req->done) {
+    if (!leader_active_) {
+      leader_active_ = true;
+      RunAsLeader(lock);
+      // Our own request was in the captured batch, so req->done now holds;
+      // the loop exits. (If a racing leader captured it first, we ran a
+      // batch for whoever queued meanwhile — their followers get notified.)
+    } else {
+      if (static_cast<int64_t>(pending_.size()) >= options_.max_batch_size) {
+        batch_ready_.notify_one();
+      }
+      done_.wait(lock, [&] { return req->done || !leader_active_; });
+    }
+  }
+  NodePrediction result = req->result;
+  lock.unlock();
+
+  const double latency_ms = watch.Millis();
+  latency_hist_->Observe(latency_ms);
+  EmitRequestTelemetry(result, latency_ms);
+  return result;
+}
+
+common::Result<std::vector<NodePrediction>> InferenceEngine::PredictBatch(
+    const std::vector<int64_t>& nodes) {
+  for (int64_t node : nodes) {
+    if (node < 0 || node >= num_nodes_) {
+      return common::Status::InvalidArgument(
+          "node " + std::to_string(node) + " out of range [0, " +
+          std::to_string(num_nodes_) + ")");
+    }
+  }
+  std::vector<NodePrediction> results;
+  results.reserve(nodes.size());
+  const size_t chunk = static_cast<size_t>(options_.max_batch_size);
+  for (size_t begin = 0; begin < nodes.size(); begin += chunk) {
+    common::Stopwatch watch;
+    const size_t end = std::min(nodes.size(), begin + chunk);
+    std::vector<std::shared_ptr<PendingRequest>> misses;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (size_t i = begin; i < end; ++i) {
+        requests_counter_->Increment();
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        if (const NodePrediction* cached = cache_.Get({model_id_, nodes[i]})) {
+          NodePrediction hit = *cached;
+          hit.cache_hit = true;
+          hits_counter_->Increment();
+          cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          results.push_back(hit);
+        } else {
+          misses_counter_->Increment();
+          cache_misses_.fetch_add(1, std::memory_order_relaxed);
+          auto req = std::make_shared<PendingRequest>();
+          req->node = nodes[i];
+          misses.push_back(std::move(req));
+          results.emplace_back();  // placeholder, filled below
+          results.back().node = nodes[i];
+        }
+      }
+    }
+    if (!misses.empty()) {
+      ExecuteBatch(&misses);
+      std::unique_lock<std::mutex> lock(mu_);
+      size_t next_miss = 0;
+      for (size_t i = begin; i < end; ++i) {
+        NodePrediction& slot = results[i];
+        if (slot.cache_hit) continue;
+        slot = misses[next_miss]->result;
+        cache_.Put({model_id_, slot.node}, slot);
+        ++next_miss;
+      }
+    }
+    const double latency_ms = watch.Millis();
+    for (size_t i = begin; i < end; ++i) {
+      latency_hist_->Observe(latency_ms);
+      EmitRequestTelemetry(results[i], latency_ms);
+    }
+  }
+  return results;
+}
+
+InferenceEngine::Stats InferenceEngine::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fairwos::serve

@@ -1,0 +1,152 @@
+// Batched inference over a frozen model (docs/serving.md).
+//
+// The setting is transductive: the graph is bound inside the classifier, so
+// the unit of compute is one eval-mode forward pass over the FULL node set,
+// no matter how many nodes a request asks about. The engine therefore
+// micro-batches: concurrent Predict callers queue their node ids, the first
+// one becomes the batch leader, waits up to the flush interval (or until
+// the batch fills), runs ONE forward for everyone, and hands each caller
+// its row. An LRU cache keyed on (model id, node id) answers repeat nodes
+// without any forward at all.
+//
+// Determinism: the forward is the same RNG-free eval pass FittedGnnModel::
+// Predict runs, computed by the deterministic parallel kernels — so served
+// predictions are bit-identical to the in-process model at any thread
+// count and any batching schedule.
+#ifndef FAIRWOS_SERVE_ENGINE_H_
+#define FAIRWOS_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/fitted.h"
+#include "serve/artifact.h"
+#include "serve/lru_cache.h"
+
+namespace fairwos::serve {
+
+struct EngineOptions {
+  /// A leader flushes as soon as this many requests are queued.
+  int64_t max_batch_size = 32;
+  /// How long a leader waits for the batch to fill before flushing anyway;
+  /// 0 flushes immediately (batches only what is already queued).
+  double flush_interval_ms = 1.0;
+  /// LRU entries; 0 disables the cache.
+  int64_t cache_capacity = 1024;
+};
+
+/// One answered request.
+struct NodePrediction {
+  int64_t node = 0;
+  int label = 0;      // argmax class
+  float prob1 = 0.0f;  // P(class 1)
+  bool cache_hit = false;
+};
+
+/// Hash for the (model id, node id) cache key.
+struct CacheKeyHash {
+  size_t operator()(const std::pair<std::string, int64_t>& k) const {
+    return std::hash<std::string>()(k.first) ^
+           (std::hash<int64_t>()(k.second) * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+/// Serves node-classification requests from a frozen model. Thread-safe:
+/// any number of threads may call Predict/PredictBatch concurrently.
+class InferenceEngine {
+ public:
+  /// Loads a `.fwmodel` artifact and binds it to `ds` (graph + features).
+  /// `ds` must outlive the engine.
+  static common::Result<std::unique_ptr<InferenceEngine>> Load(
+      const std::string& artifact_path, const data::Dataset& ds,
+      EngineOptions options = {});
+
+  /// Wraps an already-restored model (e.g. straight from Fit).
+  InferenceEngine(std::unique_ptr<core::FittedGnnModel> model,
+                  std::string model_id, const data::Dataset& ds,
+                  EngineOptions options);
+
+  /// Answers one node, blocking until its micro-batch executes (or the
+  /// cache answers immediately). InvalidArgument for an out-of-range node.
+  common::Result<NodePrediction> Predict(int64_t node);
+
+  /// Answers many nodes from the calling thread, chunked deterministically
+  /// into batches of at most max_batch_size; bypasses the request queue.
+  common::Result<std::vector<NodePrediction>> PredictBatch(
+      const std::vector<int64_t>& nodes);
+
+  const std::string& model_id() const { return model_id_; }
+  const core::FittedGnnModel& model() const { return *model_; }
+  int64_t num_nodes() const { return num_nodes_; }
+
+  /// Engine-local counters (the serve.* registry metrics aggregate across
+  /// engines; these are per-instance, for benches and tests).
+  struct Stats {
+    int64_t requests = 0;
+    int64_t batches = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct PendingRequest {
+    int64_t node = 0;
+    NodePrediction result;
+    bool done = false;
+  };
+
+  /// Leader duty cycle: wait for the batch to fill (bounded by the flush
+  /// interval), capture the queue, execute it, publish results. Enters and
+  /// leaves with `lock` held and leader_active_ set by the caller.
+  void RunAsLeader(std::unique_lock<std::mutex>& lock);
+
+  /// One forward pass answering `batch`; no lock required (the batch is
+  /// exclusively owned by the caller).
+  void ExecuteBatch(std::vector<std::shared_ptr<PendingRequest>>* batch);
+
+  /// Argmax/prob1 for `node` from a freshly computed full-graph result.
+  NodePrediction RowPrediction(const nn::PredictionResult& full,
+                               int64_t node) const;
+
+  void EmitRequestTelemetry(const NodePrediction& p, double latency_ms) const;
+
+  std::unique_ptr<core::FittedGnnModel> model_;
+  std::string model_id_;
+  tensor::Tensor input_;  // resolved once at construction
+  int64_t num_nodes_ = 0;
+  EngineOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable batch_ready_;  // wakes a waiting leader early
+  std::condition_variable done_;         // wakes followers
+  std::vector<std::shared_ptr<PendingRequest>> pending_;
+  bool leader_active_ = false;
+  LruCache<std::pair<std::string, int64_t>, NodePrediction, CacheKeyHash>
+      cache_;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+
+  // Registry metrics, fetched once (pointers are stable process-wide).
+  obs::Counter* requests_counter_;
+  obs::Counter* batches_counter_;
+  obs::Counter* hits_counter_;
+  obs::Counter* misses_counter_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Histogram* batch_size_hist_;
+  obs::Histogram* latency_hist_;
+};
+
+}  // namespace fairwos::serve
+
+#endif  // FAIRWOS_SERVE_ENGINE_H_

@@ -1,0 +1,63 @@
+// A small, generic least-recently-used cache: std::list keeps recency order
+// (front = most recent), an unordered_map indexes list nodes by key. Not
+// thread-safe by design — the inference engine already serialises cache
+// access under its queue mutex, and a second lock here would only add
+// contention.
+#ifndef FAIRWOS_SERVE_LRU_CACHE_H_
+#define FAIRWOS_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace fairwos::serve {
+
+/// Fixed-capacity LRU map. Capacity 0 disables caching entirely: Put is a
+/// no-op and Get always misses, so callers need no special-casing.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value and marks it most-recently-used, or nullptr
+  /// on a miss. The pointer is valid until the next Put.
+  const V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry
+  /// when over capacity.
+  void Put(K key, V value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(std::move(key), std::move(value));
+    index_.emplace(order_.front().first, order_.begin());
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      index_;
+};
+
+}  // namespace fairwos::serve
+
+#endif  // FAIRWOS_SERVE_LRU_CACHE_H_

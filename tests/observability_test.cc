@@ -412,8 +412,8 @@ class FlakyMethod : public core::FairMethod {
 
   std::string name() const override { return "Flaky"; }
 
-  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
-                                         uint64_t seed) override {
+  common::Result<std::unique_ptr<core::FittedModel>> Fit(
+      const data::Dataset& ds, uint64_t seed) override {
     if (std::find(failing_seeds_.begin(), failing_seeds_.end(), seed) !=
         failing_seeds_.end()) {
       return common::Status::Internal("loss diverged");
@@ -421,7 +421,8 @@ class FlakyMethod : public core::FairMethod {
     core::MethodOutput out;
     out.pred.assign(static_cast<size_t>(ds.num_nodes()), 0);
     out.prob1.assign(static_cast<size_t>(ds.num_nodes()), 0.5f);
-    return out;
+    return std::unique_ptr<core::FittedModel>(
+        new core::PrecomputedModel(name(), std::move(out)));
   }
 
  private:

@@ -502,8 +502,8 @@ class FlakyMethod : public core::FairMethod {
 
   std::string name() const override { return "Flaky"; }
 
-  common::Result<core::MethodOutput> Run(const data::Dataset& ds,
-                                         uint64_t seed) override {
+  common::Result<std::unique_ptr<core::FittedModel>> Fit(
+      const data::Dataset& ds, uint64_t seed) override {
     if (std::find(failing_seeds_.begin(), failing_seeds_.end(), seed) !=
         failing_seeds_.end()) {
       return common::Status::Internal("injected trial failure");
@@ -512,7 +512,8 @@ class FlakyMethod : public core::FairMethod {
     out.pred.assign(static_cast<size_t>(ds.num_nodes()), 1);
     out.prob1.assign(static_cast<size_t>(ds.num_nodes()), 0.75f);
     out.train_seconds = 0.01;
-    return out;
+    return std::unique_ptr<core::FittedModel>(
+        new core::PrecomputedModel(name(), std::move(out)));
   }
 
  private:

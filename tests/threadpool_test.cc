@@ -293,8 +293,8 @@ TEST(ParallelDeterminismTest, ParallelTrialsMatchSequentialSeedStream) {
   class SeedRecorder : public core::FairMethod {
    public:
     std::string name() const override { return "SeedRecorder"; }
-    common::Result<core::MethodOutput> Run(const data::Dataset& ds,
-                                           uint64_t seed) override {
+    common::Result<std::unique_ptr<core::FittedModel>> Fit(
+        const data::Dataset& ds, uint64_t seed) override {
       {
         std::lock_guard<std::mutex> lock(mu_);
         seeds_.insert(seed);
@@ -302,7 +302,8 @@ TEST(ParallelDeterminismTest, ParallelTrialsMatchSequentialSeedStream) {
       core::MethodOutput out;
       out.pred.assign(static_cast<size_t>(ds.num_nodes()), 0);
       out.prob1.assign(static_cast<size_t>(ds.num_nodes()), 0.5f);
-      return out;
+      return std::unique_ptr<core::FittedModel>(
+          new core::PrecomputedModel(name(), std::move(out)));
     }
     std::set<uint64_t> seeds() const {
       std::lock_guard<std::mutex> lock(mu_);

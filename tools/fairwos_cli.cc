@@ -21,6 +21,25 @@
 //       stream written by --telemetry-out. Fails on malformed input, so it
 //       doubles as the validator in CI.
 //
+//   fairwos_cli export --dataset bail | --data-dir DIR --out model.fwmodel
+//                      [--method fairwos] [--backbone gcn] [--epochs 300]
+//                      [--seed 42] [--model-id ID]
+//       Fits one method and freezes the result as a `.fwmodel` artifact
+//       (docs/serving.md): architecture config, trained parameters, and the
+//       dataset's normalization statistics, in the same CRC-protected FWCP
+//       envelope as training checkpoints.
+//
+//   fairwos_cli serve-bench --model model.fwmodel
+//                           --dataset bail | --data-dir DIR
+//                           [--requests 1000] [--clients 4] [--max-batch 32]
+//                           [--flush-interval-ms 1.0] [--cache-capacity 1024]
+//                           [--hot-fraction 0.8] [--bench-seed 1]
+//                           [--verify true] [--json-out BENCH_serve.json]
+//       Replays a synthetic request stream against the batched inference
+//       engine and reports throughput and latency percentiles. --verify
+//       bit-compares every served prediction against an in-process
+//       FittedModel::Predict over the same artifact.
+//
 // Parallelism flags accepted by train and audit (docs/parallelism.md):
 //   --threads N           total worker concurrency for parallel kernels and
 //                         trial execution (default: the FAIRWOS_THREADS
@@ -48,18 +67,25 @@
 //                         N polls instead of after wall-clock time
 // SIGINT/SIGTERM are handled cooperatively: the run stops at the next epoch
 // boundary, writes a final checkpoint when enabled, and exits with code 3.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/registry.h"
 #include "common/cli.h"
 #include "common/deadline.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/telemetry.h"
 #include "common/threadpool.h"
@@ -69,6 +95,8 @@
 #include "eval/harness.h"
 #include "eval/table.h"
 #include "nn/checkpoint.h"
+#include "serve/artifact.h"
+#include "serve/engine.h"
 
 namespace fairwos::cli {
 namespace {
@@ -81,7 +109,8 @@ int Fail(const common::Status& status) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: fairwos_cli <list|generate|train|audit|trace-report> [flags]\n"
+      "usage: fairwos_cli "
+      "<list|generate|train|audit|trace-report|export|serve-bench> [flags]\n"
       "run with a subcommand to see its flags in the header of\n"
       "tools/fairwos_cli.cc\n");
   return 2;
@@ -237,25 +266,49 @@ common::Deadline ResolveDeadline(const common::CliFlags& flags) {
   return common::Deadline::Never();
 }
 
+/// The shared flag surface of every model-running subcommand (train, audit,
+/// export, serve-bench), resolved in one place: --threads sizes the pool,
+/// the --*-out flags open the observability session, and the checkpoint /
+/// deadline flags are parsed for whichever subcommand consumes them.
+struct RunOptions {
+  std::unique_ptr<ObsSession> obs;
+  nn::CheckpointOptions checkpoint;
+  common::Deadline deadline = common::Deadline::Never();
+
+  static common::Result<RunOptions> FromFlags(const common::CliFlags& flags) {
+    ApplyThreadsFlag(flags);
+    RunOptions run;
+    FW_ASSIGN_OR_RETURN(run.obs, ObsSession::FromFlags(flags));
+    run.checkpoint = ResolveCheckpointOptions(flags);
+    run.deadline = ResolveDeadline(flags);
+    return run;
+  }
+
+  /// Stamps the checkpoint/deadline settings into a method configuration.
+  /// Each copy of an AfterChecks deadline counts its own polls; with a
+  /// single method per invocation only the method's copy matters.
+  void Configure(baselines::MethodOptions* options) const {
+    options->train.checkpoint = checkpoint;
+    options->train.deadline = deadline;
+    options->fairwos.checkpoint = checkpoint;
+    options->fairwos.deadline = deadline;
+  }
+};
+
 int Train(const common::CliFlags& flags) {
-  ApplyThreadsFlag(flags);
-  auto obs_or = ObsSession::FromFlags(flags);
-  if (!obs_or.ok()) return Fail(obs_or.status());
+  auto run_or = RunOptions::FromFlags(flags);
+  if (!run_or.ok()) return Fail(run_or.status());
+  const RunOptions& run = run_or.value();
   auto ds_or = ResolveDataset(flags);
   if (!ds_or.ok()) return Fail(ds_or.status());
   const data::Dataset& ds = ds_or.value();
   auto options_or = ResolveMethodOptions(flags, ds.name);
   if (!options_or.ok()) return Fail(options_or.status());
-  const nn::CheckpointOptions ckpt = ResolveCheckpointOptions(flags);
-  const common::Deadline deadline = ResolveDeadline(flags);
+  const nn::CheckpointOptions& ckpt = run.checkpoint;
+  const common::Deadline& deadline = run.deadline;
   common::InstallSignalHandlers();
   baselines::MethodOptions options = options_or.value();
-  // Each copy of an AfterChecks deadline counts its own polls; with a
-  // single method per `train` invocation only the method's copy matters.
-  options.train.checkpoint = ckpt;
-  options.train.deadline = deadline;
-  options.fairwos.checkpoint = ckpt;
-  options.fairwos.deadline = deadline;
+  run.Configure(&options);
   const std::string method_name = flags.GetString("method", "fairwos");
   auto method_or = baselines::MakeMethod(method_name, options);
   if (!method_or.ok()) return Fail(method_or.status());
@@ -310,9 +363,8 @@ int Train(const common::CliFlags& flags) {
 }
 
 int Audit(const common::CliFlags& flags) {
-  ApplyThreadsFlag(flags);
-  auto obs_or = ObsSession::FromFlags(flags);
-  if (!obs_or.ok()) return Fail(obs_or.status());
+  auto run_or = RunOptions::FromFlags(flags);
+  if (!run_or.ok()) return Fail(run_or.status());
   auto ds_or = ResolveDataset(flags);
   if (!ds_or.ok()) return Fail(ds_or.status());
   const data::Dataset& ds = ds_or.value();
@@ -336,6 +388,193 @@ int Audit(const common::CliFlags& flags) {
     PrintFailureReasons(agg);
   }
   std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+int Export(const common::CliFlags& flags) {
+  auto run_or = RunOptions::FromFlags(flags);
+  if (!run_or.ok()) return Fail(run_or.status());
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    return Fail(common::Status::InvalidArgument(
+        "--out <model.fwmodel> is required"));
+  }
+  auto ds_or = ResolveDataset(flags);
+  if (!ds_or.ok()) return Fail(ds_or.status());
+  const data::Dataset& ds = ds_or.value();
+  auto options_or = ResolveMethodOptions(flags, ds.name);
+  if (!options_or.ok()) return Fail(options_or.status());
+  baselines::MethodOptions options = options_or.value();
+  run_or.value().Configure(&options);
+  const std::string method_name = flags.GetString("method", "fairwos");
+  auto method_or = baselines::MakeMethod(method_name, options);
+  if (!method_or.ok()) return Fail(method_or.status());
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  auto fitted_or = method_or.value()->Fit(ds, seed);
+  if (!fitted_or.ok()) return Fail(fitted_or.status());
+  const core::FittedGnnModel* gnn = fitted_or.value()->AsGnn();
+  if (gnn == nullptr) {
+    return Fail(common::Status::FailedPrecondition(
+        method_or.value()->name() +
+        " does not produce an exportable GNN model"));
+  }
+  serve::ModelArtifact artifact =
+      serve::MakeArtifact(*gnn, ds, flags.GetString("model-id", ""));
+  common::Status status = serve::SaveModelArtifact(out, artifact);
+  if (!status.ok()) return Fail(status);
+  int64_t total_floats = 0;
+  for (const auto& p : artifact.params) {
+    total_floats += static_cast<int64_t>(p.size());
+  }
+  std::printf("wrote %s: model %s, %zu parameter tensors (%lld floats), "
+              "trained in %.2fs\n",
+              out.c_str(), artifact.model_id.c_str(), artifact.params.size(),
+              static_cast<long long>(total_floats),
+              fitted_or.value()->train_seconds());
+  return 0;
+}
+
+int ServeBench(const common::CliFlags& flags) {
+  auto run_or = RunOptions::FromFlags(flags);
+  if (!run_or.ok()) return Fail(run_or.status());
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) {
+    return Fail(common::Status::InvalidArgument(
+        "--model <model.fwmodel> is required"));
+  }
+  auto ds_or = ResolveDataset(flags);
+  if (!ds_or.ok()) return Fail(ds_or.status());
+  const data::Dataset& ds = ds_or.value();
+
+  serve::EngineOptions engine_options;
+  engine_options.max_batch_size = flags.GetInt("max-batch", 32);
+  engine_options.flush_interval_ms = flags.GetDouble("flush-interval-ms", 1.0);
+  engine_options.cache_capacity = flags.GetInt("cache-capacity", 1024);
+  auto engine_or = serve::InferenceEngine::Load(model_path, ds, engine_options);
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  serve::InferenceEngine& engine = *engine_or.value();
+
+  const int64_t requests = flags.GetInt("requests", 1000);
+  const int64_t clients = flags.GetInt("clients", 4);
+  const double hot_fraction = flags.GetDouble("hot-fraction", 0.8);
+  if (requests < 1 || clients < 1) {
+    return Fail(common::Status::InvalidArgument(
+        "--requests and --clients must be >= 1"));
+  }
+  if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+    return Fail(common::Status::InvalidArgument(
+        "--hot-fraction must be in [0, 1]"));
+  }
+
+  // Pre-drawn request stream: a small hot working set (exercises the LRU)
+  // mixed with uniform cold traffic (exercises batching). Deterministic in
+  // --bench-seed, independent of client count.
+  common::Rng rng(static_cast<uint64_t>(flags.GetInt("bench-seed", 1)));
+  const int64_t hot_nodes = std::min<int64_t>(64, engine.num_nodes());
+  std::vector<int64_t> stream(static_cast<size_t>(requests));
+  for (auto& node : stream) {
+    node = rng.Bernoulli(hot_fraction) ? rng.UniformInt(hot_nodes)
+                                       : rng.UniformInt(engine.num_nodes());
+  }
+
+  std::vector<serve::NodePrediction> results(stream.size());
+  std::vector<double> latencies(stream.size());
+  std::atomic<bool> failed{false};
+  common::Stopwatch wall;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(clients));
+    for (int64_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        const int64_t begin = c * requests / clients;
+        const int64_t end = (c + 1) * requests / clients;
+        for (int64_t i = begin; i < end; ++i) {
+          common::Stopwatch request_watch;
+          auto prediction = engine.Predict(stream[static_cast<size_t>(i)]);
+          if (!prediction.ok()) {
+            failed.store(true);
+            return;
+          }
+          latencies[static_cast<size_t>(i)] = request_watch.Millis();
+          results[static_cast<size_t>(i)] = prediction.value();
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  const double wall_seconds = wall.Seconds();
+  if (failed.load()) {
+    return Fail(common::Status::Internal("a serve-bench request failed"));
+  }
+
+  // --verify: every served prediction must be bit-identical to an
+  // in-process FittedModel::Predict over the same artifact.
+  const bool verify = flags.GetBool("verify", false);
+  if (verify) {
+    auto artifact_or = serve::LoadModelArtifact(model_path);
+    if (!artifact_or.ok()) return Fail(artifact_or.status());
+    auto model_or = serve::RestoreFittedModel(artifact_or.value(), ds);
+    if (!model_or.ok()) return Fail(model_or.status());
+    const nn::PredictionResult full = model_or.value()->Predict(ds);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      const size_t node = static_cast<size_t>(stream[i]);
+      if (results[i].label != full.pred[node] ||
+          results[i].prob1 != full.prob1[node]) {
+        return Fail(common::Status::Internal(
+            "served prediction for node " + std::to_string(stream[i]) +
+            " diverges from in-process Predict"));
+      }
+    }
+  }
+
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const auto percentile = [&sorted](double p) {
+    return sorted[static_cast<size_t>(p / 100.0 *
+                                      static_cast<double>(sorted.size() - 1))];
+  };
+  const double mean_ms =
+      std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+      static_cast<double>(sorted.size());
+  const double throughput =
+      static_cast<double>(requests) / std::max(wall_seconds, 1e-9);
+  const serve::InferenceEngine::Stats stats = engine.stats();
+
+  std::printf(
+      "served %lld requests (%lld clients) against %s in %.3fs\n"
+      "  throughput %.1f req/s\n"
+      "  latency ms p50 %.4f  p90 %.4f  p99 %.4f  mean %.4f\n"
+      "  batches %lld  cache hits %lld  misses %lld%s\n",
+      static_cast<long long>(requests), static_cast<long long>(clients),
+      engine.model_id().c_str(), wall_seconds, throughput, percentile(50),
+      percentile(90), percentile(99), mean_ms,
+      static_cast<long long>(stats.batches),
+      static_cast<long long>(stats.cache_hits),
+      static_cast<long long>(stats.cache_misses),
+      verify ? "  (verified bit-identical)" : "");
+
+  const std::string json_out = flags.GetString("json-out", "");
+  if (!json_out.empty()) {
+    std::ofstream json_file(json_out);
+    if (!json_file) {
+      return Fail(common::Status::IoError("cannot open " + json_out));
+    }
+    json_file << common::StrFormat(
+        "{\"model\":\"%s\",\"dataset\":\"%s\",\"requests\":%lld,"
+        "\"clients\":%lld,\"wall_seconds\":%.6f,\"throughput_rps\":%.3f,"
+        "\"latency_ms\":{\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f,"
+        "\"mean\":%.6f},\"batches\":%lld,\"cache_hits\":%lld,"
+        "\"cache_misses\":%lld,\"verified\":%s}\n",
+        engine.model_id().c_str(), ds.name.c_str(),
+        static_cast<long long>(requests), static_cast<long long>(clients),
+        wall_seconds, throughput, percentile(50), percentile(90),
+        percentile(99), mean_ms, static_cast<long long>(stats.batches),
+        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.cache_misses),
+        verify ? "true" : "false");
+    std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+  }
   return 0;
 }
 
@@ -468,6 +707,8 @@ int Main(int argc, char** argv) {
   if (command == "train") return Train(flags_or.value());
   if (command == "audit") return Audit(flags_or.value());
   if (command == "trace-report") return TraceReport(flags_or.value());
+  if (command == "export") return Export(flags_or.value());
+  if (command == "serve-bench") return ServeBench(flags_or.value());
   return Usage();
 }
 
