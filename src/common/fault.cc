@@ -1,12 +1,15 @@
 #include "common/fault.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 
 namespace fairwos::testing {
 namespace {
 
-FaultInjector* g_active = nullptr;
+// Atomic so concurrent serve threads can query the hook while a test scope
+// installs/uninstalls it (the injector itself synchronizes its plans).
+std::atomic<FaultInjector*> g_active{nullptr};
 
 }  // namespace
 
@@ -24,6 +27,12 @@ const char* FaultSiteName(FaultSite site) {
       return "checkpoint-truncate";
     case FaultSite::kCheckpointRead:
       return "checkpoint-read";
+    case FaultSite::kServeBatchForward:
+      return "serve-batch-forward";
+    case FaultSite::kServeArtifactMmap:
+      return "serve-artifact-mmap";
+    case FaultSite::kServeCacheInsert:
+      return "serve-cache-insert";
   }
   return "unknown";
 }
@@ -32,6 +41,7 @@ void FaultInjector::Arm(FaultSite site, int64_t at_visit, int64_t count,
                         int64_t every) {
   FW_CHECK_GE(at_visit, 0);
   FW_CHECK_GE(every, 1);
+  std::lock_guard<std::mutex> lock(mu_);
   Plan& plan = plans_[static_cast<size_t>(site)];
   plan.armed = true;
   plan.at_visit = at_visit;
@@ -40,6 +50,7 @@ void FaultInjector::Arm(FaultSite site, int64_t at_visit, int64_t count,
 }
 
 bool FaultInjector::ShouldFire(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
   Plan& plan = plans_[static_cast<size_t>(site)];
   const int64_t visit = plan.visits++;
   if (!plan.armed || plan.remaining == 0) return false;
@@ -52,10 +63,12 @@ bool FaultInjector::ShouldFire(FaultSite site) {
 }
 
 int64_t FaultInjector::visits(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return plans_[static_cast<size_t>(site)].visits;
 }
 
 int64_t FaultInjector::fires(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return plans_[static_cast<size_t>(site)].fires;
 }
 
@@ -98,13 +111,17 @@ common::Status FaultInjector::Truncate(const std::string& path,
   return common::Status::OK();
 }
 
-FaultInjector* ActiveFaultInjector() { return g_active; }
-
-ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
-    : previous_(g_active) {
-  g_active = injector;
+FaultInjector* ActiveFaultInjector() {
+  return g_active.load(std::memory_order_acquire);
 }
 
-ScopedFaultInjector::~ScopedFaultInjector() { g_active = previous_; }
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
+    : previous_(g_active.load(std::memory_order_acquire)) {
+  g_active.store(injector, std::memory_order_release);
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  g_active.store(previous_, std::memory_order_release);
+}
 
 }  // namespace fairwos::testing

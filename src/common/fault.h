@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/rng.h"
@@ -30,8 +31,14 @@ enum class FaultSite : int {
   kCheckpointFlip,      // one payload bit during SaveCheckpoint
   kCheckpointTruncate,  // drop the tail of the payload during SaveCheckpoint
   kCheckpointRead,      // one payload bit in the buffer read back at load
+  kServeBatchForward,   // a serving micro-batch forward pass (engine retries,
+                        // then degrades to the last-known-good prediction)
+  kServeArtifactMmap,   // mapping a .fwmodel artifact into memory at
+                        // registry Load/Swap (the swap must stay atomic)
+  kServeCacheInsert,    // inserting a served prediction into the LRU (the
+                        // prediction is still returned, just not cached)
 };
-inline constexpr int kNumFaultSites = 6;
+inline constexpr int kNumFaultSites = 9;
 
 const char* FaultSiteName(FaultSite site);
 
@@ -45,7 +52,10 @@ class FaultInjector {
            int64_t every = 1);
 
   /// Advances the site's visit counter and reports whether the fault fires
-  /// on this visit. Called by the library hooks, not by tests.
+  /// on this visit. Called by the library hooks, not by tests. Thread-safe:
+  /// the serve-path sites fire from concurrent client/leader threads (the
+  /// visit order across threads is scheduler-dependent, but the total fire
+  /// count still honors the armed plan exactly).
   bool ShouldFire(FaultSite site);
 
   /// How often the site has been visited / has actually fired — tests assert
@@ -54,6 +64,8 @@ class FaultInjector {
   int64_t fires(FaultSite site) const;
 
   /// Deterministic randomness for fault payloads (which bit to flip, ...).
+  /// Unlike ShouldFire this is not synchronized: only single-threaded sites
+  /// (the checkpoint/training hooks) consume payload randomness.
   common::Rng* rng() { return &rng_; }
 
   // --- Direct file corruption, for checkpoint robustness tests ------------
@@ -76,6 +88,7 @@ class FaultInjector {
   };
 
   common::Rng rng_;
+  mutable std::mutex mu_;  // guards plans_ (serve hooks fire concurrently)
   std::array<Plan, kNumFaultSites> plans_;
 };
 

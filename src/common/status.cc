@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -49,6 +51,9 @@ Status Status::Internal(std::string msg) {
 }
 Status Status::DeadlineExceeded(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 std::string Status::ToString() const {

@@ -24,6 +24,7 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -47,6 +48,7 @@ class Status {
   static Status IoError(std::string msg);
   static Status Internal(std::string msg);
   static Status DeadlineExceeded(std::string msg);
+  static Status ResourceExhausted(std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

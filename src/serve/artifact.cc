@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "nn/checkpoint.h"
 #include "nn/payload.h"
 
@@ -111,6 +112,14 @@ common::Status SaveModelArtifact(const std::string& path,
 }
 
 common::Result<ModelArtifact> LoadModelArtifact(const std::string& path) {
+  // Fault-injection site modelling a failed artifact mapping (mmap/read
+  // error after the file opened). Fired before any byte is parsed, so a
+  // registry Swap that hits it must leave the old model fully in place.
+  if (auto* fi = testing::ActiveFaultInjector();
+      fi != nullptr && fi->ShouldFire(testing::FaultSite::kServeArtifactMmap)) {
+    return common::Status::IoError("model artifact " + path +
+                                   ": injected mmap fault");
+  }
   std::string payload;
   FW_RETURN_IF_ERROR(nn::ReadCheckpointEnvelope(
       path, nn::kModelArtifactVersion, &payload));

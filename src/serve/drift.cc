@@ -1,0 +1,73 @@
+#include "serve/drift.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fairwos::serve {
+namespace {
+
+/// Columns the model saw as (near-)constant get a floor instead of an
+/// exploding z-score; any real movement on such a column is still several
+/// floored units.
+constexpr double kMinStd = 1e-6;
+
+}  // namespace
+
+DriftMonitor::DriftMonitor(std::vector<float> fit_mean,
+                           std::vector<float> fit_std, DriftOptions options)
+    : fit_mean_(std::move(fit_mean)),
+      fit_std_(std::move(fit_std)),
+      options_(options) {
+  FW_CHECK_EQ(fit_mean_.size(), fit_std_.size());
+  FW_CHECK_GE(options_.min_samples, 1);
+  FW_CHECK(options_.z_threshold > 0.0);
+  sums_.assign(fit_mean_.size(), 0.0);
+}
+
+void DriftMonitor::ObserveRow(const float* row) {
+  for (size_t j = 0; j < sums_.size(); ++j) {
+    sums_[j] += static_cast<double>(row[j]);
+  }
+  ++samples_;
+}
+
+double DriftMonitor::MaxZ(int64_t* worst_column) const {
+  if (worst_column != nullptr) *worst_column = -1;
+  if (samples_ < options_.min_samples) return 0.0;
+  double max_z = 0.0;
+  for (size_t j = 0; j < sums_.size(); ++j) {
+    const double observed = sums_[j] / static_cast<double>(samples_);
+    const double scale =
+        std::max(static_cast<double>(fit_std_[j]), kMinStd);
+    const double z = std::fabs(observed - fit_mean_[j]) / scale;
+    if (z > max_z) {
+      max_z = z;
+      if (worst_column != nullptr) *worst_column = static_cast<int64_t>(j);
+    }
+  }
+  return max_z;
+}
+
+bool DriftMonitor::CheckAlert(int64_t* column, double* z) {
+  int64_t worst = -1;
+  const double max_z = MaxZ(&worst);
+  if (max_z <= options_.z_threshold) {
+    alerted_ = false;  // recovered: re-arm for the next crossing
+    return false;
+  }
+  if (alerted_) return false;  // still inside the same excursion
+  alerted_ = true;
+  if (column != nullptr) *column = worst;
+  if (z != nullptr) *z = max_z;
+  return true;
+}
+
+void DriftMonitor::Reset() {
+  sums_.assign(sums_.size(), 0.0);
+  samples_ = 0;
+  alerted_ = false;
+}
+
+}  // namespace fairwos::serve

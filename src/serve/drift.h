@@ -1,0 +1,77 @@
+// Online feature-drift monitor (docs/serving.md). The `.fwmodel` artifact
+// stores the per-column normalization statistics of the matrix the model
+// was fit on; at serve time those are checked once at restore. This monitor
+// turns that static check into a continuous audit: it accumulates a
+// streaming per-column mean over the feature rows of incoming requests and
+// scores each column's deviation from the fit-time mean in units of the
+// fit-time stddev. Traffic concentrated on a subpopulation whose features
+// sit far from the training distribution — the deployment shift the source
+// paper's no-sensitive-attributes setting is most exposed to — pushes the
+// z-score past the threshold and raises a latched drift alert.
+#ifndef FAIRWOS_SERVE_DRIFT_H_
+#define FAIRWOS_SERVE_DRIFT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairwos::serve {
+
+struct DriftOptions {
+  /// No alert (and MaxZ() reports 0) until this many rows were observed;
+  /// early traffic is too small a sample to call drift.
+  int64_t min_samples = 64;
+  /// Alert when any column's |observed mean - fit mean| exceeds this many
+  /// fit-time stddevs.
+  double z_threshold = 4.0;
+};
+
+/// Streaming audit of one model's incoming feature rows against its
+/// fit-time column statistics. Not thread-safe: the engine observes rows
+/// under its own mutex.
+class DriftMonitor {
+ public:
+  DriftMonitor(std::vector<float> fit_mean, std::vector<float> fit_std,
+               DriftOptions options);
+
+  /// Accumulates one feature row (`columns()` contiguous floats).
+  void ObserveRow(const float* row);
+
+  /// Largest per-column z-score of the observed mean, and the column it
+  /// occurs in; 0 until min_samples rows were seen.
+  double MaxZ(int64_t* worst_column = nullptr) const;
+
+  /// True exactly once per threshold crossing: fires when MaxZ() first
+  /// exceeds z_threshold, then latches until the score falls back below
+  /// the threshold (or Reset). Fills the alert's column and z-score.
+  bool CheckAlert(int64_t* column, double* z);
+
+  /// Forgets all observations (e.g. after a model swap installed new
+  /// fit-time statistics).
+  void Reset();
+
+  int64_t samples() const { return samples_; }
+  int64_t columns() const { return static_cast<int64_t>(fit_mean_.size()); }
+  double observed_mean(int64_t column) const {
+    return sums_[static_cast<size_t>(column)] /
+           static_cast<double>(samples_ > 0 ? samples_ : 1);
+  }
+  double fit_mean(int64_t column) const {
+    return fit_mean_[static_cast<size_t>(column)];
+  }
+  double fit_std(int64_t column) const {
+    return fit_std_[static_cast<size_t>(column)];
+  }
+
+ private:
+  const std::vector<float> fit_mean_;
+  const std::vector<float> fit_std_;
+  const DriftOptions options_;
+  std::vector<double> sums_;  // per-column running sums
+  int64_t samples_ = 0;
+  bool alerted_ = false;  // latched until the score recovers
+};
+
+}  // namespace fairwos::serve
+
+#endif  // FAIRWOS_SERVE_DRIFT_H_

@@ -1,34 +1,61 @@
-// Batched inference over a frozen model (docs/serving.md).
+// Batched inference over frozen models, hardened for production traffic
+// (docs/serving.md).
 //
 // The setting is transductive: the graph is bound inside the classifier, so
 // the unit of compute is one eval-mode forward pass over the FULL node set,
 // no matter how many nodes a request asks about. The engine therefore
 // micro-batches: concurrent Predict callers queue their node ids, the first
 // one becomes the batch leader, waits up to the flush interval (or until
-// the batch fills), runs ONE forward for everyone, and hands each caller
-// its row. An LRU cache keyed on (model id, node id) answers repeat nodes
-// without any forward at all.
+// the batch fills), runs ONE forward per requested model, and hands each
+// caller its row. An LRU cache keyed on (model id, node id) answers repeat
+// nodes without any forward at all.
+//
+// Robustness layer on top of that core:
+//   * Models come from a ModelRegistry (serve/registry.h): many named
+//     models, hot-swappable under traffic. Cache entries are generation-
+//     checked and purged on Swap/Unload, so no stale prediction survives a
+//     reload — post-swap answers are bit-identical to a fresh engine on
+//     the new artifact.
+//   * Admission control: a bounded request queue and optional per-model
+//     quotas; requests past either limit are shed immediately with
+//     ResourceExhausted instead of piling up latency.
+//   * Deadlines: every Predict can carry a common::Deadline; a request
+//     that cannot be answered in time resolves to DeadlineExceeded. No
+//     wait in the engine is unbounded — followers use wait_for and
+//     self-promote to leader if the current leader stalls or dies, so a
+//     faulted leader can never hang every client thread.
+//   * Degraded serving: if a batch forward faults (kServeBatchForward)
+//     and retries are exhausted, the engine answers from the last known
+//     good full-graph result, flagged `degraded=true`, instead of failing.
+//   * Online drift audit: incoming request feature rows stream into a
+//     per-model DriftMonitor scored against the artifact's fit-time
+//     normalization stats (serve.drift.* gauges, drift_alert incidents).
 //
 // Determinism: the forward is the same RNG-free eval pass FittedGnnModel::
 // Predict runs, computed by the deterministic parallel kernels — so served
-// predictions are bit-identical to the in-process model at any thread
-// count and any batching schedule.
+// (non-degraded) predictions are bit-identical to the in-process model at
+// any thread count and any batching schedule.
 #ifndef FAIRWOS_SERVE_ENGINE_H_
 #define FAIRWOS_SERVE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "core/fitted.h"
 #include "serve/artifact.h"
+#include "serve/drift.h"
 #include "serve/lru_cache.h"
+#include "serve/registry.h"
 
 namespace fairwos::serve {
 
@@ -40,14 +67,37 @@ struct EngineOptions {
   double flush_interval_ms = 1.0;
   /// LRU entries; 0 disables the cache.
   int64_t cache_capacity = 1024;
+  /// Admission queue bound (includes the leader's own request). A Predict
+  /// arriving while this many requests are pending is shed with
+  /// ResourceExhausted.
+  int64_t max_queue = 1024;
+  /// Per-model pending-request quota; 0 = unlimited. One model's burst
+  /// sheds with ResourceExhausted before it can starve the shared queue.
+  int64_t per_model_quota = 0;
+  /// Implicit per-request deadline for Predict calls that do not pass one;
+  /// 0 = none. Expired requests resolve to DeadlineExceeded.
+  double default_deadline_ms = 0.0;
+  /// A follower that has waited this long without batch progress presumes
+  /// the leader dead and promotes itself (re-queueing its request). Must
+  /// comfortably exceed flush_interval_ms plus one forward pass.
+  double leader_timeout_ms = 200.0;
+  /// Extra forward attempts after a faulted batch forward before the
+  /// engine degrades to the last known good result.
+  int64_t forward_retries = 2;
+  /// Online drift audit of incoming feature rows (serve/drift.h).
+  bool drift_monitor = true;
+  DriftOptions drift;
 };
 
 /// One answered request.
 struct NodePrediction {
   int64_t node = 0;
-  int label = 0;      // argmax class
+  int label = 0;       // argmax class
   float prob1 = 0.0f;  // P(class 1)
   bool cache_hit = false;
+  /// True when this answer came from the last known good result because
+  /// the fresh forward faulted (stale but servable).
+  bool degraded = false;
 };
 
 /// Hash for the (model id, node id) cache key.
@@ -58,32 +108,57 @@ struct CacheKeyHash {
   }
 };
 
-/// Serves node-classification requests from a frozen model. Thread-safe:
-/// any number of threads may call Predict/PredictBatch concurrently.
+/// Serves node-classification requests from the models of a registry.
+/// Thread-safe: any number of threads may call Predict/PredictBatch
+/// concurrently, and the registry may Swap/Unload models under traffic.
 class InferenceEngine {
  public:
-  /// Loads a `.fwmodel` artifact and binds it to `ds` (graph + features).
-  /// `ds` must outlive the engine.
+  /// Single-model convenience: loads one `.fwmodel` into a fresh registry
+  /// and makes it the default model. `ds` must outlive the engine.
   static common::Result<std::unique_ptr<InferenceEngine>> Load(
       const std::string& artifact_path, const data::Dataset& ds,
       EngineOptions options = {});
 
-  /// Wraps an already-restored model (e.g. straight from Fit).
+  /// Wraps an already-restored model (e.g. straight from Fit) as the
+  /// default model of a fresh registry.
   InferenceEngine(std::unique_ptr<core::FittedGnnModel> model,
                   std::string model_id, const data::Dataset& ds,
                   EngineOptions options);
 
-  /// Answers one node, blocking until its micro-batch executes (or the
-  /// cache answers immediately). InvalidArgument for an out-of-range node.
+  /// Serves every model of an existing registry (which may gain, lose,
+  /// and swap models while the engine runs). No default model: requests
+  /// must name one.
+  InferenceEngine(std::shared_ptr<ModelRegistry> registry,
+                  EngineOptions options);
+
+  ~InferenceEngine();
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Answers one node from `model_id`, blocking until its micro-batch
+  /// executes (or the cache answers immediately). Statuses:
+  ///   InvalidArgument    out-of-range node
+  ///   NotFound           model not in the registry
+  ///   ResourceExhausted  admission queue or per-model quota full
+  ///   DeadlineExceeded   `deadline` (or the default deadline) expired
+  ///   Internal           forward faulted and no degraded answer exists
+  common::Result<NodePrediction> Predict(
+      const std::string& model_id, int64_t node,
+      const common::Deadline* deadline = nullptr);
+
+  /// Default-model shorthand (single-model constructors).
   common::Result<NodePrediction> Predict(int64_t node);
 
   /// Answers many nodes from the calling thread, chunked deterministically
-  /// into batches of at most max_batch_size; bypasses the request queue.
+  /// into batches of at most max_batch_size; bypasses the admission queue
+  /// (the caller already owns its own concurrency).
+  common::Result<std::vector<NodePrediction>> PredictBatch(
+      const std::string& model_id, const std::vector<int64_t>& nodes);
   common::Result<std::vector<NodePrediction>> PredictBatch(
       const std::vector<int64_t>& nodes);
 
-  const std::string& model_id() const { return model_id_; }
-  const core::FittedGnnModel& model() const { return *model_; }
+  const std::string& model_id() const { return default_model_id_; }
+  ModelRegistry& registry() { return *registry_; }
   int64_t num_nodes() const { return num_nodes_; }
 
   /// Engine-local counters (the serve.* registry metrics aggregate across
@@ -93,56 +168,154 @@ class InferenceEngine {
     int64_t batches = 0;
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
+    int64_t shed_queue = 0;         // ResourceExhausted: queue full
+    int64_t shed_quota = 0;         // ResourceExhausted: per-model quota
+    int64_t deadline_exceeded = 0;  // requests resolved DeadlineExceeded
+    int64_t degraded = 0;           // answers served from last known good
+    int64_t leader_promotions = 0;  // followers that usurped a dead leader
+    int64_t cache_invalidations = 0;  // entries purged on swap/unload
+    int64_t drift_alerts = 0;
   };
   Stats stats() const;
 
+  /// Test hook: the next `n` batch leaders "die" after capturing their
+  /// batch — they fail their own request, never publish, and leave the
+  /// leader flag held, exactly like a crashed thread. Followers must
+  /// recover via timeout self-promotion.
+  void CrashNextLeaderForTesting(int64_t n = 1) {
+    crash_next_leader_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct PendingRequest {
+    std::string model_id;
     int64_t node = 0;
     NodePrediction result;
+    common::Status status;  // meaningful once done
     bool done = false;
+    bool queued = false;  // currently sitting in pending_
   };
+
+  /// A cached answer is only valid for the generation that computed it.
+  struct CachedValue {
+    NodePrediction prediction;
+    int64_t generation = 0;
+  };
+
+  /// One model's share of a captured batch, executed as one forward.
+  struct GroupExecution {
+    std::string model_id;
+    int64_t generation = 0;
+    std::shared_ptr<const nn::PredictionResult> full;  // null on failure
+    common::Status status;        // failure reason when full == nullptr
+    bool forward_faulted = false;  // failure came from the forward pass
+    std::vector<std::shared_ptr<PendingRequest>> reqs;
+  };
+
+  /// The last successful full-graph result per model — the degraded-mode
+  /// fallback when a fresh forward faults.
+  struct LastGood {
+    std::shared_ptr<const nn::PredictionResult> full;
+    int64_t generation = 0;
+  };
+
+  struct DriftState {
+    std::unique_ptr<DriftMonitor> monitor;
+    int64_t generation = 0;
+  };
+
+  void InitMetrics();
 
   /// Leader duty cycle: wait for the batch to fill (bounded by the flush
   /// interval), capture the queue, execute it, publish results. Enters and
-  /// leaves with `lock` held and leader_active_ set by the caller.
-  void RunAsLeader(std::unique_lock<std::mutex>& lock);
+  /// leaves with `lock` held; leader_active_/leader_since_ set by the
+  /// caller. `self` is the calling thread's own request (the one a
+  /// crash-injected leader fails).
+  void RunAsLeader(std::unique_lock<std::mutex>& lock,
+                   const std::shared_ptr<PendingRequest>& self);
 
-  /// One forward pass answering `batch`; no lock required (the batch is
-  /// exclusively owned by the caller).
-  void ExecuteBatch(std::vector<std::shared_ptr<PendingRequest>>* batch);
+  /// One forward pass (with fault retries) answering `reqs` for one model;
+  /// no engine lock held (the group is exclusively owned by the caller).
+  GroupExecution ExecuteGroup(
+      const std::string& model_id,
+      std::vector<std::shared_ptr<PendingRequest>> reqs);
 
-  /// Argmax/prob1 for `node` from a freshly computed full-graph result.
-  NodePrediction RowPrediction(const nn::PredictionResult& full,
-                               int64_t node) const;
+  /// Fills results, inserts cache entries (generation-checked, with the
+  /// kServeCacheInsert fault hook), updates the last-good snapshot, and
+  /// applies the degraded fallback. Requires the engine lock.
+  void PublishGroupLocked(GroupExecution* group);
 
-  void EmitRequestTelemetry(const NodePrediction& p, double latency_ms) const;
+  /// Streams `node`'s feature row into the model's drift monitor and
+  /// raises alerts. Requires the engine lock.
+  void ObserveDriftLocked(const ModelRegistry::Entry& entry, int64_t node);
 
-  std::unique_ptr<core::FittedGnnModel> model_;
-  std::string model_id_;
-  tensor::Tensor input_;  // resolved once at construction
+  /// Removes `req` from the pending queue if still there. Requires lock.
+  void AbandonLocked(const std::shared_ptr<PendingRequest>& req);
+
+  /// Registry listener: purges the model's cache entries and per-model
+  /// serving state after a swap or unload.
+  void OnInvalidation(const std::string& model_id, int64_t new_generation);
+
+  /// Argmax/prob1 for `node` from a full-graph result.
+  static NodePrediction RowPrediction(const nn::PredictionResult& full,
+                                      int64_t node);
+
+  void EmitRequestTelemetry(const std::string& model_id,
+                            const NodePrediction& p, double latency_ms) const;
+  void EmitRejectTelemetry(const std::string& model_id, int64_t node,
+                           const char* reason) const;
+
+  std::shared_ptr<ModelRegistry> registry_;
+  std::string default_model_id_;  // empty for registry-backed engines
   int64_t num_nodes_ = 0;
   EngineOptions options_;
+  int64_t listener_token_ = 0;
 
   std::mutex mu_;
   std::condition_variable batch_ready_;  // wakes a waiting leader early
   std::condition_variable done_;         // wakes followers
   std::vector<std::shared_ptr<PendingRequest>> pending_;
+  std::map<std::string, int64_t> pending_per_model_;
   bool leader_active_ = false;
-  LruCache<std::pair<std::string, int64_t>, NodePrediction, CacheKeyHash>
-      cache_;
+  Clock::time_point leader_since_{};
+  LruCache<std::pair<std::string, int64_t>, CachedValue, CacheKeyHash> cache_;
+  std::map<std::string, LastGood> last_good_;
+  std::map<std::string, DriftState> drift_;
+
+  std::atomic<int64_t> crash_next_leader_{0};
 
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> cache_hits_{0};
   std::atomic<int64_t> cache_misses_{0};
+  std::atomic<int64_t> shed_queue_{0};
+  std::atomic<int64_t> shed_quota_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> leader_promotions_{0};
+  std::atomic<int64_t> cache_invalidations_{0};
+  std::atomic<int64_t> drift_alerts_{0};
 
   // Registry metrics, fetched once (pointers are stable process-wide).
   obs::Counter* requests_counter_;
   obs::Counter* batches_counter_;
   obs::Counter* hits_counter_;
   obs::Counter* misses_counter_;
+  obs::Counter* accepted_counter_;
+  obs::Counter* shed_queue_counter_;
+  obs::Counter* shed_quota_counter_;
+  obs::Counter* deadline_counter_;
+  obs::Counter* degraded_counter_;
+  obs::Counter* promotions_counter_;
+  obs::Counter* invalidations_counter_;
+  obs::Counter* insert_dropped_counter_;
+  obs::Counter* forward_retries_counter_;
+  obs::Counter* drift_alerts_counter_;
   obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* drift_max_z_gauge_;
+  obs::Gauge* drift_samples_gauge_;
   obs::Histogram* batch_size_hist_;
   obs::Histogram* latency_hist_;
 };

@@ -48,6 +48,24 @@ class LruCache {
     }
   }
 
+  /// Removes every entry whose key satisfies `pred`; returns how many were
+  /// erased. Used by the engine to invalidate a model's entries on swap or
+  /// unload so no stale prediction survives a reload.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->first)) {
+        index_.erase(it->first);
+        it = order_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
   size_t size() const { return order_.size(); }
   size_t capacity() const { return capacity_; }
 

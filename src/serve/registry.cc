@@ -1,0 +1,203 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace fairwos::serve {
+
+ModelRegistry::ModelRegistry(const data::Dataset& ds) : ds_(ds) {
+  auto& registry = obs::MetricsRegistry::Global();
+  loads_counter_ = registry.GetCounter("serve.registry.loads");
+  unloads_counter_ = registry.GetCounter("serve.registry.unloads");
+  swaps_counter_ = registry.GetCounter("serve.swap.total");
+  swap_failures_counter_ = registry.GetCounter("serve.swap.failures");
+  models_gauge_ = registry.GetGauge("serve.registry.models");
+}
+
+common::Result<ModelRegistry::Entry> ModelRegistry::RestoreEntry(
+    const std::string& path, const std::string& model_id) const {
+  FW_ASSIGN_OR_RETURN(ModelArtifact artifact, LoadModelArtifact(path));
+  FW_ASSIGN_OR_RETURN(std::unique_ptr<core::FittedGnnModel> model,
+                      RestoreFittedModel(artifact, ds_));
+  Entry entry;
+  entry.model_id = model_id.empty() ? artifact.model_id : model_id;
+  entry.input = model->ResolveInput(ds_);
+  entry.input_mean = std::move(artifact.input_mean);
+  entry.input_std = std::move(artifact.input_std);
+  entry.source_path = path;
+  entry.model = std::shared_ptr<const core::FittedGnnModel>(std::move(model));
+  return entry;
+}
+
+common::Status ModelRegistry::Publish(Entry entry, bool replace) {
+  std::string model_id;
+  int64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool exists = models_.count(entry.model_id) > 0;
+    if (replace && !exists) {
+      return common::Status::NotFound("model '" + entry.model_id +
+                                      "' is not registered (Swap requires a "
+                                      "loaded model; use Load)");
+    }
+    if (!replace && exists) {
+      return common::Status::FailedPrecondition(
+          "model '" + entry.model_id +
+          "' is already registered (use Swap to hot-reload)");
+    }
+    entry.generation = ++last_generation_[entry.model_id];
+    model_id = entry.model_id;
+    generation = entry.generation;
+    models_[model_id] = std::make_shared<const Entry>(std::move(entry));
+    models_gauge_->Set(static_cast<double>(models_.size()));
+  }
+  if (replace) {
+    // The swap is published; retire every cached prediction of the old
+    // generation before returning to the caller.
+    NotifyListeners(model_id, generation);
+  }
+  return common::Status::OK();
+}
+
+common::Result<std::string> ModelRegistry::Load(const std::string& path,
+                                                const std::string& model_id) {
+  FW_ASSIGN_OR_RETURN(Entry entry, RestoreEntry(path, model_id));
+  const std::string published_id = entry.model_id;
+  FW_RETURN_IF_ERROR(Publish(std::move(entry), /*replace=*/false));
+  loads_counter_->Increment();
+  if (obs::TelemetryEnabled()) {
+    obs::EmitEvent(obs::Event("model_load")
+                       .Set("model", published_id)
+                       .Set("path", path));
+  }
+  return published_id;
+}
+
+common::Status ModelRegistry::Install(
+    const std::string& model_id, std::unique_ptr<core::FittedGnnModel> model) {
+  FW_CHECK(model != nullptr);
+  FW_CHECK(!model_id.empty()) << "Install requires a model id";
+  Entry entry;
+  entry.model_id = model_id;
+  entry.input = model->ResolveInput(ds_);
+  ComputeColumnStats(entry.input, &entry.input_mean, &entry.input_std);
+  entry.model = std::shared_ptr<const core::FittedGnnModel>(std::move(model));
+  FW_RETURN_IF_ERROR(Publish(std::move(entry), /*replace=*/false));
+  loads_counter_->Increment();
+  return common::Status::OK();
+}
+
+common::Result<int64_t> ModelRegistry::Swap(const std::string& model_id,
+                                            const std::string& path) {
+  FW_TRACE_SPAN("serve/swap");
+  // Restore first, outside the mutex: a corrupt or missing artifact (or an
+  // injected kServeArtifactMmap fault) must leave the old model serving.
+  auto entry_or = RestoreEntry(path, model_id);
+  if (!entry_or.ok()) {
+    swap_failures_counter_->Increment();
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("model_swap_failed")
+                         .Set("model", model_id)
+                         .Set("path", path)
+                         .Set("error", entry_or.status().ToString()));
+    }
+    return entry_or.status();
+  }
+  common::Status published = Publish(std::move(entry_or).value(),
+                                     /*replace=*/true);
+  if (!published.ok()) {
+    swap_failures_counter_->Increment();
+    return published;
+  }
+  const int64_t new_generation = generation(model_id);
+  swaps_counter_->Increment();
+  if (obs::TelemetryEnabled()) {
+    obs::EmitEvent(obs::Event("model_swap")
+                       .Set("model", model_id)
+                       .Set("generation", new_generation)
+                       .Set("path", path));
+  }
+  return new_generation;
+}
+
+common::Status ModelRegistry::Unload(const std::string& model_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(model_id);
+    if (it == models_.end()) {
+      return common::Status::NotFound("model '" + model_id +
+                                      "' is not registered");
+    }
+    models_.erase(it);
+    models_gauge_->Set(static_cast<double>(models_.size()));
+  }
+  NotifyListeners(model_id, /*new_generation=*/0);
+  unloads_counter_->Increment();
+  if (obs::TelemetryEnabled()) {
+    obs::EmitEvent(obs::Event("model_unload").Set("model", model_id));
+  }
+  return common::Status::OK();
+}
+
+std::shared_ptr<const ModelRegistry::Entry> ModelRegistry::Get(
+    const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(model_id);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+int64_t ModelRegistry::generation(const std::string& model_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(model_id);
+  return it == models_.end() ? 0 : it->second->generation;
+}
+
+std::vector<std::string> ModelRegistry::ModelIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(models_.size());
+  for (const auto& [id, entry] : models_) ids.push_back(id);
+  return ids;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+int64_t ModelRegistry::AddInvalidationListener(InvalidationListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void ModelRegistry::RemoveListener(int64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == token) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void ModelRegistry::NotifyListeners(const std::string& model_id,
+                                    int64_t new_generation) {
+  // Listeners run outside the registry mutex: the engine's purge takes its
+  // own engine mutex, and engine code queries the registry while holding
+  // it — invoking listeners locked would invert that order.
+  std::vector<InvalidationListener> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(listeners_.size());
+    for (const auto& [token, listener] : listeners_) {
+      snapshot.push_back(listener);
+    }
+  }
+  for (const auto& listener : snapshot) listener(model_id, new_generation);
+}
+
+}  // namespace fairwos::serve

@@ -1,0 +1,127 @@
+// Multi-model serving registry (docs/serving.md). A ModelRegistry holds
+// many named `.fwmodel` artifacts restored against one dataset and supports
+// hot reload: `Swap(model_id, path)` restores the new artifact fully (it can
+// fail without side effects — the old model keeps serving), then atomically
+// replaces the published entry under the registry mutex and bumps the
+// model's generation counter. Readers take `shared_ptr` snapshots, so an
+// in-flight batch finishes on whichever model it captured while new
+// requests immediately see the swapped one.
+//
+// Generation counters are per model id and survive Unload/Load cycles, so a
+// cached prediction from any retired generation can never be mistaken for a
+// current one. Invalidation listeners (the engine's LRU purge) run after
+// the swap is published and outside the registry mutex — by the time
+// Swap/Unload returns, every listener has been told and no stale prediction
+// survives the reload.
+#ifndef FAIRWOS_SERVE_REGISTRY_H_
+#define FAIRWOS_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/fitted.h"
+#include "data/dataset.h"
+#include "serve/artifact.h"
+
+namespace fairwos::serve {
+
+/// Thread-safe registry of servable models over one dataset. `ds` must
+/// outlive the registry (and therefore every engine built on it).
+class ModelRegistry {
+ public:
+  /// One published model. Immutable once published; replaced wholesale on
+  /// Swap. Readers hold the shared_ptr for as long as they need the model.
+  struct Entry {
+    std::string model_id;
+    std::shared_ptr<const core::FittedGnnModel> model;
+    tensor::Tensor input;  // the matrix Predict reads, resolved once
+    /// Fit-time per-column normalization stats from the artifact — the
+    /// reference distribution the drift monitor audits against.
+    std::vector<float> input_mean;
+    std::vector<float> input_std;
+    int64_t generation = 0;
+    std::string source_path;  // empty for in-process Install()ed models
+  };
+
+  explicit ModelRegistry(const data::Dataset& ds);
+
+  /// Loads a `.fwmodel` from `path` and publishes it under `model_id`
+  /// (empty: the artifact's own id). Returns the published id.
+  /// FailedPrecondition if the id is already registered (use Swap).
+  common::Result<std::string> Load(const std::string& path,
+                                   const std::string& model_id = "");
+
+  /// Publishes an already-restored model (e.g. straight from Fit).
+  common::Status Install(const std::string& model_id,
+                         std::unique_ptr<core::FittedGnnModel> model);
+
+  /// Atomically replaces `model_id` with the artifact at `path`. The new
+  /// artifact is restored before anything is unpublished: on any failure
+  /// the old model keeps serving untouched. NotFound when the id is not
+  /// registered. Returns the new generation.
+  common::Result<int64_t> Swap(const std::string& model_id,
+                               const std::string& path);
+
+  /// Unpublishes `model_id`; NotFound when absent. Listeners fire so every
+  /// cached prediction for the model is invalidated.
+  common::Status Unload(const std::string& model_id);
+
+  /// Snapshot of the current entry, or nullptr when not registered.
+  std::shared_ptr<const Entry> Get(const std::string& model_id) const;
+
+  /// Current generation of `model_id`; 0 when not registered. An unloaded
+  /// model reports 0 even though its counter persists for the next Load.
+  int64_t generation(const std::string& model_id) const;
+
+  std::vector<std::string> ModelIds() const;
+  size_t size() const;
+  const data::Dataset& dataset() const { return ds_; }
+
+  /// Called after a Swap or Unload is published, outside the registry
+  /// mutex, with the model id and its new generation (0 for unload).
+  using InvalidationListener =
+      std::function<void(const std::string& model_id, int64_t new_generation)>;
+
+  /// Registers a listener; returns a token for RemoveListener. Listeners
+  /// must stay callable until removed.
+  int64_t AddInvalidationListener(InvalidationListener listener);
+  void RemoveListener(int64_t token);
+
+ private:
+  /// Restores `path` into a publishable entry (no mutation on failure).
+  common::Result<Entry> RestoreEntry(const std::string& path,
+                                     const std::string& model_id) const;
+
+  /// Publishes `entry` under the next generation for its id and notifies
+  /// listeners. `replace` distinguishes Load (must not exist) from Swap
+  /// (must exist).
+  common::Status Publish(Entry entry, bool replace);
+
+  void NotifyListeners(const std::string& model_id, int64_t new_generation);
+
+  const data::Dataset& ds_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Entry>> models_;
+  /// Monotonic per-id generation, surviving Unload so re-registered ids
+  /// never reuse a retired generation.
+  std::map<std::string, int64_t> last_generation_;
+  std::vector<std::pair<int64_t, InvalidationListener>> listeners_;
+  int64_t next_listener_token_ = 1;
+
+  obs::Counter* loads_counter_;
+  obs::Counter* unloads_counter_;
+  obs::Counter* swaps_counter_;
+  obs::Counter* swap_failures_counter_;
+  obs::Gauge* models_gauge_;
+};
+
+}  // namespace fairwos::serve
+
+#endif  // FAIRWOS_SERVE_REGISTRY_H_

@@ -34,11 +34,18 @@
 //                           [--requests 1000] [--clients 4] [--max-batch 32]
 //                           [--flush-interval-ms 1.0] [--cache-capacity 1024]
 //                           [--hot-fraction 0.8] [--bench-seed 1]
+//                           [--overload true] [--max-queue N] [--quota N]
+//                           [--deadline-ms MS] [--leader-timeout-ms MS]
+//                           [--skew 4.0]
 //                           [--verify true] [--json-out BENCH_serve.json]
 //       Replays a synthetic request stream against the batched inference
-//       engine and reports throughput and latency percentiles. --verify
-//       bit-compares every served prediction against an in-process
-//       FittedModel::Predict over the same artifact.
+//       engine and reports throughput, latency percentiles, and request
+//       outcomes (served / shed / deadline-exceeded / degraded). --overload
+//       switches to a stress profile: 16 clients, a heavy-tailed node mix,
+//       an 8-deep admission queue, and 50 ms deadlines, measuring p99 and
+//       shed rate under saturation. --verify bit-compares every non-degraded
+//       served prediction against an in-process FittedModel::Predict over
+//       the same artifact.
 //
 // Parallelism flags accepted by train and audit (docs/parallelism.md):
 //   --threads N           total worker concurrency for parallel kernels and
@@ -69,6 +76,7 @@
 // boundary, writes a final checkpoint when enabled, and exits with code 3.
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -447,17 +455,31 @@ int ServeBench(const common::CliFlags& flags) {
   if (!ds_or.ok()) return Fail(ds_or.status());
   const data::Dataset& ds = ds_or.value();
 
+  // --overload flips the defaults into a stress profile: many clients, a
+  // tight admission queue, and per-request deadlines, so the bench measures
+  // load-shedding behavior instead of steady-state latency. Every explicit
+  // flag still wins over the profile's defaults.
+  const bool overload = flags.GetBool("overload", false);
+
   serve::EngineOptions engine_options;
   engine_options.max_batch_size = flags.GetInt("max-batch", 32);
   engine_options.flush_interval_ms = flags.GetDouble("flush-interval-ms", 1.0);
-  engine_options.cache_capacity = flags.GetInt("cache-capacity", 1024);
+  engine_options.cache_capacity =
+      flags.GetInt("cache-capacity", overload ? 64 : 1024);
+  engine_options.max_queue = flags.GetInt("max-queue", overload ? 8 : 1024);
+  engine_options.per_model_quota = flags.GetInt("quota", 0);
+  engine_options.default_deadline_ms =
+      flags.GetDouble("deadline-ms", overload ? 50.0 : 0.0);
+  engine_options.leader_timeout_ms =
+      flags.GetDouble("leader-timeout-ms", 200.0);
   auto engine_or = serve::InferenceEngine::Load(model_path, ds, engine_options);
   if (!engine_or.ok()) return Fail(engine_or.status());
   serve::InferenceEngine& engine = *engine_or.value();
 
-  const int64_t requests = flags.GetInt("requests", 1000);
-  const int64_t clients = flags.GetInt("clients", 4);
+  const int64_t requests = flags.GetInt("requests", overload ? 2000 : 1000);
+  const int64_t clients = flags.GetInt("clients", overload ? 16 : 4);
   const double hot_fraction = flags.GetDouble("hot-fraction", 0.8);
+  const double skew = flags.GetDouble("skew", 4.0);
   if (requests < 1 || clients < 1) {
     return Fail(common::Status::InvalidArgument(
         "--requests and --clients must be >= 1"));
@@ -466,20 +488,37 @@ int ServeBench(const common::CliFlags& flags) {
     return Fail(common::Status::InvalidArgument(
         "--hot-fraction must be in [0, 1]"));
   }
+  if (skew < 1.0) {
+    return Fail(common::Status::InvalidArgument("--skew must be >= 1"));
+  }
 
-  // Pre-drawn request stream: a small hot working set (exercises the LRU)
-  // mixed with uniform cold traffic (exercises batching). Deterministic in
-  // --bench-seed, independent of client count.
+  // Pre-drawn request stream, deterministic in --bench-seed and independent
+  // of client count. Steady state: a small hot working set (exercises the
+  // LRU) mixed with uniform cold traffic (exercises batching). Overload: a
+  // heavy-tailed power-law mix — a few very hot nodes plus a long cold tail
+  // that defeats the (shrunken) cache and keeps the queue saturated.
   common::Rng rng(static_cast<uint64_t>(flags.GetInt("bench-seed", 1)));
   const int64_t hot_nodes = std::min<int64_t>(64, engine.num_nodes());
   std::vector<int64_t> stream(static_cast<size_t>(requests));
   for (auto& node : stream) {
-    node = rng.Bernoulli(hot_fraction) ? rng.UniformInt(hot_nodes)
-                                       : rng.UniformInt(engine.num_nodes());
+    if (overload) {
+      const double u = rng.Uniform();
+      node = std::min<int64_t>(
+          engine.num_nodes() - 1,
+          static_cast<int64_t>(static_cast<double>(engine.num_nodes()) *
+                               std::pow(u, skew)));
+    } else {
+      node = rng.Bernoulli(hot_fraction) ? rng.UniformInt(hot_nodes)
+                                         : rng.UniformInt(engine.num_nodes());
+    }
   }
 
+  // Per-request outcome: answered, shed at admission, or deadline-expired.
+  // Anything else is a bench failure — no request may hang or error out.
+  enum class Outcome : uint8_t { kNone = 0, kOk, kShed, kDeadline };
   std::vector<serve::NodePrediction> results(stream.size());
-  std::vector<double> latencies(stream.size());
+  std::vector<double> latencies(stream.size(), 0.0);
+  std::vector<Outcome> outcomes(stream.size(), Outcome::kNone);
   std::atomic<bool> failed{false};
   common::Stopwatch wall;
   {
@@ -492,12 +531,20 @@ int ServeBench(const common::CliFlags& flags) {
         for (int64_t i = begin; i < end; ++i) {
           common::Stopwatch request_watch;
           auto prediction = engine.Predict(stream[static_cast<size_t>(i)]);
-          if (!prediction.ok()) {
+          if (prediction.ok()) {
+            latencies[static_cast<size_t>(i)] = request_watch.Millis();
+            results[static_cast<size_t>(i)] = prediction.value();
+            outcomes[static_cast<size_t>(i)] = Outcome::kOk;
+          } else if (prediction.status().code() ==
+                     common::StatusCode::kResourceExhausted) {
+            outcomes[static_cast<size_t>(i)] = Outcome::kShed;
+          } else if (prediction.status().code() ==
+                     common::StatusCode::kDeadlineExceeded) {
+            outcomes[static_cast<size_t>(i)] = Outcome::kDeadline;
+          } else {
             failed.store(true);
             return;
           }
-          latencies[static_cast<size_t>(i)] = request_watch.Millis();
-          results[static_cast<size_t>(i)] = prediction.value();
         }
       });
     }
@@ -508,8 +555,27 @@ int ServeBench(const common::CliFlags& flags) {
     return Fail(common::Status::Internal("a serve-bench request failed"));
   }
 
-  // --verify: every served prediction must be bit-identical to an
-  // in-process FittedModel::Predict over the same artifact.
+  int64_t served = 0, shed = 0, deadline_exceeded = 0, degraded = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    switch (outcomes[i]) {
+      case Outcome::kOk:
+        ++served;
+        if (results[i].degraded) ++degraded;
+        break;
+      case Outcome::kShed:
+        ++shed;
+        break;
+      case Outcome::kDeadline:
+        ++deadline_exceeded;
+        break;
+      case Outcome::kNone:
+        return Fail(common::Status::Internal(
+            "request " + std::to_string(i) + " never resolved"));
+    }
+  }
+
+  // --verify: every non-degraded served prediction must be bit-identical
+  // to an in-process FittedModel::Predict over the same artifact.
   const bool verify = flags.GetBool("verify", false);
   if (verify) {
     auto artifact_or = serve::LoadModelArtifact(model_path);
@@ -518,6 +584,7 @@ int ServeBench(const common::CliFlags& flags) {
     if (!model_or.ok()) return Fail(model_or.status());
     const nn::PredictionResult full = model_or.value()->Predict(ds);
     for (size_t i = 0; i < stream.size(); ++i) {
+      if (outcomes[i] != Outcome::kOk || results[i].degraded) continue;
       const size_t node = static_cast<size_t>(stream[i]);
       if (results[i].label != full.pred[node] ||
           results[i].prob1 != full.prob1[node]) {
@@ -528,28 +595,39 @@ int ServeBench(const common::CliFlags& flags) {
     }
   }
 
-  std::vector<double> sorted = latencies;
+  std::vector<double> sorted;
+  sorted.reserve(static_cast<size_t>(served));
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i] == Outcome::kOk) sorted.push_back(latencies[i]);
+  }
   std::sort(sorted.begin(), sorted.end());
   const auto percentile = [&sorted](double p) {
+    if (sorted.empty()) return 0.0;
     return sorted[static_cast<size_t>(p / 100.0 *
                                       static_cast<double>(sorted.size() - 1))];
   };
   const double mean_ms =
-      std::accumulate(sorted.begin(), sorted.end(), 0.0) /
-      static_cast<double>(sorted.size());
+      sorted.empty() ? 0.0
+                     : std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+                           static_cast<double>(sorted.size());
   const double throughput =
       static_cast<double>(requests) / std::max(wall_seconds, 1e-9);
+  const double shed_rate =
+      static_cast<double>(shed) / static_cast<double>(requests);
   const serve::InferenceEngine::Stats stats = engine.stats();
 
   std::printf(
-      "served %lld requests (%lld clients) against %s in %.3fs\n"
-      "  throughput %.1f req/s\n"
+      "served %lld/%lld requests (%lld clients) against %s in %.3fs\n"
+      "  throughput %.1f req/s  shed %lld (%.1f%%)  deadline-exceeded %lld  "
+      "degraded %lld\n"
       "  latency ms p50 %.4f  p90 %.4f  p99 %.4f  mean %.4f\n"
       "  batches %lld  cache hits %lld  misses %lld%s\n",
-      static_cast<long long>(requests), static_cast<long long>(clients),
-      engine.model_id().c_str(), wall_seconds, throughput, percentile(50),
-      percentile(90), percentile(99), mean_ms,
-      static_cast<long long>(stats.batches),
+      static_cast<long long>(served), static_cast<long long>(requests),
+      static_cast<long long>(clients), engine.model_id().c_str(), wall_seconds,
+      throughput, static_cast<long long>(shed), 100.0 * shed_rate,
+      static_cast<long long>(deadline_exceeded),
+      static_cast<long long>(degraded), percentile(50), percentile(90),
+      percentile(99), mean_ms, static_cast<long long>(stats.batches),
       static_cast<long long>(stats.cache_hits),
       static_cast<long long>(stats.cache_misses),
       verify ? "  (verified bit-identical)" : "");
@@ -562,17 +640,22 @@ int ServeBench(const common::CliFlags& flags) {
     }
     json_file << common::StrFormat(
         "{\"model\":\"%s\",\"dataset\":\"%s\",\"requests\":%lld,"
-        "\"clients\":%lld,\"wall_seconds\":%.6f,\"throughput_rps\":%.3f,"
+        "\"served\":%lld,\"clients\":%lld,\"overload\":%s,"
+        "\"wall_seconds\":%.6f,\"throughput_rps\":%.3f,"
         "\"latency_ms\":{\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f,"
         "\"mean\":%.6f},\"batches\":%lld,\"cache_hits\":%lld,"
-        "\"cache_misses\":%lld,\"verified\":%s}\n",
+        "\"cache_misses\":%lld,\"shed\":%lld,\"shed_rate\":%.6f,"
+        "\"deadline_exceeded\":%lld,\"degraded\":%lld,\"verified\":%s}\n",
         engine.model_id().c_str(), ds.name.c_str(),
-        static_cast<long long>(requests), static_cast<long long>(clients),
+        static_cast<long long>(requests), static_cast<long long>(served),
+        static_cast<long long>(clients), overload ? "true" : "false",
         wall_seconds, throughput, percentile(50), percentile(90),
         percentile(99), mean_ms, static_cast<long long>(stats.batches),
         static_cast<long long>(stats.cache_hits),
         static_cast<long long>(stats.cache_misses),
-        verify ? "true" : "false");
+        static_cast<long long>(shed), shed_rate,
+        static_cast<long long>(deadline_exceeded),
+        static_cast<long long>(degraded), verify ? "true" : "false");
     std::fprintf(stderr, "wrote %s\n", json_out.c_str());
   }
   return 0;
