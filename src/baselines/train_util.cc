@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "eval/kmeans.h"
@@ -128,6 +129,10 @@ common::Result<int64_t> TrainClassifier(const TrainOptions& options,
     st.counters = {since_best, epochs_run, healer.retries()};
     return st;
   };
+  obs::WindowedHistogram* epoch_window =
+      obs::MetricsRegistry::Global().GetWindowed("train.window.epoch_ms");
+  obs::WindowedHistogram* grad_window =
+      obs::MetricsRegistry::Global().GetWindowed("train.window.grad_norm");
   for (int64_t epoch = start_epoch; epoch < options.epochs; ++epoch) {
     if (options.deadline.Expired()) {
       bool checkpointed = false;
@@ -153,6 +158,7 @@ common::Result<int64_t> TrainClassifier(const TrainOptions& options,
           "baseline training interrupted at epoch " + std::to_string(epoch));
     }
     FW_TRACE_SPAN("baseline/train_epoch");
+    common::Stopwatch epoch_watch;
     ++epochs_run;
     opt.ZeroGrad();
     tensor::Tensor h = model->Embed(features, /*training=*/true, rng);
@@ -181,7 +187,9 @@ common::Result<int64_t> TrainClassifier(const TrainOptions& options,
     // Early stopping on validation *loss*: accuracy on small validation
     // splits is too coarsely quantised to be a stopping signal.
     const double val_loss = ValidationLoss(*model, features, ds, rng);
+    epoch_window->Observe(epoch_watch.Millis());
     if (obs::TelemetryEnabled()) {
+      grad_window->Observe(grad_norm);
       obs::EmitEvent(obs::Event("epoch")
                          .Set("phase", "baseline")
                          .Set("epoch", epoch)

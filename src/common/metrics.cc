@@ -1,11 +1,23 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <fstream>
 
 #include "common/string_util.h"
 
 namespace fairwos::obs {
+namespace {
+
+/// Steady-clock "now" in seconds; only differences are meaningful.
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   FW_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
@@ -14,6 +26,14 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::Observe(double v) {
+  // A non-finite value would land in the overflow bucket via lower_bound
+  // (NaN compares false against every edge) and then poison sum_ forever;
+  // reject it into its own counter so count()/sum()/mean stay finite.
+  if (!std::isfinite(v)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++nan_count_;
+    return;
+  }
   const size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   std::lock_guard<std::mutex> lock(mu_);
@@ -32,6 +52,11 @@ double Histogram::sum() const {
   return sum_;
 }
 
+int64_t Histogram::nan_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nan_count_;
+}
+
 std::vector<int64_t> Histogram::bucket_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return buckets_;
@@ -41,7 +66,82 @@ void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   buckets_.assign(buckets_.size(), 0);
   count_ = 0;
+  nan_count_ = 0;
   sum_ = 0.0;
+}
+
+double QuantileFromSorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const double clamped = std::min(100.0, std::max(0.0, pct));
+  return sorted[static_cast<size_t>(
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1))];
+}
+
+WindowedHistogram::WindowedHistogram(WindowOptions options)
+    : options_(options) {
+  FW_CHECK(options_.window_seconds > 0.0)
+      << "window_seconds must be positive";
+  FW_CHECK(options_.max_samples > 0) << "max_samples must be positive";
+}
+
+void WindowedHistogram::PruneLocked(double now) const {
+  // `now` never moves backwards past the newest sample: a snapshot taken
+  // with a stale clock must not resurrect already-expired entries.
+  const double reference = std::max(now, last_t_);
+  const double cutoff = reference - options_.window_seconds;
+  while (!samples_.empty() && samples_.front().first < cutoff) {
+    samples_.pop_front();
+  }
+}
+
+void WindowedHistogram::Observe(double v) { ObserveAt(v, NowSeconds()); }
+
+void WindowedHistogram::ObserveAt(double v, double t_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!std::isfinite(v)) {
+    ++nan_count_;
+    return;
+  }
+  last_t_ = std::max(last_t_, t_seconds);
+  samples_.emplace_back(t_seconds, v);
+  if (static_cast<int64_t>(samples_.size()) > options_.max_samples) {
+    samples_.pop_front();
+  }
+  PruneLocked(t_seconds);
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::TakeSnapshot() const {
+  return SnapshotAt(NowSeconds());
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::SnapshotAt(
+    double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked(now_seconds);
+  Snapshot snap;
+  snap.nan_count = nan_count_;
+  if (samples_.empty()) return snap;
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const auto& [t, v] : samples_) {
+    values.push_back(v);
+    snap.sum += v;
+  }
+  std::sort(values.begin(), values.end());
+  snap.count = static_cast<int64_t>(values.size());
+  snap.min = values.front();
+  snap.max = values.back();
+  snap.p50 = QuantileFromSorted(values, 50.0);
+  snap.p90 = QuantileFromSorted(values, 90.0);
+  snap.p99 = QuantileFromSorted(values, 99.0);
+  return snap;
+}
+
+void WindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+  nan_count_ = 0;
+  last_t_ = 0.0;
 }
 
 std::vector<double> DefaultLatencyBucketsMs() {
@@ -76,6 +176,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+WindowedHistogram* MetricsRegistry::GetWindowed(const std::string& name,
+                                                WindowOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windows_[name];
+  if (slot == nullptr) slot = std::make_unique<WindowedHistogram>(options);
+  return slot.get();
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
@@ -97,9 +205,11 @@ std::string MetricsRegistry::ToJson() const {
   first = true;
   for (const auto& [name, h] : histograms_) {
     out += common::StrFormat(
-        "%s\"%s\":{\"count\":%lld,\"sum\":%.9g,\"bounds\":[",
+        "%s\"%s\":{\"count\":%lld,\"nan_count\":%lld,\"sum\":%.9g,"
+        "\"bounds\":[",
         first ? "" : ",", common::JsonEscape(name).c_str(),
-        static_cast<long long>(h->count()), h->sum());
+        static_cast<long long>(h->count()),
+        static_cast<long long>(h->nan_count()), h->sum());
     const auto& bounds = h->bounds();
     for (size_t i = 0; i < bounds.size(); ++i) {
       out += common::StrFormat("%s%.9g", i == 0 ? "" : ",", bounds[i]);
@@ -111,6 +221,19 @@ std::string MetricsRegistry::ToJson() const {
                                static_cast<long long>(buckets[i]));
     }
     out += "]}";
+    first = false;
+  }
+  out += "},\"windows\":{";
+  first = true;
+  for (const auto& [name, w] : windows_) {
+    const WindowedHistogram::Snapshot snap = w->TakeSnapshot();
+    out += common::StrFormat(
+        "%s\"%s\":{\"count\":%lld,\"nan_count\":%lld,\"sum\":%.9g,"
+        "\"min\":%.9g,\"max\":%.9g,\"p50\":%.9g,\"p90\":%.9g,\"p99\":%.9g}",
+        first ? "" : ",", common::JsonEscape(name).c_str(),
+        static_cast<long long>(snap.count),
+        static_cast<long long>(snap.nan_count), snap.sum, snap.min, snap.max,
+        snap.p50, snap.p90, snap.p99);
     first = false;
   }
   out += "}}\n";
@@ -131,6 +254,8 @@ std::string MetricsRegistry::ToCsv() const {
   for (const auto& [name, h] : histograms_) {
     out += common::StrFormat("histogram,%s,count,%lld\n", name.c_str(),
                              static_cast<long long>(h->count()));
+    out += common::StrFormat("histogram,%s,nan_count,%lld\n", name.c_str(),
+                             static_cast<long long>(h->nan_count()));
     out += common::StrFormat("histogram,%s,sum,%.9g\n", name.c_str(),
                              h->sum());
     const auto& bounds = h->bounds();
@@ -143,6 +268,53 @@ std::string MetricsRegistry::ToCsv() const {
                                static_cast<long long>(buckets[i]));
     }
   }
+  for (const auto& [name, w] : windows_) {
+    const WindowedHistogram::Snapshot snap = w->TakeSnapshot();
+    out += common::StrFormat("window,%s,count,%lld\n", name.c_str(),
+                             static_cast<long long>(snap.count));
+    out += common::StrFormat("window,%s,sum,%.9g\n", name.c_str(), snap.sum);
+    out += common::StrFormat("window,%s,p50,%.9g\n", name.c_str(), snap.p50);
+    out += common::StrFormat("window,%s,p90,%.9g\n", name.c_str(), snap.p90);
+    out += common::StrFormat("window,%s,p99,%.9g\n", name.c_str(), snap.p99);
+  }
+  return out;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::map<std::string, MetricsRegistry::HistogramSnapshot>
+MetricsRegistry::HistogramValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.bounds = h->bounds();
+    snap.buckets = h->bucket_counts();
+    snap.count = h->count();
+    snap.nan_count = h->nan_count();
+    snap.sum = h->sum();
+    out[name] = std::move(snap);
+  }
+  return out;
+}
+
+std::map<std::string, WindowedHistogram::Snapshot>
+MetricsRegistry::WindowValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, WindowedHistogram::Snapshot> out;
+  for (const auto& [name, w] : windows_) out[name] = w->TakeSnapshot();
   return out;
 }
 
@@ -173,6 +345,7 @@ void MetricsRegistry::Reset() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, w] : windows_) w->Reset();
 }
 
 }  // namespace fairwos::obs

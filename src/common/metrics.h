@@ -9,10 +9,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -45,6 +47,9 @@ class Gauge {
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges; one
 /// implicit overflow bucket catches everything above the last edge.
+/// Non-finite observations are rejected into `nan_count()` instead of
+/// poisoning `sum()` (a single NaN would otherwise corrupt the mean for the
+/// rest of the process lifetime).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -53,6 +58,8 @@ class Histogram {
 
   int64_t count() const;
   double sum() const;
+  /// Non-finite values rejected by Observe; never part of count()/sum().
+  int64_t nan_count() const;
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<int64_t> bucket_counts() const;
@@ -63,7 +70,68 @@ class Histogram {
   mutable std::mutex mu_;
   std::vector<int64_t> buckets_;
   int64_t count_ = 0;
+  int64_t nan_count_ = 0;
   double sum_ = 0.0;
+};
+
+/// Index-based percentile over an ascending-sorted sample vector, `pct` in
+/// [0, 100]: sorted[pct/100 * (n-1)], the exact (non-interpolated) rule the
+/// serve benches have always reported. 0 for an empty vector.
+double QuantileFromSorted(const std::vector<double>& sorted, double pct);
+
+struct WindowOptions {
+  /// Samples older than this are pruned; SLO quantiles reflect only what
+  /// happened inside this window.
+  double window_seconds = 60.0;
+  /// Hard cap on retained samples (oldest evicted first) so a traffic burst
+  /// cannot grow the ring without bound.
+  int64_t max_samples = 8192;
+};
+
+/// Sliding-window quantile/histogram: a time-stamped ring buffer of raw
+/// observations whose snapshot reports exact p50/p90/p99 over the last
+/// `window_seconds` — not over the process lifetime, which is what the
+/// fixed-bucket Histogram accumulates. Thread-safe; non-finite values are
+/// rejected into `nan_count` like Histogram.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(WindowOptions options = {});
+
+  /// Observes `v` at the current steady-clock time.
+  void Observe(double v);
+  /// Test seam: observes `v` at an explicit monotonic timestamp (seconds).
+  void ObserveAt(double v, double t_seconds);
+
+  struct Snapshot {
+    int64_t count = 0;  // samples inside the window
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    int64_t nan_count = 0;
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  /// Prunes by age against the current steady-clock time, then summarises.
+  Snapshot TakeSnapshot() const;
+  /// Test seam: prunes against an explicit `now` instead of the clock.
+  Snapshot SnapshotAt(double now_seconds) const;
+
+  const WindowOptions& options() const { return options_; }
+  void Reset();
+
+ private:
+  void PruneLocked(double now) const;
+
+  const WindowOptions options_;
+  mutable std::mutex mu_;
+  /// (timestamp seconds, value), oldest first.
+  mutable std::deque<std::pair<double, double>> samples_;
+  int64_t nan_count_ = 0;
+  double last_t_ = 0.0;  // newest timestamp seen (prune reference floor)
 };
 
 /// Millisecond-latency edges spanning 0.1 ms .. 10 s.
@@ -80,13 +148,30 @@ class MetricsRegistry {
   /// `bounds` is consulted only on first registration.
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds = DefaultLatencyBucketsMs());
+  /// `options` is consulted only on first registration.
+  WindowedHistogram* GetWindowed(const std::string& name,
+                                 WindowOptions options = {});
 
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// {"counters":{...},"gauges":{...},"histograms":{...},"windows":{...}}
   std::string ToJson() const;
   /// One `kind,name,field,value` row per exported scalar.
   std::string ToCsv() const;
   common::Status WriteJson(const std::string& path) const;
   common::Status WriteCsv(const std::string& path) const;
+
+  /// Point-in-time copies of every family, for exporters (Prometheus text,
+  /// ops snapshots) that format outside the registry lock.
+  std::map<std::string, int64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+  struct HistogramSnapshot {
+    std::vector<double> bounds;
+    std::vector<int64_t> buckets;  // bounds.size() + 1, last = overflow
+    int64_t count = 0;
+    int64_t nan_count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, HistogramSnapshot> HistogramValues() const;
+  std::map<std::string, WindowedHistogram::Snapshot> WindowValues() const;
 
   /// Zeroes every metric in place; registered pointers stay valid.
   void Reset();
@@ -98,6 +183,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windows_;
 };
 
 }  // namespace fairwos::obs

@@ -177,6 +177,10 @@ common::Status PretrainClassifier(
     st.counters = {since_best, epochs_run, healer.retries(), x.dim(1)};
     return st;
   };
+  obs::WindowedHistogram* epoch_window =
+      obs::MetricsRegistry::Global().GetWindowed("train.window.epoch_ms");
+  obs::WindowedHistogram* grad_window =
+      obs::MetricsRegistry::Global().GetWindowed("train.window.grad_norm");
   for (int64_t epoch = start_epoch; epoch < config.pretrain_epochs; ++epoch) {
     if (config.deadline.Expired()) {
       bool checkpointed = false;
@@ -191,6 +195,7 @@ common::Status PretrainClassifier(
           "Fairwos pre-train interrupted at epoch " + std::to_string(epoch));
     }
     FW_TRACE_SPAN("fairwos/pretrain_epoch");
+    common::Stopwatch epoch_watch;
     ++epochs_run;
     opt.ZeroGrad();
     tensor::Tensor logits = model->Forward(x, /*training=*/true, rng);
@@ -209,7 +214,9 @@ common::Status PretrainClassifier(
     healer.Commit();
 
     const double val_loss = ValLoss(*model, x, ds, rng);
+    epoch_window->Observe(epoch_watch.Millis());
     if (obs::TelemetryEnabled()) {
+      grad_window->Observe(grad_norm);
       obs::EmitEvent(obs::Event("epoch")
                          .Set("phase", "pretrain")
                          .Set("epoch", epoch)
@@ -501,6 +508,10 @@ common::Result<std::unique_ptr<FittedGnnModel>> FitFairwos(
       for (int label : pseudo_labels) st.counters.push_back(label);
       return st;
     };
+    obs::WindowedHistogram* epoch_window =
+        obs::MetricsRegistry::Global().GetWindowed("train.window.epoch_ms");
+    obs::WindowedHistogram* grad_window =
+        obs::MetricsRegistry::Global().GetWindowed("train.window.grad_norm");
     for (int64_t epoch = start_epoch; epoch < config.finetune_epochs;
          ++epoch) {
       if (config.deadline.Expired()) {
@@ -522,6 +533,7 @@ common::Result<std::unique_ptr<FittedGnnModel>> FitFairwos(
             std::to_string(epoch));
       }
       FW_TRACE_SPAN("fairwos/finetune_epoch");
+      common::Stopwatch epoch_watch;
       ++local_stats.finetune_epochs_run;
       // (a) refresh the counterfactual set from current embeddings.
       tensor::Tensor frozen_emb;
@@ -624,7 +636,9 @@ common::Result<std::unique_ptr<FittedGnnModel>> FitFairwos(
       auto eval = Evaluate(model, x0, &rng);
       const double val_acc =
           fairness::AccuracyPct(eval.pred, ds.labels, ds.split.val);
+      epoch_window->Observe(epoch_watch.Millis());
       if (obs::TelemetryEnabled()) {
+        grad_window->Observe(grad_norm);
         obs::EmitEvent(obs::Event("epoch")
                            .Set("phase", "finetune")
                            .Set("epoch", epoch)

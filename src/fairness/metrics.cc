@@ -124,36 +124,46 @@ double GroupConfusion::TruePositiveRate(int s) const {
   return static_cast<double>(count[s][1][1]) / static_cast<double>(pos);
 }
 
-double StatisticalParityGapPct(const std::vector<int>& pred,
-                               const std::vector<int>& sens,
-                               const std::vector<int64_t>& idx) {
-  // Labels are unused for SP; pass pred twice to reuse the bucketing.
-  GroupConfusion gc = ComputeGroupConfusion(pred, pred, sens, idx);
+double StatisticalParityGapPct(const GroupConfusion& gc) {
   if (gc.GroupTotal(0) == 0 || gc.GroupTotal(1) == 0) return 0.0;
   return 100.0 * std::abs(gc.PositiveRate(0) - gc.PositiveRate(1));
 }
 
-double EqualOpportunityGapPct(const std::vector<int>& pred,
-                              const std::vector<int>& labels,
-                              const std::vector<int>& sens,
-                              const std::vector<int64_t>& idx) {
-  GroupConfusion gc = ComputeGroupConfusion(pred, labels, sens, idx);
+double EqualOpportunityGapPct(const GroupConfusion& gc) {
   const int64_t pos0 = gc.count[0][1][0] + gc.count[0][1][1];
   const int64_t pos1 = gc.count[1][1][0] + gc.count[1][1][1];
   if (pos0 == 0 || pos1 == 0) return 0.0;
   return 100.0 * std::abs(gc.TruePositiveRate(0) - gc.TruePositiveRate(1));
 }
 
-double DisparateImpactRatio(const std::vector<int>& pred,
-                            const std::vector<int>& sens,
-                            const std::vector<int64_t>& idx) {
-  GroupConfusion gc = ComputeGroupConfusion(pred, pred, sens, idx);
+double DisparateImpactRatio(const GroupConfusion& gc) {
   if (gc.GroupTotal(0) == 0 || gc.GroupTotal(1) == 0) return 1.0;
   const double p0 = gc.PositiveRate(0);
   const double p1 = gc.PositiveRate(1);
   const double hi = std::max(p0, p1);
   if (hi == 0.0) return 1.0;  // nobody receives positives: no disparity
   return std::min(p0, p1) / hi;
+}
+
+double StatisticalParityGapPct(const std::vector<int>& pred,
+                               const std::vector<int>& sens,
+                               const std::vector<int64_t>& idx) {
+  // Labels are unused for SP; pass pred twice to reuse the bucketing.
+  return StatisticalParityGapPct(ComputeGroupConfusion(pred, pred, sens, idx));
+}
+
+double EqualOpportunityGapPct(const std::vector<int>& pred,
+                              const std::vector<int>& labels,
+                              const std::vector<int>& sens,
+                              const std::vector<int64_t>& idx) {
+  return EqualOpportunityGapPct(
+      ComputeGroupConfusion(pred, labels, sens, idx));
+}
+
+double DisparateImpactRatio(const std::vector<int>& pred,
+                            const std::vector<int>& sens,
+                            const std::vector<int64_t>& idx) {
+  return DisparateImpactRatio(ComputeGroupConfusion(pred, pred, sens, idx));
 }
 
 double AccuracyEqualityGapPct(const std::vector<int>& pred,

@@ -86,6 +86,15 @@ GroupConfusion ComputeGroupConfusion(const std::vector<int>& pred,
                                      const std::vector<int>& sens,
                                      const std::vector<int64_t>& idx);
 
+/// Confusion-count forms of the group metrics above. The index-set versions
+/// delegate to these, and the streaming serve-time auditor (serve/audit.h)
+/// maintains a GroupConfusion incrementally over its window and calls the
+/// same functions — so a windowed ΔSP/ΔEO/DI is bit-identical to the batch
+/// metric computed over the same samples.
+double StatisticalParityGapPct(const GroupConfusion& gc);
+double EqualOpportunityGapPct(const GroupConfusion& gc);
+double DisparateImpactRatio(const GroupConfusion& gc);
+
 }  // namespace fairwos::fairness
 
 #endif  // FAIRWOS_FAIRNESS_METRICS_H_

@@ -1,0 +1,62 @@
+#include "obs/quantiles.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/metrics.h"
+
+namespace fairwos::obs {
+
+ExactQuantiles::ExactQuantiles(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  for (double v : sorted_) sum_ += v;
+}
+
+double ExactQuantiles::Quantile(double pct) const {
+  return QuantileFromSorted(sorted_, pct);
+}
+
+double ExactQuantiles::Mean() const {
+  if (sorted_.empty()) return 0.0;
+  return sum_ / static_cast<double>(sorted_.size());
+}
+
+double ExactQuantiles::Min() const {
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double ExactQuantiles::Max() const {
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<int64_t>& bucket_counts,
+                         double q) {
+  FW_CHECK_EQ(bucket_counts.size(), bounds.size() + 1)
+      << "bucket_counts must have one overflow entry past the last bound";
+  int64_t total = 0;
+  for (int64_t c : bucket_counts) total += c;
+  if (total == 0 || bounds.empty()) return 0.0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const double target = clamped * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double next = cumulative + static_cast<double>(bucket_counts[i]);
+    if (next >= target && bucket_counts[i] > 0) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no finite upper edge to interpolate toward.
+        return bounds.back();
+      }
+      const double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double upper = bounds[i];
+      const double fraction =
+          (target - cumulative) / static_cast<double>(bucket_counts[i]);
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+}  // namespace fairwos::obs

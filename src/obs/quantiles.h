@@ -1,0 +1,48 @@
+// Quantile helpers shared by the serve benches, the windowed SLO metrics,
+// and the ops-snapshot/Prometheus exporters (fairwos::obs — see
+// docs/observability.md): exact percentiles over a raw sample set, and the
+// interpolated quantile estimate recoverable from an exported fixed-bucket
+// histogram.
+#ifndef FAIRWOS_OBS_QUANTILES_H_
+#define FAIRWOS_OBS_QUANTILES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fairwos::obs {
+
+/// Exact percentiles over a sample set: sorts once at construction, then
+/// answers any Quantile(pct) in O(1) with the index rule
+/// sorted[pct/100 * (n-1)] — the formula the serve benches report, so
+/// extracting it here changed no bench output.
+class ExactQuantiles {
+ public:
+  /// Takes ownership of `samples` and sorts them ascending.
+  explicit ExactQuantiles(std::vector<double> samples);
+
+  /// pct in [0, 100] (clamped); 0 for an empty sample set.
+  double Quantile(double pct) const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  int64_t count() const { return static_cast<int64_t>(sorted_.size()); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double sum_ = 0.0;
+};
+
+/// Interpolated quantile from exported fixed-bucket histogram counts —
+/// Prometheus' histogram_quantile, for consumers that only have the bucket
+/// vector. `bounds` are the inclusive upper edges, `bucket_counts` has
+/// bounds.size() + 1 entries (last = overflow), `q` in [0, 1]. Linear
+/// interpolation inside the target bucket (the first bucket interpolates
+/// from min(0, bounds[0])); a rank landing in the overflow bucket reports
+/// the last finite edge. 0 for an empty histogram.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<int64_t>& bucket_counts, double q);
+
+}  // namespace fairwos::obs
+
+#endif  // FAIRWOS_OBS_QUANTILES_H_

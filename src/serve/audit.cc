@@ -1,0 +1,149 @@
+#include "serve/audit.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fairwos::serve {
+
+void AuditTable::Add(int64_t node, int sens, int label) {
+  FW_CHECK_GE(node, 0);
+  FW_CHECK(sens == 0 || sens == 1);
+  FW_CHECK(label == 0 || label == 1);
+  entries_[node] = Entry{sens, label};
+}
+
+AuditTable AuditTable::FromDataset(const data::Dataset& ds) {
+  AuditTable table;
+  for (int64_t v = 0; v < ds.num_nodes(); ++v) {
+    table.Add(v, ds.sens[static_cast<size_t>(v)],
+              ds.labels[static_cast<size_t>(v)]);
+  }
+  return table;
+}
+
+AuditTable AuditTable::SampleFromDataset(const data::Dataset& ds,
+                                         double fraction, uint64_t seed) {
+  FW_CHECK_GE(fraction, 0.0);
+  FW_CHECK_LE(fraction, 1.0);
+  AuditTable table;
+  common::Rng rng(seed);
+  for (int64_t v = 0; v < ds.num_nodes(); ++v) {
+    if (rng.Bernoulli(fraction)) {
+      table.Add(v, ds.sens[static_cast<size_t>(v)],
+                ds.labels[static_cast<size_t>(v)]);
+    }
+  }
+  return table;
+}
+
+const AuditTable::Entry* AuditTable::Find(int64_t node) const {
+  auto it = entries_.find(node);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+FairnessAuditor::FairnessAuditor(std::shared_ptr<const AuditTable> table,
+                                 AuditOptions options)
+    : table_(std::move(table)), options_(options) {
+  FW_CHECK(table_ != nullptr);
+  FW_CHECK_GT(options_.window, 0);
+  FW_CHECK_GT(options_.stride, 0);
+  FW_CHECK_LE(options_.stride, options_.window);
+  auto& reg = obs::MetricsRegistry::Global();
+  delta_sp_gauge_ = reg.GetGauge("serve.audit.delta_sp");
+  delta_eo_gauge_ = reg.GetGauge("serve.audit.delta_eo");
+  di_gauge_ = reg.GetGauge("serve.audit.di");
+  window_samples_gauge_ = reg.GetGauge("serve.audit.window_samples");
+  coverage_gauge_ = reg.GetGauge("serve.audit.coverage_pct");
+  alert_active_gauge_ = reg.GetGauge("serve.audit.alert_active");
+  audited_counter_ = reg.GetCounter("serve.audit.audited");
+  alerts_counter_ = reg.GetCounter("serve.audit.alerts");
+}
+
+bool FairnessAuditor::Observe(int64_t node, int pred_label) {
+  FW_CHECK(pred_label == 0 || pred_label == 1);
+  ++observed_;
+  const AuditTable::Entry* entry = table_->Find(node);
+  if (entry == nullptr) return false;
+  ++audited_;
+  audited_counter_->Increment();
+  window_.push_back(Sample{static_cast<int8_t>(entry->sens),
+                           static_cast<int8_t>(entry->label),
+                           static_cast<int8_t>(pred_label)});
+  ++confusion_.count[entry->sens][entry->label][pred_label];
+  if (static_cast<int64_t>(window_.size()) > options_.window) {
+    const Sample& old = window_.front();
+    --confusion_.count[old.sens][old.label][old.pred];
+    window_.pop_front();
+  }
+  if (audited_ % options_.stride == 0) Recompute();
+  return true;
+}
+
+bool FairnessAuditor::Breaches(const AuditWindowMetrics& m) const {
+  if (m.samples < options_.min_audited) return false;
+  if (options_.delta_sp_threshold_pct > 0.0 &&
+      m.delta_sp_pct > options_.delta_sp_threshold_pct) {
+    return true;
+  }
+  if (options_.delta_eo_threshold_pct > 0.0 &&
+      m.delta_eo_pct > options_.delta_eo_threshold_pct) {
+    return true;
+  }
+  if (options_.di_threshold > 0.0 && m.di < options_.di_threshold) {
+    return true;
+  }
+  return false;
+}
+
+void FairnessAuditor::Recompute() {
+  current_.samples = static_cast<int64_t>(window_.size());
+  current_.group_total[0] = confusion_.GroupTotal(0);
+  current_.group_total[1] = confusion_.GroupTotal(1);
+  current_.delta_sp_pct = fairness::StatisticalParityGapPct(confusion_);
+  current_.delta_eo_pct = fairness::EqualOpportunityGapPct(confusion_);
+  current_.di = fairness::DisparateImpactRatio(confusion_);
+  delta_sp_gauge_->Set(current_.delta_sp_pct);
+  delta_eo_gauge_->Set(current_.delta_eo_pct);
+  di_gauge_->Set(current_.di);
+  window_samples_gauge_->Set(static_cast<double>(current_.samples));
+  coverage_gauge_->Set(CoveragePct());
+}
+
+bool FairnessAuditor::CheckAlert(AuditWindowMetrics* metrics) {
+  const bool breach = Breaches(current_);
+  if (breach && !alerted_) {
+    alerted_ = true;
+    ++alerts_;
+    alerts_counter_->Increment();
+    alert_active_gauge_->Set(1.0);
+    if (metrics != nullptr) *metrics = current_;
+    return true;
+  }
+  if (!breach && alerted_) {
+    alerted_ = false;  // re-arm: a later episode fires a fresh alert
+    alert_active_gauge_->Set(0.0);
+  }
+  return false;
+}
+
+void FairnessAuditor::Reset() {
+  window_.clear();
+  confusion_ = fairness::GroupConfusion{};
+  current_ = AuditWindowMetrics{};
+  alerted_ = false;
+  delta_sp_gauge_->Set(0.0);
+  delta_eo_gauge_->Set(0.0);
+  di_gauge_->Set(1.0);
+  window_samples_gauge_->Set(0.0);
+  alert_active_gauge_->Set(0.0);
+}
+
+double FairnessAuditor::CoveragePct() const {
+  if (observed_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(audited_) /
+         static_cast<double>(observed_);
+}
+
+}  // namespace fairwos::serve

@@ -1,0 +1,165 @@
+// Streaming fairness audit of served predictions (docs/serving.md). The
+// source paper's deployment setting withholds sensitive attributes from
+// training, but an operator typically *does* hold group labels for a small
+// audited subset of nodes (a compliance panel, a survey sample). This
+// module joins the live prediction stream against that audit table and
+// recomputes the paper's group-fairness metrics — ΔSP, ΔEO, disparate
+// impact — over a sliding window of the most recent audited predictions.
+//
+// The window math is exact, not approximate: the auditor maintains a
+// fairness::GroupConfusion incrementally (increment on arrival, decrement
+// on eviction) and evaluates the very same GroupConfusion overloads the
+// batch metrics in fairness/metrics.h delegate to. A windowed ΔSP is
+// therefore bit-identical to fairness::StatisticalParityGapPct computed
+// batch-style over the same samples.
+//
+// Alerting mirrors serve/drift.h: when a recomputed window metric crosses
+// its threshold, CheckAlert fires exactly once and latches until the
+// metric recovers (or Reset), so one sustained bias episode produces one
+// `fairness_alert` incident, and a later episode re-fires.
+#ifndef FAIRWOS_SERVE_AUDIT_H_
+#define FAIRWOS_SERVE_AUDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "data/dataset.h"
+#include "fairness/metrics.h"
+
+namespace fairwos::serve {
+
+/// Ground-truth group membership (and label, for ΔEO) of the audited node
+/// subset. Immutable once handed to an engine; share via shared_ptr.
+class AuditTable {
+ public:
+  struct Entry {
+    int sens = 0;   // group s ∈ {0, 1}
+    int label = 0;  // y ∈ {0, 1}, used only by ΔEO
+  };
+
+  /// Registers one audited node. FW_CHECKs binary sens/label.
+  void Add(int64_t node, int sens, int label);
+
+  /// Audit coverage of every node of `ds` (full-knowledge upper bound,
+  /// mostly for tests and benches).
+  static AuditTable FromDataset(const data::Dataset& ds);
+
+  /// Deterministic subsample: each node enters the table with probability
+  /// `fraction` under `seed` — the realistic partial-coverage setting.
+  static AuditTable SampleFromDataset(const data::Dataset& ds,
+                                      double fraction, uint64_t seed);
+
+  /// nullptr when the node is not audited.
+  const Entry* Find(int64_t node) const;
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+ private:
+  std::unordered_map<int64_t, Entry> entries_;
+};
+
+struct AuditOptions {
+  /// Sliding window length, in audited samples.
+  int64_t window = 256;
+  /// Metrics (and alert state) recompute every `stride` audited samples;
+  /// between recomputes Current() reports the last checkpoint.
+  int64_t stride = 64;
+  /// No alert until the window holds this many audited samples; a handful
+  /// of early joins is too small a sample to call bias.
+  int64_t min_audited = 64;
+  /// Alert when the windowed ΔSP exceeds this many percent; 0 disables.
+  double delta_sp_threshold_pct = 20.0;
+  /// Alert when the windowed ΔEO exceeds this many percent; 0 disables.
+  double delta_eo_threshold_pct = 0.0;
+  /// Alert when the windowed disparate-impact ratio falls below this
+  /// (e.g. 0.8 = four-fifths rule); 0 disables.
+  double di_threshold = 0.0;
+};
+
+/// One recompute checkpoint of the sliding window.
+struct AuditWindowMetrics {
+  int64_t samples = 0;             // audited samples in the window
+  int64_t group_total[2] = {0, 0};  // per-group sample counts
+  double delta_sp_pct = 0.0;
+  double delta_eo_pct = 0.0;
+  double di = 1.0;
+};
+
+/// Joins served predictions against an AuditTable and keeps windowed
+/// group-fairness metrics fresh. Not thread-safe: the engine observes
+/// under its own mutex (same contract as DriftMonitor). Feeds the
+/// serve.audit.* registry metrics on every recompute.
+class FairnessAuditor {
+ public:
+  FairnessAuditor(std::shared_ptr<const AuditTable> table,
+                  AuditOptions options);
+
+  /// Streams one served prediction. Returns true when the node was in the
+  /// audit table (and thus entered the window).
+  bool Observe(int64_t node, int pred_label);
+
+  /// True exactly once per threshold crossing: fires when the windowed
+  /// metrics (as of the last recompute) first breach a threshold, then
+  /// latches until they recover (or Reset). Fills the breaching window
+  /// snapshot when non-null.
+  bool CheckAlert(AuditWindowMetrics* metrics = nullptr);
+
+  /// Metrics as of the last stride checkpoint.
+  const AuditWindowMetrics& Current() const { return current_; }
+
+  /// Forgets the window and alert latch (e.g. after a model swap); the
+  /// audit table and lifetime counters are kept.
+  void Reset();
+
+  int64_t observed() const { return observed_; }  // all predictions seen
+  int64_t audited() const { return audited_; }    // joined to the table
+  int64_t alerts() const { return alerts_; }      // CheckAlert firings
+  /// Audited share of all observed predictions, percent (0 before any
+  /// traffic) — the "audit gap" is 100 minus this.
+  double CoveragePct() const;
+  bool alert_active() const { return alerted_; }
+  const AuditOptions& options() const { return options_; }
+  const AuditTable& table() const { return *table_; }
+
+ private:
+  struct Sample {
+    int8_t sens = 0;
+    int8_t label = 0;
+    int8_t pred = 0;
+  };
+
+  /// True when `m` breaches any enabled threshold.
+  bool Breaches(const AuditWindowMetrics& m) const;
+
+  /// Rebuilds `current_` from the incremental confusion counts and pushes
+  /// the serve.audit.* gauges.
+  void Recompute();
+
+  const std::shared_ptr<const AuditTable> table_;
+  const AuditOptions options_;
+
+  std::deque<Sample> window_;
+  fairness::GroupConfusion confusion_;  // always matches window_
+  AuditWindowMetrics current_;
+  int64_t observed_ = 0;
+  int64_t audited_ = 0;
+  int64_t alerts_ = 0;
+  bool alerted_ = false;  // latched until the window recovers
+
+  // Registry metrics, fetched once (pointers are stable process-wide).
+  obs::Gauge* delta_sp_gauge_;
+  obs::Gauge* delta_eo_gauge_;
+  obs::Gauge* di_gauge_;
+  obs::Gauge* window_samples_gauge_;
+  obs::Gauge* coverage_gauge_;
+  obs::Gauge* alert_active_gauge_;
+  obs::Counter* audited_counter_;
+  obs::Counter* alerts_counter_;
+};
+
+}  // namespace fairwos::serve
+
+#endif  // FAIRWOS_SERVE_AUDIT_H_

@@ -88,6 +88,10 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ModelRegistry> registry,
   const common::Status status = ValidateOptions(options_);
   FW_CHECK(status.ok()) << status.ToString();
   InitMetrics();
+  if (options_.audit_table != nullptr) {
+    auditor_ = std::make_unique<FairnessAuditor>(options_.audit_table,
+                                                 options_.audit);
+  }
   listener_token_ = registry_->AddInvalidationListener(
       [this](const std::string& model_id, int64_t new_generation) {
         OnInvalidation(model_id, new_generation);
@@ -120,6 +124,9 @@ void InferenceEngine::InitMetrics() {
   batch_size_hist_ =
       registry.GetHistogram("serve.batch_size", BatchSizeBuckets());
   latency_hist_ = registry.GetHistogram("serve.request_latency_ms");
+  latency_window_ = registry.GetWindowed("serve.window.latency_ms");
+  queue_wait_window_ = registry.GetWindowed("serve.window.queue_wait_ms");
+  batch_size_window_ = registry.GetWindowed("serve.window.batch_size");
 }
 
 NodePrediction InferenceEngine::RowPrediction(const nn::PredictionResult& full,
@@ -209,6 +216,36 @@ void InferenceEngine::ObserveDriftLocked(const ModelRegistry::Entry& entry,
   }
 }
 
+void InferenceEngine::ObserveAuditLocked(const std::string& model_id,
+                                         const NodePrediction& p) {
+  if (auditor_ == nullptr) return;
+  auditor_->Observe(p.node, p.label);
+  AuditWindowMetrics m;
+  if (auditor_->CheckAlert(&m)) {
+    fairness_alerts_.fetch_add(1, std::memory_order_relaxed);
+    audit_alert_state_ = true;
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("fairness_alert")
+                         .Set("model", model_id)
+                         .Set("delta_sp_pct", m.delta_sp_pct)
+                         .Set("delta_eo_pct", m.delta_eo_pct)
+                         .Set("di", m.di)
+                         .Set("window_samples", m.samples)
+                         .Set("group0", m.group_total[0])
+                         .Set("group1", m.group_total[1]));
+    }
+  } else if (audit_alert_state_ && !auditor_->alert_active()) {
+    // The window recovered below threshold: the latch re-armed.
+    audit_alert_state_ = false;
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("fairness_alert_cleared")
+                         .Set("model", model_id)
+                         .Set("delta_sp_pct", auditor_->Current().delta_sp_pct)
+                         .Set("window_samples", auditor_->Current().samples));
+    }
+  }
+}
+
 InferenceEngine::GroupExecution InferenceEngine::ExecuteGroup(
     const std::string& model_id,
     std::vector<std::shared_ptr<PendingRequest>> reqs) {
@@ -254,6 +291,7 @@ InferenceEngine::GroupExecution InferenceEngine::ExecuteGroup(
     batches_counter_->Increment();
     batches_.fetch_add(1, std::memory_order_relaxed);
     batch_size_hist_->Observe(static_cast<double>(group.reqs.size()));
+    batch_size_window_->Observe(static_cast<double>(group.reqs.size()));
     break;
   }
   return group;
@@ -349,8 +387,12 @@ void InferenceEngine::RunAsLeader(
   }
   std::vector<std::shared_ptr<PendingRequest>> batch;
   batch.swap(pending_);
+  const Clock::time_point captured_at = Clock::now();
   for (auto& req : batch) {
     req->queued = false;
+    queue_wait_window_->Observe(
+        std::chrono::duration<double, std::milli>(captured_at - req->enqueued)
+            .count());
     auto it = pending_per_model_.find(req->model_id);
     if (it != pending_per_model_.end() && --it->second <= 0) {
       pending_per_model_.erase(it);
@@ -434,9 +476,11 @@ common::Result<NodePrediction> InferenceEngine::Predict(
     result.cache_hit = true;
     hits_counter_->Increment();
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    ObserveAuditLocked(model_id, result);
     lock.unlock();
     const double latency_ms = watch.Millis();
     latency_hist_->Observe(latency_ms);
+    latency_window_->Observe(latency_ms);
     EmitRequestTelemetry(model_id, result, latency_ms);
     return result;
   }
@@ -480,6 +524,7 @@ common::Result<NodePrediction> InferenceEngine::Predict(
   req->model_id = model_id;
   req->node = node;
   req->queued = true;
+  req->enqueued = Clock::now();
   pending_.push_back(req);
   ++pending_per_model_[model_id];
   queue_depth_gauge_->Set(static_cast<double>(pending_.size()));
@@ -547,10 +592,12 @@ common::Result<NodePrediction> InferenceEngine::Predict(
     return status;
   }
   NodePrediction result = req->result;
+  ObserveAuditLocked(model_id, result);
   lock.unlock();
 
   const double latency_ms = watch.Millis();
   latency_hist_->Observe(latency_ms);
+  latency_window_->Observe(latency_ms);
   EmitRequestTelemetry(model_id, result, latency_ms);
   return result;
 }
@@ -600,6 +647,7 @@ common::Result<std::vector<NodePrediction>> InferenceEngine::PredictBatch(
           hit.cache_hit = true;
           hits_counter_->Increment();
           cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          ObserveAuditLocked(model_id, hit);
           results.push_back(hit);
         } else {
           misses_counter_->Increment();
@@ -627,11 +675,13 @@ common::Result<std::vector<NodePrediction>> InferenceEngine::PredictBatch(
         const std::shared_ptr<PendingRequest>& req = misses[next_miss++];
         if (!req->status.ok()) return req->status;
         slot = req->result;
+        ObserveAuditLocked(model_id, slot);
       }
     }
     const double latency_ms = watch.Millis();
     for (size_t i = begin; i < end; ++i) {
       latency_hist_->Observe(latency_ms);
+      latency_window_->Observe(latency_ms);
       EmitRequestTelemetry(model_id, results[i], latency_ms);
     }
   }
@@ -652,7 +702,24 @@ InferenceEngine::Stats InferenceEngine::stats() const {
   s.cache_invalidations =
       cache_invalidations_.load(std::memory_order_relaxed);
   s.drift_alerts = drift_alerts_.load(std::memory_order_relaxed);
+  s.fairness_alerts = fairness_alerts_.load(std::memory_order_relaxed);
   return s;
+}
+
+AuditWindowMetrics InferenceEngine::audit_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auditor_ == nullptr) return AuditWindowMetrics{};
+  return auditor_->Current();
+}
+
+bool InferenceEngine::audit_alert_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auditor_ != nullptr && auditor_->alert_active();
+}
+
+double InferenceEngine::audit_coverage_pct() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auditor_ != nullptr ? auditor_->CoveragePct() : 0.0;
 }
 
 }  // namespace fairwos::serve

@@ -30,6 +30,13 @@
 //   * Online drift audit: incoming request feature rows stream into a
 //     per-model DriftMonitor scored against the artifact's fit-time
 //     normalization stats (serve.drift.* gauges, drift_alert incidents).
+//   * Streaming fairness audit: served predictions join against an
+//     optional AuditTable of known group labels; windowed ΔSP/ΔEO/DI feed
+//     serve.audit.* gauges and latched fairness_alert incidents
+//     (serve/audit.h).
+//   * Windowed SLO metrics: request latency, queue wait, and batch size
+//     also stream into serve.window.* sliding windows so p50/p99 reflect
+//     the last minute, not the process lifetime.
 //
 // Determinism: the forward is the same RNG-free eval pass FittedGnnModel::
 // Predict runs, computed by the deterministic parallel kernels — so served
@@ -53,6 +60,7 @@
 #include "common/metrics.h"
 #include "core/fitted.h"
 #include "serve/artifact.h"
+#include "serve/audit.h"
 #include "serve/drift.h"
 #include "serve/lru_cache.h"
 #include "serve/registry.h"
@@ -87,6 +95,11 @@ struct EngineOptions {
   /// Online drift audit of incoming feature rows (serve/drift.h).
   bool drift_monitor = true;
   DriftOptions drift;
+  /// Streaming fairness audit (serve/audit.h): when non-null, every served
+  /// prediction is joined against this table and the windowed ΔSP/ΔEO/DI
+  /// feed serve.audit.* metrics plus latched fairness_alert incidents.
+  std::shared_ptr<const AuditTable> audit_table;
+  AuditOptions audit;
 };
 
 /// One answered request.
@@ -175,8 +188,23 @@ class InferenceEngine {
     int64_t leader_promotions = 0;  // followers that usurped a dead leader
     int64_t cache_invalidations = 0;  // entries purged on swap/unload
     int64_t drift_alerts = 0;
+    int64_t fairness_alerts = 0;  // latched audit-window threshold crossings
   };
   Stats stats() const;
+
+  /// True when an audit table was configured.
+  bool audit_enabled() const { return auditor_ != nullptr; }
+
+  /// Last audit-window checkpoint (all zeroes / DI = 1 when auditing is
+  /// disabled or no stride checkpoint has been reached yet).
+  AuditWindowMetrics audit_metrics() const;
+
+  /// Whether the fairness-alert latch is currently raised.
+  bool audit_alert_active() const;
+
+  /// Audited share of all served predictions, percent (0 when auditing is
+  /// disabled or before any traffic).
+  double audit_coverage_pct() const;
 
   /// Test hook: the next `n` batch leaders "die" after capturing their
   /// batch — they fail their own request, never publish, and leave the
@@ -196,6 +224,9 @@ class InferenceEngine {
     common::Status status;  // meaningful once done
     bool done = false;
     bool queued = false;  // currently sitting in pending_
+    /// When the request first entered pending_ (feeds the queue-wait
+    /// window); unset for PredictBatch misses, which never queue.
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
   /// A cached answer is only valid for the generation that computed it.
@@ -251,6 +282,11 @@ class InferenceEngine {
   /// raises alerts. Requires the engine lock.
   void ObserveDriftLocked(const ModelRegistry::Entry& entry, int64_t node);
 
+  /// Joins one served prediction against the fairness auditor and raises
+  /// (or re-arms) the latched fairness alert. Requires the engine lock.
+  void ObserveAuditLocked(const std::string& model_id,
+                          const NodePrediction& p);
+
   /// Removes `req` from the pending queue if still there. Requires lock.
   void AbandonLocked(const std::shared_ptr<PendingRequest>& req);
 
@@ -273,7 +309,7 @@ class InferenceEngine {
   EngineOptions options_;
   int64_t listener_token_ = 0;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable batch_ready_;  // wakes a waiting leader early
   std::condition_variable done_;         // wakes followers
   std::vector<std::shared_ptr<PendingRequest>> pending_;
@@ -283,6 +319,8 @@ class InferenceEngine {
   LruCache<std::pair<std::string, int64_t>, CachedValue, CacheKeyHash> cache_;
   std::map<std::string, LastGood> last_good_;
   std::map<std::string, DriftState> drift_;
+  std::unique_ptr<FairnessAuditor> auditor_;  // guarded by mu_
+  bool audit_alert_state_ = false;  // last seen latch, for cleared events
 
   std::atomic<int64_t> crash_next_leader_{0};
 
@@ -297,6 +335,7 @@ class InferenceEngine {
   std::atomic<int64_t> leader_promotions_{0};
   std::atomic<int64_t> cache_invalidations_{0};
   std::atomic<int64_t> drift_alerts_{0};
+  std::atomic<int64_t> fairness_alerts_{0};
 
   // Registry metrics, fetched once (pointers are stable process-wide).
   obs::Counter* requests_counter_;
@@ -318,6 +357,10 @@ class InferenceEngine {
   obs::Gauge* drift_samples_gauge_;
   obs::Histogram* batch_size_hist_;
   obs::Histogram* latency_hist_;
+  // Sliding windows: SLO views of the last N seconds, not process lifetime.
+  obs::WindowedHistogram* latency_window_;
+  obs::WindowedHistogram* queue_wait_window_;
+  obs::WindowedHistogram* batch_size_window_;
 };
 
 }  // namespace fairwos::serve

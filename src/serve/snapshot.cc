@@ -1,0 +1,146 @@
+#include "serve/snapshot.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/telemetry.h"
+
+namespace fairwos::serve {
+namespace {
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<OpsSnapshotter>> OpsSnapshotter::Open(
+    const std::string& path, InferenceEngine* engine,
+    OpsSnapshotOptions options) {
+  if (engine == nullptr) {
+    return common::Status::InvalidArgument("ops snapshotter needs an engine");
+  }
+  if (options.interval_seconds <= 0.0) {
+    return common::Status::InvalidArgument("interval_seconds must be > 0");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::Status::IoError("cannot open for write: " + path);
+  }
+  return std::unique_ptr<OpsSnapshotter>(
+      new OpsSnapshotter(std::move(out), engine, options));
+}
+
+OpsSnapshotter::OpsSnapshotter(std::ofstream out, InferenceEngine* engine,
+                               OpsSnapshotOptions options)
+    : engine_(engine), options_(options), out_(std::move(out)) {}
+
+OpsSnapshotter::~OpsSnapshotter() { Stop(); }
+
+common::Status OpsSnapshotter::SnapshotNow() {
+  const InferenceEngine::Stats s = engine_->stats();
+  auto& registry = obs::MetricsRegistry::Global();
+
+  // One lock for sample-and-write: concurrent callers serialize, so seq
+  // numbers land in the file in order and deltas never double-count.
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::Event ev("ops_snapshot");
+  ev.Set("seq", seq_).Set("uptime_ms", uptime_.Millis());
+  // Engine counters: cumulative totals plus since-last-snapshot deltas
+  // for the rates an operator actually watches.
+  ev.Set("requests", s.requests)
+      .Set("requests_delta", s.requests - last_.requests)
+      .Set("batches", s.batches)
+      .Set("batches_delta", s.batches - last_.batches)
+      .Set("cache_hits", s.cache_hits)
+      .Set("cache_misses", s.cache_misses)
+      .Set("shed_queue", s.shed_queue)
+      .Set("shed_quota", s.shed_quota)
+      .Set("deadline_exceeded", s.deadline_exceeded)
+      .Set("degraded", s.degraded)
+      .Set("degraded_delta", s.degraded - last_.degraded)
+      .Set("leader_promotions", s.leader_promotions)
+      .Set("drift_alerts", s.drift_alerts)
+      .Set("fairness_alerts", s.fairness_alerts);
+  last_ = s;
+  ++seq_;
+
+  // Serving gauges: queue depth, drift score, drift samples. The audit
+  // gauges are skipped here and sampled from the engine below, so a
+  // multi-engine process reports this engine's auditor, not the last
+  // writer's.
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    if (HasPrefix(name, "serve.") && !HasPrefix(name, "serve.audit.")) {
+      ev.Set(name, value);
+    }
+  }
+
+  // Sliding-window quantiles: the SLO view of the last N seconds.
+  for (const auto& [name, w] : registry.WindowValues()) {
+    if (HasPrefix(name, "serve.window.") || HasPrefix(name, "train.window.")) {
+      ev.Set(name + ".count", w.count)
+          .Set(name + ".p50", w.p50)
+          .Set(name + ".p99", w.p99);
+    }
+  }
+
+  if (engine_->audit_enabled()) {
+    const AuditWindowMetrics am = engine_->audit_metrics();
+    ev.Set("serve.audit.delta_sp", am.delta_sp_pct)
+        .Set("serve.audit.delta_eo", am.delta_eo_pct)
+        .Set("serve.audit.di", am.di)
+        .Set("serve.audit.window_samples", am.samples)
+        .Set("serve.audit.group0", am.group_total[0])
+        .Set("serve.audit.group1", am.group_total[1])
+        .Set("serve.audit.coverage_pct", engine_->audit_coverage_pct())
+        .Set("fairness_alert", engine_->audit_alert_active() ? 1 : 0);
+  }
+
+  // Which model generations are live, so a snapshot stream pins every
+  // served answer to the registry state that produced it.
+  for (const std::string& id : engine_->registry().ModelIds()) {
+    ev.Set("generation." + id, engine_->registry().generation(id));
+  }
+
+  out_ << ev.ToJson() << '\n';
+  out_.flush();
+  if (!out_) return common::Status::IoError("ops snapshot write failed");
+  return common::Status::OK();
+}
+
+void OpsSnapshotter::Start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (thread_.joinable()) return;  // already running
+  stop_ = false;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(run_mu_);
+    while (!stop_) {
+      run_cv_.wait_for(
+          lock,
+          std::chrono::duration<double>(options_.interval_seconds),
+          [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      (void)SnapshotNow();  // an I/O hiccup must not kill the sampler
+      lock.lock();
+    }
+  });
+}
+
+void OpsSnapshotter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  run_cv_.notify_all();
+  thread_.join();
+}
+
+int64_t OpsSnapshotter::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+}  // namespace fairwos::serve

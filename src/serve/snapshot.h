@@ -1,0 +1,78 @@
+// Periodic ops snapshots (docs/observability.md). While telemetry events
+// record individual incidents, an on-call engineer mostly wants the
+// current shape of the system: request-rate deltas, sliding-window latency
+// quantiles, audit coverage and fairness-window gaps, drift score, queue
+// depth, and which model generations are live. OpsSnapshotter samples all
+// of that from one engine plus the global metrics registry and appends it
+// as one self-contained JSONL line ({"event":"ops_snapshot",...}) —
+// written whole and flushed per snapshot, so a reader tailing the file
+// never sees a torn line and a crashed process leaves a valid prefix.
+// `fairwos_cli ops-report` validates and pretty-prints such a stream.
+#ifndef FAIRWOS_SERVE_SNAPSHOT_H_
+#define FAIRWOS_SERVE_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "serve/engine.h"
+
+namespace fairwos::serve {
+
+struct OpsSnapshotOptions {
+  /// Background period for Start(); SnapshotNow() can always be called
+  /// manually regardless.
+  double interval_seconds = 5.0;
+};
+
+/// Appends one JSON object per snapshot to a file. Thread-safe; the
+/// engine must outlive the snapshotter.
+class OpsSnapshotter {
+ public:
+  static common::Result<std::unique_ptr<OpsSnapshotter>> Open(
+      const std::string& path, InferenceEngine* engine,
+      OpsSnapshotOptions options = {});
+
+  ~OpsSnapshotter();
+  OpsSnapshotter(const OpsSnapshotter&) = delete;
+  OpsSnapshotter& operator=(const OpsSnapshotter&) = delete;
+
+  /// Samples the engine and registry and appends one snapshot line.
+  common::Status SnapshotNow();
+
+  /// Starts (idempotently) a background thread snapshotting every
+  /// interval_seconds.
+  void Start();
+
+  /// Stops the background thread; called by the destructor.
+  void Stop();
+
+  int64_t snapshots_written() const;
+
+ private:
+  OpsSnapshotter(std::ofstream out, InferenceEngine* engine,
+                 OpsSnapshotOptions options);
+
+  InferenceEngine* const engine_;
+  const OpsSnapshotOptions options_;
+  common::Stopwatch uptime_;
+
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  int64_t seq_ = 0;
+  InferenceEngine::Stats last_;  // previous snapshot, for counter deltas
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fairwos::serve
+
+#endif  // FAIRWOS_SERVE_SNAPSHOT_H_

@@ -1,0 +1,238 @@
+// Windowed SLO metrics and exporters (docs/observability.md): the sliding
+// window histogram (time pruning, sample cap, NaN rejection), the shared
+// quantile helpers (ExactQuantiles must reproduce the serve benches' index
+// rule; HistogramQuantile interpolates exported buckets), the fixed-bucket
+// Histogram's NaN quarantine, and the Prometheus text exporter.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/quantiles.h"
+
+namespace fairwos::obs {
+namespace {
+
+// --- WindowedHistogram ----------------------------------------------------
+
+TEST(WindowedHistogramTest, SnapshotSummarisesSamples) {
+  WindowedHistogram w;
+  for (int i = 1; i <= 100; ++i) {
+    w.ObserveAt(static_cast<double>(i), /*t_seconds=*/0.0);
+  }
+  const auto s = w.SnapshotAt(/*now_seconds=*/1.0);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  // Index rule over sorted samples 1..100: sorted[pct/100 * 99].
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p90, 90.0);  // floor(0.90 * 99) = 89 -> value 90
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+  EXPECT_EQ(s.nan_count, 0);
+}
+
+TEST(WindowedHistogramTest, OldSamplesFallOutOfTheWindow) {
+  WindowOptions opts;
+  opts.window_seconds = 10.0;
+  WindowedHistogram w(opts);
+  w.ObserveAt(1.0, /*t=*/0.0);
+  w.ObserveAt(2.0, /*t=*/5.0);
+  w.ObserveAt(3.0, /*t=*/12.0);
+  // At t=13 everything is still within 10 s except the t=0 sample.
+  auto s = w.SnapshotAt(13.0);
+  EXPECT_EQ(s.count, 2);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  // At t=30 the window is empty; the snapshot must be all zeroes.
+  s = w.SnapshotAt(30.0);
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+}
+
+TEST(WindowedHistogramTest, MaxSamplesEvictsOldestFirst) {
+  WindowOptions opts;
+  opts.max_samples = 4;
+  WindowedHistogram w(opts);
+  for (int i = 1; i <= 10; ++i) {
+    w.ObserveAt(static_cast<double>(i), /*t=*/static_cast<double>(i));
+  }
+  const auto s = w.SnapshotAt(10.0);
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);  // 1..6 were evicted by the cap
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(WindowedHistogramTest, NonFiniteSamplesAreQuarantined) {
+  WindowedHistogram w;
+  w.ObserveAt(1.0, 0.0);
+  w.ObserveAt(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  w.ObserveAt(std::numeric_limits<double>::infinity(), 0.0);
+  const auto s = w.SnapshotAt(1.0);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.nan_count, 2);
+  EXPECT_TRUE(std::isfinite(s.sum));
+  EXPECT_DOUBLE_EQ(s.p99, 1.0);
+}
+
+TEST(WindowedHistogramTest, ResetForgetsSamplesAndNanCount) {
+  WindowedHistogram w;
+  w.ObserveAt(1.0, 0.0);
+  w.ObserveAt(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  w.Reset();
+  const auto s = w.SnapshotAt(0.0);
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.nan_count, 0);
+}
+
+// --- Histogram NaN quarantine (satellite fix) -----------------------------
+
+TEST(HistogramNanTest, NonFiniteObservationsDoNotPoisonTheSum) {
+  Histogram h({1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  h.Observe(-std::numeric_limits<double>::infinity());
+  h.Observe(1.5);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.nan_count(), 2);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0);  // a single NaN used to poison this forever
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0] + buckets[1] + buckets[2], 2);
+}
+
+// --- ExactQuantiles -------------------------------------------------------
+
+TEST(ExactQuantilesTest, MatchesTheHistoricBenchIndexRule) {
+  std::vector<double> samples = {9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0};
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const ExactQuantiles q(samples);
+  for (double pct : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    const size_t rank =
+        static_cast<size_t>(pct / 100.0 * static_cast<double>(sorted.size() - 1));
+    EXPECT_DOUBLE_EQ(q.Quantile(pct), sorted[rank]) << "pct=" << pct;
+  }
+  EXPECT_DOUBLE_EQ(q.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(q.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(q.Mean(), 35.0 / 7.0);
+  EXPECT_EQ(q.count(), 7);
+}
+
+TEST(ExactQuantilesTest, EmptySampleSetReportsZeroes) {
+  const ExactQuantiles q({});
+  EXPECT_DOUBLE_EQ(q.Quantile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(q.Mean(), 0.0);
+  EXPECT_EQ(q.count(), 0);
+}
+
+TEST(QuantileFromSortedTest, AgreesWithExactQuantiles) {
+  std::vector<double> sorted = {1.0, 2.0, 4.0, 8.0, 16.0};
+  const ExactQuantiles q(sorted);
+  for (double pct : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(QuantileFromSorted(sorted, pct), q.Quantile(pct));
+  }
+}
+
+// --- HistogramQuantile ----------------------------------------------------
+
+TEST(HistogramQuantileTest, InterpolatesInsideTheTargetBucket) {
+  // 10 samples in (1, 2]: the median interpolates to the bucket midpoint.
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 10, 0, 0}, 0.5), 1.5);
+  // Uniform mass: q=0.25 lands in the first bucket (interpolated from 0).
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {10, 10, 10, 0}, 0.25),
+                   0.75);
+}
+
+TEST(HistogramQuantileTest, OverflowRankReportsTheLastFiniteEdge) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {1, 1, 8}, 0.99), 2.0);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramReportsZero) {
+  EXPECT_DOUBLE_EQ(HistogramQuantile({1.0, 2.0}, {0, 0, 0}, 0.5), 0.0);
+}
+
+// --- Prometheus exporter --------------------------------------------------
+
+TEST(PrometheusExportTest, SanitisesMetricNames) {
+  EXPECT_EQ(PrometheusMetricName("serve.audit.delta_sp"),
+            "fairwos_serve_audit_delta_sp");
+  EXPECT_EQ(PrometheusMetricName("train/loss-total"),
+            "fairwos_train_loss_total");
+}
+
+TEST(PrometheusExportTest, ExportsEveryMetricFamily) {
+  MetricsRegistry reg;  // a private registry keeps the test hermetic
+  reg.GetCounter("serve.audit.audited")->Increment(3);
+  reg.GetGauge("serve.audit.delta_sp")->Set(12.5);
+  Histogram* h = reg.GetHistogram("serve.latency_ms", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(99.0);  // overflow bucket
+  WindowedHistogram* w = reg.GetWindowed("serve.window.latency_ms");
+  w->Observe(4.0);
+
+  const std::string text = ToPrometheusText(reg);
+  // Counter: _total suffix and TYPE line.
+  EXPECT_NE(text.find("# TYPE fairwos_serve_audit_audited_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fairwos_serve_audit_audited_total 3\n"),
+            std::string::npos);
+  // Gauge.
+  EXPECT_NE(text.find("fairwos_serve_audit_delta_sp 12.5\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf bucket equals _count.
+  EXPECT_NE(text.find("fairwos_serve_latency_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fairwos_serve_latency_ms_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fairwos_serve_latency_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fairwos_serve_latency_ms_count 3\n"),
+            std::string::npos);
+  // Window: summary quantiles.
+  EXPECT_NE(text.find("# TYPE fairwos_serve_window_latency_ms summary\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("fairwos_serve_window_latency_ms{quantile=\"0.5\"} 4\n"),
+      std::string::npos);
+  // No NaN was observed, so no _nan_total series appears.
+  EXPECT_EQ(text.find("_nan_total"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, NanQuarantineExportsOnlyWhenNonZero) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("serve.latency_ms", {1.0});
+  h->Observe(std::numeric_limits<double>::quiet_NaN());
+  const std::string text = ToPrometheusText(reg);
+  EXPECT_NE(text.find("fairwos_serve_latency_ms_nan_total 1\n"),
+            std::string::npos);
+}
+
+// --- Registry windowed family --------------------------------------------
+
+TEST(MetricsRegistryTest, WindowedFamilyRoundTripsThroughSnapshots) {
+  MetricsRegistry reg;
+  WindowedHistogram* w = reg.GetWindowed("train.window.epoch_ms");
+  EXPECT_EQ(reg.GetWindowed("train.window.epoch_ms"), w);  // stable pointer
+  w->Observe(5.0);
+  const auto values = reg.WindowValues();
+  ASSERT_EQ(values.count("train.window.epoch_ms"), 1u);
+  EXPECT_EQ(values.at("train.window.epoch_ms").count, 1);
+  // Reset zeroes in place; the pointer stays valid.
+  reg.Reset();
+  EXPECT_EQ(reg.WindowValues().at("train.window.epoch_ms").count, 0);
+  w->Observe(1.0);  // still usable after Reset
+  EXPECT_EQ(reg.WindowValues().at("train.window.epoch_ms").count, 1);
+}
+
+}  // namespace
+}  // namespace fairwos::obs

@@ -47,6 +47,26 @@
 //       served prediction against an in-process FittedModel::Predict over
 //       the same artifact.
 //
+//   fairwos_cli serve-bench --audit true ... [--audit-window 128]
+//                           [--audit-stride 32] [--audit-threshold-sp 25]
+//                           [--audit-fraction 1.0] [--shift-at 0.5]
+//                           [--snapshot-out ops.jsonl] [--snapshot-every 100]
+//       Streaming-fairness-auditor drill (docs/serving.md): replays a
+//       deterministic single-client stream whose group-conditional positive
+//       rates are balanced (windowed dSP exactly 0), then flips group 1 to
+//       all-negative at --shift-at. The bench asserts the auditor's latched
+//       fairness_alert fires after the shift and within one audit window,
+//       and records the detection lag in the --json-out report.
+//       --snapshot-out additionally appends periodic ops snapshots
+//       (serve/snapshot.h) every --snapshot-every requests.
+//
+//   fairwos_cli ops-report --in ops.jsonl
+//       Validates and summarises an ops-snapshot JSONL stream written by
+//       serve-bench --snapshot-out (or serve::OpsSnapshotter): sequence
+//       integrity, request/batch totals, sliding-window latency quantiles,
+//       and fairness-audit state. Fails on malformed input, so it doubles
+//       as the validator in CI.
+//
 // Parallelism flags accepted by train and audit (docs/parallelism.md):
 //   --threads N           total worker concurrency for parallel kernels and
 //                         trial execution (default: the FAIRWOS_THREADS
@@ -56,7 +76,8 @@
 // Observability flags accepted by train and audit (docs/observability.md):
 //   --trace-out FILE      write a Chrome-trace JSON of all spans
 //   --profile-out FILE    write the aggregated hierarchical text profile
-//   --metrics-out FILE    write the metrics registry (.csv => CSV, else JSON)
+//   --metrics-out FILE    write the metrics registry (.csv => CSV,
+//                         .prom => Prometheus text exposition, else JSON)
 //   --telemetry-out FILE  stream per-epoch training events as JSONL
 //   --log-level LEVEL     debug|info|warning|error (default: info, or the
 //                         FAIRWOS_LOG_LEVEL environment variable)
@@ -103,8 +124,12 @@
 #include "eval/harness.h"
 #include "eval/table.h"
 #include "nn/checkpoint.h"
+#include "obs/prometheus.h"
+#include "obs/quantiles.h"
 #include "serve/artifact.h"
+#include "serve/audit.h"
 #include "serve/engine.h"
+#include "serve/snapshot.h"
 
 namespace fairwos::cli {
 namespace {
@@ -118,7 +143,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: fairwos_cli "
-      "<list|generate|train|audit|trace-report|export|serve-bench> [flags]\n"
+      "<list|generate|train|audit|trace-report|export|serve-bench|"
+      "ops-report> [flags]\n"
       "run with a subcommand to see its flags in the header of\n"
       "tools/fairwos_cli.cc\n");
   return 2;
@@ -159,8 +185,11 @@ class ObsSession {
       const auto& registry = obs::MetricsRegistry::Global();
       const bool csv = metrics_out_.size() > 4 &&
                        metrics_out_.rfind(".csv") == metrics_out_.size() - 4;
-      Report(csv ? registry.WriteCsv(metrics_out_)
-                 : registry.WriteJson(metrics_out_),
+      const bool prom = metrics_out_.size() > 5 &&
+                        metrics_out_.rfind(".prom") == metrics_out_.size() - 5;
+      Report(prom  ? obs::WritePrometheusText(metrics_out_, registry)
+             : csv ? registry.WriteCsv(metrics_out_)
+                   : registry.WriteJson(metrics_out_),
              metrics_out_);
     }
   }
@@ -443,6 +472,245 @@ int Export(const common::CliFlags& flags) {
   return 0;
 }
 
+/// serve-bench --audit: a deterministic fairness-auditor drill. The stream
+/// is drawn from (group, predicted-label) node pools so the windowed ΔSP
+/// is exactly 0 at every pre-shift stride checkpoint (both groups 50%
+/// predicted-positive), then a planted bias shift flips group 1 to
+/// all-negative draws and ΔSP ramps at 50·m/window percent after m
+/// post-shift audited samples. The bench asserts the latched
+/// fairness_alert fires strictly after the shift and within one audit
+/// window (+ one stride of checkpoint slack), so it is self-validating
+/// under ctest/CI.
+int AuditBench(const common::CliFlags& flags, const data::Dataset& ds,
+               const std::string& model_path, serve::InferenceEngine& engine,
+               const serve::AuditTable& table,
+               const serve::AuditOptions& audit) {
+  const int64_t requests = flags.GetInt("requests", 600);
+  const double audit_fraction = flags.GetDouble("audit-fraction", 1.0);
+  const double shift_at = flags.GetDouble("shift-at", 0.5);
+  if (requests < 8) {
+    return Fail(common::Status::InvalidArgument(
+        "--audit needs --requests >= 8"));
+  }
+  if (shift_at <= 0.0 || shift_at >= 1.0) {
+    return Fail(
+        common::Status::InvalidArgument("--shift-at must be in (0, 1)"));
+  }
+
+  // The pattern needs each node's served label up front; the engine's
+  // non-degraded answers are bit-identical to this in-process Predict.
+  auto artifact_or = serve::LoadModelArtifact(model_path);
+  if (!artifact_or.ok()) return Fail(artifact_or.status());
+  auto model_or = serve::RestoreFittedModel(artifact_or.value(), ds);
+  if (!model_or.ok()) return Fail(model_or.status());
+  const nn::PredictionResult full = model_or.value()->Predict(ds);
+
+  // (group, predicted label) pools over the audited nodes; background
+  // traffic (when --audit-fraction < 1) comes from the unaudited rest.
+  std::vector<int64_t> pool[2][2];
+  std::vector<int64_t> unaudited;
+  for (int64_t v = 0; v < ds.num_nodes(); ++v) {
+    if (table.Find(v) != nullptr) {
+      pool[ds.sens[static_cast<size_t>(v)]][full.pred[static_cast<size_t>(v)]]
+          .push_back(v);
+    } else {
+      unaudited.push_back(v);
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    for (int p = 0; p < 2; ++p) {
+      if (pool[s][p].empty()) {
+        return Fail(common::Status::FailedPrecondition(common::StrFormat(
+            "audit bench needs an audited node with sens=%d predicted=%d; "
+            "train the exported model longer or raise --audit-fraction",
+            s, p)));
+      }
+    }
+  }
+
+  // The shift lands on a full 4-draw cycle so every pre-shift stride
+  // checkpoint sees both groups exactly balanced.
+  const int64_t shift_pattern =
+      std::max<int64_t>(4, (static_cast<int64_t>(
+                                shift_at * static_cast<double>(requests)) /
+                            4) *
+                               4);
+  if (shift_pattern < audit.window) {
+    std::fprintf(stderr,
+                 "warning: only %lld audited draws before the shift but the "
+                 "audit window holds %lld; raise --requests or lower "
+                 "--audit-window for a full-window baseline\n",
+                 static_cast<long long>(shift_pattern),
+                 static_cast<long long>(audit.window));
+  }
+
+  std::unique_ptr<serve::OpsSnapshotter> snapshotter;
+  const std::string snapshot_out = flags.GetString("snapshot-out", "");
+  const int64_t snapshot_every = flags.GetInt("snapshot-every", 100);
+  if (!snapshot_out.empty()) {
+    if (snapshot_every < 1) {
+      return Fail(
+          common::Status::InvalidArgument("--snapshot-every must be >= 1"));
+    }
+    auto snap_or = serve::OpsSnapshotter::Open(snapshot_out, &engine);
+    if (!snap_or.ok()) return Fail(snap_or.status());
+    snapshotter = std::move(snap_or.value());
+  }
+
+  // Single sequential client: the detection index is then a pure function
+  // of --bench-seed, not of thread scheduling.
+  common::Rng rng(static_cast<uint64_t>(flags.GetInt("bench-seed", 1)));
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(requests));
+  int64_t pattern_drawn = 0;
+  int64_t shift_request = -1;
+  int64_t first_alert_request = -1;
+  int64_t first_alert_pattern = -1;
+  common::Stopwatch wall;
+  for (int64_t i = 0; i < requests; ++i) {
+    int64_t node;
+    const bool background = audit_fraction < 1.0 && !unaudited.empty() &&
+                            rng.Bernoulli(1.0 - audit_fraction);
+    if (background) {
+      node = unaudited[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(unaudited.size())))];
+    } else {
+      const bool post_shift = pattern_drawn >= shift_pattern;
+      if (post_shift && shift_request < 0) shift_request = i;
+      const int64_t cyc = pattern_drawn % 4;
+      const int s = cyc < 2 ? 0 : 1;
+      // Pre-shift both groups alternate positive/negative; post-shift
+      // group 1 only draws predicted-negative nodes.
+      const int p = (post_shift && s == 1) ? 0 : (cyc % 2 == 0 ? 1 : 0);
+      const std::vector<int64_t>& candidates = pool[s][p];
+      node = candidates[static_cast<size_t>(
+          rng.UniformInt(static_cast<int64_t>(candidates.size())))];
+      ++pattern_drawn;
+    }
+    common::Stopwatch request_watch;
+    auto prediction = engine.Predict(node);
+    if (!prediction.ok()) return Fail(prediction.status());
+    latencies.push_back(request_watch.Millis());
+    if (prediction->label != full.pred[static_cast<size_t>(node)]) {
+      return Fail(common::Status::Internal(
+          "served prediction for node " + std::to_string(node) +
+          " diverges from in-process Predict; the planted-shift pattern "
+          "is invalid"));
+    }
+    if (first_alert_request < 0 && engine.stats().fairness_alerts > 0) {
+      first_alert_request = i;
+      first_alert_pattern = pattern_drawn;
+    }
+    if (snapshotter != nullptr && (i + 1) % snapshot_every == 0) {
+      common::Status status = snapshotter->SnapshotNow();
+      if (!status.ok()) return Fail(status);
+    }
+  }
+  const double wall_seconds = wall.Seconds();
+  if (snapshotter != nullptr) {
+    common::Status status = snapshotter->SnapshotNow();
+    if (!status.ok()) return Fail(status);
+    std::fprintf(stderr, "wrote %s (%lld snapshots)\n", snapshot_out.c_str(),
+                 static_cast<long long>(snapshotter->snapshots_written()));
+  }
+
+  const serve::InferenceEngine::Stats stats = engine.stats();
+  const serve::AuditWindowMetrics window = engine.audit_metrics();
+  const bool detected = first_alert_request >= 0;
+  const bool after_shift = detected && first_alert_pattern > shift_pattern;
+  const int64_t detect_lag =
+      detected ? first_alert_pattern - shift_pattern : -1;
+  const bool within_window =
+      detected && detect_lag <= audit.window + audit.stride;
+  const double coverage_pct =
+      100.0 * static_cast<double>(pattern_drawn) /
+      static_cast<double>(requests);
+  const obs::ExactQuantiles quantiles(std::move(latencies));
+
+  std::printf(
+      "audit bench: %lld requests (%lld audited, %.1f%% coverage) against "
+      "%s in %.3fs\n"
+      "  bias shift planted at audited sample %lld (request %lld)\n"
+      "  fairness_alert %s%s\n"
+      "  window dSP %.4f  dEO %.4f  DI %.4f  (%lld samples)\n"
+      "  latency ms p50 %.4f  p90 %.4f  p99 %.4f  mean %.4f\n",
+      static_cast<long long>(requests), static_cast<long long>(pattern_drawn),
+      coverage_pct, engine.model_id().c_str(), wall_seconds,
+      static_cast<long long>(shift_pattern),
+      static_cast<long long>(shift_request),
+      detected ? common::StrFormat(
+                     "raised at audited sample %lld (request %lld), lag %lld",
+                     static_cast<long long>(first_alert_pattern),
+                     static_cast<long long>(first_alert_request),
+                     static_cast<long long>(detect_lag))
+                     .c_str()
+               : "NOT raised",
+      detected && after_shift && within_window
+          ? "  [within one window]"
+          : detected ? "  [OUT OF BOUNDS]" : "",
+      window.delta_sp_pct, window.delta_eo_pct, window.di,
+      static_cast<long long>(window.samples), quantiles.Quantile(50),
+      quantiles.Quantile(90), quantiles.Quantile(99), quantiles.Mean());
+
+  const std::string json_out = flags.GetString("json-out", "");
+  if (!json_out.empty()) {
+    std::ofstream json_file(json_out);
+    if (!json_file) {
+      return Fail(common::Status::IoError("cannot open " + json_out));
+    }
+    json_file << common::StrFormat(
+        "{\"model\":\"%s\",\"dataset\":\"%s\",\"mode\":\"audit\","
+        "\"requests\":%lld,\"wall_seconds\":%.6f,"
+        "\"latency_ms\":{\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f,"
+        "\"mean\":%.6f},\"audit\":{\"window\":%lld,\"stride\":%lld,"
+        "\"threshold_sp\":%.3f,\"fraction\":%.3f,\"audited\":%lld,"
+        "\"coverage_pct\":%.3f,\"shift_audited\":%lld,\"shift_request\":%lld,"
+        "\"first_alert_audited\":%lld,\"first_alert_request\":%lld,"
+        "\"detect_lag_audited\":%lld,\"detected\":%s,"
+        "\"alert_after_shift\":%s,\"detected_within_window\":%s,"
+        "\"fairness_alerts\":%lld,\"delta_sp_final\":%.6f,"
+        "\"delta_eo_final\":%.6f,\"di_final\":%.6f,\"window_samples\":%lld,"
+        "\"snapshots\":%lld}}\n",
+        engine.model_id().c_str(), ds.name.c_str(),
+        static_cast<long long>(requests), wall_seconds,
+        quantiles.Quantile(50), quantiles.Quantile(90),
+        quantiles.Quantile(99), quantiles.Mean(),
+        static_cast<long long>(audit.window),
+        static_cast<long long>(audit.stride), audit.delta_sp_threshold_pct,
+        audit_fraction, static_cast<long long>(pattern_drawn), coverage_pct,
+        static_cast<long long>(shift_pattern),
+        static_cast<long long>(shift_request),
+        static_cast<long long>(first_alert_pattern),
+        static_cast<long long>(first_alert_request),
+        static_cast<long long>(detect_lag), detected ? "true" : "false",
+        after_shift ? "true" : "false", within_window ? "true" : "false",
+        static_cast<long long>(stats.fairness_alerts),
+        window.delta_sp_pct, window.delta_eo_pct, window.di,
+        static_cast<long long>(window.samples),
+        static_cast<long long>(
+            snapshotter != nullptr ? snapshotter->snapshots_written() : 0));
+    std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+  }
+
+  if (!detected) {
+    return Fail(common::Status::Internal(
+        "planted bias shift was never detected: fairness_alert did not "
+        "fire"));
+  }
+  if (!after_shift) {
+    return Fail(common::Status::Internal(
+        "fairness_alert fired before the planted shift (false positive)"));
+  }
+  if (!within_window) {
+    return Fail(common::Status::Internal(common::StrFormat(
+        "fairness_alert lag %lld audited samples exceeds one window + "
+        "stride (%lld)",
+        static_cast<long long>(detect_lag),
+        static_cast<long long>(audit.window + audit.stride))));
+  }
+  return 0;
+}
+
 int ServeBench(const common::CliFlags& flags) {
   auto run_or = RunOptions::FromFlags(flags);
   if (!run_or.ok()) return Fail(run_or.status());
@@ -472,9 +740,38 @@ int ServeBench(const common::CliFlags& flags) {
       flags.GetDouble("deadline-ms", overload ? 50.0 : 0.0);
   engine_options.leader_timeout_ms =
       flags.GetDouble("leader-timeout-ms", 200.0);
+
+  // --audit: attach a fairness auditor and switch to the planted-shift
+  // drill (AuditBench above) instead of the load/latency profiles.
+  const bool audit = flags.GetBool("audit", false);
+  std::shared_ptr<const serve::AuditTable> audit_table;
+  if (audit) {
+    engine_options.audit.window = flags.GetInt("audit-window", 128);
+    engine_options.audit.stride = flags.GetInt("audit-stride", 32);
+    engine_options.audit.min_audited =
+        std::min(engine_options.audit.window, engine_options.audit.stride);
+    engine_options.audit.delta_sp_threshold_pct =
+        flags.GetDouble("audit-threshold-sp", 25.0);
+    const double fraction = flags.GetDouble("audit-fraction", 1.0);
+    if (fraction <= 0.0 || fraction > 1.0) {
+      return Fail(common::Status::InvalidArgument(
+          "--audit-fraction must be in (0, 1]"));
+    }
+    const uint64_t seed = static_cast<uint64_t>(flags.GetInt("bench-seed", 1));
+    audit_table = std::make_shared<const serve::AuditTable>(
+        fraction >= 1.0
+            ? serve::AuditTable::FromDataset(ds)
+            : serve::AuditTable::SampleFromDataset(ds, fraction, seed));
+    engine_options.audit_table = audit_table;
+  }
+
   auto engine_or = serve::InferenceEngine::Load(model_path, ds, engine_options);
   if (!engine_or.ok()) return Fail(engine_or.status());
   serve::InferenceEngine& engine = *engine_or.value();
+  if (audit) {
+    return AuditBench(flags, ds, model_path, engine, *audit_table,
+                      engine_options.audit);
+  }
 
   const int64_t requests = flags.GetInt("requests", overload ? 2000 : 1000);
   const int64_t clients = flags.GetInt("clients", overload ? 16 : 4);
@@ -595,21 +892,16 @@ int ServeBench(const common::CliFlags& flags) {
     }
   }
 
-  std::vector<double> sorted;
-  sorted.reserve(static_cast<size_t>(served));
+  std::vector<double> served_latencies;
+  served_latencies.reserve(static_cast<size_t>(served));
   for (size_t i = 0; i < outcomes.size(); ++i) {
-    if (outcomes[i] == Outcome::kOk) sorted.push_back(latencies[i]);
+    if (outcomes[i] == Outcome::kOk) served_latencies.push_back(latencies[i]);
   }
-  std::sort(sorted.begin(), sorted.end());
-  const auto percentile = [&sorted](double p) {
-    if (sorted.empty()) return 0.0;
-    return sorted[static_cast<size_t>(p / 100.0 *
-                                      static_cast<double>(sorted.size() - 1))];
+  const obs::ExactQuantiles quantiles(std::move(served_latencies));
+  const auto percentile = [&quantiles](double p) {
+    return quantiles.Quantile(p);
   };
-  const double mean_ms =
-      sorted.empty() ? 0.0
-                     : std::accumulate(sorted.begin(), sorted.end(), 0.0) /
-                           static_cast<double>(sorted.size());
+  const double mean_ms = quantiles.Mean();
   const double throughput =
       static_cast<double>(requests) / std::max(wall_seconds, 1e-9);
   const double shed_rate =
@@ -774,6 +1066,110 @@ int TraceReport(const common::CliFlags& flags) {
   return 0;
 }
 
+/// Validates and summarises an ops-snapshot JSONL stream written by
+/// serve::OpsSnapshotter (e.g. via serve-bench --snapshot-out). Every line
+/// must be a {"event":"ops_snapshot",...} object with a contiguous seq
+/// starting at 0; malformed streams fail, so ctest/CI can use this as the
+/// snapshot validator.
+int OpsReport(const common::CliFlags& flags) {
+  const std::string in = flags.GetString("in", "");
+  if (in.empty()) {
+    return Fail(
+        common::Status::InvalidArgument("--in <ops.jsonl> is required"));
+  }
+  std::ifstream file(in);
+  if (!file) return Fail(common::Status::IoError("cannot open " + in));
+
+  int64_t line_no = 0;
+  int64_t snapshots = 0;
+  int64_t alert_snapshots = 0;
+  double last_seq = -1.0;
+  double last_uptime = 0.0, last_requests = 0.0, last_batches = 0.0;
+  double last_degraded = 0.0, last_drift = 0.0, last_fairness = 0.0;
+  double last_delta_sp = 0.0, max_delta_sp = 0.0;
+  double last_coverage = 0.0;
+  bool saw_audit = false;
+  double last_p50 = 0.0, last_p99 = 0.0;
+  bool saw_latency_window = false;
+  std::string line;
+  while (std::getline(file, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = in + ":" + std::to_string(line_no);
+    std::string event;
+    if (line.front() != '{' || line.back() != '}' ||
+        !ExtractJsonString(line, "event", &event)) {
+      return Fail(common::Status::InvalidArgument(
+          where + ": not a JSONL snapshot object"));
+    }
+    if (event != "ops_snapshot") {
+      return Fail(common::Status::InvalidArgument(
+          where + ": unexpected event '" + event + "'"));
+    }
+    double seq = 0.0;
+    if (!ExtractJsonNumber(line, "seq", &seq)) {
+      return Fail(
+          common::Status::InvalidArgument(where + ": missing \"seq\""));
+    }
+    if (seq != last_seq + 1.0) {
+      return Fail(common::Status::InvalidArgument(common::StrFormat(
+          "%s: non-contiguous seq %.0f after %.0f (truncated or interleaved "
+          "stream)",
+          where.c_str(), seq, last_seq)));
+    }
+    last_seq = seq;
+    ++snapshots;
+    if (!ExtractJsonNumber(line, "uptime_ms", &last_uptime) ||
+        !ExtractJsonNumber(line, "requests", &last_requests)) {
+      return Fail(common::Status::InvalidArgument(
+          where + ": missing \"uptime_ms\" or \"requests\""));
+    }
+    ExtractJsonNumber(line, "batches", &last_batches);
+    ExtractJsonNumber(line, "degraded", &last_degraded);
+    ExtractJsonNumber(line, "drift_alerts", &last_drift);
+    ExtractJsonNumber(line, "fairness_alerts", &last_fairness);
+    double value = 0.0;
+    if (ExtractJsonNumber(line, "serve.audit.delta_sp", &value)) {
+      saw_audit = true;
+      last_delta_sp = value;
+      max_delta_sp = std::max(max_delta_sp, value);
+      ExtractJsonNumber(line, "serve.audit.coverage_pct", &last_coverage);
+    }
+    if (ExtractJsonNumber(line, "fairness_alert", &value) && value > 0.0) {
+      ++alert_snapshots;
+    }
+    if (ExtractJsonNumber(line, "serve.window.latency_ms.p50", &last_p50)) {
+      saw_latency_window = true;
+      ExtractJsonNumber(line, "serve.window.latency_ms.p99", &last_p99);
+    }
+  }
+  if (snapshots == 0) {
+    return Fail(
+        common::Status::InvalidArgument(in + " contains no snapshots"));
+  }
+
+  std::printf(
+      "ops report: %lld snapshot(s), seq 0..%lld, uptime %.1f ms\n"
+      "  requests %.0f  batches %.0f  degraded %.0f  drift alerts %.0f\n",
+      static_cast<long long>(snapshots), static_cast<long long>(last_seq),
+      last_uptime, last_requests, last_batches, last_degraded, last_drift);
+  if (saw_latency_window) {
+    std::printf("  window latency ms (last snapshot): p50 %.4f  p99 %.4f\n",
+                last_p50, last_p99);
+  }
+  if (saw_audit) {
+    std::printf(
+        "  audit dSP %% last %.4f  max %.4f  coverage %.1f%%\n"
+        "  fairness alerts %.0f  alert snapshots %lld/%lld\n",
+        last_delta_sp, max_delta_sp, last_coverage, last_fairness,
+        static_cast<long long>(alert_snapshots),
+        static_cast<long long>(snapshots));
+  } else {
+    std::printf("  (no fairness audit in this stream)\n");
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -792,6 +1188,7 @@ int Main(int argc, char** argv) {
   if (command == "trace-report") return TraceReport(flags_or.value());
   if (command == "export") return Export(flags_or.value());
   if (command == "serve-bench") return ServeBench(flags_or.value());
+  if (command == "ops-report") return OpsReport(flags_or.value());
   return Usage();
 }
 
