@@ -4,6 +4,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/metrics.h"
+#include "common/telemetry.h"
+
 namespace fairwos::testing {
 namespace {
 
@@ -33,6 +36,10 @@ const char* FaultSiteName(FaultSite site) {
       return "serve-artifact-mmap";
     case FaultSite::kServeCacheInsert:
       return "serve-cache-insert";
+    case FaultSite::kGraphDeltaApply:
+      return "graph-delta-apply";
+    case FaultSite::kGraphCompaction:
+      return "graph-compaction";
   }
   return "unknown";
 }
@@ -47,19 +54,42 @@ void FaultInjector::Arm(FaultSite site, int64_t at_visit, int64_t count,
   plan.at_visit = at_visit;
   plan.every = every;
   plan.remaining = count;
+  plan.exhaustion_reported = false;
 }
 
 bool FaultInjector::ShouldFire(FaultSite site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Plan& plan = plans_[static_cast<size_t>(site)];
-  const int64_t visit = plan.visits++;
-  if (!plan.armed || plan.remaining == 0) return false;
-  if (visit < plan.at_visit || (visit - plan.at_visit) % plan.every != 0) {
-    return false;
+  int64_t exhausted_visits = -1;
+  int64_t exhausted_fires = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Plan& plan = plans_[static_cast<size_t>(site)];
+    const int64_t visit = plan.visits++;
+    if (!plan.armed) return false;
+    if (plan.remaining == 0) {
+      if (!plan.exhaustion_reported) {
+        plan.exhaustion_reported = true;
+        exhausted_visits = plan.visits;
+        exhausted_fires = plan.fires;
+      }
+    } else if (visit >= plan.at_visit &&
+               (visit - plan.at_visit) % plan.every == 0) {
+      if (plan.remaining > 0) --plan.remaining;
+      ++plan.fires;
+      return true;
+    }
   }
-  if (plan.remaining > 0) --plan.remaining;
-  ++plan.fires;
-  return true;
+  if (exhausted_visits >= 0) {
+    // Emitted outside mu_ so a sink that itself consults the injector
+    // cannot deadlock against a concurrent hook.
+    obs::MetricsRegistry::Global().GetCounter("fault.exhausted")->Increment();
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("fault_plan_exhausted")
+                         .Set("site", FaultSiteName(site))
+                         .Set("visits", exhausted_visits)
+                         .Set("fires", exhausted_fires));
+    }
+  }
+  return false;
 }
 
 int64_t FaultInjector::visits(FaultSite site) const {

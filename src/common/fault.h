@@ -37,8 +37,12 @@ enum class FaultSite : int {
                         // registry Load/Swap (the swap must stay atomic)
   kServeCacheInsert,    // inserting a served prediction into the LRU (the
                         // prediction is still returned, just not cached)
+  kGraphDeltaApply,     // applying one validated mutation to the delta
+                        // overlay (the overlay must stay untouched)
+  kGraphCompaction,     // merging the delta overlay into a fresh base CSR
+                        // (the previous snapshot must keep serving)
 };
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 11;
 
 const char* FaultSiteName(FaultSite site);
 
@@ -56,6 +60,13 @@ class FaultInjector {
   /// the serve-path sites fire from concurrent client/leader threads (the
   /// visit order across threads is scheduler-dependent, but the total fire
   /// count still honors the armed plan exactly).
+  ///
+  /// Plan exhaustion is not silent: the first visit that finds an armed
+  /// plan with no fires left emits a `fault_plan_exhausted` telemetry
+  /// incident and bumps the `fault.exhausted` counter, so a chaos test that
+  /// outlives its fault budget can prove its faults actually fired (and
+  /// notice when later hook visits ran clean). Re-arming the site resets
+  /// the report.
   bool ShouldFire(FaultSite site);
 
   /// How often the site has been visited / has actually fired — tests assert
@@ -85,6 +96,7 @@ class FaultInjector {
     int64_t remaining = 0;  // fires left; -1 = unlimited
     int64_t visits = 0;
     int64_t fires = 0;
+    bool exhaustion_reported = false;  // one incident per armed plan
   };
 
   common::Rng rng_;

@@ -1,0 +1,153 @@
+#include "data/temporal.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace fairwos::data {
+namespace {
+
+common::Status ValidateOptions(const TemporalOptions& o) {
+  if (o.num_steps < 1) {
+    return common::Status::InvalidArgument("num_steps must be >= 1");
+  }
+  if (o.add_node_fraction < 0.0 || o.remove_edge_fraction < 0.0 ||
+      o.add_node_fraction + o.remove_edge_fraction > 1.0) {
+    return common::Status::InvalidArgument(
+        "add_node_fraction and remove_edge_fraction must be >= 0 and sum "
+        "to <= 1");
+  }
+  for (double h : {o.homophily_start, o.homophily_end, o.group1_fraction_start,
+                   o.group1_fraction_end}) {
+    if (h < 0.0 || h > 1.0) {
+      return common::Status::InvalidArgument(
+          "homophily and group fractions must lie in [0, 1]");
+    }
+  }
+  if (o.feature_noise < 0.0) {
+    return common::Status::InvalidArgument("feature_noise must be >= 0");
+  }
+  return common::Status::OK();
+}
+
+double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Uniform member of `groups` whose value equals `want` (groups is never
+/// empty for either value — validated by the caller).
+int64_t PickFromGroup(const std::vector<int>& groups, int want,
+                      common::Rng* rng) {
+  for (;;) {
+    const int64_t v = rng->UniformInt(static_cast<int64_t>(groups.size()));
+    if (groups[static_cast<size_t>(v)] == want) return v;
+  }
+}
+
+}  // namespace
+
+common::Result<TemporalScript> GenerateTemporalScript(
+    const Dataset& ds, const TemporalOptions& options, uint64_t seed) {
+  FW_RETURN_IF_ERROR(ValidateOptions(options));
+  const int64_t base_nodes = ds.num_nodes();
+  int64_t per_group[2] = {0, 0};
+  for (int s : ds.sens) ++per_group[s != 0 ? 1 : 0];
+  if (per_group[0] < 2 || per_group[1] < 2) {
+    return common::Status::InvalidArgument(
+        "temporal script needs at least two nodes in each sensitive group");
+  }
+  const int64_t feature_dim = ds.num_attrs();
+
+  // Pre-draw every step's seed up front (eval::RunRepeated discipline):
+  // step i is a pure function of step_seeds[i] plus the graph state the
+  // prefix produced, no matter how many draws the steps before it spent.
+  TemporalScript script;
+  script.step_seeds.reserve(static_cast<size_t>(options.num_steps));
+  {
+    common::Rng seeder(seed);
+    for (int64_t i = 0; i < options.num_steps; ++i) {
+      script.step_seeds.push_back(seeder.NextU64());
+    }
+  }
+
+  // The evolving edge view: the same validated overlay the serving side
+  // applies the script to, so "the generator accepted it" and "MutableGraph
+  // will accept it" are the same predicate. Faults are never probed here —
+  // the script must come out identical with or without an armed injector.
+  auto base = std::make_shared<const graph::Graph>(ds.graph);
+  graph::DeltaOverlay view(base, feature_dim,
+                           /*max_pending=*/options.num_steps + 1);
+  std::vector<int> groups = ds.sens;  // grows with arriving nodes
+
+  script.events.reserve(static_cast<size_t>(options.num_steps));
+  for (int64_t step = 0; step < options.num_steps; ++step) {
+    common::Rng rng(script.step_seeds[static_cast<size_t>(step)]);
+    const double t = options.num_steps > 1
+                         ? static_cast<double>(step) /
+                               static_cast<double>(options.num_steps - 1)
+                         : 0.0;
+    const double homophily =
+        Lerp(options.homophily_start, options.homophily_end, t);
+    const double group1 =
+        Lerp(options.group1_fraction_start, options.group1_fraction_end, t);
+
+    const double roll = rng.Uniform();
+    graph::GraphMutation m;
+    if (roll < options.add_node_fraction) {
+      // A node arrives: its group follows the drifting mix, its features
+      // clone a same-group template row plus noise (keeping the script in
+      // standardized-feature units).
+      const int group = rng.Bernoulli(group1) ? 1 : 0;
+      const int64_t tmpl = PickFromGroup(groups, group, &rng);
+      std::vector<float> row(static_cast<size_t>(feature_dim));
+      const bool from_base = tmpl < base_nodes;
+      for (int64_t c = 0; c < feature_dim; ++c) {
+        const float base_val =
+            from_base ? ds.features.at(tmpl, c)
+                      : view.added_features()[static_cast<size_t>(
+                            tmpl - base_nodes)][static_cast<size_t>(c)];
+        row[static_cast<size_t>(c)] = static_cast<float>(
+            base_val + rng.Normal(0.0, options.feature_noise));
+      }
+      m = graph::GraphMutation::AddNode(std::move(row));
+      script.added_node_groups.push_back(group);
+      groups.push_back(group);
+    } else if (roll < options.add_node_fraction + options.remove_edge_fraction &&
+               view.num_edges() > 0) {
+      // Edge churn: drop a uniform incident edge of a random non-isolated
+      // node (bounded retries; the num_edges() > 0 guard makes one exist).
+      for (;;) {
+        const int64_t u = rng.UniformInt(view.num_nodes());
+        std::vector<int64_t> neighbors;
+        view.AppendNeighbors(u, &neighbors);
+        if (neighbors.empty()) continue;
+        const int64_t v = neighbors[static_cast<size_t>(
+            rng.UniformInt(static_cast<int64_t>(neighbors.size())))];
+        m = graph::GraphMutation::RemoveEdge(u, v);
+        break;
+      }
+    } else {
+      // Edge insertion under the drifting homophily: endpoint u uniform,
+      // endpoint v same-group with probability homophily(t). Re-draw on
+      // self-loops and existing edges (both are validation rejections).
+      for (;;) {
+        const int64_t u = rng.UniformInt(view.num_nodes());
+        const int group_u = groups[static_cast<size_t>(u)];
+        const int want = rng.Bernoulli(homophily) ? group_u : 1 - group_u;
+        const int64_t v = PickFromGroup(groups, want, &rng);
+        if (u == v || view.HasEdge(u, v)) continue;
+        m = graph::GraphMutation::AddEdge(u, v);
+        break;
+      }
+    }
+    const common::Status applied = view.Apply(m, /*probe_faults=*/false);
+    FW_CHECK(applied.ok()) << "temporal generator produced an invalid "
+                           << "mutation: " << applied.ToString();
+    script.events.push_back(std::move(m));
+  }
+  return script;
+}
+
+}  // namespace fairwos::data

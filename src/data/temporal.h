@@ -1,0 +1,74 @@
+// Temporal synthetic traffic for dynamic-graph serving: a deterministic
+// script of graph mutations (node arrivals, edge churn) whose generative
+// parameters DRIFT over the script — edge homophily decays and the group
+// mix of arriving nodes shifts — so the serving stack's drift and fairness
+// monitors see the distribution change the paper's setting worries about.
+//
+// Determinism follows the eval::RunRepeated discipline: one base seed
+// pre-draws an independent seed per step, and each step spends its own RNG
+// stream. Scripts are therefore stable under refactors that change how
+// many draws a step consumes, and any prefix of the pre-drawn seed stream
+// equals the stream drawn for a shorter horizon (the events themselves
+// differ across horizons, because the drift schedule is stretched over the
+// whole script).
+//
+// Every scripted mutation is structurally valid against the graph state
+// produced by applying the prefix before it (the generator maintains the
+// evolving edge view with the same DeltaOverlay the serving side uses):
+// replaying a script through MutableGraph::Apply never trips validation.
+#ifndef FAIRWOS_DATA_TEMPORAL_H_
+#define FAIRWOS_DATA_TEMPORAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "graph/delta.h"
+
+namespace fairwos::data {
+
+struct TemporalOptions {
+  /// Mutation events to script.
+  int64_t num_steps = 200;
+
+  /// Event mix (the remainder are edge insertions). Must sum to <= 1.
+  double add_node_fraction = 0.2;
+  double remove_edge_fraction = 0.2;
+
+  /// P(an inserted edge joins two same-group nodes), linearly interpolated
+  /// from start (step 0) to end (last step) — the homophily drift.
+  double homophily_start = 0.8;
+  double homophily_end = 0.3;
+
+  /// P(an arriving node is group 1), likewise interpolated — the group-mix
+  /// drift.
+  double group1_fraction_start = 0.3;
+  double group1_fraction_end = 0.7;
+
+  /// Gaussian noise (stddev, in standardized-feature units) added to the
+  /// same-group template row an arriving node's features are cloned from.
+  double feature_noise = 0.25;
+};
+
+/// One generated script. `events[i]` is valid against `ds.graph` after
+/// `events[0..i)` have been applied.
+struct TemporalScript {
+  std::vector<graph::GraphMutation> events;
+  /// Sensitive group of each kAddNode event, in event order — the ground
+  /// truth a streaming fairness audit joins arriving nodes against.
+  std::vector<int> added_node_groups;
+  /// The pre-drawn per-step seeds (one per event), for reproducing any
+  /// single step in isolation.
+  std::vector<uint64_t> step_seeds;
+};
+
+/// Generates a drifting mutation script over `ds`. Deterministic in
+/// (ds, options, seed). InvalidArgument on malformed options; the dataset
+/// must have at least two nodes in each sensitive group.
+common::Result<TemporalScript> GenerateTemporalScript(
+    const Dataset& ds, const TemporalOptions& options, uint64_t seed);
+
+}  // namespace fairwos::data
+
+#endif  // FAIRWOS_DATA_TEMPORAL_H_

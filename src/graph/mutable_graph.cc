@@ -1,0 +1,473 @@
+#include "graph/mutable_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/fault.h"
+#include "common/stopwatch.h"
+#include "common/telemetry.h"
+
+namespace fairwos::graph {
+
+GraphSnapshot::GraphSnapshot(int64_t epoch, DeltaOverlay overlay,
+                             tensor::Tensor base_features,
+                             std::vector<int64_t> affected)
+    : epoch_(epoch),
+      overlay_(std::move(overlay)),
+      base_features_(std::move(base_features)),
+      affected_(std::move(affected)) {}
+
+std::vector<int64_t> GraphSnapshot::Neighbors(int64_t v) const {
+  std::vector<int64_t> out;
+  overlay_.AppendNeighbors(v, &out);
+  return out;
+}
+
+std::shared_ptr<const Graph> GraphSnapshot::Materialized() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (materialized_ == nullptr) {
+    materialized_ = std::make_shared<const Graph>(overlay_.Materialize());
+  }
+  return materialized_;
+}
+
+tensor::Tensor GraphSnapshot::Features() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (!features_built_) {
+    const auto& added = overlay_.added_features();
+    if (added.empty()) {
+      features_ = base_features_;  // copy-on-write: no added rows, no copy
+    } else {
+      const int64_t cols = overlay_.feature_dim();
+      std::vector<float> data = base_features_.data();
+      data.reserve(data.size() + added.size() * static_cast<size_t>(cols));
+      for (const auto& row : added) {
+        data.insert(data.end(), row.begin(), row.end());
+      }
+      features_ =
+          tensor::Tensor::FromVector({num_nodes(), cols}, std::move(data));
+    }
+    features_built_ = true;
+  }
+  return features_;
+}
+
+std::shared_ptr<const tensor::SparseMatrix> GraphSnapshot::Operator(
+    OpKind kind) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (ops_[kind] == nullptr) {
+    if (materialized_ == nullptr) {
+      materialized_ = std::make_shared<const Graph>(overlay_.Materialize());
+    }
+    switch (kind) {
+      case kGcn:
+        ops_[kind] = materialized_->GcnNormalizedAdjacency();
+        break;
+      case kPlain:
+        ops_[kind] = materialized_->PlainAdjacency();
+        break;
+      case kRowNorm:
+        ops_[kind] = materialized_->RowNormalizedAdjacency();
+        break;
+      case kSelfLoops:
+        ops_[kind] = materialized_->AdjacencyWithSelfLoops();
+        break;
+      case kNeighborMean:
+        ops_[kind] = materialized_->NeighborMeanAdjacency();
+        break;
+    }
+  }
+  return ops_[kind];
+}
+
+std::shared_ptr<const tensor::SparseMatrix>
+GraphSnapshot::GcnNormalizedAdjacency() const {
+  return Operator(kGcn);
+}
+std::shared_ptr<const tensor::SparseMatrix> GraphSnapshot::PlainAdjacency()
+    const {
+  return Operator(kPlain);
+}
+std::shared_ptr<const tensor::SparseMatrix>
+GraphSnapshot::RowNormalizedAdjacency() const {
+  return Operator(kRowNorm);
+}
+std::shared_ptr<const tensor::SparseMatrix>
+GraphSnapshot::AdjacencyWithSelfLoops() const {
+  return Operator(kSelfLoops);
+}
+std::shared_ptr<const tensor::SparseMatrix>
+GraphSnapshot::NeighborMeanAdjacency() const {
+  return Operator(kNeighborMean);
+}
+
+MutableGraph::MutableGraph(std::shared_ptr<const Graph> base,
+                           tensor::Tensor base_features,
+                           MutableGraphOptions options)
+    : options_(options),
+      feature_dim_(base_features.rank() == 2 ? base_features.dim(1) : 0),
+      base_(std::move(base)),
+      base_features_(std::move(base_features)) {
+  FW_CHECK(base_ != nullptr);
+  FW_CHECK_GE(options_.max_pending, 1);
+  FW_CHECK_GE(options_.invalidation_radius, 0);
+  FW_CHECK_EQ(base_features_.rank(), 2);
+  FW_CHECK_EQ(base_features_.dim(0), base_->num_nodes())
+      << "base feature matrix must have one row per node";
+  auto& registry = obs::MetricsRegistry::Global();
+  applied_counter_ = registry.GetCounter("graph.mutations.applied");
+  shed_counter_ = registry.GetCounter("graph.mutations.shed");
+  compactions_counter_ = registry.GetCounter("graph.compactions");
+  compaction_failures_counter_ =
+      registry.GetCounter("graph.compactions.failed");
+  epoch_gauge_ = registry.GetGauge("graph.epoch");
+  pending_gauge_ = registry.GetGauge("graph.pending_mutations");
+  backlog_gauge_ = registry.GetGauge("graph.backlog");
+  compaction_ms_hist_ = registry.GetHistogram("graph.compaction_ms");
+
+  overlay_ = std::make_unique<DeltaOverlay>(base_, feature_dim_,
+                                            options_.max_pending);
+  std::lock_guard<std::mutex> lock(mu_);
+  published_ = std::make_shared<const GraphSnapshot>(
+      /*epoch=*/0, *overlay_, base_features_, std::vector<int64_t>{});
+  epoch_gauge_->Set(0.0);
+}
+
+common::Status MutableGraph::Apply(const GraphMutation& m) {
+  bool latch_backlog = false;
+  int64_t pending_now = 0;
+  int64_t shed_now = 0;
+  common::Status status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status = overlay_->Apply(m);
+    if (status.ok()) {
+      ++applied_;
+      applied_counter_->Increment();
+      pending_gauge_->Set(static_cast<double>(overlay_->size()));
+    } else if (status.code() == common::StatusCode::kResourceExhausted) {
+      ++shed_;
+      shed_counter_->Increment();
+      if (!backlogged_) {
+        backlogged_ = true;
+        latch_backlog = true;
+        backlog_gauge_->Set(1.0);
+      }
+      pending_now = overlay_->size();
+      shed_now = shed_;
+    }
+  }
+  if (latch_backlog && obs::TelemetryEnabled()) {
+    obs::EmitEvent(obs::Event("mutation_backlog")
+                       .Set("pending", pending_now)
+                       .Set("shed", shed_now)
+                       .Set("max_pending", options_.max_pending));
+  }
+  return status;
+}
+
+common::Result<int64_t> MutableGraph::AddNode(std::vector<float> features) {
+  GraphMutation m = GraphMutation::AddNode(std::move(features));
+  bool latch_backlog = false;
+  int64_t pending_now = 0;
+  int64_t shed_now = 0;
+  common::Status status;
+  int64_t node = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    node = overlay_->num_nodes();
+    status = overlay_->Apply(m);
+    if (status.ok()) {
+      ++applied_;
+      applied_counter_->Increment();
+      pending_gauge_->Set(static_cast<double>(overlay_->size()));
+    } else if (status.code() == common::StatusCode::kResourceExhausted) {
+      ++shed_;
+      shed_counter_->Increment();
+      if (!backlogged_) {
+        backlogged_ = true;
+        latch_backlog = true;
+        backlog_gauge_->Set(1.0);
+      }
+      pending_now = overlay_->size();
+      shed_now = shed_;
+    }
+  }
+  if (latch_backlog && obs::TelemetryEnabled()) {
+    obs::EmitEvent(obs::Event("mutation_backlog")
+                       .Set("pending", pending_now)
+                       .Set("shed", shed_now)
+                       .Set("max_pending", options_.max_pending));
+  }
+  if (!status.ok()) return status;
+  return node;
+}
+
+common::Status MutableGraph::AddEdge(int64_t u, int64_t v) {
+  return Apply(GraphMutation::AddEdge(u, v));
+}
+
+common::Status MutableGraph::RemoveEdge(int64_t u, int64_t v) {
+  return Apply(GraphMutation::RemoveEdge(u, v));
+}
+
+std::shared_ptr<const GraphSnapshot> MutableGraph::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+std::vector<int64_t> MutableGraph::SeedsLocked(int64_t from,
+                                               int64_t to) const {
+  const auto& log = overlay_->log();
+  int64_t next_added_id = overlay_->base()->num_nodes();
+  for (int64_t i = 0; i < from; ++i) {
+    if (log[i].kind == MutationKind::kAddNode) ++next_added_id;
+  }
+  std::vector<int64_t> seeds;
+  for (int64_t i = from; i < to; ++i) {
+    const GraphMutation& m = log[i];
+    if (m.kind == MutationKind::kAddNode) {
+      seeds.push_back(next_added_id++);
+    } else {
+      seeds.push_back(m.u);
+      seeds.push_back(m.v);
+    }
+  }
+  return seeds;
+}
+
+std::vector<int64_t> MutableGraph::AffectedLocked(
+    std::vector<int64_t> seeds) const {
+  std::unordered_set<int64_t> seen(seeds.begin(), seeds.end());
+  std::vector<int64_t> frontier(seen.begin(), seen.end());
+  for (int64_t hop = 0; hop < options_.invalidation_radius; ++hop) {
+    std::vector<int64_t> next;
+    for (int64_t v : frontier) {
+      std::vector<int64_t> neighbors;
+      if (v >= 0 && v < overlay_->num_nodes()) {
+        overlay_->AppendNeighbors(v, &neighbors);
+      }
+      // Union with the previous epoch's view, so nodes that *lost* an edge
+      // (and their neighborhoods) are still invalidated.
+      if (published_ != nullptr && v >= 0 && v < published_->num_nodes()) {
+        const std::vector<int64_t> old = published_->Neighbors(v);
+        neighbors.insert(neighbors.end(), old.begin(), old.end());
+      }
+      for (int64_t u : neighbors) {
+        if (seen.insert(u).second) next.push_back(u);
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<int64_t> affected(seen.begin(), seen.end());
+  std::sort(affected.begin(), affected.end());
+  return affected;
+}
+
+std::shared_ptr<const GraphSnapshot> MutableGraph::PublishLocked() {
+  std::vector<int64_t> seeds =
+      SeedsLocked(published_log_size_, overlay_->size());
+  std::vector<int64_t> affected = AffectedLocked(std::move(seeds));
+  ++epoch_;
+  auto snapshot = std::make_shared<const GraphSnapshot>(
+      epoch_, *overlay_, base_features_, std::move(affected));
+  published_ = snapshot;
+  published_log_size_ = overlay_->size();
+  epoch_gauge_->Set(static_cast<double>(epoch_));
+  return snapshot;
+}
+
+void MutableGraph::NotifyListeners(
+    const std::shared_ptr<const GraphSnapshot>& snapshot) {
+  std::vector<EpochListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners.reserve(listeners_.size());
+    for (const auto& [token, listener] : listeners_) {
+      listeners.push_back(listener);
+    }
+  }
+  for (const auto& listener : listeners) listener(snapshot);
+}
+
+std::shared_ptr<const GraphSnapshot> MutableGraph::Publish() {
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (overlay_->size() == published_log_size_) return published_;
+    snapshot = PublishLocked();
+  }
+  NotifyListeners(snapshot);
+  if (obs::TelemetryEnabled()) {
+    obs::EmitEvent(
+        obs::Event("graph_epoch")
+            .Set("epoch", snapshot->epoch())
+            .Set("nodes", snapshot->num_nodes())
+            .Set("edges", snapshot->num_edges())
+            .Set("affected",
+                 static_cast<int64_t>(snapshot->affected_nodes().size())));
+  }
+  return snapshot;
+}
+
+common::Status MutableGraph::Compact() {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  common::Stopwatch watch;
+
+  std::unique_ptr<DeltaOverlay> frozen;
+  tensor::Tensor frozen_features;
+  int64_t merged_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (overlay_->size() == 0) return common::Status::OK();
+    merged_count = overlay_->size();
+    frozen = std::make_unique<DeltaOverlay>(*overlay_);
+    frozen_features = base_features_;
+  }
+
+  auto fail = [&](const char* stage) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++compaction_failures_;
+    }
+    compaction_failures_counter_->Increment();
+    if (obs::TelemetryEnabled()) {
+      obs::EmitEvent(obs::Event("compaction_failed")
+                         .Set("stage", stage)
+                         .Set("pending", merged_count));
+    }
+    return common::Status::Internal(
+        std::string("injected compaction fault (") + stage +
+        "); previous snapshot keeps serving");
+  };
+
+  // Restore-before-publish: the merged CSR and feature matrix are built in
+  // full before the swap below; a fault (or crash) at either probe leaves
+  // every published structure untouched.
+  auto* fi = testing::ActiveFaultInjector();
+  if (fi != nullptr && fi->ShouldFire(testing::FaultSite::kGraphCompaction)) {
+    return fail("pre-rebuild");
+  }
+  auto new_base = std::make_shared<const Graph>(frozen->Materialize());
+  tensor::Tensor new_features;
+  if (frozen->added_features().empty()) {
+    new_features = frozen_features;
+  } else {
+    std::vector<float> data = frozen_features.data();
+    for (const auto& row : frozen->added_features()) {
+      data.insert(data.end(), row.begin(), row.end());
+    }
+    new_features = tensor::Tensor::FromVector(
+        {new_base->num_nodes(), feature_dim_}, std::move(data));
+  }
+  if (fi != nullptr && fi->ShouldFire(testing::FaultSite::kGraphCompaction)) {
+    return fail("pre-publish");
+  }
+
+  std::shared_ptr<const GraphSnapshot> snapshot;
+  bool clear_backlog = false;
+  int64_t carried_over = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Seeds of everything this publish makes visible, in pre-rebase
+    // coordinates (the folded log still exists here).
+    std::vector<int64_t> seeds =
+        SeedsLocked(published_log_size_, overlay_->size());
+    std::vector<int64_t> affected = AffectedLocked(std::move(seeds));
+
+    // Mutations that arrived while the merge was building are replayed onto
+    // the new base — the suffix revalidates against exactly the state it
+    // was originally accepted under, so every replay must succeed.
+    auto fresh = std::make_unique<DeltaOverlay>(new_base, feature_dim_,
+                                                options_.max_pending);
+    const auto& log = overlay_->log();
+    for (size_t i = static_cast<size_t>(merged_count); i < log.size(); ++i) {
+      const common::Status st = fresh->Apply(log[i], /*probe_faults=*/false);
+      FW_CHECK(st.ok()) << "compaction rebase replay failed: " << st.ToString();
+    }
+    base_ = new_base;
+    base_features_ = new_features;
+    overlay_ = std::move(fresh);
+    published_log_size_ = 0;
+    ++compactions_;
+    ++epoch_;
+    snapshot = std::make_shared<const GraphSnapshot>(
+        epoch_, *overlay_, base_features_, std::move(affected));
+    published_ = snapshot;
+    published_log_size_ = overlay_->size();
+    carried_over = overlay_->size();
+    epoch_gauge_->Set(static_cast<double>(epoch_));
+    pending_gauge_->Set(static_cast<double>(overlay_->size()));
+    if (backlogged_ && !overlay_->full()) {
+      backlogged_ = false;
+      clear_backlog = true;
+      backlog_gauge_->Set(0.0);
+    }
+  }
+  NotifyListeners(snapshot);
+
+  const double duration_ms = watch.Millis();
+  compactions_counter_->Increment();
+  compaction_ms_hist_->Observe(duration_ms);
+  if (obs::TelemetryEnabled()) {
+    obs::EmitEvent(
+        obs::Event("compaction")
+            .Set("epoch", snapshot->epoch())
+            .Set("merged", merged_count)
+            .Set("carried_over", carried_over)
+            .Set("duration_ms", duration_ms));
+    if (clear_backlog) {
+      obs::EmitEvent(obs::Event("mutation_backlog_cleared")
+                         .Set("epoch", snapshot->epoch()));
+    }
+  }
+  return common::Status::OK();
+}
+
+int64_t MutableGraph::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+int64_t MutableGraph::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_->size();
+}
+
+bool MutableGraph::backlogged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backlogged_;
+}
+
+MutableGraph::Stats MutableGraph::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.epoch = epoch_;
+  s.pending = overlay_->size();
+  s.applied = applied_;
+  s.shed = shed_;
+  s.compactions = compactions_;
+  s.compaction_failures = compaction_failures_;
+  s.backlogged = backlogged_;
+  return s;
+}
+
+int64_t MutableGraph::AddEpochListener(EpochListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void MutableGraph::RemoveEpochListener(int64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == token) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace fairwos::graph

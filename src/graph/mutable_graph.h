@@ -1,0 +1,229 @@
+// Dynamic graphs for serving (docs/serving.md "Dynamic graphs"): an
+// immutable base CSR plus a bounded, validated delta overlay
+// (graph/delta.h), published to readers as epoch-numbered copy-on-write
+// snapshots.
+//
+// Concurrency contract:
+//   * Mutations (Apply/AddNode/AddEdge/RemoveEdge) and Publish/Compact are
+//     serialized under the writer mutex.
+//   * Readers call Current() — one brief mutex-protected shared_ptr copy —
+//     and then work against the immutable GraphSnapshot with no further
+//     MutableGraph locks: the forward path never blocks on a writer. A
+//     snapshot stays fully usable (and bit-stable) for as long as anyone
+//     holds it, no matter how many mutations, publishes, or compactions
+//     happen behind it.
+//   * Publish() freezes the current merged view as epoch N+1 and notifies
+//     epoch listeners (outside the mutex, registry-listener discipline)
+//     with the snapshot, whose affected_nodes() lists exactly the node ids
+//     whose predictions may differ from epoch N — the serving LRU purges
+//     precisely those.
+//   * Compact() merges the overlay into a fresh base CSR behind an atomic
+//     restore-before-publish swap (the ModelRegistry::Swap discipline): the
+//     merged CSR and feature matrix are fully built before anything is
+//     unpublished, with the kGraphCompaction fault site probed before and
+//     after the rebuild. A failed (or crashed) compaction leaves the
+//     previous base, overlay, and snapshot serving untouched and re-arms —
+//     the next Compact() simply tries again. Mutations that arrive while a
+//     compaction is building are replayed onto the new base before the
+//     swap publishes, so none are lost.
+//   * Overlay overflow sheds mutations with ResourceExhausted and raises a
+//     latched `mutation_backlog` incident (cleared, with a
+//     `mutation_backlog_cleared` event, by the compaction that drains the
+//     overlay) instead of growing unbounded.
+//
+// Because SparseMatrix::FromCoo sorts its COO entries, every adjacency
+// operator built from a snapshot is bit-identical to the same operator
+// built from a from-scratch Graph holding the same edge set — which is what
+// makes the post-compaction bit-identity guarantee testable end to end.
+#ifndef FAIRWOS_GRAPH_MUTABLE_GRAPH_H_
+#define FAIRWOS_GRAPH_MUTABLE_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "graph/delta.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace fairwos::graph {
+
+/// One immutable published epoch: the merged graph view plus its feature
+/// matrix. Cheap to hold; the materialized Graph, the feature matrix, and
+/// the per-backbone adjacency operators are built lazily on first use and
+/// cached (thread-safe), so an epoch that only absorbs mutations never pays
+/// for views nobody reads.
+class GraphSnapshot {
+ public:
+  GraphSnapshot(int64_t epoch, DeltaOverlay overlay,
+                tensor::Tensor base_features, std::vector<int64_t> affected);
+
+  int64_t epoch() const { return epoch_; }
+  int64_t num_nodes() const { return overlay_.num_nodes(); }
+  int64_t num_edges() const { return overlay_.num_edges(); }
+  bool HasEdge(int64_t u, int64_t v) const { return overlay_.HasEdge(u, v); }
+  int64_t Degree(int64_t v) const { return overlay_.Degree(v); }
+  std::vector<int64_t> Neighbors(int64_t v) const;
+
+  /// Node ids whose predictions may differ from the previous epoch's
+  /// (mutation endpoints expanded to the configured invalidation radius
+  /// over the union of the old and new adjacency). Sorted, unique. Empty
+  /// for the initial epoch.
+  const std::vector<int64_t>& affected_nodes() const { return affected_; }
+
+  /// The merged view as a from-scratch-equivalent Graph.
+  std::shared_ptr<const Graph> Materialized() const;
+
+  /// [num_nodes, F] feature matrix: the base matrix with the overlay's
+  /// added rows appended. Returns the base tensor itself (no copy) when no
+  /// nodes were added.
+  tensor::Tensor Features() const;
+
+  // Adjacency operators of the merged view, mirroring graph::Graph (each
+  // built once per snapshot and cached).
+  std::shared_ptr<const tensor::SparseMatrix> GcnNormalizedAdjacency() const;
+  std::shared_ptr<const tensor::SparseMatrix> PlainAdjacency() const;
+  std::shared_ptr<const tensor::SparseMatrix> RowNormalizedAdjacency() const;
+  std::shared_ptr<const tensor::SparseMatrix> AdjacencyWithSelfLoops() const;
+  std::shared_ptr<const tensor::SparseMatrix> NeighborMeanAdjacency() const;
+
+ private:
+  enum OpKind { kGcn = 0, kPlain, kRowNorm, kSelfLoops, kNeighborMean };
+
+  std::shared_ptr<const tensor::SparseMatrix> Operator(OpKind kind) const;
+
+  const int64_t epoch_;
+  const DeltaOverlay overlay_;  // frozen at publish
+  const tensor::Tensor base_features_;
+  const std::vector<int64_t> affected_;
+
+  mutable std::mutex cache_mu_;
+  mutable std::shared_ptr<const Graph> materialized_;
+  mutable tensor::Tensor features_;
+  mutable bool features_built_ = false;
+  mutable std::shared_ptr<const tensor::SparseMatrix> ops_[5];
+};
+
+struct MutableGraphOptions {
+  /// Overlay bound: mutations beyond this (since the last compaction) are
+  /// shed with ResourceExhausted until a compaction drains the backlog.
+  int64_t max_pending = 1024;
+  /// Hop radius of affected_nodes() around each mutation endpoint. Must be
+  /// >= the deepest served GNN's num_layers for cached predictions of
+  /// unaffected nodes to stay bit-correct across the epoch (one operator
+  /// application propagates a changed degree exactly one hop).
+  int64_t invalidation_radius = 2;
+};
+
+/// Thread-safe dynamic graph: see the file comment for the full contract.
+class MutableGraph {
+ public:
+  /// `base_features` must have base->num_nodes() rows; its column count
+  /// fixes the feature width every added node must match.
+  MutableGraph(std::shared_ptr<const Graph> base,
+               tensor::Tensor base_features, MutableGraphOptions options = {});
+
+  // --- Mutation front door (validated; never partial) ---------------------
+  common::Status Apply(const GraphMutation& m);
+  /// Returns the new node's id.
+  common::Result<int64_t> AddNode(std::vector<float> features);
+  common::Status AddEdge(int64_t u, int64_t v);
+  common::Status RemoveEdge(int64_t u, int64_t v);
+
+  // --- Publication --------------------------------------------------------
+  /// The currently published snapshot (never null; epoch 0 is published at
+  /// construction).
+  std::shared_ptr<const GraphSnapshot> Current() const;
+
+  /// Freezes all applied mutations as a new epoch and notifies listeners.
+  /// Returns the published snapshot; a no-op (same snapshot, same epoch)
+  /// when nothing changed since the last publish.
+  std::shared_ptr<const GraphSnapshot> Publish();
+
+  /// Merges the overlay into a fresh base CSR and publishes the result
+  /// (compaction implies a Publish of any still-unpublished mutations).
+  /// On failure — including an injected kGraphCompaction fault — nothing
+  /// is swapped: the previous snapshot keeps serving, the overlay keeps
+  /// its mutations, and a later Compact() retries from scratch.
+  common::Status Compact();
+
+  int64_t epoch() const;
+  /// Mutations in the overlay (applied since the last compaction).
+  int64_t pending() const;
+  /// Whether the mutation_backlog incident is currently latched.
+  bool backlogged() const;
+  int64_t num_nodes() const { return Current()->num_nodes(); }
+
+  struct Stats {
+    int64_t epoch = 0;
+    int64_t pending = 0;
+    int64_t applied = 0;  // mutations accepted (lifetime)
+    int64_t shed = 0;     // mutations shed with ResourceExhausted
+    int64_t compactions = 0;
+    int64_t compaction_failures = 0;
+    bool backlogged = false;
+  };
+  Stats stats() const;
+
+  /// Runs after each publish, outside the writer mutex, with the new
+  /// snapshot (same discipline as ModelRegistry's invalidation listeners).
+  using EpochListener =
+      std::function<void(const std::shared_ptr<const GraphSnapshot>&)>;
+  int64_t AddEpochListener(EpochListener listener);
+  void RemoveEpochListener(int64_t token);
+
+ private:
+  /// Builds and publishes the next epoch from the current overlay state.
+  /// Requires mu_; returns the snapshot (listeners are notified by the
+  /// caller, outside the mutex).
+  std::shared_ptr<const GraphSnapshot> PublishLocked();
+
+  /// Seed node ids of the log entries in [from, to) (edge endpoints and
+  /// added-node ids). Requires mu_.
+  std::vector<int64_t> SeedsLocked(int64_t from, int64_t to) const;
+
+  /// Expands `seeds` by options_.invalidation_radius hops over the union
+  /// of the current overlay view and the previously published snapshot's
+  /// view. Requires mu_.
+  std::vector<int64_t> AffectedLocked(std::vector<int64_t> seeds) const;
+
+  void NotifyListeners(const std::shared_ptr<const GraphSnapshot>& snapshot);
+
+  const MutableGraphOptions options_;
+  const int64_t feature_dim_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const Graph> base_;
+  tensor::Tensor base_features_;
+  std::unique_ptr<DeltaOverlay> overlay_;
+  std::shared_ptr<const GraphSnapshot> published_;
+  int64_t published_log_size_ = 0;  // log prefix included in published_
+  int64_t epoch_ = 0;
+  bool backlogged_ = false;
+  int64_t applied_ = 0;
+  int64_t shed_ = 0;
+  int64_t compactions_ = 0;
+  int64_t compaction_failures_ = 0;
+  std::vector<std::pair<int64_t, EpochListener>> listeners_;
+  int64_t next_listener_token_ = 1;
+
+  std::mutex compact_mu_;  // serializes compactions (mutations continue)
+
+  obs::Counter* applied_counter_;
+  obs::Counter* shed_counter_;
+  obs::Counter* compactions_counter_;
+  obs::Counter* compaction_failures_counter_;
+  obs::Gauge* epoch_gauge_;
+  obs::Gauge* pending_gauge_;
+  obs::Gauge* backlog_gauge_;
+  obs::Histogram* compaction_ms_hist_;
+};
+
+}  // namespace fairwos::graph
+
+#endif  // FAIRWOS_GRAPH_MUTABLE_GRAPH_H_

@@ -28,6 +28,21 @@ const char* BackboneName(Backbone backbone) {
   return "?";
 }
 
+std::shared_ptr<const tensor::SparseMatrix> AdjacencyForBackbone(
+    Backbone backbone, const graph::Graph& g) {
+  switch (backbone) {
+    case Backbone::kGcn:
+      return g.GcnNormalizedAdjacency();
+    case Backbone::kGin:
+      return g.PlainAdjacency();
+    case Backbone::kSage:
+      return g.NeighborMeanAdjacency();
+    case Backbone::kGat:
+      return g.AdjacencyWithSelfLoops();
+  }
+  return nullptr;
+}
+
 GcnConv::GcnConv(int64_t in_features, int64_t out_features, common::Rng* rng)
     : linear_(in_features, out_features, rng) {
   RegisterSubmodule(linear_);
@@ -158,29 +173,35 @@ GnnEncoder::GnnEncoder(const GnnConfig& config, const graph::Graph& g,
 
 tensor::Tensor GnnEncoder::Forward(const tensor::Tensor& x, bool training,
                                    common::Rng* rng) const {
+  return ForwardWith(adj_, x, training, rng);
+}
+
+tensor::Tensor GnnEncoder::ForwardWith(
+    const std::shared_ptr<const tensor::SparseMatrix>& adj,
+    const tensor::Tensor& x, bool training, common::Rng* rng) const {
   tensor::Tensor h = x;
   switch (config_.backbone) {
     case Backbone::kGcn:
       for (size_t l = 0; l < gcn_layers_.size(); ++l) {
-        h = gcn_layers_[l].Forward(adj_, h);
+        h = gcn_layers_[l].Forward(adj, h);
         if (l + 1 < gcn_layers_.size()) h = tensor::Relu(h);
       }
       break;
     case Backbone::kGin:
       for (size_t l = 0; l < gin_layers_.size(); ++l) {
-        h = gin_layers_[l].Forward(adj_, h, training, rng);
+        h = gin_layers_[l].Forward(adj, h, training, rng);
         if (l + 1 < gin_layers_.size()) h = tensor::Relu(h);
       }
       break;
     case Backbone::kSage:
       for (size_t l = 0; l < sage_layers_.size(); ++l) {
-        h = sage_layers_[l].Forward(adj_, h);
+        h = sage_layers_[l].Forward(adj, h);
         if (l + 1 < sage_layers_.size()) h = tensor::Relu(h);
       }
       break;
     case Backbone::kGat:
       for (size_t l = 0; l < gat_layers_.size(); ++l) {
-        h = gat_layers_[l].Forward(adj_, h);
+        h = gat_layers_[l].Forward(adj, h);
         if (l + 1 < gat_layers_.size()) h = tensor::Relu(h);
       }
       break;
@@ -211,6 +232,12 @@ tensor::Tensor GnnClassifier::Logits(const tensor::Tensor& h) const {
 tensor::Tensor GnnClassifier::Forward(const tensor::Tensor& x, bool training,
                                       common::Rng* rng) const {
   return Logits(Embed(x, training, rng));
+}
+
+tensor::Tensor GnnClassifier::ForwardWith(
+    const std::shared_ptr<const tensor::SparseMatrix>& adj,
+    const tensor::Tensor& x, bool training, common::Rng* rng) const {
+  return Logits(encoder_.ForwardWith(adj, x, training, rng));
 }
 
 PredictionResult PredictFromLogits(const tensor::Tensor& logits) {

@@ -24,6 +24,13 @@ enum class Backbone { kGcn, kGin, kSage, kGat };
 common::Result<Backbone> ParseBackbone(const std::string& name);
 const char* BackboneName(Backbone backbone);
 
+/// The adjacency operator `backbone`'s layers aggregate with, built from
+/// `g` — the same operator GnnEncoder captures at construction. Exposed so
+/// dynamic-graph serving (and verification passes) can rebuild it for a
+/// mutated graph and run the encoder via ForwardWith.
+std::shared_ptr<const tensor::SparseMatrix> AdjacencyForBackbone(
+    Backbone backbone, const graph::Graph& g);
+
 /// One GCN layer: H' = Â H W + b with Â the symmetric-normalized adjacency
 /// (paper Eq. 7-8 instantiated as in Kipf & Welling).
 class GcnConv : public Module {
@@ -119,6 +126,15 @@ class GnnEncoder : public Module {
   tensor::Tensor Forward(const tensor::Tensor& x, bool training,
                          common::Rng* rng) const;
 
+  /// Same stack, but aggregating over an explicit adjacency operator
+  /// instead of the one captured at construction — the dynamic-graph
+  /// serving path (`adj` must be AdjacencyForBackbone-compatible with this
+  /// encoder's backbone; its node count may differ from the construction
+  /// graph's). Forward(x, ...) ≡ ForwardWith(captured_adj, x, ...).
+  tensor::Tensor ForwardWith(
+      const std::shared_ptr<const tensor::SparseMatrix>& adj,
+      const tensor::Tensor& x, bool training, common::Rng* rng) const;
+
   int64_t hidden() const { return config_.hidden; }
   const GnnConfig& config() const { return config_; }
 
@@ -148,6 +164,13 @@ class GnnClassifier : public Module {
   /// Convenience: Logits(Embed(x)).
   tensor::Tensor Forward(const tensor::Tensor& x, bool training,
                          common::Rng* rng) const;
+
+  /// Logits over an explicit adjacency operator (see
+  /// GnnEncoder::ForwardWith) — one eval pass of the dynamic-graph
+  /// serving path.
+  tensor::Tensor ForwardWith(
+      const std::shared_ptr<const tensor::SparseMatrix>& adj,
+      const tensor::Tensor& x, bool training, common::Rng* rng) const;
 
   const GnnEncoder& encoder() const { return encoder_; }
 

@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/check.h"
 #include "common/fault.h"
@@ -46,6 +47,23 @@ common::Status ValidateOptions(const EngineOptions& options) {
     return common::Status::InvalidArgument("forward_retries must be >= 0");
   }
   return common::Status::OK();
+}
+
+/// The snapshot-side twin of nn::AdjacencyForBackbone: the merged view's
+/// operator for `backbone`, built (and cached) by the snapshot.
+std::shared_ptr<const tensor::SparseMatrix> SnapshotAdjacency(
+    nn::Backbone backbone, const graph::GraphSnapshot& snap) {
+  switch (backbone) {
+    case nn::Backbone::kGcn:
+      return snap.GcnNormalizedAdjacency();
+    case nn::Backbone::kGin:
+      return snap.PlainAdjacency();
+    case nn::Backbone::kSage:
+      return snap.NeighborMeanAdjacency();
+    case nn::Backbone::kGat:
+      return snap.AdjacencyWithSelfLoops();
+  }
+  return nullptr;
 }
 
 std::shared_ptr<ModelRegistry> SingleModelRegistry(
@@ -96,10 +114,26 @@ InferenceEngine::InferenceEngine(std::shared_ptr<ModelRegistry> registry,
       [this](const std::string& model_id, int64_t new_generation) {
         OnInvalidation(model_id, new_generation);
       });
+  if (options_.dynamic_graph != nullptr) {
+    graph_epoch_ = options_.dynamic_graph->Current()->epoch();
+    graph_listener_token_ = options_.dynamic_graph->AddEpochListener(
+        [this](const std::shared_ptr<const graph::GraphSnapshot>& snap) {
+          OnGraphEpoch(snap);
+        });
+  }
 }
 
 InferenceEngine::~InferenceEngine() {
   registry_->RemoveListener(listener_token_);
+  if (options_.dynamic_graph != nullptr) {
+    options_.dynamic_graph->RemoveEpochListener(graph_listener_token_);
+  }
+}
+
+int64_t InferenceEngine::num_nodes() const {
+  return options_.dynamic_graph != nullptr
+             ? options_.dynamic_graph->Current()->num_nodes()
+             : num_nodes_;
 }
 
 void InferenceEngine::InitMetrics() {
@@ -182,6 +216,40 @@ void InferenceEngine::OnInvalidation(const std::string& model_id,
   last_good_.erase(model_id);
 }
 
+void InferenceEngine::OnGraphEpoch(
+    const std::shared_ptr<const graph::GraphSnapshot>& snap) {
+  // MutableGraph notifies outside its writer mutex (same discipline as the
+  // registry), so taking the engine mutex here cannot deadlock.
+  size_t erased = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (snap->epoch() <= graph_epoch_) return;  // stale/duplicate notify
+    graph_epoch_ = snap->epoch();
+    const std::vector<int64_t>& affected = snap->affected_nodes();
+    if (!affected.empty()) {
+      const std::unordered_set<int64_t> hit(affected.begin(), affected.end());
+      erased = cache_.EraseIf(
+          [&](const std::pair<std::string, int64_t>& key) {
+            return hit.count(key.second) > 0;
+          });
+    }
+    if (erased > 0) {
+      invalidations_counter_->Increment(static_cast<int64_t>(erased));
+      cache_invalidations_.fetch_add(static_cast<int64_t>(erased),
+                                     std::memory_order_relaxed);
+      epoch_invalidations_.fetch_add(static_cast<int64_t>(erased),
+                                     std::memory_order_relaxed);
+    }
+  }
+  if (obs::TelemetryEnabled()) {
+    obs::EmitEvent(obs::Event("cache_epoch_invalidation")
+                       .Set("epoch", snap->epoch())
+                       .Set("affected", static_cast<int64_t>(
+                                            snap->affected_nodes().size()))
+                       .Set("purged", static_cast<int64_t>(erased)));
+  }
+}
+
 void InferenceEngine::ObserveDriftLocked(const ModelRegistry::Entry& entry,
                                          int64_t node) {
   if (!options_.drift_monitor || entry.input_mean.empty()) return;
@@ -189,6 +257,7 @@ void InferenceEngine::ObserveDriftLocked(const ModelRegistry::Entry& entry,
   if (cols * num_nodes_ != static_cast<int64_t>(entry.input.data().size())) {
     return;  // stats do not describe the served matrix; nothing to audit
   }
+  if (node >= num_nodes_) return;  // dynamically added node: no fit-time row
   DriftState& state = drift_[entry.model_id];
   if (state.monitor == nullptr || state.generation != entry.generation) {
     state.monitor = std::make_unique<DriftMonitor>(
@@ -264,6 +333,35 @@ InferenceEngine::GroupExecution InferenceEngine::ExecuteGroup(
   }
   group.generation = entry->generation;
 
+  // Dynamic graphs: capture ONE immutable snapshot up front — every request
+  // in the group is answered from the same epoch (adjacency and features),
+  // no matter what mutations or compactions land mid-forward.
+  std::shared_ptr<const graph::GraphSnapshot> snap;
+  std::shared_ptr<const tensor::SparseMatrix> snap_adj;
+  tensor::Tensor snap_input;
+  if (options_.dynamic_graph != nullptr) {
+    snap = options_.dynamic_graph->Current();
+    group.graph_epoch = snap->epoch();
+    if (entry->model->input_kind() ==
+        core::FittedGnnModel::InputKind::kFrozen) {
+      // A frozen input matrix has exactly the fit-time node rows: servable
+      // over a mutated edge set, but not once the node set grew.
+      if (entry->input.dim(0) != snap->num_nodes()) {
+        group.status = common::Status::FailedPrecondition(
+            "model '" + model_id + "' carries a frozen input matrix of " +
+            std::to_string(entry->input.dim(0)) +
+            " rows; the dynamic graph now has " +
+            std::to_string(snap->num_nodes()) + " nodes");
+        return group;
+      }
+      snap_input = entry->input;
+    } else {
+      snap_input = snap->Features();
+    }
+    snap_adj = SnapshotAdjacency(
+        entry->model->classifier().encoder().config().backbone, *snap);
+  }
+
   const int64_t attempts = 1 + options_.forward_retries;
   for (int64_t attempt = 0; attempt < attempts; ++attempt) {
     if (auto* fi = testing::ActiveFaultInjector();
@@ -284,8 +382,12 @@ InferenceEngine::GroupExecution InferenceEngine::ExecuteGroup(
     common::Rng rng(0);
     group.full =
         std::make_shared<const nn::PredictionResult>(nn::PredictFromLogits(
-            entry->model->classifier().Forward(entry->input,
-                                               /*training=*/false, &rng)));
+            snap != nullptr
+                ? entry->model->classifier().ForwardWith(
+                      snap_adj, snap_input, /*training=*/false, &rng)
+                : entry->model->classifier().Forward(entry->input,
+                                                     /*training=*/false,
+                                                     &rng)));
     group.forward_faulted = false;
     group.status = common::Status::OK();
     batches_counter_->Increment();
@@ -302,9 +404,15 @@ void InferenceEngine::PublishGroupLocked(GroupExecution* group) {
     // Cache (and remember as last-good) only when the generation that
     // computed this result is still the published one — a swap that landed
     // mid-forward must not be shadowed by the retiring model's answers.
+    // Same guard for the graph epoch: a forward that read an older snapshot
+    // must not re-populate entries the newer epoch already purged (its
+    // answers are still served — snapshot isolation — just not remembered).
     const bool generation_current =
         registry_->generation(group->model_id) == group->generation;
-    if (generation_current) {
+    const bool epoch_current = options_.dynamic_graph == nullptr ||
+                               group->graph_epoch == graph_epoch_;
+    const bool cacheable = generation_current && epoch_current;
+    if (cacheable) {
       last_good_[group->model_id] = LastGood{group->full, group->generation};
     }
     auto* fi = testing::ActiveFaultInjector();
@@ -312,7 +420,7 @@ void InferenceEngine::PublishGroupLocked(GroupExecution* group) {
       req->result = RowPrediction(*group->full, req->node);
       req->status = common::Status::OK();
       req->done = true;
-      if (generation_current) {
+      if (cacheable) {
         if (fi != nullptr &&
             fi->ShouldFire(testing::FaultSite::kServeCacheInsert)) {
           // The answer is still served; it just is not remembered.
@@ -331,7 +439,15 @@ void InferenceEngine::PublishGroupLocked(GroupExecution* group) {
     // for this same generation rather than failing the requests.
     auto it = last_good_.find(group->model_id);
     if (it != last_good_.end() &&
-        it->second.generation == group->generation) {
+        it->second.generation == group->generation &&
+        // A last-good result from before an AddNode epoch has no rows for
+        // the new nodes; rather than answer part of the group stale and
+        // part not, fail the whole group over to the error path.
+        std::all_of(group->reqs.begin(), group->reqs.end(),
+                    [&](const std::shared_ptr<PendingRequest>& req) {
+                      return req->node <
+                             static_cast<int64_t>(it->second.full->pred.size());
+                    })) {
       for (auto& req : group->reqs) {
         req->result = RowPrediction(*it->second.full, req->node);
         req->result.degraded = true;
@@ -447,10 +563,11 @@ common::Result<NodePrediction> InferenceEngine::Predict(
     const std::string& model_id, int64_t node,
     const common::Deadline* deadline_in) {
   common::Stopwatch watch;
-  if (node < 0 || node >= num_nodes_) {
+  const int64_t servable_nodes = num_nodes();
+  if (node < 0 || node >= servable_nodes) {
     return common::Status::InvalidArgument(
         "node " + std::to_string(node) + " out of range [0, " +
-        std::to_string(num_nodes_) + ")");
+        std::to_string(servable_nodes) + ")");
   }
   const std::shared_ptr<const ModelRegistry::Entry> snapshot =
       registry_->Get(model_id);
@@ -614,11 +731,12 @@ common::Result<std::vector<NodePrediction>> InferenceEngine::PredictBatch(
 
 common::Result<std::vector<NodePrediction>> InferenceEngine::PredictBatch(
     const std::string& model_id, const std::vector<int64_t>& nodes) {
+  const int64_t servable_nodes = num_nodes();
   for (int64_t node : nodes) {
-    if (node < 0 || node >= num_nodes_) {
+    if (node < 0 || node >= servable_nodes) {
       return common::Status::InvalidArgument(
           "node " + std::to_string(node) + " out of range [0, " +
-          std::to_string(num_nodes_) + ")");
+          std::to_string(servable_nodes) + ")");
     }
   }
   std::vector<NodePrediction> results;
@@ -701,6 +819,12 @@ InferenceEngine::Stats InferenceEngine::stats() const {
   s.leader_promotions = leader_promotions_.load(std::memory_order_relaxed);
   s.cache_invalidations =
       cache_invalidations_.load(std::memory_order_relaxed);
+  s.epoch_invalidations =
+      epoch_invalidations_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.graph_epoch = graph_epoch_;
+  }
   s.drift_alerts = drift_alerts_.load(std::memory_order_relaxed);
   s.fairness_alerts = fairness_alerts_.load(std::memory_order_relaxed);
   return s;

@@ -37,6 +37,11 @@
 //   * Windowed SLO metrics: request latency, queue wait, and batch size
 //     also stream into serve.window.* sliding windows so p50/p99 reflect
 //     the last minute, not the process lifetime.
+//   * Dynamic graphs: with EngineOptions::dynamic_graph set, every batch
+//     forward reads one epoch-numbered graph::GraphSnapshot (snapshot
+//     isolation — a compaction or mutation landing mid-forward never tears
+//     the batch), and each published epoch purges exactly the affected
+//     node ids from the LRU (serve.cache.invalidations).
 //
 // Determinism: the forward is the same RNG-free eval pass FittedGnnModel::
 // Predict runs, computed by the deterministic parallel kernels — so served
@@ -59,6 +64,7 @@
 #include "common/deadline.h"
 #include "common/metrics.h"
 #include "core/fitted.h"
+#include "graph/mutable_graph.h"
 #include "serve/artifact.h"
 #include "serve/audit.h"
 #include "serve/drift.h"
@@ -100,6 +106,14 @@ struct EngineOptions {
   /// feed serve.audit.* metrics plus latched fairness_alert incidents.
   std::shared_ptr<const AuditTable> audit_table;
   AuditOptions audit;
+  /// Dynamic-graph serving (graph/mutable_graph.h): when non-null, every
+  /// batch forward reads an epoch-numbered GraphSnapshot (adjacency AND
+  /// features) instead of the construction-time graph, and each published
+  /// epoch purges exactly the affected (model, node) cache entries. Models
+  /// with a frozen input matrix stay servable only while the snapshot's
+  /// node count matches the fit-time graph (FailedPrecondition after an
+  /// AddNode). The MutableGraph must outlive the engine.
+  std::shared_ptr<graph::MutableGraph> dynamic_graph;
 };
 
 /// One answered request.
@@ -172,7 +186,13 @@ class InferenceEngine {
 
   const std::string& model_id() const { return default_model_id_; }
   ModelRegistry& registry() { return *registry_; }
-  int64_t num_nodes() const { return num_nodes_; }
+  /// Servable node-id range: the dataset's node count, or the currently
+  /// published snapshot's when a dynamic graph is attached.
+  int64_t num_nodes() const;
+  /// The attached dynamic graph, or nullptr for static-graph engines.
+  graph::MutableGraph* dynamic_graph() const {
+    return options_.dynamic_graph.get();
+  }
 
   /// Engine-local counters (the serve.* registry metrics aggregate across
   /// engines; these are per-instance, for benches and tests).
@@ -187,6 +207,8 @@ class InferenceEngine {
     int64_t degraded = 0;           // answers served from last known good
     int64_t leader_promotions = 0;  // followers that usurped a dead leader
     int64_t cache_invalidations = 0;  // entries purged on swap/unload
+    int64_t epoch_invalidations = 0;  // entries purged by graph epochs
+    int64_t graph_epoch = 0;          // last graph epoch the engine saw
     int64_t drift_alerts = 0;
     int64_t fairness_alerts = 0;  // latched audit-window threshold crossings
   };
@@ -239,6 +261,7 @@ class InferenceEngine {
   struct GroupExecution {
     std::string model_id;
     int64_t generation = 0;
+    int64_t graph_epoch = 0;  // snapshot epoch the forward read (dynamic)
     std::shared_ptr<const nn::PredictionResult> full;  // null on failure
     common::Status status;        // failure reason when full == nullptr
     bool forward_faulted = false;  // failure came from the forward pass
@@ -294,6 +317,10 @@ class InferenceEngine {
   /// serving state after a swap or unload.
   void OnInvalidation(const std::string& model_id, int64_t new_generation);
 
+  /// Dynamic-graph epoch listener: purges exactly the cache entries whose
+  /// node id is in the snapshot's affected set (any model).
+  void OnGraphEpoch(const std::shared_ptr<const graph::GraphSnapshot>& snap);
+
   /// Argmax/prob1 for `node` from a full-graph result.
   static NodePrediction RowPrediction(const nn::PredictionResult& full,
                                       int64_t node);
@@ -305,9 +332,10 @@ class InferenceEngine {
 
   std::shared_ptr<ModelRegistry> registry_;
   std::string default_model_id_;  // empty for registry-backed engines
-  int64_t num_nodes_ = 0;
+  int64_t num_nodes_ = 0;  // dataset node count (static-graph range check)
   EngineOptions options_;
   int64_t listener_token_ = 0;
+  int64_t graph_listener_token_ = 0;  // epoch listener (dynamic graphs)
 
   mutable std::mutex mu_;
   std::condition_variable batch_ready_;  // wakes a waiting leader early
@@ -321,6 +349,10 @@ class InferenceEngine {
   std::map<std::string, DriftState> drift_;
   std::unique_ptr<FairnessAuditor> auditor_;  // guarded by mu_
   bool audit_alert_state_ = false;  // last seen latch, for cleared events
+  /// Highest graph epoch whose invalidations have been applied; a forward
+  /// that read an older snapshot must not populate the cache (its affected
+  /// rows were already purged). Guarded by mu_.
+  int64_t graph_epoch_ = 0;
 
   std::atomic<int64_t> crash_next_leader_{0};
 
@@ -334,6 +366,7 @@ class InferenceEngine {
   std::atomic<int64_t> degraded_{0};
   std::atomic<int64_t> leader_promotions_{0};
   std::atomic<int64_t> cache_invalidations_{0};
+  std::atomic<int64_t> epoch_invalidations_{0};
   std::atomic<int64_t> drift_alerts_{0};
   std::atomic<int64_t> fairness_alerts_{0};
 

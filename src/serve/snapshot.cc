@@ -97,6 +97,20 @@ common::Status OpsSnapshotter::SnapshotNow() {
         .Set("fairness_alert", engine_->audit_alert_active() ? 1 : 0);
   }
 
+  // Dynamic-graph shape: which epoch is serving, how deep the overlay is,
+  // and whether mutations are currently being shed (the latched backlog).
+  if (graph::MutableGraph* dg = engine_->dynamic_graph(); dg != nullptr) {
+    const graph::MutableGraph::Stats gs = dg->stats();
+    ev.Set("mutation.epoch", gs.epoch)
+        .Set("mutation.pending", gs.pending)
+        .Set("mutation.applied", gs.applied)
+        .Set("mutation.shed", gs.shed)
+        .Set("mutation.backlog", gs.backlogged ? 1 : 0)
+        .Set("compaction.count", gs.compactions)
+        .Set("compaction.failed", gs.compaction_failures)
+        .Set("cache.epoch_invalidations", s.epoch_invalidations);
+  }
+
   // Which model generations are live, so a snapshot stream pins every
   // served answer to the registry state that produced it.
   for (const std::string& id : engine_->registry().ModelIds()) {

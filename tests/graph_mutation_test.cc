@@ -1,0 +1,817 @@
+// Dynamic-graph mutation tests (docs/serving.md "Dynamic graphs"): the
+// DeltaOverlay validation front door (precise Statuses, never partial
+// application), epoch-numbered copy-on-write snapshots (old snapshots stay
+// bit-stable under mutations, publishes, and compactions), compaction under
+// injected kGraphCompaction faults (a failed compaction leaves the previous
+// snapshot serving and re-arms), overlay overflow (ResourceExhausted + the
+// latched mutation_backlog incident), the serving integration (exact LRU
+// invalidation per epoch, snapshot-isolated concurrent mutate+predict,
+// post-compaction bit-identity), fault-plan exhaustion telemetry, and the
+// drifting temporal script generator. The Mutation*/Temporal* suites run
+// under TSan in CI (the serve-chaos job).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/vanilla.h"
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "data/synthetic.h"
+#include "data/temporal.h"
+#include "graph/delta.h"
+#include "graph/graph.h"
+#include "graph/mutable_graph.h"
+#include "nn/gnn.h"
+#include "serve/artifact.h"
+#include "serve/engine.h"
+#include "tensor/tensor.h"
+
+namespace fairwos::graph {
+namespace {
+
+using ::fairwos::common::StatusCode;
+using ::fairwos::testing::FaultInjector;
+using ::fairwos::testing::FaultSite;
+using ::fairwos::testing::ScopedFaultInjector;
+
+/// A path graph 0-1-...-(n-1) with one-column features (the node id), the
+/// workhorse topology: hop distances are exact, so invalidation radii have
+/// unambiguous expected sets.
+std::shared_ptr<const Graph> PathGraph(int64_t n) {
+  Graph g(n);
+  for (int64_t v = 0; v + 1 < n; ++v) FW_CHECK(g.AddEdge(v, v + 1));
+  return std::make_shared<const Graph>(std::move(g));
+}
+
+tensor::Tensor PathFeatures(int64_t n) {
+  std::vector<float> data(static_cast<size_t>(n));
+  for (int64_t v = 0; v < n; ++v) {
+    data[static_cast<size_t>(v)] = static_cast<float>(v);
+  }
+  return tensor::Tensor::FromVector({n, 1}, std::move(data));
+}
+
+MutableGraph MakePathMutable(int64_t n, MutableGraphOptions options = {}) {
+  return MutableGraph(PathGraph(n), PathFeatures(n), options);
+}
+
+int CountEvents(const obs::CollectingSink& sink, const std::string& name) {
+  int count = 0;
+  for (const auto& event : sink.events()) {
+    if (event.name() == name) ++count;
+  }
+  return count;
+}
+
+// --- Validation front door ------------------------------------------------
+
+TEST(MutationValidationTest, OutOfRangeEndpointsRejected) {
+  MutableGraph g = MakePathMutable(5);
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddEdge(-1, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.RemoveEdge(4, 99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.pending(), 0);
+  EXPECT_EQ(g.stats().applied, 0);
+}
+
+TEST(MutationValidationTest, SelfLoopsRejectedByPolicy) {
+  MutableGraph g = MakePathMutable(5);
+  const common::Status status = g.AddEdge(3, 3);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("self-loop"), std::string::npos);
+  EXPECT_EQ(g.RemoveEdge(2, 2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.pending(), 0);
+}
+
+TEST(MutationValidationTest, FeatureDimMismatchRejected) {
+  MutableGraph g = MakePathMutable(5);  // feature width 1
+  auto too_wide = g.AddNode({1.0f, 2.0f});
+  EXPECT_EQ(too_wide.status().code(), StatusCode::kInvalidArgument);
+  auto empty = g.AddNode({});
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.pending(), 0);
+}
+
+TEST(MutationValidationTest, DuplicateInsertAndMissingDeleteRejected) {
+  MutableGraph g = MakePathMutable(5);
+  // (1, 2) is a base edge; inserting it again is FailedPrecondition even
+  // though the overlay itself has never seen it.
+  EXPECT_EQ(g.AddEdge(1, 2).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(g.AddEdge(2, 1).code(), StatusCode::kFailedPrecondition);
+  // (0, 3) does not exist in the merged view: deleting it is NotFound.
+  EXPECT_EQ(g.RemoveEdge(0, 3).code(), StatusCode::kNotFound);
+  // An overlay-added edge is a duplicate on the second insert too.
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_EQ(g.AddEdge(3, 0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(g.pending(), 1);
+}
+
+TEST(MutationValidationTest, RejectionIsNeverPartial) {
+  MutableGraph g = MakePathMutable(6);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  const auto before = g.Publish();
+  const int64_t edges_before = before->num_edges();
+
+  // Every rejection class in a row: the merged view must be bit-identical
+  // to before each one (same edge count, same adjacency).
+  EXPECT_FALSE(g.AddEdge(0, 2).ok());   // duplicate
+  EXPECT_FALSE(g.AddEdge(5, 6).ok());   // out of range
+  EXPECT_FALSE(g.AddEdge(4, 4).ok());   // self-loop
+  EXPECT_FALSE(g.RemoveEdge(1, 5).ok());  // missing
+  EXPECT_FALSE(g.AddNode({1.0f, 2.0f}).ok());  // wrong width
+
+  const auto after = g.Publish();
+  EXPECT_EQ(after.get(), before.get());  // no-op publish: nothing changed
+  EXPECT_EQ(after->num_edges(), edges_before);
+  EXPECT_EQ(g.stats().applied, 1);
+}
+
+TEST(MutationValidationTest, AddNodeAssignsSequentialIdsAndGrowsFeatures) {
+  MutableGraph g = MakePathMutable(4);
+  auto a = g.AddNode({10.0f});
+  auto b = g.AddNode({11.0f});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), 4);
+  EXPECT_EQ(b.value(), 5);
+  ASSERT_TRUE(g.AddEdge(a.value(), 0).ok());
+  ASSERT_TRUE(g.AddEdge(b.value(), a.value()).ok());
+
+  const auto snap = g.Publish();
+  EXPECT_EQ(snap->num_nodes(), 6);
+  EXPECT_TRUE(snap->HasEdge(4, 0));
+  EXPECT_TRUE(snap->HasEdge(5, 4));
+  const tensor::Tensor features = snap->Features();
+  ASSERT_EQ(features.dim(0), 6);
+  EXPECT_EQ(features.at(4, 0), 10.0f);
+  EXPECT_EQ(features.at(5, 0), 11.0f);
+}
+
+// --- Snapshots ------------------------------------------------------------
+
+TEST(MutationSnapshotTest, OldSnapshotsStayBitStable) {
+  MutableGraph g = MakePathMutable(8);
+  const auto snap0 = g.Current();
+  EXPECT_EQ(snap0->epoch(), 0);
+  const int64_t edges0 = snap0->num_edges();
+
+  ASSERT_TRUE(g.AddEdge(0, 7).ok());
+  ASSERT_TRUE(g.RemoveEdge(3, 4).ok());
+  ASSERT_TRUE(g.AddNode({42.0f}).ok());
+  const auto snap1 = g.Publish();
+  ASSERT_TRUE(g.Compact().ok());
+
+  // The epoch-0 snapshot still reads as the original path graph even
+  // though the live graph has mutated, published, and compacted past it.
+  EXPECT_EQ(snap0->num_edges(), edges0);
+  EXPECT_EQ(snap0->num_nodes(), 8);
+  EXPECT_FALSE(snap0->HasEdge(0, 7));
+  EXPECT_TRUE(snap0->HasEdge(3, 4));
+  EXPECT_EQ(snap0->Features().dim(0), 8);
+
+  // And the published epoch-1 snapshot survives the compaction behind it.
+  EXPECT_TRUE(snap1->HasEdge(0, 7));
+  EXPECT_FALSE(snap1->HasEdge(3, 4));
+  EXPECT_EQ(snap1->num_nodes(), 9);
+}
+
+TEST(MutationSnapshotTest, PublishIsNoOpWithoutChanges) {
+  MutableGraph g = MakePathMutable(4);
+  const auto first = g.Publish();
+  EXPECT_EQ(first->epoch(), 0);
+  EXPECT_EQ(first.get(), g.Current().get());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  const auto second = g.Publish();
+  EXPECT_EQ(second->epoch(), 1);
+  const auto third = g.Publish();  // nothing new since
+  EXPECT_EQ(third.get(), second.get());
+  EXPECT_EQ(g.epoch(), 1);
+}
+
+TEST(MutationSnapshotTest, AffectedNodesRespectInvalidationRadius) {
+  // Path 0-1-2-3-4-5-6-7-8, radius 2. Adding edge {0, 8} seeds {0, 8};
+  // expanding two hops over the NEW view (where 0 and 8 are adjacent)
+  // reaches {0,1,2,8,7,6} — nodes 3, 4, 5 must not be invalidated.
+  MutableGraphOptions options;
+  options.invalidation_radius = 2;
+  MutableGraph g = MakePathMutable(9, options);
+  ASSERT_TRUE(g.AddEdge(0, 8).ok());
+  const auto snap = g.Publish();
+  EXPECT_EQ(snap->affected_nodes(),
+            (std::vector<int64_t>{0, 1, 2, 6, 7, 8}));
+}
+
+TEST(MutationSnapshotTest, RemovedEdgeInvalidatesItsOldNeighborhood) {
+  // Removing {3, 4} on a path of 9: the new view no longer connects the
+  // halves, but the union with the previous epoch's adjacency still walks
+  // across the removed edge — both sides' 2-hop neighborhoods invalidate.
+  MutableGraphOptions options;
+  options.invalidation_radius = 2;
+  MutableGraph g = MakePathMutable(9, options);
+  ASSERT_TRUE(g.RemoveEdge(3, 4).ok());
+  const auto snap = g.Publish();
+  EXPECT_EQ(snap->affected_nodes(),
+            (std::vector<int64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+// --- Overflow and the mutation_backlog incident ---------------------------
+
+TEST(MutationBacklogTest, OverflowShedsWithResourceExhaustedAndLatches) {
+  obs::CollectingSink sink;
+  obs::SetEventSink(&sink);
+  MutableGraphOptions options;
+  options.max_pending = 2;
+  MutableGraph g = MakePathMutable(10, options);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_FALSE(g.backlogged());
+
+  // The overlay is full: further mutations shed, and the incident latches
+  // on the FIRST shed only — a sustained overflow is one incident.
+  EXPECT_EQ(g.AddEdge(0, 4).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(g.backlogged());
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(g.AddNode({9.0f}).status().code(),
+            StatusCode::kResourceExhausted);
+  obs::SetEventSink(nullptr);
+
+  const MutableGraph::Stats stats = g.stats();
+  EXPECT_EQ(stats.applied, 2);
+  EXPECT_EQ(stats.shed, 3);
+  EXPECT_TRUE(stats.backlogged);
+  EXPECT_EQ(CountEvents(sink, "mutation_backlog"), 1);
+}
+
+TEST(MutationBacklogTest, CompactionDrainsTheBacklogAndClearsTheLatch) {
+  obs::CollectingSink sink;
+  obs::SetEventSink(&sink);
+  MutableGraphOptions options;
+  options.max_pending = 2;
+  MutableGraph g = MakePathMutable(10, options);
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_EQ(g.AddEdge(0, 4).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(g.backlogged());
+
+  ASSERT_TRUE(g.Compact().ok());
+  obs::SetEventSink(nullptr);
+  EXPECT_FALSE(g.backlogged());
+  EXPECT_EQ(g.pending(), 0);  // folded into the new base
+  EXPECT_EQ(CountEvents(sink, "mutation_backlog_cleared"), 1);
+
+  // The shed mutation was NOT silently applied — the caller was told to
+  // retry, and now the retry succeeds.
+  EXPECT_FALSE(g.Current()->HasEdge(0, 4));
+  EXPECT_TRUE(g.AddEdge(0, 4).ok());
+  EXPECT_TRUE(g.Current()->HasEdge(0, 2));  // compacted edges survived
+}
+
+// --- Compaction under faults ----------------------------------------------
+
+TEST(MutationCompactionTest, FailedCompactionLeavesPreviousSnapshotServing) {
+  MutableGraph g = MakePathMutable(12);
+  ASSERT_TRUE(g.AddEdge(0, 6).ok());
+  const auto published = g.Publish();
+
+  FaultInjector injector(7);
+  // First compaction dies at the pre-rebuild probe, the second at the
+  // pre-publish probe (after the merged CSR was fully built): neither may
+  // swap anything.
+  injector.Arm(FaultSite::kGraphCompaction, /*at_visit=*/0);
+  {
+    ScopedFaultInjector scoped(&injector);
+    EXPECT_EQ(g.Compact().code(), StatusCode::kInternal);
+    EXPECT_EQ(g.Current().get(), published.get());
+    EXPECT_EQ(g.epoch(), published->epoch());
+    EXPECT_EQ(g.pending(), 1);  // the overlay kept its mutations
+
+    injector.Arm(FaultSite::kGraphCompaction, /*at_visit=*/2);
+    EXPECT_EQ(g.Compact().code(), StatusCode::kInternal);
+    EXPECT_EQ(g.Current().get(), published.get());
+    EXPECT_EQ(g.pending(), 1);
+
+    // Re-armed: with the fault budget spent, the SAME call site succeeds.
+    EXPECT_TRUE(g.Compact().ok());
+  }
+  EXPECT_EQ(injector.fires(FaultSite::kGraphCompaction), 2);
+
+  const MutableGraph::Stats stats = g.stats();
+  EXPECT_EQ(stats.compaction_failures, 2);
+  EXPECT_EQ(stats.compactions, 1);
+  EXPECT_EQ(stats.pending, 0);
+  EXPECT_TRUE(g.Current()->HasEdge(0, 6));
+  EXPECT_GT(g.epoch(), published->epoch());
+}
+
+TEST(MutationCompactionTest, CompactedViewIsBitIdenticalToFreshCsr) {
+  MutableGraph g = MakePathMutable(16);
+  ASSERT_TRUE(g.AddEdge(0, 8).ok());
+  ASSERT_TRUE(g.RemoveEdge(4, 5).ok());
+  ASSERT_TRUE(g.AddNode({99.0f}).ok());
+  ASSERT_TRUE(g.AddEdge(16, 2).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 8).ok());  // add-then-remove cancels out
+  ASSERT_TRUE(g.Compact().ok());
+
+  const auto snap = g.Current();
+  const std::shared_ptr<const Graph> merged = snap->Materialized();
+
+  // Rebuild the same edge set from scratch and compare the actual CSR
+  // operator buffers: FromCoo sorts its entries, so identical edge sets
+  // must produce identical row_ptr/col_idx/values — bit-for-bit.
+  Graph fresh(merged->num_nodes());
+  for (int64_t u = 0; u < merged->num_nodes(); ++u) {
+    for (int64_t v : merged->Neighbors(u)) {
+      if (v > u) FW_CHECK(fresh.AddEdge(u, v));
+    }
+  }
+  ASSERT_EQ(fresh.num_edges(), merged->num_edges());
+  const auto lhs = snap->GcnNormalizedAdjacency();
+  const auto rhs = fresh.GcnNormalizedAdjacency();
+  EXPECT_EQ(lhs->row_ptr(), rhs->row_ptr());
+  EXPECT_EQ(lhs->col_idx(), rhs->col_idx());
+  EXPECT_EQ(lhs->values(), rhs->values());
+  const auto lhs_mean = snap->NeighborMeanAdjacency();
+  const auto rhs_mean = fresh.NeighborMeanAdjacency();
+  EXPECT_EQ(lhs_mean->col_idx(), rhs_mean->col_idx());
+  EXPECT_EQ(lhs_mean->values(), rhs_mean->values());
+}
+
+TEST(MutationCompactionTest, MutationsDuringCompactionAreReplayed) {
+  // Mutations keep landing while compactions run on another thread: the
+  // rebase replay must lose none of them. (Also a TSan exercise of the
+  // compact_mu_ / mu_ split.)
+  MutableGraph g = MakePathMutable(64);
+  for (int64_t i = 0; i < 20; ++i) ASSERT_TRUE(g.AddEdge(i, i + 2).ok());
+  g.Publish();
+
+  std::atomic<bool> stop{false};
+  std::thread compactor([&] {
+    while (!stop.load()) {
+      const common::Status status = g.Compact();
+      ASSERT_TRUE(status.ok()) << status.ToString();
+    }
+  });
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(g.AddEdge(i, i + 3).ok());
+  }
+  stop.store(true);
+  compactor.join();
+
+  g.Publish();
+  ASSERT_TRUE(g.Compact().ok());
+  const auto snap = g.Current();
+  for (int64_t i = 0; i < 20; ++i) EXPECT_TRUE(snap->HasEdge(i, i + 2));
+  for (int64_t i = 0; i < 30; ++i) EXPECT_TRUE(snap->HasEdge(i, i + 3));
+  EXPECT_EQ(snap->num_edges(), 63 + 20 + 30);
+}
+
+// --- Fault-plan exhaustion telemetry --------------------------------------
+
+TEST(MutationFaultTest, DeltaApplyFaultLeavesOverlayUntouched) {
+  MutableGraph g = MakePathMutable(8);
+  FaultInjector injector(7);
+  injector.Arm(FaultSite::kGraphDeltaApply, /*at_visit=*/0);
+  {
+    ScopedFaultInjector scoped(&injector);
+    const common::Status status = g.AddEdge(0, 4);
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_EQ(g.pending(), 0);
+    EXPECT_FALSE(g.Current()->HasEdge(0, 4));
+    // The fault consumed the validated mutation, not the overlay: the
+    // caller's retry goes through cleanly.
+    EXPECT_TRUE(g.AddEdge(0, 4).ok());
+  }
+  EXPECT_TRUE(g.Publish()->HasEdge(0, 4));
+}
+
+TEST(MutationFaultTest, ExhaustedFaultPlanReportsOnceAndRearms) {
+  obs::CollectingSink sink;
+  obs::SetEventSink(&sink);
+  auto* exhausted_counter =
+      obs::MetricsRegistry::Global().GetCounter("fault.exhausted");
+  const int64_t counter_before = exhausted_counter->value();
+
+  MutableGraph g = MakePathMutable(8);
+  FaultInjector injector(7);
+  injector.Arm(FaultSite::kGraphDeltaApply, /*at_visit=*/0, /*count=*/1);
+  {
+    ScopedFaultInjector scoped(&injector);
+    EXPECT_EQ(g.AddEdge(0, 2).code(), StatusCode::kInternal);  // the fire
+    EXPECT_EQ(CountEvents(sink, "fault_plan_exhausted"), 0);
+    // The first visit past the budget reports exhaustion — exactly once,
+    // no matter how many more visits follow.
+    EXPECT_TRUE(g.AddEdge(0, 2).ok());
+    EXPECT_TRUE(g.AddEdge(0, 3).ok());
+    EXPECT_EQ(CountEvents(sink, "fault_plan_exhausted"), 1);
+    EXPECT_EQ(exhausted_counter->value(), counter_before + 1);
+
+    // Re-arming resets the report: a fresh plan exhausts afresh.
+    injector.Arm(FaultSite::kGraphDeltaApply, /*at_visit=*/0, /*count=*/1);
+    EXPECT_EQ(g.AddEdge(0, 4).code(), StatusCode::kInternal);
+    EXPECT_TRUE(g.AddEdge(0, 4).ok());
+    EXPECT_EQ(CountEvents(sink, "fault_plan_exhausted"), 2);
+    EXPECT_EQ(exhausted_counter->value(), counter_before + 2);
+  }
+  obs::SetEventSink(nullptr);
+}
+
+// --- Serving integration --------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+data::Dataset ToyDataset() { return data::MakeDataset("toy", {}).value(); }
+
+std::string ExportArtifact(const data::Dataset& ds, uint64_t seed,
+                           const std::string& path) {
+  nn::GnnConfig gnn;
+  gnn.in_features = ds.num_attrs();
+  baselines::TrainOptions train;
+  train.epochs = 20;
+  baselines::VanillaMethod method(gnn, train);
+  auto fitted_or = method.Fit(ds, seed);
+  EXPECT_TRUE(fitted_or.ok()) << fitted_or.status().ToString();
+  const core::FittedGnnModel* model = fitted_or.value()->AsGnn();
+  EXPECT_NE(model, nullptr);
+  serve::ModelArtifact artifact = serve::MakeArtifact(*model, ds);
+  EXPECT_TRUE(serve::SaveModelArtifact(path, artifact).ok());
+  return artifact.model_id;
+}
+
+std::shared_ptr<MutableGraph> MakeDynamic(const data::Dataset& ds,
+                                          MutableGraphOptions options = {}) {
+  return std::make_shared<MutableGraph>(
+      std::make_shared<const Graph>(ds.graph), ds.features, options);
+}
+
+/// Ground truth for a snapshot: the model's eval forward over the
+/// materialized CSR and merged features, through the served backbone's
+/// exact adjacency operator.
+nn::PredictionResult SnapshotTruth(const std::string& artifact_path,
+                                   const data::Dataset& ds,
+                                   const GraphSnapshot& snap) {
+  auto artifact_or = serve::LoadModelArtifact(artifact_path);
+  EXPECT_TRUE(artifact_or.ok()) << artifact_or.status().ToString();
+  auto model_or = serve::RestoreFittedModel(artifact_or.value(), ds);
+  EXPECT_TRUE(model_or.ok()) << model_or.status().ToString();
+  const core::FittedGnnModel& model = *model_or.value();
+  tensor::NoGradGuard no_grad;
+  common::Rng rng(0);
+  return nn::PredictFromLogits(model.classifier().ForwardWith(
+      nn::AdjacencyForBackbone(model.classifier().encoder().config().backbone,
+                               *snap.Materialized()),
+      snap.Features(), /*training=*/false, &rng));
+}
+
+TEST(MutationServingTest, EpochInvalidationPurgesExactlyAffectedEntries) {
+  auto ds = ToyDataset();
+  const std::string path = TempPath("mutation_invalidate.fwmodel");
+  ExportArtifact(ds, /*seed=*/1, path);
+
+  auto dynamic = MakeDynamic(ds);
+  serve::EngineOptions options;
+  options.dynamic_graph = dynamic;
+  auto engine_or = serve::InferenceEngine::Load(path, ds, options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  serve::InferenceEngine& engine = *engine_or.value();
+
+  // Warm the cache with every node.
+  std::vector<int64_t> all_nodes(static_cast<size_t>(ds.num_nodes()));
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  ASSERT_TRUE(engine.PredictBatch(all_nodes).ok());
+  ASSERT_TRUE(engine.Predict(0).value().cache_hit);
+
+  // Mutate between two non-adjacent nodes and publish the epoch.
+  int64_t v = -1;
+  for (int64_t candidate = 1; candidate < ds.num_nodes(); ++candidate) {
+    if (!ds.graph.HasEdge(0, candidate)) {
+      v = candidate;
+      break;
+    }
+  }
+  ASSERT_GE(v, 1);
+  ASSERT_TRUE(dynamic->AddEdge(0, v).ok());
+  const auto snap = dynamic->Publish();
+  const std::vector<int64_t>& affected = snap->affected_nodes();
+  ASSERT_FALSE(affected.empty());
+  ASSERT_LT(static_cast<int64_t>(affected.size()), ds.num_nodes())
+      << "toy graph too dense for an exactness check";
+
+  // Every affected node had a cached entry, so the purge count must equal
+  // the affected count exactly — no over- and no under-invalidation.
+  EXPECT_EQ(engine.stats().epoch_invalidations,
+            static_cast<int64_t>(affected.size()));
+  EXPECT_EQ(engine.stats().graph_epoch, snap->epoch());
+
+  const std::unordered_set<int64_t> hit(affected.begin(), affected.end());
+  const nn::PredictionResult truth = SnapshotTruth(path, ds, *snap);
+  for (int64_t node = 0; node < ds.num_nodes(); ++node) {
+    auto prediction = engine.Predict(node);
+    ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+    EXPECT_EQ(prediction.value().cache_hit, hit.count(node) == 0)
+        << "node " << node;
+    // Unaffected nodes answer from cache (computed on the OLD snapshot)
+    // and must still be bit-correct for the new epoch — that is what the
+    // invalidation radius guarantees.
+    EXPECT_EQ(prediction.value().label,
+              truth.pred[static_cast<size_t>(node)]);
+    EXPECT_EQ(prediction.value().prob1,
+              truth.prob1[static_cast<size_t>(node)]);
+  }
+}
+
+TEST(MutationServingTest, AddedNodeBecomesServableAfterPublish) {
+  auto ds = ToyDataset();
+  const std::string path = TempPath("mutation_addnode.fwmodel");
+  ExportArtifact(ds, /*seed=*/1, path);
+
+  auto dynamic = MakeDynamic(ds);
+  serve::EngineOptions options;
+  options.dynamic_graph = dynamic;
+  auto engine_or = serve::InferenceEngine::Load(path, ds, options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  serve::InferenceEngine& engine = *engine_or.value();
+
+  const int64_t base_nodes = ds.num_nodes();
+  EXPECT_EQ(engine.num_nodes(), base_nodes);
+  EXPECT_EQ(engine.Predict(base_nodes).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<float> row(static_cast<size_t>(ds.num_attrs()));
+  for (int64_t c = 0; c < ds.num_attrs(); ++c) {
+    row[static_cast<size_t>(c)] = ds.features.at(0, c);
+  }
+  auto node_or = dynamic->AddNode(std::move(row));
+  ASSERT_TRUE(node_or.ok());
+  ASSERT_TRUE(dynamic->AddEdge(node_or.value(), 0).ok());
+
+  // Not yet published: the serving surface still ends at the old range.
+  EXPECT_EQ(engine.num_nodes(), base_nodes);
+  const auto snap = dynamic->Publish();
+  EXPECT_EQ(engine.num_nodes(), base_nodes + 1);
+
+  auto prediction = engine.Predict(node_or.value());
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  const nn::PredictionResult truth = SnapshotTruth(path, ds, *snap);
+  EXPECT_EQ(prediction.value().label,
+            truth.pred[static_cast<size_t>(node_or.value())]);
+  EXPECT_EQ(prediction.value().prob1,
+            truth.prob1[static_cast<size_t>(node_or.value())]);
+}
+
+TEST(MutationServingTest, ConcurrentMutatePredictIsSnapshotIsolated) {
+  auto ds = ToyDataset();
+  const std::string path = TempPath("mutation_concurrent.fwmodel");
+  ExportArtifact(ds, /*seed=*/1, path);
+
+  auto dynamic = MakeDynamic(ds);
+  serve::EngineOptions options;
+  options.dynamic_graph = dynamic;
+  options.flush_interval_ms = 0.2;
+  auto engine_or = serve::InferenceEngine::Load(path, ds, options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  serve::InferenceEngine& engine = *engine_or.value();
+
+  data::TemporalOptions temporal;
+  temporal.num_steps = 60;
+  auto script_or = data::GenerateTemporalScript(ds, temporal, /*seed=*/11);
+  ASSERT_TRUE(script_or.ok()) << script_or.status().ToString();
+
+  // Clients hammer the base node range while the mutator applies the
+  // drifting script, publishing and compacting as it goes. Every request
+  // must resolve OK — mutations must never tear or starve a forward.
+  constexpr int kClients = 3;
+  constexpr int kRounds = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int64_t node = (c + r * kClients) % ds.num_nodes();
+        if (!engine.Predict(node).ok()) ++failures;
+      }
+    });
+  }
+  int64_t step = 0;
+  for (const GraphMutation& m : script_or.value().events) {
+    ASSERT_TRUE(dynamic->Apply(m).ok());
+    if (++step % 8 == 0) dynamic->Publish();
+    if (step % 24 == 0) {
+      ASSERT_TRUE(dynamic->Compact().ok());
+    }
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Drained and compacted: the served answers must be bit-identical to a
+  // fresh forward over the final from-scratch CSR.
+  dynamic->Publish();
+  ASSERT_TRUE(dynamic->Compact().ok());
+  const auto snap = dynamic->Current();
+  const nn::PredictionResult truth = SnapshotTruth(path, ds, *snap);
+  std::vector<int64_t> all_nodes(static_cast<size_t>(snap->num_nodes()));
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  auto replay_or = engine.PredictBatch(all_nodes);
+  ASSERT_TRUE(replay_or.ok()) << replay_or.status().ToString();
+  for (const serve::NodePrediction& p : replay_or.value()) {
+    EXPECT_FALSE(p.degraded);
+    EXPECT_EQ(p.label, truth.pred[static_cast<size_t>(p.node)]);
+    EXPECT_EQ(p.prob1, truth.prob1[static_cast<size_t>(p.node)]);
+  }
+}
+
+TEST(MutationServingTest, AuditWindowsStayConsistentAcrossEpochBoundary) {
+  auto ds = ToyDataset();
+  const std::string path = TempPath("mutation_audit.fwmodel");
+  ExportArtifact(ds, /*seed=*/1, path);
+
+  auto dynamic = MakeDynamic(ds);
+  serve::EngineOptions options;
+  options.dynamic_graph = dynamic;
+  options.cache_capacity = 0;  // every request reaches the auditor
+  options.audit_table = std::make_shared<const serve::AuditTable>(
+      serve::AuditTable::FromDataset(ds));
+  options.audit.stride = 1;
+  options.audit.min_audited = 1;
+  options.audit.delta_sp_threshold_pct = 0.0;  // metrics only, no alerts
+  auto engine_or = serve::InferenceEngine::Load(path, ds, options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  serve::InferenceEngine& engine = *engine_or.value();
+
+  constexpr int64_t kPerPhase = 12;
+  for (int64_t node = 0; node < kPerPhase; ++node) {
+    ASSERT_TRUE(engine.Predict(node).ok());
+  }
+  const serve::AuditWindowMetrics before = engine.audit_metrics();
+  EXPECT_EQ(before.samples, kPerPhase);
+
+  // Publish an epoch mid-stream: the audit window must carry straight
+  // across the boundary — no reset, no double-count, full coverage.
+  ASSERT_TRUE(dynamic->AddEdge(0, ds.num_nodes() - 1).ok());
+  dynamic->Publish();
+
+  for (int64_t node = 0; node < kPerPhase; ++node) {
+    ASSERT_TRUE(engine.Predict(node).ok());
+  }
+  const serve::AuditWindowMetrics after = engine.audit_metrics();
+  EXPECT_EQ(after.samples, 2 * kPerPhase);
+  EXPECT_EQ(after.group_total[0] + after.group_total[1], 2 * kPerPhase);
+  EXPECT_EQ(engine.audit_coverage_pct(), 100.0);
+}
+
+// --- Temporal script generator --------------------------------------------
+
+TEST(TemporalScriptTest, DeterministicInTheSeed) {
+  auto ds = ToyDataset();
+  data::TemporalOptions options;
+  options.num_steps = 50;
+  auto a = data::GenerateTemporalScript(ds, options, 42);
+  auto b = data::GenerateTemporalScript(ds, options, 42);
+  auto c = data::GenerateTemporalScript(ds, options, 43);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_EQ(a.value().events.size(), 50u);
+  EXPECT_EQ(a.value().step_seeds, b.value().step_seeds);
+  EXPECT_EQ(a.value().added_node_groups, b.value().added_node_groups);
+  for (size_t i = 0; i < a.value().events.size(); ++i) {
+    const auto& x = a.value().events[i];
+    const auto& y = b.value().events[i];
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.u, y.u);
+    EXPECT_EQ(x.v, y.v);
+    EXPECT_EQ(x.features, y.features);
+  }
+  EXPECT_NE(a.value().step_seeds, c.value().step_seeds);
+}
+
+TEST(TemporalScriptTest, SeedStreamIsPrefixStableAcrossHorizons) {
+  auto ds = ToyDataset();
+  data::TemporalOptions short_run, long_run;
+  short_run.num_steps = 30;
+  long_run.num_steps = 90;
+  auto a = data::GenerateTemporalScript(ds, short_run, 7);
+  auto b = data::GenerateTemporalScript(ds, long_run, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(b.value().step_seeds.size(), 90u);
+  const std::vector<uint64_t> prefix(b.value().step_seeds.begin(),
+                                     b.value().step_seeds.begin() + 30);
+  EXPECT_EQ(a.value().step_seeds, prefix);
+}
+
+TEST(TemporalScriptTest, ReplaysThroughMutableGraphWithoutRejection) {
+  auto ds = ToyDataset();
+  data::TemporalOptions options;
+  options.num_steps = 120;
+  auto script_or = data::GenerateTemporalScript(ds, options, 3);
+  ASSERT_TRUE(script_or.ok()) << script_or.status().ToString();
+  const data::TemporalScript& script = script_or.value();
+
+  MutableGraphOptions graph_options;
+  graph_options.max_pending = options.num_steps + 1;
+  MutableGraph g(std::make_shared<const Graph>(ds.graph), ds.features,
+                 graph_options);
+  int64_t add_nodes = 0;
+  for (const GraphMutation& m : script.events) {
+    const common::Status status = g.Apply(m);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    if (m.kind == MutationKind::kAddNode) ++add_nodes;
+  }
+  EXPECT_EQ(static_cast<size_t>(add_nodes), script.added_node_groups.size());
+  EXPECT_EQ(g.Publish()->num_nodes(), ds.num_nodes() + add_nodes);
+  ASSERT_TRUE(g.Compact().ok());
+  EXPECT_EQ(g.stats().applied, options.num_steps);
+  EXPECT_EQ(g.stats().shed, 0);
+}
+
+TEST(TemporalScriptTest, HomophilyAndGroupMixDriftAcrossTheScript) {
+  auto ds = ToyDataset();
+  data::TemporalOptions options;
+  options.num_steps = 400;
+  options.add_node_fraction = 0.25;
+  options.remove_edge_fraction = 0.1;
+  options.homophily_start = 0.95;
+  options.homophily_end = 0.05;
+  options.group1_fraction_start = 0.1;
+  options.group1_fraction_end = 0.9;
+  auto script_or = data::GenerateTemporalScript(ds, options, 42);
+  ASSERT_TRUE(script_or.ok()) << script_or.status().ToString();
+  const data::TemporalScript& script = script_or.value();
+
+  // Walk the script tracking each node's group, splitting inserted edges
+  // and arrivals into the first and last thirds of the horizon.
+  std::vector<int> groups = ds.sens;
+  size_t arrival = 0;
+  const size_t third = script.events.size() / 3;
+  int64_t same_early = 0, edges_early = 0, same_late = 0, edges_late = 0;
+  int64_t group1_early = 0, adds_early = 0, group1_late = 0, adds_late = 0;
+  for (size_t i = 0; i < script.events.size(); ++i) {
+    const GraphMutation& m = script.events[i];
+    if (m.kind == MutationKind::kAddNode) {
+      const int group = script.added_node_groups[arrival++];
+      groups.push_back(group);
+      if (i < third) {
+        ++adds_early;
+        group1_early += group;
+      } else if (i >= 2 * third) {
+        ++adds_late;
+        group1_late += group;
+      }
+    } else if (m.kind == MutationKind::kAddEdge) {
+      const bool same = groups[static_cast<size_t>(m.u)] ==
+                        groups[static_cast<size_t>(m.v)];
+      if (i < third) {
+        ++edges_early;
+        same_early += same ? 1 : 0;
+      } else if (i >= 2 * third) {
+        ++edges_late;
+        same_late += same ? 1 : 0;
+      }
+    }
+  }
+  ASSERT_GT(edges_early, 20);
+  ASSERT_GT(edges_late, 20);
+  ASSERT_GT(adds_early, 5);
+  ASSERT_GT(adds_late, 5);
+  // Homophily decays: early same-group edge share must clearly exceed the
+  // late share (0.95 vs 0.05 targets leave a wide margin at these counts).
+  EXPECT_GT(static_cast<double>(same_early) / edges_early,
+            static_cast<double>(same_late) / edges_late + 0.3);
+  // Group mix shifts toward group 1.
+  EXPECT_LT(static_cast<double>(group1_early) / adds_early,
+            static_cast<double>(group1_late) / adds_late - 0.3);
+}
+
+TEST(TemporalScriptTest, RejectsMalformedOptions) {
+  auto ds = ToyDataset();
+  data::TemporalOptions options;
+  options.num_steps = 0;
+  EXPECT_EQ(data::GenerateTemporalScript(ds, options, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.add_node_fraction = 0.7;
+  options.remove_edge_fraction = 0.7;  // sums past 1
+  EXPECT_EQ(data::GenerateTemporalScript(ds, options, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.homophily_start = 1.5;
+  EXPECT_EQ(data::GenerateTemporalScript(ds, options, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.feature_noise = -0.1;
+  EXPECT_EQ(data::GenerateTemporalScript(ds, options, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace fairwos::graph

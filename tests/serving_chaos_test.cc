@@ -626,6 +626,76 @@ TEST(DriftMonitorTest, EngineRaisesAlertOnSkewedTraffic) {
   EXPECT_EQ(alerts, 1);  // latched: pinned traffic alerts exactly once
 }
 
+TEST(DriftMonitorTest, GenerationResetUnderHotSwapTraffic) {
+  auto ds = ToyDataset();
+  const std::string path_a = TempPath("drift_swap_a.fwmodel");
+  const std::string path_b = TempPath("drift_swap_b.fwmodel");
+  ExportArtifact(ds, /*seed=*/1, path_a, "m");
+  ExportArtifact(ds, /*seed=*/2, path_b, "m");
+
+  // Same worst-row hunt as EngineRaisesAlertOnSkewedTraffic: traffic
+  // pinned to this node reliably trips the monitor.
+  std::vector<float> mean, stddev;
+  ComputeColumnStats(ds.features, &mean, &stddev);
+  const int64_t cols = ds.num_attrs();
+  int64_t worst_node = 0;
+  double worst_z = 0.0;
+  for (int64_t n = 0; n < ds.num_nodes(); ++n) {
+    for (int64_t j = 0; j < cols; ++j) {
+      const double sd = std::max(1e-6, static_cast<double>(stddev[j]));
+      const double z =
+          std::fabs(ds.features.data()[n * cols + j] - mean[j]) / sd;
+      if (z > worst_z) {
+        worst_z = z;
+        worst_node = n;
+      }
+    }
+  }
+  ASSERT_GT(worst_z, 1.0);
+
+  EngineOptions options;
+  options.cache_capacity = 0;  // every request reaches the drift monitor
+  options.flush_interval_ms = 0.2;
+  options.drift.min_samples = 8;
+  options.drift.z_threshold = worst_z * 0.5;
+  auto registry = std::make_shared<ModelRegistry>(ds);
+  ASSERT_TRUE(registry->Load(path_a).ok());
+  InferenceEngine engine(registry, options);
+
+  // Pinned traffic races repeated hot-swaps. Each swap bumps the model
+  // generation, which must atomically retire the old DriftMonitor (its
+  // latched alert included) and start a fresh one — under traffic, with
+  // no torn monitor state (the TSan half of this test).
+  constexpr int kClients = 4;
+  constexpr int kRounds = 60;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (!engine.Predict("m", worst_node).ok()) ++failures;
+      }
+    });
+  }
+  for (int swap = 0; swap < 6; ++swap) {
+    auto gen = registry->Swap("m", swap % 2 == 0 ? path_b : path_a);
+    ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The latch must not leak across generations: after one more swap the
+  // fresh monitor re-observes the same skew from scratch and fires its own
+  // alert. A leaked latch would report the episode exactly once per
+  // process instead of once per generation.
+  const int64_t alerts_before = engine.stats().drift_alerts;
+  ASSERT_TRUE(registry->Swap("m", path_a).ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(engine.Predict("m", worst_node).ok());
+  }
+  EXPECT_GT(engine.stats().drift_alerts, alerts_before);
+}
+
 // --- Cache-insert faults --------------------------------------------------
 
 TEST(CacheFaultTest, DroppedInsertStillServesThePrediction) {

@@ -60,6 +60,24 @@
 //       --snapshot-out additionally appends periodic ops snapshots
 //       (serve/snapshot.h) every --snapshot-every requests.
 //
+//   fairwos_cli serve-bench --mutate true ... [--mutation-steps 300]
+//                           [--publish-every 8] [--compact-every 64]
+//                           [--max-pending 1024] [--invalidation-radius 2]
+//                           [--fault-compactions 3] [--fault-deltas 2]
+//                           [--snapshot-out ops.jsonl]
+//                           [--json-out BENCH_mutation.json]
+//       Dynamic-graph chaos profile (docs/serving.md "Dynamic graphs"):
+//       client threads serve a pre-drawn stream while a mutator replays a
+//       drifting temporal script through graph::MutableGraph, publishing
+//       epochs and compacting under injected kGraphCompaction /
+//       kGraphDeltaApply faults. Every request must resolve, and after a
+//       clean final compaction the served answers must be bit-identical to
+//       a fresh forward over the from-scratch CSR (the bench exits
+//       non-zero otherwise). Needs a dataset-feature model (e.g.
+//       --method vanilla): frozen-input models cannot serve added nodes.
+//       --snapshot-out appends one ops snapshot per published epoch, with
+//       the mutation.*/compaction.* fields ops-report cross-checks.
+//
 //   fairwos_cli ops-report --in ops.jsonl
 //       Validates and summarises an ops-snapshot JSONL stream written by
 //       serve-bench --snapshot-out (or serve::OpsSnapshotter): sequence
@@ -111,6 +129,7 @@
 #include "baselines/registry.h"
 #include "common/cli.h"
 #include "common/deadline.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -121,7 +140,9 @@
 #include "common/trace.h"
 #include "data/io.h"
 #include "data/synthetic.h"
+#include "data/temporal.h"
 #include "eval/harness.h"
+#include "graph/mutable_graph.h"
 #include "eval/table.h"
 #include "nn/checkpoint.h"
 #include "obs/prometheus.h"
@@ -711,6 +732,367 @@ int AuditBench(const common::CliFlags& flags, const data::Dataset& ds,
   return 0;
 }
 
+/// serve-bench --mutate: interleaved mutation + inference traffic over a
+/// dynamic graph, with compaction (and optionally delta-apply) faults
+/// injected mid-run. Client threads replay a pre-drawn node stream while a
+/// mutator thread replays a drifting temporal script (data/temporal.h),
+/// publishing epochs and compacting on a fixed cadence. Every inference
+/// request must resolve (served, shed, or deadline-expired — never hang or
+/// error); a failed compaction must leave the previous snapshot serving.
+/// After traffic drains, the faults are disarmed, a final compaction must
+/// succeed, and the bench replays every node through the engine and
+/// bit-compares against a forward over a freshly materialized CSR — the
+/// post-compaction bit-identity verdict written to --json-out.
+int MutateBench(const common::CliFlags& flags, const data::Dataset& ds,
+                const std::string& model_path,
+                serve::EngineOptions engine_options) {
+  const int64_t requests = flags.GetInt("requests", 2000);
+  const int64_t clients = flags.GetInt("clients", 4);
+  const int64_t steps = flags.GetInt("mutation-steps", 300);
+  const int64_t publish_every = flags.GetInt("publish-every", 8);
+  const int64_t compact_every = flags.GetInt("compact-every", 64);
+  const int64_t max_pending = flags.GetInt("max-pending", 1024);
+  const int64_t radius = flags.GetInt("invalidation-radius", 2);
+  // Fault budget: how many compaction / delta-apply probes fire (count-
+  // limited so the run recovers and the exhaustion telemetry of
+  // docs/robustness.md is exercised too). 0 disables that site.
+  const int64_t fault_compactions = flags.GetInt("fault-compactions", 3);
+  const int64_t fault_deltas = flags.GetInt("fault-deltas", 2);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("bench-seed", 1));
+  if (requests < 1 || clients < 1 || steps < 1 || publish_every < 1 ||
+      compact_every < 1 || max_pending < 1 || radius < 0 ||
+      fault_compactions < 0 || fault_deltas < 0) {
+    return Fail(common::Status::InvalidArgument(
+        "--mutate profile flags must be positive (faults and radius >= 0)"));
+  }
+
+  graph::MutableGraphOptions graph_options;
+  graph_options.max_pending = max_pending;
+  graph_options.invalidation_radius = radius;
+  auto base_graph = std::make_shared<const graph::Graph>(ds.graph);
+  auto mutable_graph = std::make_shared<graph::MutableGraph>(
+      base_graph, ds.features, graph_options);
+  engine_options.dynamic_graph = mutable_graph;
+
+  auto engine_or = serve::InferenceEngine::Load(model_path, ds, engine_options);
+  if (!engine_or.ok()) return Fail(engine_or.status());
+  serve::InferenceEngine& engine = *engine_or.value();
+
+  // --snapshot-out streams one ops snapshot per publish (plus one at each
+  // end of the run), so the mutation.*/compaction.* fields land in a
+  // sequence `fairwos_cli ops-report` can cross-check.
+  std::unique_ptr<serve::OpsSnapshotter> snapshotter;
+  const std::string snapshot_out = flags.GetString("snapshot-out", "");
+  if (!snapshot_out.empty()) {
+    auto snap_or = serve::OpsSnapshotter::Open(snapshot_out, &engine);
+    if (!snap_or.ok()) return Fail(snap_or.status());
+    snapshotter = std::move(snap_or.value());
+    (void)snapshotter->SnapshotNow();
+  }
+
+  // The verify pass needs the model restored against the ORIGINAL dataset
+  // (artifact stats describe the fit-time matrix); it must read the mutated
+  // features from the dataset, so frozen-input models cannot take AddNode.
+  auto artifact_or = serve::LoadModelArtifact(model_path);
+  if (!artifact_or.ok()) return Fail(artifact_or.status());
+  auto model_or = serve::RestoreFittedModel(artifact_or.value(), ds);
+  if (!model_or.ok()) return Fail(model_or.status());
+  const core::FittedGnnModel& model = *model_or.value();
+
+  data::TemporalOptions temporal;
+  temporal.num_steps = steps;
+  auto script_or = data::GenerateTemporalScript(ds, temporal, seed);
+  if (!script_or.ok()) return Fail(script_or.status());
+  const data::TemporalScript& script = script_or.value();
+  if (!script.added_node_groups.empty() &&
+      model.input_kind() == core::FittedGnnModel::InputKind::kFrozen) {
+    return Fail(common::Status::FailedPrecondition(
+        "the mutate profile adds nodes, which a frozen-input model cannot "
+        "serve; export a dataset-feature model (e.g. --method vanilla)"));
+  }
+
+  // Pre-drawn inference stream over the base node ids (always servable, no
+  // matter how far the mutator has advanced).
+  common::Rng rng(seed + 1);
+  std::vector<int64_t> stream(static_cast<size_t>(requests));
+  const int64_t hot_nodes = std::min<int64_t>(64, ds.num_nodes());
+  const double hot_fraction = flags.GetDouble("hot-fraction", 0.8);
+  for (auto& node : stream) {
+    node = rng.Bernoulli(hot_fraction) ? rng.UniformInt(hot_nodes)
+                                       : rng.UniformInt(ds.num_nodes());
+  }
+
+  testing::FaultInjector injector(seed);
+  if (fault_compactions > 0) {
+    injector.Arm(testing::FaultSite::kGraphCompaction, /*at_visit=*/0,
+                 /*count=*/fault_compactions, /*every=*/2);
+  }
+  if (fault_deltas > 0) {
+    injector.Arm(testing::FaultSite::kGraphDeltaApply, /*at_visit=*/5,
+                 /*count=*/fault_deltas, /*every=*/7);
+  }
+
+  enum class Outcome : uint8_t { kNone = 0, kOk, kShed, kDeadline };
+  std::vector<serve::NodePrediction> results(stream.size());
+  std::vector<Outcome> outcomes(stream.size(), Outcome::kNone);
+  std::vector<double> latencies(stream.size(), 0.0);
+  std::atomic<bool> failed{false};
+  std::atomic<bool> mutator_failed{false};
+  int64_t mutations_applied = 0, mutations_shed = 0, mutations_faulted = 0;
+  int64_t publishes = 0, compact_attempts = 0, compact_failures = 0;
+  std::vector<double> compact_pause_ms;  // successful compactions only
+  common::Stopwatch wall;
+  double mutator_seconds = 0.0;
+  {
+    testing::ScopedFaultInjector scoped(&injector);
+    std::thread mutator([&] {
+      common::Stopwatch mutator_watch;
+      for (size_t i = 0; i < script.events.size(); ++i) {
+        const common::Status status = mutable_graph->Apply(script.events[i]);
+        if (status.ok()) {
+          ++mutations_applied;
+        } else if (status.code() == common::StatusCode::kResourceExhausted) {
+          ++mutations_shed;  // overlay full: the latched backlog incident
+        } else if (status.code() == common::StatusCode::kInternal) {
+          ++mutations_faulted;  // injected delta-apply fault, overlay intact
+        } else {
+          std::fprintf(stderr, "mutation %zu rejected: %s\n", i,
+                       status.ToString().c_str());
+          mutator_failed.store(true);
+          return;
+        }
+        if ((i + 1) % static_cast<size_t>(publish_every) == 0) {
+          mutable_graph->Publish();
+          ++publishes;
+          if (snapshotter != nullptr) (void)snapshotter->SnapshotNow();
+        }
+        if ((i + 1) % static_cast<size_t>(compact_every) == 0) {
+          common::Stopwatch compact_watch;
+          ++compact_attempts;
+          const common::Status compacted = mutable_graph->Compact();
+          if (compacted.ok()) {
+            compact_pause_ms.push_back(compact_watch.Millis());
+          } else {
+            ++compact_failures;  // injected: previous snapshot keeps serving
+          }
+        }
+      }
+      mutable_graph->Publish();
+      ++publishes;
+      mutator_seconds = mutator_watch.Seconds();
+    });
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(clients));
+    for (int64_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        const int64_t begin = c * requests / clients;
+        const int64_t end = (c + 1) * requests / clients;
+        for (int64_t i = begin; i < end; ++i) {
+          common::Stopwatch request_watch;
+          auto prediction = engine.Predict(stream[static_cast<size_t>(i)]);
+          if (prediction.ok()) {
+            latencies[static_cast<size_t>(i)] = request_watch.Millis();
+            results[static_cast<size_t>(i)] = prediction.value();
+            outcomes[static_cast<size_t>(i)] = Outcome::kOk;
+          } else if (prediction.status().code() ==
+                     common::StatusCode::kResourceExhausted) {
+            outcomes[static_cast<size_t>(i)] = Outcome::kShed;
+          } else if (prediction.status().code() ==
+                     common::StatusCode::kDeadlineExceeded) {
+            outcomes[static_cast<size_t>(i)] = Outcome::kDeadline;
+          } else {
+            std::fprintf(stderr, "request %lld failed: %s\n",
+                         static_cast<long long>(i),
+                         prediction.status().ToString().c_str());
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    mutator.join();
+  }
+  const double wall_seconds = wall.Seconds();
+  if (failed.load()) {
+    return Fail(common::Status::Internal(
+        "a mutate-bench inference request failed (did not resolve)"));
+  }
+  if (mutator_failed.load()) {
+    return Fail(common::Status::Internal(
+        "the mutator rejected a scripted mutation that must be valid"));
+  }
+  int64_t served = 0, shed = 0, deadline_exceeded = 0, degraded = 0;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    switch (outcomes[i]) {
+      case Outcome::kOk:
+        ++served;
+        if (results[i].degraded) ++degraded;
+        break;
+      case Outcome::kShed:
+        ++shed;
+        break;
+      case Outcome::kDeadline:
+        ++deadline_exceeded;
+        break;
+      case Outcome::kNone:
+        return Fail(common::Status::Internal(
+            "request " + std::to_string(i) + " never resolved"));
+    }
+  }
+  if (fault_compactions > 0 &&
+      injector.fires(testing::FaultSite::kGraphCompaction) == 0) {
+    return Fail(common::Status::Internal(
+        "the armed compaction faults never fired: the chaos profile did "
+        "not exercise compaction (raise --mutation-steps or lower "
+        "--compact-every)"));
+  }
+
+  // Faults are now disarmed: the final compaction must succeed, and the
+  // compacted graph must serve bit-identically to a fresh-built CSR.
+  mutable_graph->Publish();
+  const common::Status final_compact = mutable_graph->Compact();
+  if (!final_compact.ok()) {
+    return Fail(common::Status::Internal(
+        "the clean final compaction failed: " + final_compact.ToString()));
+  }
+  const std::shared_ptr<const graph::GraphSnapshot> snapshot =
+      mutable_graph->Current();
+  const graph::MutableGraph::Stats graph_stats = mutable_graph->stats();
+  if (snapshotter != nullptr) {
+    const common::Status last = snapshotter->SnapshotNow();
+    if (!last.ok()) return Fail(last);
+  }
+
+  // Ground truth: one forward over the from-scratch CSR + merged features,
+  // through the exact operators the backbone serves with.
+  bool bit_identical = true;
+  int64_t verified_nodes = 0;
+  {
+    const std::shared_ptr<const graph::Graph> fresh = snapshot->Materialized();
+    const tensor::Tensor fresh_features = snapshot->Features();
+    tensor::NoGradGuard no_grad;
+    common::Rng forward_rng(0);
+    const nn::PredictionResult truth = nn::PredictFromLogits(
+        model.classifier().ForwardWith(
+            nn::AdjacencyForBackbone(
+                model.classifier().encoder().config().backbone, *fresh),
+            fresh_features, /*training=*/false, &forward_rng));
+    std::vector<int64_t> all_nodes(
+        static_cast<size_t>(snapshot->num_nodes()));
+    std::iota(all_nodes.begin(), all_nodes.end(), 0);
+    auto replay_or = engine.PredictBatch(all_nodes);
+    if (!replay_or.ok()) return Fail(replay_or.status());
+    for (const serve::NodePrediction& p : replay_or.value()) {
+      ++verified_nodes;
+      if (p.degraded ||
+          p.label != truth.pred[static_cast<size_t>(p.node)] ||
+          p.prob1 != truth.prob1[static_cast<size_t>(p.node)]) {
+        bit_identical = false;
+        std::fprintf(stderr,
+                     "bit-identity violation at node %lld (degraded=%d)\n",
+                     static_cast<long long>(p.node), p.degraded ? 1 : 0);
+      }
+    }
+  }
+
+  std::vector<double> served_latencies;
+  served_latencies.reserve(static_cast<size_t>(served));
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i] == Outcome::kOk) served_latencies.push_back(latencies[i]);
+  }
+  const obs::ExactQuantiles latency_q(std::move(served_latencies));
+  const obs::ExactQuantiles pause_q{std::vector<double>(compact_pause_ms)};
+  const double mutation_throughput =
+      static_cast<double>(mutations_applied) /
+      std::max(mutator_seconds, 1e-9);
+  const serve::InferenceEngine::Stats stats = engine.stats();
+
+  std::printf(
+      "mutate bench: %lld/%lld requests served (%lld clients) against %s "
+      "in %.3fs\n"
+      "  shed %lld  deadline-exceeded %lld  degraded %lld\n"
+      "  mutations %lld applied, %lld shed, %lld faulted  "
+      "(%.1f mutations/s)\n"
+      "  epochs %lld  publishes %lld  compactions %lld ok / %lld failed "
+      "(+1 final)\n"
+      "  compaction pause ms p50 %.4f  p99 %.4f\n"
+      "  cache invalidations: %lld epoch-driven of %lld total\n"
+      "  latency ms p50 %.4f  p99 %.4f\n"
+      "  post-compaction bit-identity: %s (%lld nodes)\n",
+      static_cast<long long>(served), static_cast<long long>(requests),
+      static_cast<long long>(clients), engine.model_id().c_str(),
+      wall_seconds, static_cast<long long>(shed),
+      static_cast<long long>(deadline_exceeded),
+      static_cast<long long>(degraded),
+      static_cast<long long>(mutations_applied),
+      static_cast<long long>(mutations_shed),
+      static_cast<long long>(mutations_faulted), mutation_throughput,
+      static_cast<long long>(graph_stats.epoch),
+      static_cast<long long>(publishes),
+      static_cast<long long>(compact_attempts - compact_failures),
+      static_cast<long long>(compact_failures), pause_q.Quantile(50),
+      pause_q.Quantile(99), static_cast<long long>(stats.epoch_invalidations),
+      static_cast<long long>(stats.cache_invalidations), latency_q.Quantile(50),
+      latency_q.Quantile(99), bit_identical ? "PASS" : "FAIL",
+      static_cast<long long>(verified_nodes));
+
+  const std::string json_out =
+      flags.GetString("json-out", "BENCH_mutation.json");
+  if (!json_out.empty()) {
+    std::ofstream json_file(json_out);
+    if (!json_file) {
+      return Fail(common::Status::IoError("cannot open " + json_out));
+    }
+    json_file << common::StrFormat(
+        "{\"model\":\"%s\",\"dataset\":\"%s\",\"mode\":\"mutate\","
+        "\"requests\":%lld,\"served\":%lld,\"shed\":%lld,"
+        "\"deadline_exceeded\":%lld,\"degraded\":%lld,\"clients\":%lld,"
+        "\"wall_seconds\":%.6f,"
+        "\"latency_ms\":{\"p50\":%.6f,\"p99\":%.6f},"
+        "\"mutation\":{\"steps\":%lld,\"applied\":%lld,\"shed\":%lld,"
+        "\"faulted\":%lld,\"throughput_mps\":%.3f,\"epochs\":%lld,"
+        "\"publishes\":%lld,\"backlogged\":%s},"
+        "\"compaction\":{\"attempts\":%lld,\"failures\":%lld,"
+        "\"injected_faults\":%lld,\"pause_ms\":{\"p50\":%.6f,\"p99\":%.6f}},"
+        "\"cache_invalidations\":{\"epoch\":%lld,\"total\":%lld},"
+        "\"fault_exhausted_reports\":%lld,"
+        "\"verified_nodes\":%lld,\"bit_identical\":%s}\n",
+        engine.model_id().c_str(), ds.name.c_str(),
+        static_cast<long long>(requests), static_cast<long long>(served),
+        static_cast<long long>(shed),
+        static_cast<long long>(deadline_exceeded),
+        static_cast<long long>(degraded), static_cast<long long>(clients),
+        wall_seconds, latency_q.Quantile(50), latency_q.Quantile(99),
+        static_cast<long long>(steps),
+        static_cast<long long>(mutations_applied),
+        static_cast<long long>(mutations_shed),
+        static_cast<long long>(mutations_faulted), mutation_throughput,
+        static_cast<long long>(graph_stats.epoch),
+        static_cast<long long>(publishes),
+        graph_stats.backlogged ? "true" : "false",
+        static_cast<long long>(compact_attempts),
+        static_cast<long long>(compact_failures),
+        static_cast<long long>(
+            injector.fires(testing::FaultSite::kGraphCompaction)),
+        pause_q.Quantile(50), pause_q.Quantile(99),
+        static_cast<long long>(stats.epoch_invalidations),
+        static_cast<long long>(stats.cache_invalidations),
+        static_cast<long long>(obs::MetricsRegistry::Global()
+                                   .GetCounter("fault.exhausted")
+                                   ->value()),
+        static_cast<long long>(verified_nodes),
+        bit_identical ? "true" : "false");
+    std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+  }
+
+  if (!bit_identical) {
+    return Fail(common::Status::Internal(
+        "post-compaction serving diverges from the fresh-built CSR"));
+  }
+  return 0;
+}
+
 int ServeBench(const common::CliFlags& flags) {
   auto run_or = RunOptions::FromFlags(flags);
   if (!run_or.ok()) return Fail(run_or.status());
@@ -740,6 +1122,12 @@ int ServeBench(const common::CliFlags& flags) {
       flags.GetDouble("deadline-ms", overload ? 50.0 : 0.0);
   engine_options.leader_timeout_ms =
       flags.GetDouble("leader-timeout-ms", 200.0);
+
+  // --mutate: dynamic-graph chaos profile (MutateBench above) — the engine
+  // is rebuilt there with a MutableGraph attached.
+  if (flags.GetBool("mutate", false)) {
+    return MutateBench(flags, ds, model_path, engine_options);
+  }
 
   // --audit: attach a fairness auditor and switch to the planted-shift
   // drill (AuditBench above) instead of the load/latency profiles.
@@ -1091,6 +1479,10 @@ int OpsReport(const common::CliFlags& flags) {
   bool saw_audit = false;
   double last_p50 = 0.0, last_p99 = 0.0;
   bool saw_latency_window = false;
+  bool saw_mutation = false;
+  double last_epoch = 0.0, last_pending = 0.0, last_applied = 0.0;
+  double last_shed = 0.0, last_backlog = 0.0;
+  double last_compactions = 0.0, last_compaction_failed = 0.0;
   std::string line;
   while (std::getline(file, line)) {
     ++line_no;
@@ -1142,6 +1534,70 @@ int OpsReport(const common::CliFlags& flags) {
       saw_latency_window = true;
       ExtractJsonNumber(line, "serve.window.latency_ms.p99", &last_p99);
     }
+    // Dynamic-graph fields travel as one group: once a stream carries
+    // mutation.epoch, every snapshot from then on must carry the whole set
+    // (the sampler writes them together; a gap means a torn or doctored
+    // stream), and the monotone counters must never run backwards.
+    double epoch = 0.0;
+    const bool has_mutation = ExtractJsonNumber(line, "mutation.epoch", &epoch);
+    if (saw_mutation && !has_mutation) {
+      return Fail(common::Status::InvalidArgument(common::StrFormat(
+          "%s: snapshot seq %.0f dropped \"mutation.epoch\" present earlier "
+          "in the stream",
+          where.c_str(), seq)));
+    }
+    if (has_mutation) {
+      double pending = 0.0, applied = 0.0, shed = 0.0, backlog = 0.0;
+      double compactions = 0.0, compaction_failed = 0.0;
+      const struct {
+        const char* key;
+        double* out;
+      } required[] = {
+          {"mutation.pending", &pending},
+          {"mutation.applied", &applied},
+          {"mutation.shed", &shed},
+          {"mutation.backlog", &backlog},
+          {"compaction.count", &compactions},
+          {"compaction.failed", &compaction_failed},
+      };
+      for (const auto& field : required) {
+        if (!ExtractJsonNumber(line, field.key, field.out)) {
+          return Fail(common::Status::InvalidArgument(common::StrFormat(
+              "%s: snapshot seq %.0f has \"mutation.epoch\" but is missing "
+              "\"%s\"",
+              where.c_str(), seq, field.key)));
+        }
+      }
+      if (saw_mutation) {
+        const struct {
+          const char* key;
+          double prev;
+          double now;
+        } monotone[] = {
+            {"mutation.epoch", last_epoch, epoch},
+            {"mutation.applied", last_applied, applied},
+            {"mutation.shed", last_shed, shed},
+            {"compaction.count", last_compactions, compactions},
+            {"compaction.failed", last_compaction_failed, compaction_failed},
+        };
+        for (const auto& field : monotone) {
+          if (field.now < field.prev) {
+            return Fail(common::Status::InvalidArgument(common::StrFormat(
+                "%s: snapshot seq %.0f: \"%s\" went backwards (%.0f after "
+                "%.0f)",
+                where.c_str(), seq, field.key, field.now, field.prev)));
+          }
+        }
+      }
+      saw_mutation = true;
+      last_epoch = epoch;
+      last_pending = pending;
+      last_applied = applied;
+      last_shed = shed;
+      last_backlog = backlog;
+      last_compactions = compactions;
+      last_compaction_failed = compaction_failed;
+    }
   }
   if (snapshots == 0) {
     return Fail(
@@ -1166,6 +1622,15 @@ int OpsReport(const common::CliFlags& flags) {
         static_cast<long long>(snapshots));
   } else {
     std::printf("  (no fairness audit in this stream)\n");
+  }
+  if (saw_mutation) {
+    std::printf(
+        "  graph epoch %.0f  pending %.0f  applied %.0f  shed %.0f  "
+        "backlog %s\n"
+        "  compactions %.0f (failed %.0f)\n",
+        last_epoch, last_pending, last_applied, last_shed,
+        last_backlog > 0.0 ? "LATCHED" : "clear", last_compactions,
+        last_compaction_failed);
   }
   return 0;
 }
