@@ -40,6 +40,8 @@ const char* FaultSiteName(FaultSite site) {
       return "graph-delta-apply";
     case FaultSite::kGraphCompaction:
       return "graph-compaction";
+    case FaultSite::kMutationLogAppend:
+      return "mutation-log-append";
   }
   return "unknown";
 }

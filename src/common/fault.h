@@ -41,8 +41,11 @@ enum class FaultSite : int {
                         // overlay (the overlay must stay untouched)
   kGraphCompaction,     // merging the delta overlay into a fresh base CSR
                         // (the previous snapshot must keep serving)
+  kMutationLogAppend,   // appending a validated mutation to the durable
+                        // mutation log (the mutation is rejected; the
+                        // overlay and the log file must stay untouched)
 };
-inline constexpr int kNumFaultSites = 11;
+inline constexpr int kNumFaultSites = 12;
 
 const char* FaultSiteName(FaultSite site);
 

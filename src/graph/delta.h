@@ -64,6 +64,12 @@ class DeltaOverlay {
   /// it so an armed fault plan cannot break the atomic swap.
   common::Status Apply(const GraphMutation& m, bool probe_faults = true);
 
+  /// Validates `m` against the merged view without applying it (and without
+  /// probing any fault site). Apply() revalidates — this exists so callers
+  /// with a write-ahead log can check a mutation *before* durably logging
+  /// it.
+  common::Status Validate(const GraphMutation& m) const;
+
   // --- Merged (base ⊕ overlay) view --------------------------------------
   int64_t num_nodes() const {
     return base_->num_nodes() + static_cast<int64_t>(added_features_.size());
@@ -96,8 +102,6 @@ class DeltaOverlay {
 
  private:
   static uint64_t EdgeKey(int64_t u, int64_t v);
-
-  common::Status Validate(const GraphMutation& m) const;
 
   std::shared_ptr<const Graph> base_;
   int64_t feature_dim_;

@@ -1,22 +1,33 @@
 #include "graph/mutable_graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/fault.h"
 #include "common/stopwatch.h"
 #include "common/telemetry.h"
+#include "tensor/sparse.h"
 
 namespace fairwos::graph {
 
 GraphSnapshot::GraphSnapshot(int64_t epoch, DeltaOverlay overlay,
                              tensor::Tensor base_features,
                              std::vector<int64_t> affected)
+    : GraphSnapshot(epoch, std::move(overlay), std::move(base_features),
+                    std::move(affected), Refresh()) {}
+
+GraphSnapshot::GraphSnapshot(int64_t epoch, DeltaOverlay overlay,
+                             tensor::Tensor base_features,
+                             std::vector<int64_t> affected, Refresh refresh)
     : epoch_(epoch),
       overlay_(std::move(overlay)),
       base_features_(std::move(base_features)),
-      affected_(std::move(affected)) {}
+      affected_(std::move(affected)),
+      refresh_(std::move(refresh)) {}
 
 std::vector<int64_t> GraphSnapshot::Neighbors(int64_t v) const {
   std::vector<int64_t> out;
@@ -53,32 +64,184 @@ tensor::Tensor GraphSnapshot::Features() const {
   return features_;
 }
 
+std::shared_ptr<const tensor::SparseMatrix> GraphSnapshot::FullOperatorLocked(
+    OpKind kind) const {
+  if (materialized_ == nullptr) {
+    materialized_ = std::make_shared<const Graph>(overlay_.Materialize());
+  }
+  switch (kind) {
+    case kGcn:
+      return materialized_->GcnNormalizedAdjacency();
+    case kPlain:
+      return materialized_->PlainAdjacency();
+    case kRowNorm:
+      return materialized_->RowNormalizedAdjacency();
+    case kSelfLoops:
+      return materialized_->AdjacencyWithSelfLoops();
+    case kNeighborMean:
+      return materialized_->NeighborMeanAdjacency();
+  }
+  FW_CHECK(false) << "unreachable operator kind";
+  return nullptr;
+}
+
+std::shared_ptr<const tensor::SparseMatrix>
+GraphSnapshot::IncrementalOperatorLocked(OpKind kind) const {
+  const tensor::SparseMatrix& prev = *refresh_.prev_ops[kind];
+  const int64_t n = overlay_.num_nodes();
+  const std::vector<int64_t>& patch = refresh_.patch_rows;
+
+  std::vector<int64_t> row_ptr(static_cast<size_t>(n) + 1, 0);
+  std::vector<int64_t> cols;
+  std::vector<float> vals;
+  // Most epochs touch a handful of rows; prev's nnz is a tight lower bound.
+  cols.reserve(static_cast<size_t>(prev.nnz()) + 64);
+  vals.reserve(static_cast<size_t>(prev.nnz()) + 64);
+
+  std::vector<int64_t> neighbors;
+  size_t pi = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    while (pi < patch.size() && patch[pi] < r) ++pi;
+    const bool patched = (pi < patch.size() && patch[pi] == r) ||
+                         r >= refresh_.prev_num_nodes;
+    if (!patched) {
+      // Copy the previous epoch's row verbatim — bit-identical by
+      // construction (the patch set covers every row whose entries could
+      // have changed; see the file comment in mutable_graph.h).
+      const auto& pp = prev.row_ptr();
+      const size_t lo = static_cast<size_t>(pp[static_cast<size_t>(r)]);
+      const size_t hi = static_cast<size_t>(pp[static_cast<size_t>(r) + 1]);
+      cols.insert(cols.end(), prev.col_idx().begin() + lo,
+                  prev.col_idx().begin() + hi);
+      vals.insert(vals.end(), prev.values().begin() + lo,
+                  prev.values().begin() + hi);
+      row_ptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(cols.size());
+      continue;
+    }
+    // Rebuild the row from the merged view with exactly the arithmetic
+    // graph::Graph uses, in sorted-column order (what FromCoo would have
+    // produced).
+    neighbors.clear();
+    overlay_.AppendNeighbors(r, &neighbors);
+    std::sort(neighbors.begin(), neighbors.end());
+    const int64_t deg = static_cast<int64_t>(neighbors.size());
+    auto push_with_diag = [&](auto value_of, float diag) {
+      bool placed = false;
+      for (int64_t v : neighbors) {
+        if (!placed && r < v) {
+          cols.push_back(r);
+          vals.push_back(diag);
+          placed = true;
+        }
+        cols.push_back(v);
+        vals.push_back(value_of(v));
+      }
+      if (!placed) {
+        cols.push_back(r);
+        vals.push_back(diag);
+      }
+    };
+    switch (kind) {
+      case kGcn: {
+        // Mirrors Graph::GcnNormalizedAdjacency: inverse-sqrt degrees in
+        // double, products narrowed to float per entry.
+        const double dr =
+            1.0 / std::sqrt(static_cast<double>(deg) + 1.0);
+        push_with_diag(
+            [&](int64_t v) {
+              const double dv = 1.0 / std::sqrt(
+                  static_cast<double>(overlay_.Degree(v)) + 1.0);
+              return static_cast<float>(dr * dv);
+            },
+            static_cast<float>(dr * dr));
+        break;
+      }
+      case kPlain:
+        for (int64_t v : neighbors) {
+          cols.push_back(v);
+          vals.push_back(1.0f);
+        }
+        break;
+      case kRowNorm: {
+        const float inv = 1.0f / static_cast<float>(deg + 1);
+        push_with_diag([&](int64_t) { return inv; }, inv);
+        break;
+      }
+      case kSelfLoops:
+        push_with_diag([&](int64_t) { return 1.0f; }, 1.0f);
+        break;
+      case kNeighborMean: {
+        if (deg > 0) {
+          const float inv = 1.0f / static_cast<float>(deg);
+          for (int64_t v : neighbors) {
+            cols.push_back(v);
+            vals.push_back(inv);
+          }
+        }
+        break;
+      }
+    }
+    row_ptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(cols.size());
+  }
+  return tensor::SparseMatrix::FromCsr(n, n, std::move(row_ptr),
+                                       std::move(cols), std::move(vals));
+}
+
 std::shared_ptr<const tensor::SparseMatrix> GraphSnapshot::Operator(
     OpKind kind) const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   if (ops_[kind] == nullptr) {
-    if (materialized_ == nullptr) {
-      materialized_ = std::make_shared<const Graph>(overlay_.Materialize());
-    }
-    switch (kind) {
-      case kGcn:
-        ops_[kind] = materialized_->GcnNormalizedAdjacency();
-        break;
-      case kPlain:
-        ops_[kind] = materialized_->PlainAdjacency();
-        break;
-      case kRowNorm:
-        ops_[kind] = materialized_->RowNormalizedAdjacency();
-        break;
-      case kSelfLoops:
-        ops_[kind] = materialized_->AdjacencyWithSelfLoops();
-        break;
-      case kNeighborMean:
-        ops_[kind] = materialized_->NeighborMeanAdjacency();
-        break;
+    if (refresh_.prev_ops[kind] != nullptr) {
+      auto patched = IncrementalOperatorLocked(kind);
+      if (refresh_.cross_check) {
+        const auto full = FullOperatorLocked(kind);
+        FW_CHECK_EQ(patched->rows(), full->rows());
+        FW_CHECK(patched->row_ptr() == full->row_ptr())
+            << "incremental refresh diverged from rebuild (row_ptr), kind="
+            << static_cast<int>(kind);
+        FW_CHECK(patched->col_idx() == full->col_idx())
+            << "incremental refresh diverged from rebuild (col_idx), kind="
+            << static_cast<int>(kind);
+        FW_CHECK(patched->values().size() == full->values().size() &&
+                 (patched->values().empty() ||
+                  std::memcmp(patched->values().data(),
+                              full->values().data(),
+                              patched->values().size() * sizeof(float)) == 0))
+            << "incremental refresh diverged from rebuild (values), kind="
+            << static_cast<int>(kind);
+      }
+      ops_[kind] = std::move(patched);
+      ++ops_incremental_;
+      obs::MetricsRegistry::Global()
+          .GetCounter("graph.ops.incremental")
+          ->Increment();
+    } else {
+      ops_[kind] = FullOperatorLocked(kind);
+      ++ops_rebuilt_;
+      obs::MetricsRegistry::Global()
+          .GetCounter("graph.ops.rebuilt")
+          ->Increment();
     }
   }
   return ops_[kind];
+}
+
+std::array<std::shared_ptr<const tensor::SparseMatrix>, 5>
+GraphSnapshot::BuiltOps() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  std::array<std::shared_ptr<const tensor::SparseMatrix>, 5> out;
+  for (int k = 0; k < 5; ++k) out[static_cast<size_t>(k)] = ops_[k];
+  return out;
+}
+
+int64_t GraphSnapshot::ops_incremental() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return ops_incremental_;
+}
+
+int64_t GraphSnapshot::ops_rebuilt() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return ops_rebuilt_;
 }
 
 std::shared_ptr<const tensor::SparseMatrix>
@@ -121,6 +284,8 @@ MutableGraph::MutableGraph(std::shared_ptr<const Graph> base,
   compactions_counter_ = registry.GetCounter("graph.compactions");
   compaction_failures_counter_ =
       registry.GetCounter("graph.compactions.failed");
+  log_appends_counter_ = registry.GetCounter("graph.mutation_log.appends");
+  log_resets_counter_ = registry.GetCounter("graph.mutation_log.resets");
   epoch_gauge_ = registry.GetGauge("graph.epoch");
   pending_gauge_ = registry.GetGauge("graph.pending_mutations");
   backlog_gauge_ = registry.GetGauge("graph.backlog");
@@ -134,14 +299,170 @@ MutableGraph::MutableGraph(std::shared_ptr<const Graph> base,
   epoch_gauge_->Set(0.0);
 }
 
-common::Status MutableGraph::Apply(const GraphMutation& m) {
+common::Result<std::unique_ptr<MutableGraph>> MutableGraph::Recover(
+    std::shared_ptr<const Graph> base, tensor::Tensor base_features,
+    const std::string& log_path, MutableGraphOptions options) {
+  namespace fs = std::filesystem;
+  const std::string base_path = log_path + ".base";
+
+  std::shared_ptr<const Graph> start_base = std::move(base);
+  tensor::Tensor start_features = std::move(base_features);
+  const int64_t feature_dim =
+      start_features.rank() == 2 ? start_features.dim(1) : 0;
+
+  bool have_ckpt = false;
+  uint64_t ckpt_seq = 0;
+  int64_t ckpt_folded = 0;
+  std::error_code ec;
+  if (fs::exists(base_path, ec)) {
+    FW_ASSIGN_OR_RETURN(GraphBaseCheckpoint ckpt, ReadGraphBase(base_path));
+    if (ckpt.features.rank() != 2 || ckpt.features.dim(1) != feature_dim) {
+      return common::Status::InvalidArgument(
+          "graph-base checkpoint feature width does not match the caller's "
+          "feature matrix: " + base_path);
+    }
+    start_base = ckpt.graph;
+    start_features = ckpt.features;
+    have_ckpt = true;
+    ckpt_seq = ckpt.seq;
+    ckpt_folded = ckpt.folded;
+  }
+
+  std::unique_ptr<MutationLog> log;
+  std::vector<GraphMutation> replay;
+  int64_t replay_from = 0;
+  int64_t folded = 0;
+  bool torn_tail = false;
+  if (fs::exists(log_path, ec)) {
+    FW_ASSIGN_OR_RETURN(MutationLog::ReplayResult rep,
+                        MutationLog::Replay(log_path));
+    torn_tail = rep.torn_tail;
+    const uint64_t gen = rep.header.base_seq;
+    if (!have_ckpt) {
+      if (gen != 0) {
+        return common::Status::FailedPrecondition(
+            "mutation log is generation " + std::to_string(gen) +
+            " but no graph-base checkpoint exists at " + base_path);
+      }
+      replay_from = 0;
+    } else if (ckpt_seq == gen) {
+      // The checkpoint IS this generation's base: replay everything.
+      replay_from = 0;
+    } else if (ckpt_seq == gen + 1) {
+      // Compaction wrote the new base but crashed before truncating the
+      // log: the first `folded` records are already inside the base.
+      if (ckpt_folded < 0 ||
+          ckpt_folded > static_cast<int64_t>(rep.records.size())) {
+        return common::Status::FailedPrecondition(
+            "graph-base checkpoint claims to fold " +
+            std::to_string(ckpt_folded) + " records but the log holds " +
+            std::to_string(rep.records.size()));
+      }
+      replay_from = ckpt_folded;
+      folded = ckpt_folded;
+    } else {
+      return common::Status::FailedPrecondition(
+          "graph-base checkpoint seq " + std::to_string(ckpt_seq) +
+          " does not match mutation log generation " + std::to_string(gen));
+    }
+    if (!have_ckpt || ckpt_seq == gen) {
+      // In these cases the log header describes exactly start_base. (When
+      // ckpt_seq == gen + 1 the header describes the superseded base the
+      // checkpoint replaced, so there is nothing left to compare against.)
+      if (rep.header.base_nodes != start_base->num_nodes() ||
+          rep.header.base_edges != start_base->num_edges() ||
+          rep.header.feature_dim != feature_dim) {
+        return common::Status::FailedPrecondition(
+            "mutation log header does not match the recovery base: " +
+            log_path);
+      }
+    }
+    const int64_t to_replay =
+        static_cast<int64_t>(rep.records.size()) - replay_from;
+    if (to_replay > options.max_pending) {
+      return common::Status::FailedPrecondition(
+          "mutation log holds " + std::to_string(to_replay) +
+          " uncompacted mutations but max_pending is " +
+          std::to_string(options.max_pending) +
+          "; raise max_pending to recover");
+    }
+    replay.assign(rep.records.begin() + replay_from, rep.records.end());
+    FW_ASSIGN_OR_RETURN(log, MutationLog::Open(log_path, rep));
+  } else {
+    MutationLog::Header h;
+    h.base_seq = have_ckpt ? ckpt_seq : 0;
+    h.base_nodes = start_base->num_nodes();
+    h.base_edges = start_base->num_edges();
+    h.feature_dim = feature_dim;
+    FW_ASSIGN_OR_RETURN(log, MutationLog::Create(log_path, h));
+    folded = 0;
+  }
+
+  auto g = std::make_unique<MutableGraph>(start_base, start_features, options);
+  for (size_t i = 0; i < replay.size(); ++i) {
+    std::lock_guard<std::mutex> lock(g->mu_);
+    const common::Status st =
+        g->overlay_->Apply(replay[i], /*probe_faults=*/false);
+    if (!st.ok()) {
+      return common::Status::IoError(
+          "mutation log replay failed at record " +
+          std::to_string(replay_from + static_cast<int64_t>(i)) + ": " +
+          st.ToString());
+    }
+    ++g->applied_;
+    ++g->replayed_;
+  }
+  if (!replay.empty()) g->Publish();
+  g->log_ = std::move(log);
+  g->log_folded_ = folded;
+  if (obs::TelemetryEnabled()) {
+    obs::EmitEvent(
+        obs::Event("mutation_log_recovered")
+            .Set("generation",
+                 static_cast<int64_t>(g->log_->header().base_seq))
+            .Set("replayed", static_cast<int64_t>(replay.size()))
+            .Set("folded", folded)
+            .Set("torn_tail", torn_tail ? 1 : 0)
+            .Set("from_checkpoint", have_ckpt ? 1 : 0));
+  }
+  return g;
+}
+
+common::Status MutableGraph::ApplyInternal(const GraphMutation& m,
+                                           int64_t* node_out) {
   bool latch_backlog = false;
   int64_t pending_now = 0;
   int64_t shed_now = 0;
   common::Status status;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    status = overlay_->Apply(m);
+    if (node_out != nullptr) *node_out = overlay_->num_nodes();
+    if (log_ != nullptr && !log_detached_) {
+      // Write-ahead discipline: validate (no fault probe), durably log,
+      // then apply. A failed log append rejects the mutation with the
+      // overlay and the file both untouched. Apply() after a successful
+      // append can only fail via an injected kGraphDeltaApply fault
+      // (real applies are pre-validated) — the log is rolled back so it
+      // never carries a mutation the overlay refused.
+      status = overlay_->Validate(m);
+      if (status.ok()) {
+        status = log_->Append(m);
+        if (status.ok()) {
+          ++log_appends_;
+          log_appends_counter_->Increment();
+          status = overlay_->Apply(m);
+          if (!status.ok()) {
+            const common::Status rb = log_->RollbackLastAppend();
+            if (!rb.ok() && obs::TelemetryEnabled()) {
+              obs::EmitEvent(obs::Event("mutation_log_rollback_failed")
+                                 .Set("error", rb.ToString()));
+            }
+          }
+        }
+      }
+    } else {
+      status = overlay_->Apply(m);
+    }
     if (status.ok()) {
       ++applied_;
       applied_counter_->Increment();
@@ -167,39 +488,14 @@ common::Status MutableGraph::Apply(const GraphMutation& m) {
   return status;
 }
 
+common::Status MutableGraph::Apply(const GraphMutation& m) {
+  return ApplyInternal(m, nullptr);
+}
+
 common::Result<int64_t> MutableGraph::AddNode(std::vector<float> features) {
-  GraphMutation m = GraphMutation::AddNode(std::move(features));
-  bool latch_backlog = false;
-  int64_t pending_now = 0;
-  int64_t shed_now = 0;
-  common::Status status;
   int64_t node = -1;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    node = overlay_->num_nodes();
-    status = overlay_->Apply(m);
-    if (status.ok()) {
-      ++applied_;
-      applied_counter_->Increment();
-      pending_gauge_->Set(static_cast<double>(overlay_->size()));
-    } else if (status.code() == common::StatusCode::kResourceExhausted) {
-      ++shed_;
-      shed_counter_->Increment();
-      if (!backlogged_) {
-        backlogged_ = true;
-        latch_backlog = true;
-        backlog_gauge_->Set(1.0);
-      }
-      pending_now = overlay_->size();
-      shed_now = shed_;
-    }
-  }
-  if (latch_backlog && obs::TelemetryEnabled()) {
-    obs::EmitEvent(obs::Event("mutation_backlog")
-                       .Set("pending", pending_now)
-                       .Set("shed", shed_now)
-                       .Set("max_pending", options_.max_pending));
-  }
+  const common::Status status =
+      ApplyInternal(GraphMutation::AddNode(std::move(features)), &node);
   if (!status.ok()) return status;
   return node;
 }
@@ -210,6 +506,97 @@ common::Status MutableGraph::AddEdge(int64_t u, int64_t v) {
 
 common::Status MutableGraph::RemoveEdge(int64_t u, int64_t v) {
   return Apply(GraphMutation::RemoveEdge(u, v));
+}
+
+common::Status MutableGraph::ApplyBatch(
+    const std::vector<GraphMutation>& batch,
+    std::vector<common::Status>* statuses) {
+  if (statuses != nullptr) {
+    statuses->assign(batch.size(), common::Status::OK());
+  }
+  if (batch.empty()) return common::Status::OK();
+
+  bool latch_backlog = false;
+  int64_t pending_now = 0;
+  int64_t shed_now = 0;
+  common::Status first_error;
+  size_t failed_at = batch.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Dry-run the whole batch on a scratch copy of the overlay: later
+    // mutations validate against the state earlier ones produce (a batch
+    // may add a node and then wire edges to it), and any failure aborts
+    // with the live overlay untouched.
+    auto scratch = std::make_unique<DeltaOverlay>(*overlay_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const common::Status st = scratch->Apply(batch[i]);
+      if (!st.ok()) {
+        first_error = st;
+        failed_at = i;
+        break;
+      }
+    }
+    if (failed_at < batch.size()) {
+      if (statuses != nullptr) {
+        const std::string aborted =
+            "batch aborted by mutation #" + std::to_string(failed_at);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (i == failed_at) {
+            (*statuses)[i] = first_error;
+          } else {
+            (*statuses)[i] = common::Status::FailedPrecondition(
+                (i < failed_at ? "validated, rolled back: " : "not attempted: ") +
+                aborted);
+          }
+        }
+      }
+      if (first_error.code() == common::StatusCode::kResourceExhausted) {
+        ++shed_;
+        shed_counter_->Increment();
+        if (!backlogged_) {
+          backlogged_ = true;
+          latch_backlog = true;
+          backlog_gauge_->Set(1.0);
+        }
+        pending_now = overlay_->size();
+        shed_now = shed_;
+      }
+    } else {
+      if (log_ != nullptr && !log_detached_) {
+        first_error = log_->AppendBatch(batch);
+      }
+      if (first_error.ok()) {
+        overlay_ = std::move(scratch);
+        applied_ += static_cast<int64_t>(batch.size());
+        applied_counter_->Increment(static_cast<int64_t>(batch.size()));
+        if (log_ != nullptr && !log_detached_) {
+          log_appends_ += static_cast<int64_t>(batch.size());
+          log_appends_counter_->Increment(static_cast<int64_t>(batch.size()));
+        }
+        pending_gauge_->Set(static_cast<double>(overlay_->size()));
+      } else {
+        // Durable append refused (kMutationLogAppend): the whole batch is
+        // rejected; log and overlay are both untouched.
+        failed_at = 0;
+        if (statuses != nullptr) {
+          for (auto& s : *statuses) s = first_error;
+        }
+      }
+    }
+  }
+  if (latch_backlog && obs::TelemetryEnabled()) {
+    obs::EmitEvent(obs::Event("mutation_backlog")
+                       .Set("pending", pending_now)
+                       .Set("shed", shed_now)
+                       .Set("max_pending", options_.max_pending));
+  }
+  if (obs::TelemetryEnabled()) {
+    obs::EmitEvent(obs::Event("mutation_batch")
+                       .Set("size", static_cast<int64_t>(batch.size()))
+                       .Set("applied", failed_at == batch.size() ? 1 : 0));
+  }
+  if (failed_at == batch.size()) return common::Status::OK();
+  return first_error;
 }
 
 std::shared_ptr<const GraphSnapshot> MutableGraph::Current() const {
@@ -238,10 +625,10 @@ std::vector<int64_t> MutableGraph::SeedsLocked(int64_t from,
 }
 
 std::vector<int64_t> MutableGraph::AffectedLocked(
-    std::vector<int64_t> seeds) const {
+    const std::vector<int64_t>& seeds, int64_t radius) const {
   std::unordered_set<int64_t> seen(seeds.begin(), seeds.end());
   std::vector<int64_t> frontier(seen.begin(), seen.end());
-  for (int64_t hop = 0; hop < options_.invalidation_radius; ++hop) {
+  for (int64_t hop = 0; hop < radius; ++hop) {
     std::vector<int64_t> next;
     for (int64_t v : frontier) {
       std::vector<int64_t> neighbors;
@@ -265,13 +652,31 @@ std::vector<int64_t> MutableGraph::AffectedLocked(
   return affected;
 }
 
+GraphSnapshot::Refresh MutableGraph::RefreshLocked(
+    const std::vector<int64_t>& seeds) const {
+  GraphSnapshot::Refresh refresh;
+  if (!options_.incremental_refresh || published_ == nullptr) return refresh;
+  refresh.prev_ops = published_->BuiltOps();
+  refresh.prev_num_nodes = published_->num_nodes();
+  // 1 hop suffices for bit-identity of every backbone operator: an entry
+  // (u, v) changes only if u's adjacency changed (u is a seed) or a degree
+  // feeding it changed — and degrees change only at seeds, whose operator
+  // entries all live in rows adjacent to them.
+  refresh.patch_rows = AffectedLocked(seeds, 1);
+  refresh.cross_check = options_.refresh_cross_check;
+  return refresh;
+}
+
 std::shared_ptr<const GraphSnapshot> MutableGraph::PublishLocked() {
-  std::vector<int64_t> seeds =
+  const std::vector<int64_t> seeds =
       SeedsLocked(published_log_size_, overlay_->size());
-  std::vector<int64_t> affected = AffectedLocked(std::move(seeds));
+  std::vector<int64_t> affected =
+      AffectedLocked(seeds, options_.invalidation_radius);
+  GraphSnapshot::Refresh refresh = RefreshLocked(seeds);
   ++epoch_;
   auto snapshot = std::make_shared<const GraphSnapshot>(
-      epoch_, *overlay_, base_features_, std::move(affected));
+      epoch_, *overlay_, base_features_, std::move(affected),
+      std::move(refresh));
   published_ = snapshot;
   published_log_size_ = overlay_->size();
   epoch_gauge_->Set(static_cast<double>(epoch_));
@@ -294,11 +699,19 @@ void MutableGraph::NotifyListeners(
 std::shared_ptr<const GraphSnapshot> MutableGraph::Publish() {
   std::shared_ptr<const GraphSnapshot> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (overlay_->size() == published_log_size_) return published_;
-    snapshot = PublishLocked();
+    // notify_mu_ is taken BEFORE mu_ and held across the listener calls:
+    // concurrent publishes deliver their epochs to listeners in strictly
+    // ascending order, so a later epoch can never overtake an earlier
+    // one's notification (which would let a cache skip the earlier
+    // epoch's invalidations).
+    std::lock_guard<std::mutex> notify_lock(notify_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (overlay_->size() == published_log_size_) return published_;
+      snapshot = PublishLocked();
+    }
+    NotifyListeners(snapshot);
   }
-  NotifyListeners(snapshot);
   if (obs::TelemetryEnabled()) {
     obs::EmitEvent(
         obs::Event("graph_epoch")
@@ -318,15 +731,17 @@ common::Status MutableGraph::Compact() {
   std::unique_ptr<DeltaOverlay> frozen;
   tensor::Tensor frozen_features;
   int64_t merged_count = 0;
+  bool log_attached = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (overlay_->size() == 0) return common::Status::OK();
     merged_count = overlay_->size();
     frozen = std::make_unique<DeltaOverlay>(*overlay_);
     frozen_features = base_features_;
+    log_attached = log_ != nullptr && !log_detached_;
   }
 
-  auto fail = [&](const char* stage) {
+  auto fail = [&](const char* stage, common::Status st) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++compaction_failures_;
@@ -335,8 +750,12 @@ common::Status MutableGraph::Compact() {
     if (obs::TelemetryEnabled()) {
       obs::EmitEvent(obs::Event("compaction_failed")
                          .Set("stage", stage)
-                         .Set("pending", merged_count));
+                         .Set("pending", merged_count)
+                         .Set("error", st.ToString()));
     }
+    return st;
+  };
+  auto injected = [](const char* stage) {
     return common::Status::Internal(
         std::string("injected compaction fault (") + stage +
         "); previous snapshot keeps serving");
@@ -347,7 +766,7 @@ common::Status MutableGraph::Compact() {
   // every published structure untouched.
   auto* fi = testing::ActiveFaultInjector();
   if (fi != nullptr && fi->ShouldFire(testing::FaultSite::kGraphCompaction)) {
-    return fail("pre-rebuild");
+    return fail("pre-rebuild", injected("pre-rebuild"));
   }
   auto new_base = std::make_shared<const Graph>(frozen->Materialize());
   tensor::Tensor new_features;
@@ -362,50 +781,102 @@ common::Status MutableGraph::Compact() {
         {new_base->num_nodes(), feature_dim_}, std::move(data));
   }
   if (fi != nullptr && fi->ShouldFire(testing::FaultSite::kGraphCompaction)) {
-    return fail("pre-publish");
+    return fail("pre-publish", injected("pre-publish"));
+  }
+
+  // Durable half of the compact lifecycle, still before anything is
+  // published: write the merged base as a graph-base checkpoint whose seq
+  // supersedes the current log generation. A crash after this write but
+  // before the log Reset below recovers via the checkpoint's `folded`
+  // offset (mutation_log.h documents the case analysis). On write failure
+  // nothing has been swapped — the previous base, overlay, and log keep
+  // serving and a later Compact() retries.
+  if (log_attached) {
+    GraphBaseCheckpoint ckpt;
+    ckpt.seq = log_->header().base_seq + 1;
+    ckpt.folded = log_folded_ + merged_count;
+    ckpt.graph = new_base;
+    ckpt.features = new_features;
+    const common::Status st = WriteGraphBase(log_->path() + ".base", ckpt);
+    if (!st.ok()) return fail("base-checkpoint", st);
   }
 
   std::shared_ptr<const GraphSnapshot> snapshot;
   bool clear_backlog = false;
   int64_t carried_over = 0;
+  bool detached_now = false;
+  common::Status reset_status;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    // Seeds of everything this publish makes visible, in pre-rebase
-    // coordinates (the folded log still exists here).
-    std::vector<int64_t> seeds =
-        SeedsLocked(published_log_size_, overlay_->size());
-    std::vector<int64_t> affected = AffectedLocked(std::move(seeds));
+    std::lock_guard<std::mutex> notify_lock(notify_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Seeds of everything this publish makes visible, in pre-rebase
+      // coordinates (the folded log still exists here).
+      const std::vector<int64_t> seeds =
+          SeedsLocked(published_log_size_, overlay_->size());
+      std::vector<int64_t> affected =
+          AffectedLocked(seeds, options_.invalidation_radius);
+      GraphSnapshot::Refresh refresh = RefreshLocked(seeds);
 
-    // Mutations that arrived while the merge was building are replayed onto
-    // the new base — the suffix revalidates against exactly the state it
-    // was originally accepted under, so every replay must succeed.
-    auto fresh = std::make_unique<DeltaOverlay>(new_base, feature_dim_,
-                                                options_.max_pending);
-    const auto& log = overlay_->log();
-    for (size_t i = static_cast<size_t>(merged_count); i < log.size(); ++i) {
-      const common::Status st = fresh->Apply(log[i], /*probe_faults=*/false);
-      FW_CHECK(st.ok()) << "compaction rebase replay failed: " << st.ToString();
+      // Mutations that arrived while the merge was building are replayed
+      // onto the new base — the suffix revalidates against exactly the
+      // state it was originally accepted under, so every replay must
+      // succeed.
+      auto fresh = std::make_unique<DeltaOverlay>(new_base, feature_dim_,
+                                                  options_.max_pending);
+      const auto& log = overlay_->log();
+      for (size_t i = static_cast<size_t>(merged_count); i < log.size();
+           ++i) {
+        const common::Status st =
+            fresh->Apply(log[i], /*probe_faults=*/false);
+        FW_CHECK(st.ok()) << "compaction rebase replay failed: "
+                          << st.ToString();
+      }
+      base_ = new_base;
+      base_features_ = new_features;
+      overlay_ = std::move(fresh);
+      published_log_size_ = 0;
+      ++compactions_;
+      ++epoch_;
+      snapshot = std::make_shared<const GraphSnapshot>(
+          epoch_, *overlay_, base_features_, std::move(affected),
+          std::move(refresh));
+      published_ = snapshot;
+      published_log_size_ = overlay_->size();
+      carried_over = overlay_->size();
+      epoch_gauge_->Set(static_cast<double>(epoch_));
+      pending_gauge_->Set(static_cast<double>(overlay_->size()));
+      if (backlogged_ && !overlay_->full()) {
+        backlogged_ = false;
+        clear_backlog = true;
+        backlog_gauge_->Set(0.0);
+      }
+      if (log_attached) {
+        // Truncate the log to the carried-over suffix: the new generation
+        // replays against the checkpoint written above.
+        MutationLog::Header h;
+        h.base_seq = log_->header().base_seq + 1;
+        h.base_nodes = new_base->num_nodes();
+        h.base_edges = new_base->num_edges();
+        h.feature_dim = feature_dim_;
+        reset_status = log_->Reset(h, overlay_->log());
+        if (reset_status.ok()) {
+          log_folded_ = 0;
+          ++log_resets_;
+          log_resets_counter_->Increment();
+        } else {
+          // The swap is already published and the checkpoint is durable,
+          // so in-memory serving is correct — but the log can no longer be
+          // trusted to extend it. Detach: later mutations are not logged
+          // (crash durability is degraded until restart) and the incident
+          // below says so.
+          log_detached_ = true;
+          detached_now = true;
+        }
+      }
     }
-    base_ = new_base;
-    base_features_ = new_features;
-    overlay_ = std::move(fresh);
-    published_log_size_ = 0;
-    ++compactions_;
-    ++epoch_;
-    snapshot = std::make_shared<const GraphSnapshot>(
-        epoch_, *overlay_, base_features_, std::move(affected));
-    published_ = snapshot;
-    published_log_size_ = overlay_->size();
-    carried_over = overlay_->size();
-    epoch_gauge_->Set(static_cast<double>(epoch_));
-    pending_gauge_->Set(static_cast<double>(overlay_->size()));
-    if (backlogged_ && !overlay_->full()) {
-      backlogged_ = false;
-      clear_backlog = true;
-      backlog_gauge_->Set(0.0);
-    }
+    NotifyListeners(snapshot);
   }
-  NotifyListeners(snapshot);
 
   const double duration_ms = watch.Millis();
   compactions_counter_->Increment();
@@ -420,6 +891,11 @@ common::Status MutableGraph::Compact() {
     if (clear_backlog) {
       obs::EmitEvent(obs::Event("mutation_backlog_cleared")
                          .Set("epoch", snapshot->epoch()));
+    }
+    if (detached_now) {
+      obs::EmitEvent(obs::Event("mutation_log_detached")
+                         .Set("epoch", snapshot->epoch())
+                         .Set("error", reset_status.ToString()));
     }
   }
   return common::Status::OK();
@@ -450,6 +926,10 @@ MutableGraph::Stats MutableGraph::stats() const {
   s.compactions = compactions_;
   s.compaction_failures = compaction_failures_;
   s.backlogged = backlogged_;
+  s.log_appends = log_appends_;
+  s.log_records = log_ != nullptr ? log_->records() : 0;
+  s.log_resets = log_resets_;
+  s.replayed = replayed_;
   return s;
 }
 
@@ -461,13 +941,21 @@ int64_t MutableGraph::AddEpochListener(EpochListener listener) {
 }
 
 void MutableGraph::RemoveEpochListener(int64_t token) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
-    if (it->first == token) {
-      listeners_.erase(it);
-      return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+      if (it->first == token) {
+        listeners_.erase(it);
+        break;
+      }
     }
   }
+  // A notification round that copied the listener list before the erase
+  // above may still be invoking the removed listener. Taking notify_mu_
+  // once (and releasing it immediately) waits that round out: after this
+  // returns, the listener is not running and will never run again, so the
+  // caller may destroy the state it captures.
+  std::lock_guard<std::mutex> barrier(notify_mu_);
 }
 
 }  // namespace fairwos::graph

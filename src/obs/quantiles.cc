@@ -1,6 +1,7 @@
 #include "obs/quantiles.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/metrics.h"
@@ -9,6 +10,14 @@ namespace fairwos::obs {
 
 ExactQuantiles::ExactQuantiles(std::vector<double> samples)
     : sorted_(std::move(samples)) {
+  // NaN samples are rejected before the sort: a NaN breaks the strict weak
+  // ordering (every comparison is false), which would leave the array
+  // unsorted and poison Mean()/sum. They are counted so callers can tell
+  // "clean" from "filtered" sample sets.
+  const auto nan_begin = std::remove_if(
+      sorted_.begin(), sorted_.end(), [](double v) { return std::isnan(v); });
+  rejected_ = static_cast<int64_t>(sorted_.end() - nan_begin);
+  sorted_.erase(nan_begin, sorted_.end());
   std::sort(sorted_.begin(), sorted_.end());
   for (double v : sorted_) sum_ += v;
 }

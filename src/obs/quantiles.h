@@ -17,7 +17,9 @@ namespace fairwos::obs {
 /// extracting it here changed no bench output.
 class ExactQuantiles {
  public:
-  /// Takes ownership of `samples` and sorts them ascending.
+  /// Takes ownership of `samples`, drops NaN entries (a NaN breaks the
+  /// sort's strict weak ordering and would poison every statistic), and
+  /// sorts the rest ascending.
   explicit ExactQuantiles(std::vector<double> samples);
 
   /// pct in [0, 100] (clamped); 0 for an empty sample set.
@@ -26,11 +28,14 @@ class ExactQuantiles {
   double Min() const;
   double Max() const;
   int64_t count() const { return static_cast<int64_t>(sorted_.size()); }
+  /// NaN samples rejected at construction.
+  int64_t rejected() const { return rejected_; }
   const std::vector<double>& sorted() const { return sorted_; }
 
  private:
   std::vector<double> sorted_;
   double sum_ = 0.0;
+  int64_t rejected_ = 0;
 };
 
 /// Interpolated quantile from exported fixed-bucket histogram counts —

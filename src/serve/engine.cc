@@ -223,8 +223,15 @@ void InferenceEngine::OnGraphEpoch(
   size_t erased = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (snap->epoch() <= graph_epoch_) return;  // stale/duplicate notify
-    graph_epoch_ = snap->epoch();
+    // Purge EVERY delivered snapshot's affected set, even when the epoch
+    // looks stale or duplicated. The old `epoch <= graph_epoch_` early-out
+    // had a staleness hole: if epoch N+1's notification overtook epoch N's,
+    // N's affected set was never purged and entries cached under N-1 kept
+    // serving stale predictions. Purging twice is merely redundant work,
+    // and cache inserts are epoch-gated (group->graph_epoch must match),
+    // so the union of all delivered affected sets closes the hole for any
+    // delivery order.
+    graph_epoch_ = std::max(graph_epoch_, snap->epoch());
     const std::vector<int64_t>& affected = snap->affected_nodes();
     if (!affected.empty()) {
       const std::unordered_set<int64_t> hit(affected.begin(), affected.end());

@@ -236,6 +236,15 @@ class InferenceEngine {
     crash_next_leader_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Test hook: feeds `snap` straight into the epoch-listener path, exactly
+  /// as a MutableGraph notification would. Lets regression tests force the
+  /// delivery orders (out-of-order, duplicate) the production notify path
+  /// is designed to prevent.
+  void DeliverGraphEpochForTesting(
+      const std::shared_ptr<const graph::GraphSnapshot>& snap) {
+    OnGraphEpoch(snap);
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 

@@ -52,6 +52,27 @@ std::shared_ptr<SparseMatrix> SparseMatrix::FromCoo(
   return m;
 }
 
+std::shared_ptr<SparseMatrix> SparseMatrix::FromCsr(
+    int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+    std::vector<int64_t> col_idx, std::vector<float> values) {
+  FW_CHECK_GE(rows, 0);
+  FW_CHECK_GE(cols, 0);
+  FW_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), rows + 1);
+  FW_CHECK_EQ(row_ptr.front(), 0);
+  FW_CHECK_EQ(row_ptr.back(), static_cast<int64_t>(col_idx.size()));
+  FW_CHECK_EQ(col_idx.size(), values.size());
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    FW_CHECK_LE(row_ptr[r], row_ptr[r + 1]);
+  }
+  auto m = std::shared_ptr<SparseMatrix>(new SparseMatrix());
+  m->rows_ = rows;
+  m->cols_ = cols;
+  m->row_ptr_ = std::move(row_ptr);
+  m->col_idx_ = std::move(col_idx);
+  m->values_ = std::move(values);
+  return m;
+}
+
 void SparseMatrix::Multiply(const float* x, int64_t x_cols, float* y) const {
   FW_CHECK(x != nullptr);
   FW_CHECK(y != nullptr);

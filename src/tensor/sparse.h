@@ -30,6 +30,18 @@ class SparseMatrix {
   static std::shared_ptr<SparseMatrix> FromCoo(int64_t rows, int64_t cols,
                                                std::vector<CooEntry> entries);
 
+  /// Adopts already-assembled CSR arrays without the COO sort — the fast
+  /// path for incremental operator refresh (graph/mutable_graph.h), where
+  /// most rows are copied verbatim from a previous epoch's matrix. The
+  /// caller must supply rows+1 monotone row offsets and, within each row,
+  /// column indices sorted ascending with no duplicates (the invariant
+  /// FromCoo establishes); shape checks are FW_CHECKed, the per-row order
+  /// is trusted.
+  static std::shared_ptr<SparseMatrix> FromCsr(int64_t rows, int64_t cols,
+                                               std::vector<int64_t> row_ptr,
+                                               std::vector<int64_t> col_idx,
+                                               std::vector<float> values);
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
   int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }

@@ -11,9 +11,12 @@
 // under TSan in CI (the serve-chaos job).
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -790,6 +793,749 @@ TEST(TemporalScriptTest, HomophilyAndGroupMixDriftAcrossTheScript) {
   // Group mix shifts toward group 1.
   EXPECT_LT(static_cast<double>(group1_early) / adds_early,
             static_cast<double>(group1_late) / adds_late - 0.3);
+}
+
+// --- Incremental operator refresh -----------------------------------------
+
+/// Builds all five adjacency operators of `snap`, which (a) materializes
+/// them into the snapshot's cache for the NEXT epoch's refresh to capture
+/// and (b) runs the cross-check when the graph was configured with it.
+void BuildAllOps(const GraphSnapshot& snap) {
+  snap.GcnNormalizedAdjacency();
+  snap.PlainAdjacency();
+  snap.RowNormalizedAdjacency();
+  snap.AdjacencyWithSelfLoops();
+  snap.NeighborMeanAdjacency();
+}
+
+MutableGraphOptions CrossCheckedRefresh() {
+  MutableGraphOptions options;
+  options.incremental_refresh = true;
+  options.refresh_cross_check = true;  // FW_CHECKs bit-identity internally
+  return options;
+}
+
+TEST(MutationRefreshTest, IncrementalRefreshBitIdenticalForAllOperators) {
+  MutableGraph g = MakePathMutable(32, CrossCheckedRefresh());
+  BuildAllOps(*g.Current());  // epoch 0: from scratch, captured for epoch 1
+
+  ASSERT_TRUE(g.AddEdge(0, 16).ok());
+  ASSERT_TRUE(g.RemoveEdge(8, 9).ok());
+  auto node = g.AddNode({77.0f});
+  ASSERT_TRUE(node.ok());
+  ASSERT_TRUE(g.AddEdge(node.value(), 4).ok());
+  const auto snap = g.Publish();
+  BuildAllOps(*snap);  // cross-check mode FW_CHECKs each against a rebuild
+  EXPECT_EQ(snap->ops_incremental(), 5);
+  EXPECT_EQ(snap->ops_rebuilt(), 0);
+
+  // Belt and braces on top of the internal cross-check: compare one
+  // degree-normalized operator against a from-scratch Graph, buffer for
+  // buffer.
+  Graph fresh(snap->num_nodes());
+  for (int64_t u = 0; u < snap->num_nodes(); ++u) {
+    for (int64_t v : snap->Neighbors(u)) {
+      if (v > u) FW_CHECK(fresh.AddEdge(u, v));
+    }
+  }
+  const auto lhs = snap->GcnNormalizedAdjacency();
+  const auto rhs = fresh.GcnNormalizedAdjacency();
+  EXPECT_EQ(lhs->row_ptr(), rhs->row_ptr());
+  EXPECT_EQ(lhs->col_idx(), rhs->col_idx());
+  EXPECT_EQ(lhs->values(), rhs->values());
+}
+
+TEST(MutationRefreshTest, RefreshChainsAcrossManyEpochs) {
+  // Each epoch patches the PREVIOUS epoch's patched matrices — errors
+  // would compound, so the cross-check runs every epoch of the chain.
+  MutableGraph g = MakePathMutable(24, CrossCheckedRefresh());
+  BuildAllOps(*g.Current());
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(g.AddEdge(i, i + 12).ok());
+    if (i % 2 == 0) {
+      ASSERT_TRUE(g.RemoveEdge(i, i + 1).ok());
+    }
+    const auto snap = g.Publish();
+    BuildAllOps(*snap);
+    EXPECT_EQ(snap->ops_incremental(), 5) << "epoch " << snap->epoch();
+  }
+}
+
+TEST(MutationRefreshTest, UnbuiltPreviousOperatorsFallBackToRebuild) {
+  MutableGraph g = MakePathMutable(16, CrossCheckedRefresh());
+  // Epoch 0's operators are never requested, so epoch 1 has nothing to
+  // patch and must rebuild from scratch — correct, just not incremental.
+  ASSERT_TRUE(g.AddEdge(0, 8).ok());
+  const auto snap = g.Publish();
+  BuildAllOps(*snap);
+  EXPECT_EQ(snap->ops_incremental(), 0);
+  EXPECT_EQ(snap->ops_rebuilt(), 5);
+}
+
+TEST(MutationRefreshTest, RefreshSurvivesCompaction) {
+  // Compaction rebases the overlay onto a fresh CSR; the published
+  // snapshot must still patch the pre-compaction operators bit-exactly.
+  MutableGraph g = MakePathMutable(20, CrossCheckedRefresh());
+  ASSERT_TRUE(g.AddEdge(0, 10).ok());
+  const auto before = g.Publish();
+  BuildAllOps(*before);
+  ASSERT_TRUE(g.AddEdge(5, 15).ok());
+  ASSERT_TRUE(g.Compact().ok());
+  const auto after = g.Current();
+  ASSERT_NE(after.get(), before.get());
+  BuildAllOps(*after);
+  EXPECT_EQ(after->ops_incremental(), 5);
+}
+
+TEST(MutationRefreshTest, DisabledRefreshAlwaysRebuilds) {
+  MutableGraphOptions options;
+  options.incremental_refresh = false;
+  MutableGraph g = MakePathMutable(16, options);
+  BuildAllOps(*g.Current());
+  ASSERT_TRUE(g.AddEdge(0, 8).ok());
+  const auto snap = g.Publish();
+  BuildAllOps(*snap);
+  EXPECT_EQ(snap->ops_incremental(), 0);
+  EXPECT_EQ(snap->ops_rebuilt(), 5);
+}
+
+// --- Transactional ApplyBatch ---------------------------------------------
+
+TEST(MutationBatchTest, BatchAppliesAtomicallyWithDependentMutations) {
+  MutableGraph g = MakePathMutable(4);
+  // The batch adds a node and wires edges to the id it will get — later
+  // mutations validate against the state earlier ones produce.
+  std::vector<GraphMutation> batch = {
+      GraphMutation::AddNode({7.0f}),
+      GraphMutation::AddEdge(4, 0),
+      GraphMutation::AddEdge(4, 2),
+  };
+  std::vector<common::Status> statuses;
+  ASSERT_TRUE(g.ApplyBatch(batch, &statuses).ok());
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const auto& s : statuses) EXPECT_TRUE(s.ok());
+  EXPECT_EQ(g.stats().applied, 3);
+  const auto snap = g.Publish();
+  EXPECT_EQ(snap->num_nodes(), 5);
+  EXPECT_TRUE(snap->HasEdge(4, 0));
+  EXPECT_TRUE(snap->HasEdge(4, 2));
+}
+
+TEST(MutationBatchTest, FailingMutationAbortsTheWholeBatch) {
+  MutableGraph g = MakePathMutable(6);
+  std::vector<GraphMutation> batch = {
+      GraphMutation::AddEdge(0, 2),  // valid on its own
+      GraphMutation::AddEdge(1, 2),  // duplicate of a base edge
+      GraphMutation::AddEdge(0, 3),  // never reached
+  };
+  std::vector<common::Status> statuses;
+  const common::Status status = g.ApplyBatch(batch, &statuses);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+
+  // Per-mutation statuses say exactly what happened to each entry.
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_NE(statuses[0].message().find("validated, rolled back"),
+            std::string::npos);
+  EXPECT_EQ(statuses[1].code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(statuses[2].message().find("not attempted"), std::string::npos);
+
+  // All-or-nothing: mutation #0 validated fine but must NOT have landed.
+  EXPECT_EQ(g.pending(), 0);
+  EXPECT_EQ(g.stats().applied, 0);
+  EXPECT_FALSE(g.Current()->HasEdge(0, 2));
+  const auto snap = g.Publish();
+  EXPECT_EQ(snap->epoch(), 0);  // no-op publish: nothing changed
+
+  // The batch minus the poison pill goes through afterwards.
+  ASSERT_TRUE(g.ApplyBatch({batch[0], batch[2]}).ok());
+  EXPECT_EQ(g.pending(), 2);
+}
+
+TEST(MutationBatchTest, OverflowInsideBatchShedsAndLatchesBacklog) {
+  MutableGraphOptions options;
+  options.max_pending = 2;
+  MutableGraph g = MakePathMutable(10, options);
+  std::vector<GraphMutation> batch = {
+      GraphMutation::AddEdge(0, 2),
+      GraphMutation::AddEdge(0, 3),
+      GraphMutation::AddEdge(0, 4),  // overlay full here
+  };
+  std::vector<common::Status> statuses;
+  EXPECT_EQ(g.ApplyBatch(batch, &statuses).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(statuses[2].code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(g.pending(), 0);  // nothing from the batch landed
+  EXPECT_TRUE(g.backlogged());
+  EXPECT_EQ(g.stats().shed, 1);
+}
+
+TEST(MutationBatchTest, InjectedApplyFaultRejectsTheWholeBatch) {
+  MutableGraph g = MakePathMutable(8);
+  FaultInjector injector(7);
+  // The dry-run applies probe kGraphDeltaApply per mutation; firing on the
+  // second mutation must abort the batch with the overlay untouched.
+  injector.Arm(FaultSite::kGraphDeltaApply, /*at_visit=*/1);
+  {
+    ScopedFaultInjector scoped(&injector);
+    std::vector<GraphMutation> batch = {GraphMutation::AddEdge(0, 2),
+                                        GraphMutation::AddEdge(0, 3)};
+    std::vector<common::Status> statuses;
+    EXPECT_EQ(g.ApplyBatch(batch, &statuses).code(), StatusCode::kInternal);
+    EXPECT_EQ(statuses[1].code(), StatusCode::kInternal);
+    EXPECT_EQ(g.pending(), 0);
+    // Budget spent: the same batch now lands atomically.
+    ASSERT_TRUE(g.ApplyBatch(batch).ok());
+  }
+  EXPECT_EQ(g.pending(), 2);
+  EXPECT_EQ(injector.fires(FaultSite::kGraphDeltaApply), 1);
+}
+
+TEST(MutationBatchTest, EmptyBatchIsANoOp) {
+  MutableGraph g = MakePathMutable(4);
+  std::vector<common::Status> statuses = {common::Status::Internal("stale")};
+  EXPECT_TRUE(g.ApplyBatch({}, &statuses).ok());
+  EXPECT_TRUE(statuses.empty());
+  EXPECT_EQ(g.pending(), 0);
+}
+
+// --- Durable mutation log (file level) ------------------------------------
+
+MutationLog::Header PathLogHeader(int64_t n) {
+  MutationLog::Header h;
+  h.base_seq = 0;
+  h.base_nodes = n;
+  h.base_edges = n - 1;
+  h.feature_dim = 1;
+  return h;
+}
+
+TEST(MutationLogTest, AppendedRecordsRoundTripThroughReplay) {
+  const std::string path = TempPath("mutation_log_roundtrip.fwlog");
+  std::filesystem::remove(path);
+  auto log_or = MutationLog::Create(path, PathLogHeader(8));
+  ASSERT_TRUE(log_or.ok()) << log_or.status().ToString();
+  MutationLog& log = *log_or.value();
+  ASSERT_TRUE(log.Append(GraphMutation::AddEdge(0, 4)).ok());
+  ASSERT_TRUE(log.Append(GraphMutation::RemoveEdge(2, 3)).ok());
+  ASSERT_TRUE(log.Append(GraphMutation::AddNode({1.5f})).ok());
+  EXPECT_EQ(log.records(), 3);
+
+  auto replay_or = MutationLog::Replay(path);
+  ASSERT_TRUE(replay_or.ok()) << replay_or.status().ToString();
+  const MutationLog::ReplayResult& replay = replay_or.value();
+  EXPECT_EQ(replay.header.base_seq, 0u);
+  EXPECT_EQ(replay.header.base_nodes, 8);
+  EXPECT_FALSE(replay.torn_tail);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.records[0].kind, MutationKind::kAddEdge);
+  EXPECT_EQ(replay.records[0].u, 0);
+  EXPECT_EQ(replay.records[0].v, 4);
+  EXPECT_EQ(replay.records[1].kind, MutationKind::kRemoveEdge);
+  EXPECT_EQ(replay.records[2].kind, MutationKind::kAddNode);
+  EXPECT_EQ(replay.records[2].features, std::vector<float>{1.5f});
+}
+
+TEST(MutationLogTest, TornTailIsToleratedAndTruncatedOnOpen) {
+  const std::string path = TempPath("mutation_log_torn.fwlog");
+  std::filesystem::remove(path);
+  {
+    auto log_or = MutationLog::Create(path, PathLogHeader(8));
+    ASSERT_TRUE(log_or.ok());
+    ASSERT_TRUE(log_or.value()->Append(GraphMutation::AddEdge(0, 4)).ok());
+  }
+  // A crash mid-append leaves a partial record at EOF: simulate with a few
+  // garbage bytes that parse as an incomplete length prefix + payload.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char garbage[] = {0x40, 0x00, 0x00, 0x00, 0x01, 0x02};
+    out.write(garbage, sizeof(garbage));
+  }
+  auto replay_or = MutationLog::Replay(path);
+  ASSERT_TRUE(replay_or.ok()) << replay_or.status().ToString();
+  EXPECT_TRUE(replay_or.value().torn_tail);
+  ASSERT_EQ(replay_or.value().records.size(), 1u);  // the complete record
+
+  // Open drops the tail; subsequent appends and replays are clean.
+  auto open_or = MutationLog::Open(path, replay_or.value());
+  ASSERT_TRUE(open_or.ok()) << open_or.status().ToString();
+  ASSERT_TRUE(open_or.value()->Append(GraphMutation::AddEdge(0, 5)).ok());
+  auto clean_or = MutationLog::Replay(path);
+  ASSERT_TRUE(clean_or.ok());
+  EXPECT_FALSE(clean_or.value().torn_tail);
+  EXPECT_EQ(clean_or.value().records.size(), 2u);
+}
+
+TEST(MutationLogTest, CorruptRecordIsRejectedWithPreciseError) {
+  const std::string path = TempPath("mutation_log_corrupt.fwlog");
+  std::filesystem::remove(path);
+  {
+    auto log_or = MutationLog::Create(path, PathLogHeader(8));
+    ASSERT_TRUE(log_or.ok());
+    ASSERT_TRUE(log_or.value()->Append(GraphMutation::AddEdge(0, 4)).ok());
+    ASSERT_TRUE(log_or.value()->Append(GraphMutation::AddEdge(0, 5)).ok());
+  }
+  // Flip one payload byte of the SECOND record (header is 44 bytes, each
+  // edge record is 4 + 28 + 4 = 36): a complete-but-corrupt record must
+  // fail CRC — never replay garbage, never masquerade as a torn tail.
+  ASSERT_TRUE(FaultInjector::FlipByte(path, /*offset=*/44 + 36 + 10).ok());
+  auto replay_or = MutationLog::Replay(path);
+  ASSERT_FALSE(replay_or.ok());
+  EXPECT_EQ(replay_or.status().code(), StatusCode::kIoError);
+  EXPECT_NE(replay_or.status().ToString().find("CRC"), std::string::npos);
+  EXPECT_NE(replay_or.status().ToString().find("record 1"),
+            std::string::npos);
+}
+
+TEST(MutationLogTest, CorruptHeaderIsRejected) {
+  const std::string path = TempPath("mutation_log_badheader.fwlog");
+  std::filesystem::remove(path);
+  {
+    auto log_or = MutationLog::Create(path, PathLogHeader(8));
+    ASSERT_TRUE(log_or.ok());
+  }
+  ASSERT_TRUE(FaultInjector::FlipByte(path, /*offset=*/12).ok());
+  EXPECT_EQ(MutationLog::Replay(path).status().code(), StatusCode::kIoError);
+}
+
+TEST(MutationLogTest, ResetStartsTheNextGenerationWithCarriedRecords) {
+  const std::string path = TempPath("mutation_log_reset.fwlog");
+  std::filesystem::remove(path);
+  auto log_or = MutationLog::Create(path, PathLogHeader(8));
+  ASSERT_TRUE(log_or.ok());
+  MutationLog& log = *log_or.value();
+  ASSERT_TRUE(log.Append(GraphMutation::AddEdge(0, 4)).ok());
+  ASSERT_TRUE(log.Append(GraphMutation::AddEdge(0, 5)).ok());
+
+  MutationLog::Header next = PathLogHeader(8);
+  next.base_seq = 1;
+  next.base_edges = 9;  // the compacted base absorbed both edges
+  ASSERT_TRUE(log.Reset(next, {GraphMutation::AddEdge(0, 6)}).ok());
+  EXPECT_EQ(log.records(), 1);
+
+  auto replay_or = MutationLog::Replay(path);
+  ASSERT_TRUE(replay_or.ok());
+  EXPECT_EQ(replay_or.value().header.base_seq, 1u);
+  ASSERT_EQ(replay_or.value().records.size(), 1u);
+  EXPECT_EQ(replay_or.value().records[0].v, 6);
+
+  // The new generation keeps appending in place.
+  ASSERT_TRUE(log.Append(GraphMutation::AddEdge(0, 7)).ok());
+  EXPECT_EQ(MutationLog::Replay(path).value().records.size(), 2u);
+}
+
+TEST(MutationLogTest, AppendFaultLeavesTheFileUntouched) {
+  const std::string path = TempPath("mutation_log_appendfault.fwlog");
+  std::filesystem::remove(path);
+  auto log_or = MutationLog::Create(path, PathLogHeader(8));
+  ASSERT_TRUE(log_or.ok());
+  MutationLog& log = *log_or.value();
+  ASSERT_TRUE(log.Append(GraphMutation::AddEdge(0, 4)).ok());
+  const int64_t bytes_before = log.bytes();
+
+  FaultInjector injector(7);
+  injector.Arm(FaultSite::kMutationLogAppend, /*at_visit=*/0);
+  {
+    ScopedFaultInjector scoped(&injector);
+    EXPECT_EQ(log.Append(GraphMutation::AddEdge(0, 5)).code(),
+              StatusCode::kInternal);
+    EXPECT_EQ(log.bytes(), bytes_before);
+    EXPECT_EQ(log.records(), 1);
+    EXPECT_TRUE(log.Append(GraphMutation::AddEdge(0, 5)).ok());  // retry
+  }
+  EXPECT_EQ(injector.fires(FaultSite::kMutationLogAppend), 1);
+  EXPECT_EQ(static_cast<int64_t>(std::filesystem::file_size(path)),
+            log.bytes());
+}
+
+// --- Write-ahead logging through MutableGraph -----------------------------
+
+/// One operator's raw CSR buffers plus the merged feature matrix — the
+/// bit-identity fingerprint recovery is checked against.
+struct GraphDigest {
+  std::vector<int64_t> row_ptr;
+  std::vector<int64_t> col_idx;
+  std::vector<float> values;
+  std::vector<float> features;
+  int64_t nodes = 0;
+  int64_t edges = 0;
+};
+
+GraphDigest DigestOf(const GraphSnapshot& snap) {
+  GraphDigest d;
+  const auto op = snap.GcnNormalizedAdjacency();
+  d.row_ptr = op->row_ptr();
+  d.col_idx = op->col_idx();
+  d.values = op->values();
+  d.features = snap.Features().data();
+  d.nodes = snap.num_nodes();
+  d.edges = snap.num_edges();
+  return d;
+}
+
+void ExpectDigestEq(const GraphDigest& a, const GraphDigest& b) {
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.row_ptr, b.row_ptr);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.values, b.values);   // bitwise: operator float products
+  EXPECT_EQ(a.features, b.features);
+}
+
+std::string FreshLogPath(const std::string& name) {
+  const std::string path = TempPath(name);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".base");
+  return path;
+}
+
+TEST(MutationDurabilityTest, CrashBeforeCompactionReplaysTheOverlay) {
+  const std::string path = FreshLogPath("mutation_wal_replay.fwlog");
+  GraphDigest before;
+  {
+    auto g_or = MutableGraph::Recover(PathGraph(16), PathFeatures(16), path);
+    ASSERT_TRUE(g_or.ok()) << g_or.status().ToString();
+    MutableGraph& g = *g_or.value();
+    ASSERT_TRUE(g.AddEdge(0, 8).ok());
+    ASSERT_TRUE(g.RemoveEdge(3, 4).ok());
+    ASSERT_TRUE(g.AddNode({77.0f}).ok());
+    ASSERT_TRUE(g.AddEdge(16, 2).ok());
+    before = DigestOf(*g.Publish());
+    EXPECT_EQ(g.stats().log_appends, 4);
+    // The graph object is dropped here WITHOUT compacting — the process
+    // "crashed" with four acknowledged mutations only the log remembers.
+  }
+  auto r_or = MutableGraph::Recover(PathGraph(16), PathFeatures(16), path);
+  ASSERT_TRUE(r_or.ok()) << r_or.status().ToString();
+  MutableGraph& r = *r_or.value();
+  EXPECT_EQ(r.stats().replayed, 4);
+  ExpectDigestEq(DigestOf(*r.Current()), before);
+}
+
+TEST(MutationDurabilityTest, CompactTruncatesTheLogAndWritesABase) {
+  const std::string path = FreshLogPath("mutation_wal_compact.fwlog");
+  GraphDigest final_state;
+  {
+    auto g_or = MutableGraph::Recover(PathGraph(12), PathFeatures(12), path);
+    ASSERT_TRUE(g_or.ok()) << g_or.status().ToString();
+    MutableGraph& g = *g_or.value();
+    ASSERT_TRUE(g.AddEdge(0, 6).ok());
+    ASSERT_TRUE(g.AddEdge(1, 7).ok());
+    ASSERT_TRUE(g.Compact().ok());
+    EXPECT_EQ(g.stats().log_resets, 1);
+    EXPECT_EQ(g.mutation_log()->records(), 0);  // truncated: all folded
+    EXPECT_EQ(g.mutation_log()->header().base_seq, 1u);
+    EXPECT_TRUE(std::filesystem::exists(path + ".base"));
+
+    // Post-compaction mutations land in the new generation.
+    ASSERT_TRUE(g.AddEdge(2, 8).ok());
+    final_state = DigestOf(*g.Publish());
+    EXPECT_EQ(g.mutation_log()->records(), 1);
+  }
+  // Recovery stitches checkpoint + suffix: the compacted edges come from
+  // the base file, the post-compaction edge from the generation-1 log.
+  auto r_or = MutableGraph::Recover(PathGraph(12), PathFeatures(12), path);
+  ASSERT_TRUE(r_or.ok()) << r_or.status().ToString();
+  MutableGraph& r = *r_or.value();
+  EXPECT_EQ(r.stats().replayed, 1);
+  EXPECT_TRUE(r.Current()->HasEdge(0, 6));
+  EXPECT_TRUE(r.Current()->HasEdge(1, 7));
+  EXPECT_TRUE(r.Current()->HasEdge(2, 8));
+  ExpectDigestEq(DigestOf(*r.Current()), final_state);
+}
+
+TEST(MutationDurabilityTest, LogAppendFaultRejectsWithNothingChanged) {
+  const std::string path = FreshLogPath("mutation_wal_appendfault.fwlog");
+  auto g_or = MutableGraph::Recover(PathGraph(8), PathFeatures(8), path);
+  ASSERT_TRUE(g_or.ok()) << g_or.status().ToString();
+  MutableGraph& g = *g_or.value();
+
+  FaultInjector injector(7);
+  injector.Arm(FaultSite::kMutationLogAppend, /*at_visit=*/0);
+  {
+    ScopedFaultInjector scoped(&injector);
+    const common::Status status = g.AddEdge(0, 4);
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_NE(status.message().find("mutation-log"), std::string::npos);
+    EXPECT_EQ(g.pending(), 0);
+    EXPECT_EQ(g.mutation_log()->records(), 0);
+    EXPECT_EQ(g.stats().log_appends, 0);
+    EXPECT_TRUE(g.AddEdge(0, 4).ok());  // budget spent: retry goes through
+  }
+  EXPECT_EQ(g.pending(), 1);
+  EXPECT_EQ(g.mutation_log()->records(), 1);
+}
+
+TEST(MutationDurabilityTest, ApplyFaultRollsTheLogBack) {
+  const std::string path = FreshLogPath("mutation_wal_rollback.fwlog");
+  {
+    auto g_or = MutableGraph::Recover(PathGraph(8), PathFeatures(8), path);
+    ASSERT_TRUE(g_or.ok()) << g_or.status().ToString();
+    MutableGraph& g = *g_or.value();
+    ASSERT_TRUE(g.AddEdge(0, 4).ok());
+
+    FaultInjector injector(7);
+    injector.Arm(FaultSite::kGraphDeltaApply, /*at_visit=*/0);
+    {
+      ScopedFaultInjector scoped(&injector);
+      // The mutation was durably appended, then the overlay apply faulted:
+      // the append must be rolled back or a crash would replay a mutation
+      // the caller was told failed.
+      EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kInternal);
+    }
+    EXPECT_EQ(g.mutation_log()->records(), 1);
+    EXPECT_EQ(g.pending(), 1);
+  }
+  auto r_or = MutableGraph::Recover(PathGraph(8), PathFeatures(8), path);
+  ASSERT_TRUE(r_or.ok()) << r_or.status().ToString();
+  EXPECT_TRUE(r_or.value()->Current()->HasEdge(0, 4));
+  EXPECT_FALSE(r_or.value()->Current()->HasEdge(0, 5));
+}
+
+TEST(MutationDurabilityTest, CorruptLogIsRejectedWhileOldStateKeepsServing) {
+  const std::string path = FreshLogPath("mutation_wal_corrupt.fwlog");
+  {
+    auto g_or = MutableGraph::Recover(PathGraph(8), PathFeatures(8), path);
+    ASSERT_TRUE(g_or.ok());
+    ASSERT_TRUE(g_or.value()->AddEdge(0, 4).ok());
+    ASSERT_TRUE(g_or.value()->AddEdge(0, 5).ok());
+  }
+  ASSERT_TRUE(FaultInjector::FlipByte(path, /*offset=*/44 + 36 + 10).ok());
+
+  // The server that is already up keeps its snapshot; the RECOVERY path is
+  // what must refuse precisely instead of replaying garbage.
+  auto serving_or = MutableGraph::Recover(PathGraph(8), PathFeatures(8),
+                                          TempPath("mutation_wal_other.fwlog"));
+  std::filesystem::remove(TempPath("mutation_wal_other.fwlog"));
+  ASSERT_TRUE(serving_or.ok());
+  const auto pre_failure = serving_or.value()->Current();
+
+  auto r_or = MutableGraph::Recover(PathGraph(8), PathFeatures(8), path);
+  ASSERT_FALSE(r_or.ok());
+  EXPECT_EQ(r_or.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r_or.status().ToString().find("CRC"), std::string::npos);
+
+  // The failed recovery touched nothing: the old snapshot still answers
+  // and a second replay attempt reports the same precise error.
+  EXPECT_EQ(serving_or.value()->Current().get(), pre_failure.get());
+  EXPECT_EQ(MutableGraph::Recover(PathGraph(8), PathFeatures(8), path)
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+TEST(MutationDurabilityTest, TornTailFromCrashMidAppendIsDropped) {
+  const std::string path = FreshLogPath("mutation_wal_torn.fwlog");
+  {
+    auto g_or = MutableGraph::Recover(PathGraph(8), PathFeatures(8), path);
+    ASSERT_TRUE(g_or.ok());
+    ASSERT_TRUE(g_or.value()->AddEdge(0, 4).ok());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char partial[] = {0x24, 0x00, 0x00, 0x00, 0x01};
+    out.write(partial, sizeof(partial));
+  }
+  // The torn record was never acknowledged; recovery keeps the acked edge,
+  // drops the tail, and the log is clean for new appends.
+  auto r_or = MutableGraph::Recover(PathGraph(8), PathFeatures(8), path);
+  ASSERT_TRUE(r_or.ok()) << r_or.status().ToString();
+  EXPECT_EQ(r_or.value()->stats().replayed, 1);
+  EXPECT_TRUE(r_or.value()->Current()->HasEdge(0, 4));
+  ASSERT_TRUE(r_or.value()->AddEdge(0, 5).ok());
+  auto replay_or = MutationLog::Replay(path);
+  ASSERT_TRUE(replay_or.ok());
+  EXPECT_FALSE(replay_or.value().torn_tail);
+  EXPECT_EQ(replay_or.value().records.size(), 2u);
+}
+
+TEST(MutationDurabilityTest, KillAndReplayUnderTemporalScriptIsBitIdentical) {
+  // The in-process kill-and-replay chaos drill: run a drifting temporal
+  // script with interleaved publishes and compactions, "kill" at an
+  // arbitrary point (drop the graph without shutdown), recover, and demand
+  // the served view — CSR operators, features, everything — byte for byte.
+  auto ds = ToyDataset();
+  const std::string path = FreshLogPath("mutation_wal_chaos.fwlog");
+  data::TemporalOptions temporal;
+  temporal.num_steps = 90;
+  auto script_or = data::GenerateTemporalScript(ds, temporal, /*seed=*/5);
+  ASSERT_TRUE(script_or.ok());
+
+  MutableGraphOptions options = CrossCheckedRefresh();
+  options.max_pending = 256;
+  GraphDigest at_kill;
+  {
+    auto g_or = MutableGraph::Recover(
+        std::make_shared<const Graph>(ds.graph), ds.features, path, options);
+    ASSERT_TRUE(g_or.ok()) << g_or.status().ToString();
+    MutableGraph& g = *g_or.value();
+    int64_t step = 0;
+    for (const GraphMutation& m : script_or.value().events) {
+      ASSERT_TRUE(g.Apply(m).ok());
+      if (++step % 7 == 0) BuildAllOps(*g.Publish());
+      if (step % 31 == 0) {
+        ASSERT_TRUE(g.Compact().ok());
+      }
+    }
+    at_kill = DigestOf(*g.Publish());
+    EXPECT_GT(g.stats().log_resets, 0);  // at least one compact-truncate ran
+  }
+  auto r_or = MutableGraph::Recover(std::make_shared<const Graph>(ds.graph),
+                                    ds.features, path, options);
+  ASSERT_TRUE(r_or.ok()) << r_or.status().ToString();
+  ExpectDigestEq(DigestOf(*r_or.value()->Current()), at_kill);
+}
+
+// --- Epoch-notification races ---------------------------------------------
+
+TEST(MutationRaceTest, OutOfOrderEpochDeliveryStillPurgesEveryAffectedSet) {
+  // Regression test for the purge-skip race: when epoch N+1's notification
+  // reached the engine before epoch N's, the old `epoch <= graph_epoch_`
+  // guard dropped N's affected set and its cache entries served stale
+  // predictions forever. The production notify path now serializes
+  // deliveries, so this test forces the reordering through the test hook.
+  auto ds = ToyDataset();
+  const std::string path = TempPath("mutation_race_ooo.fwmodel");
+  ExportArtifact(ds, /*seed=*/1, path);
+  auto dynamic = MakeDynamic(ds);
+  serve::EngineOptions options;
+  options.dynamic_graph = dynamic;
+  auto engine_or = serve::InferenceEngine::Load(path, ds, options);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  serve::InferenceEngine& engine = *engine_or.value();
+
+  std::vector<int64_t> all_nodes(static_cast<size_t>(ds.num_nodes()));
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  ASSERT_TRUE(engine.PredictBatch(all_nodes).ok());
+  ASSERT_TRUE(engine.Predict(0).value().cache_hit);
+  ASSERT_TRUE(engine.Predict(1).value().cache_hit);
+
+  // Hand-built snapshots with disjoint affected sets, delivered furthest
+  // epoch first — exactly the interleaving the race produced.
+  auto base = std::make_shared<const Graph>(ds.graph);
+  const int64_t fdim = ds.features.dim(1);
+  auto epoch2 = std::make_shared<const GraphSnapshot>(
+      /*epoch=*/2, DeltaOverlay(base, fdim, 8), ds.features,
+      std::vector<int64_t>{0});
+  auto epoch1 = std::make_shared<const GraphSnapshot>(
+      /*epoch=*/1, DeltaOverlay(base, fdim, 8), ds.features,
+      std::vector<int64_t>{1});
+  engine.DeliverGraphEpochForTesting(epoch2);
+  engine.DeliverGraphEpochForTesting(epoch1);  // pre-fix: silently dropped
+
+  // BOTH affected sets must have been purged, whatever the order.
+  EXPECT_FALSE(engine.Predict(0).value().cache_hit);
+  EXPECT_FALSE(engine.Predict(1).value().cache_hit);
+  EXPECT_EQ(engine.stats().graph_epoch, 2);
+  EXPECT_EQ(engine.stats().epoch_invalidations, 2);
+}
+
+TEST(MutationRaceTest, ConcurrentPublishersDeliverEpochsInStrictOrder) {
+  // Publish() and Compact() race from several threads; listeners must see
+  // epochs strictly ascending (the notify mutex orders delivery with the
+  // epoch assignment). Run under TSan in CI.
+  MutableGraph g = MakePathMutable(64);
+  std::mutex seen_mu;
+  std::vector<int64_t> seen;
+  const int64_t token = g.AddEpochListener(
+      [&](const std::shared_ptr<const GraphSnapshot>& snap) {
+        std::lock_guard<std::mutex> lock(seen_mu);
+        seen.push_back(snap->epoch());
+      });
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const int64_t u = t;          // disjoint endpoints per thread
+      const int64_t v = 32 + t;
+      for (int r = 0; r < kRounds; ++r) {
+        ASSERT_TRUE(g.AddEdge(u, v).ok());
+        g.Publish();
+        ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+        g.Publish();
+        if (r % 10 == t) {
+          ASSERT_TRUE(g.Compact().ok());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  g.RemoveEpochListener(token);
+
+  ASSERT_FALSE(seen.empty());
+  for (size_t i = 1; i < seen.size(); ++i) {
+    ASSERT_GT(seen[i], seen[i - 1])
+        << "epoch notifications delivered out of order at index " << i;
+  }
+}
+
+TEST(MutationRaceTest, ListenerRemovalSynchronizesWithInFlightNotifies) {
+  // Teardown race: RemoveEpochListener must not return while a
+  // notification round is still invoking the listener, or the caller frees
+  // captured state under the callback's feet (use-after-free under a
+  // publish storm). TSan verifies the synchronization.
+  MutableGraph g = MakePathMutable(32);
+  auto state = std::make_unique<std::atomic<int64_t>>(0);
+  const int64_t token = g.AddEpochListener(
+      [p = state.get()](const std::shared_ptr<const GraphSnapshot>&) {
+        p->fetch_add(1, std::memory_order_relaxed);
+      });
+
+  std::atomic<bool> stop{false};
+  std::thread storm([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      // The overlay fills up without compaction; fold it and keep storming.
+      if (!g.AddEdge(0, 16).ok()) {
+        ASSERT_TRUE(g.Compact().ok());
+        continue;
+      }
+      g.Publish();
+      if (!g.RemoveEdge(0, 16).ok()) {
+        ASSERT_TRUE(g.Compact().ok());
+        ASSERT_TRUE(g.RemoveEdge(0, 16).ok());
+      }
+      g.Publish();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  g.RemoveEpochListener(token);
+  state.reset();  // pre-fix: the storm's in-flight notify dereferences this
+  stop.store(true);
+  storm.join();
+}
+
+TEST(MutationRaceTest, EngineDestructionUnderPublishStormIsSafe) {
+  // The engine's dtor removes its epoch listener and then frees the
+  // engine; with the removal barrier this must be safe even while another
+  // thread publishes as fast as it can.
+  auto ds = ToyDataset();
+  const std::string path = TempPath("mutation_race_dtor.fwmodel");
+  ExportArtifact(ds, /*seed=*/1, path);
+  auto dynamic = MakeDynamic(ds);
+
+  std::atomic<bool> stop{false};
+  std::thread storm([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (dynamic->AddEdge(0, 2).ok()) {
+        dynamic->Publish();
+        ASSERT_TRUE(dynamic->RemoveEdge(0, 2).ok());
+        dynamic->Publish();
+      } else {
+        ASSERT_TRUE(dynamic->Compact().ok());  // overlay full: fold and go on
+      }
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    serve::EngineOptions options;
+    options.dynamic_graph = dynamic;
+    auto engine_or = serve::InferenceEngine::Load(path, ds, options);
+    ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+    ASSERT_TRUE(engine_or.value()->Predict(5).ok());
+    engine_or.value().reset();  // dtor races the storm's notifications
+  }
+  stop.store(true);
+  storm.join();
 }
 
 TEST(TemporalScriptTest, RejectsMalformedOptions) {

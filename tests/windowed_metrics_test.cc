@@ -130,6 +130,67 @@ TEST(ExactQuantilesTest, EmptySampleSetReportsZeroes) {
   EXPECT_DOUBLE_EQ(q.Quantile(50.0), 0.0);
   EXPECT_DOUBLE_EQ(q.Mean(), 0.0);
   EXPECT_EQ(q.count(), 0);
+  EXPECT_DOUBLE_EQ(q.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(q.Max(), 0.0);
+  EXPECT_EQ(q.rejected(), 0);
+}
+
+TEST(ExactQuantilesTest, SingleSampleAnswersEveryPercentile) {
+  const ExactQuantiles q({42.0});
+  for (double pct : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(q.Quantile(pct), 42.0) << "pct=" << pct;
+  }
+  EXPECT_DOUBLE_EQ(q.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(q.Min(), 42.0);
+  EXPECT_DOUBLE_EQ(q.Max(), 42.0);
+  EXPECT_EQ(q.count(), 1);
+}
+
+TEST(ExactQuantilesTest, PercentileEndpointsAndClampingAreMinAndMax) {
+  const ExactQuantiles q({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(100.0), 3.0);
+  // Out-of-range percentiles clamp rather than index out of bounds.
+  EXPECT_DOUBLE_EQ(q.Quantile(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(250.0), 3.0);
+}
+
+TEST(ExactQuantilesTest, DuplicateHeavySamplesResolveExactly) {
+  // All-equal input: every statistic collapses to the one value.
+  const ExactQuantiles flat({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(flat.Quantile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(flat.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(flat.Min(), flat.Max());
+  // A heavy mode pins the inner percentiles to the mode while the
+  // endpoints still see the outliers.
+  const ExactQuantiles mode({1.0, 7.0, 7.0, 7.0, 7.0, 7.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(mode.Quantile(25.0), 7.0);
+  EXPECT_DOUBLE_EQ(mode.Quantile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(mode.Quantile(75.0), 7.0);
+  EXPECT_DOUBLE_EQ(mode.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(mode.Quantile(100.0), 9.0);
+}
+
+TEST(ExactQuantilesTest, NanSamplesAreRejectedNotSorted) {
+  // A NaN compares false against everything, so sorting a NaN-bearing
+  // vector is undefined behaviour territory and the sum is poisoned; the
+  // constructor must drop NaNs (and count them) before sorting.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const ExactQuantiles q({3.0, nan, 1.0, nan, 2.0});
+  EXPECT_EQ(q.count(), 3);
+  EXPECT_EQ(q.rejected(), 2);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(100.0), 3.0);
+  EXPECT_DOUBLE_EQ(q.Mean(), 2.0);
+  EXPECT_FALSE(std::isnan(q.Quantile(50.0)));
+
+  // All-NaN input degrades to the empty-set contract instead of emitting
+  // NaN statistics downstream (benches serialize these into JSON).
+  const ExactQuantiles all_nan({nan, nan});
+  EXPECT_EQ(all_nan.count(), 0);
+  EXPECT_EQ(all_nan.rejected(), 2);
+  EXPECT_DOUBLE_EQ(all_nan.Quantile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(all_nan.Mean(), 0.0);
 }
 
 TEST(QuantileFromSortedTest, AgreesWithExactQuantiles) {
@@ -158,6 +219,30 @@ TEST(HistogramQuantileTest, OverflowRankReportsTheLastFiniteEdge) {
 
 TEST(HistogramQuantileTest, EmptyHistogramReportsZero) {
   EXPECT_DOUBLE_EQ(HistogramQuantile({1.0, 2.0}, {0, 0, 0}, 0.5), 0.0);
+  // No bounds at all (only an overflow bucket) is also "empty".
+  EXPECT_DOUBLE_EQ(HistogramQuantile({}, {5}, 0.5), 0.0);
+}
+
+TEST(HistogramQuantileTest, QuantileEndpointsClampInsteadOfExtrapolating) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const std::vector<int64_t> counts = {10, 10, 10, 0};
+  // q=0 resolves at the bottom edge of the first occupied bucket; q=1 at
+  // the top of the last. Out-of-range q clamps to the same answers.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.0),
+                   HistogramQuantile(bounds, counts, -3.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 7.5), 4.0);
+}
+
+TEST(HistogramQuantileTest, SingleOccupiedBucketPinsEveryQuantile) {
+  // All mass in one interior bucket: every quantile interpolates inside
+  // (1, 2] and never leaves it.
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  for (double q : {0.1, 0.5, 0.9, 1.0}) {
+    const double v = HistogramQuantile(bounds, {0, 10, 0, 0}, q);
+    EXPECT_GE(v, 1.0) << "q=" << q;
+    EXPECT_LE(v, 2.0) << "q=" << q;
+  }
 }
 
 // --- Prometheus exporter --------------------------------------------------

@@ -64,6 +64,7 @@
 //                           [--publish-every 8] [--compact-every 64]
 //                           [--max-pending 1024] [--invalidation-radius 2]
 //                           [--fault-compactions 3] [--fault-deltas 2]
+//                           [--mutation-log graph.fwlog]
 //                           [--snapshot-out ops.jsonl]
 //                           [--json-out BENCH_mutation.json]
 //       Dynamic-graph chaos profile (docs/serving.md "Dynamic graphs"):
@@ -77,6 +78,21 @@
 //       --method vanilla): frozen-input models cannot serve added nodes.
 //       --snapshot-out appends one ops snapshot per published epoch, with
 //       the mutation.*/compaction.* fields ops-report cross-checks.
+//       --mutation-log attaches the durable write-ahead log (recovering
+//       whatever an earlier run left in it first); the report then carries
+//       refresh.* operator-patch counts and log.* append/truncate totals.
+//
+//   fairwos_cli mutation-replay --log graph.fwlog [--dataset toy]
+//                               [--steps 200] [--publish-every 8]
+//                               [--compact-every 64] [--kill-at N]
+//                               [--recover true] [--digest-out FILE]
+//       Kill-and-replay chaos drill (docs/serving.md "Dynamic graphs"):
+//       replays a deterministic temporal script through a write-ahead-
+//       logged MutableGraph. --kill-at N writes a digest of the state
+//       after the Nth mutation, then dies via _Exit(137) with no shutdown
+//       — the fsync'd log is all that survives. --recover replays the log
+//       (base checkpoint + suffix) and writes the recovered digest; the
+//       serve-chaos CI job asserts the two digest files are byte-equal.
 //
 //   fairwos_cli ops-report --in ops.jsonl
 //       Validates and summarises an ops-snapshot JSONL stream written by
@@ -117,6 +133,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -165,7 +182,7 @@ int Usage() {
       stderr,
       "usage: fairwos_cli "
       "<list|generate|train|audit|trace-report|export|serve-bench|"
-      "ops-report> [flags]\n"
+      "mutation-replay|ops-report> [flags]\n"
       "run with a subcommand to see its flags in the header of\n"
       "tools/fairwos_cli.cc\n");
   return 2;
@@ -770,8 +787,23 @@ int MutateBench(const common::CliFlags& flags, const data::Dataset& ds,
   graph_options.max_pending = max_pending;
   graph_options.invalidation_radius = radius;
   auto base_graph = std::make_shared<const graph::Graph>(ds.graph);
-  auto mutable_graph = std::make_shared<graph::MutableGraph>(
-      base_graph, ds.features, graph_options);
+  // --mutation-log attaches the durable write-ahead log: every applied
+  // mutation is fsync'd before it lands in the overlay, compactions
+  // truncate the log behind a base checkpoint, and a rerun with the same
+  // path replays whatever a crash left acknowledged.
+  const std::string mutation_log = flags.GetString("mutation-log", "");
+  std::shared_ptr<graph::MutableGraph> mutable_graph;
+  int64_t recovered_mutations = 0;
+  if (!mutation_log.empty()) {
+    auto recovered_or = graph::MutableGraph::Recover(
+        base_graph, ds.features, mutation_log, graph_options);
+    if (!recovered_or.ok()) return Fail(recovered_or.status());
+    mutable_graph = std::move(recovered_or.value());
+    recovered_mutations = mutable_graph->stats().replayed;
+  } else {
+    mutable_graph = std::make_shared<graph::MutableGraph>(
+        base_graph, ds.features, graph_options);
+  }
   engine_options.dynamic_graph = mutable_graph;
 
   auto engine_or = serve::InferenceEngine::Load(model_path, ds, engine_options);
@@ -1018,6 +1050,8 @@ int MutateBench(const common::CliFlags& flags, const data::Dataset& ds,
       "(+1 final)\n"
       "  compaction pause ms p50 %.4f  p99 %.4f\n"
       "  cache invalidations: %lld epoch-driven of %lld total\n"
+      "  operator refresh: %lld incremental, %lld rebuilt\n"
+      "  mutation log: %lld appends, %lld truncations, %lld replayed\n"
       "  latency ms p50 %.4f  p99 %.4f\n"
       "  post-compaction bit-identity: %s (%lld nodes)\n",
       static_cast<long long>(served), static_cast<long long>(requests),
@@ -1033,7 +1067,16 @@ int MutateBench(const common::CliFlags& flags, const data::Dataset& ds,
       static_cast<long long>(compact_attempts - compact_failures),
       static_cast<long long>(compact_failures), pause_q.Quantile(50),
       pause_q.Quantile(99), static_cast<long long>(stats.epoch_invalidations),
-      static_cast<long long>(stats.cache_invalidations), latency_q.Quantile(50),
+      static_cast<long long>(stats.cache_invalidations),
+      static_cast<long long>(obs::MetricsRegistry::Global()
+                                 .GetCounter("graph.ops.incremental")
+                                 ->value()),
+      static_cast<long long>(obs::MetricsRegistry::Global()
+                                 .GetCounter("graph.ops.rebuilt")
+                                 ->value()),
+      static_cast<long long>(graph_stats.log_appends),
+      static_cast<long long>(graph_stats.log_resets),
+      static_cast<long long>(recovered_mutations), latency_q.Quantile(50),
       latency_q.Quantile(99), bit_identical ? "PASS" : "FAIL",
       static_cast<long long>(verified_nodes));
 
@@ -1056,6 +1099,9 @@ int MutateBench(const common::CliFlags& flags, const data::Dataset& ds,
         "\"compaction\":{\"attempts\":%lld,\"failures\":%lld,"
         "\"injected_faults\":%lld,\"pause_ms\":{\"p50\":%.6f,\"p99\":%.6f}},"
         "\"cache_invalidations\":{\"epoch\":%lld,\"total\":%lld},"
+        "\"refresh\":{\"ops_incremental\":%lld,\"ops_rebuilt\":%lld},"
+        "\"log\":{\"enabled\":%s,\"appends\":%lld,\"truncations\":%lld,"
+        "\"replayed\":%lld,\"pending_records\":%lld},"
         "\"fault_exhausted_reports\":%lld,"
         "\"verified_nodes\":%lld,\"bit_identical\":%s}\n",
         engine.model_id().c_str(), ds.name.c_str(),
@@ -1079,6 +1125,17 @@ int MutateBench(const common::CliFlags& flags, const data::Dataset& ds,
         static_cast<long long>(stats.epoch_invalidations),
         static_cast<long long>(stats.cache_invalidations),
         static_cast<long long>(obs::MetricsRegistry::Global()
+                                   .GetCounter("graph.ops.incremental")
+                                   ->value()),
+        static_cast<long long>(obs::MetricsRegistry::Global()
+                                   .GetCounter("graph.ops.rebuilt")
+                                   ->value()),
+        mutation_log.empty() ? "false" : "true",
+        static_cast<long long>(graph_stats.log_appends),
+        static_cast<long long>(graph_stats.log_resets),
+        static_cast<long long>(recovered_mutations),
+        static_cast<long long>(graph_stats.log_records),
+        static_cast<long long>(obs::MetricsRegistry::Global()
                                    .GetCounter("fault.exhausted")
                                    ->value()),
         static_cast<long long>(verified_nodes),
@@ -1091,6 +1148,159 @@ int MutateBench(const common::CliFlags& flags, const data::Dataset& ds,
         "post-compaction serving diverges from the fresh-built CSR"));
   }
   return 0;
+}
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t hash) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Order-independent fingerprint of everything a snapshot serves from:
+/// node/edge counts, the sorted adjacency of every node, the merged
+/// feature matrix, and the raw CSR buffers of all five backbone operators.
+/// Two runs that digest equal are byte-identical as far as serving can
+/// tell — the comparison the kill-and-replay drill gates on.
+uint64_t SnapshotDigest(const graph::GraphSnapshot& snap) {
+  uint64_t hash = 1469598103934665603ull;
+  const int64_t nodes = snap.num_nodes();
+  const int64_t edges = snap.num_edges();
+  hash = Fnv1a(&nodes, sizeof(nodes), hash);
+  hash = Fnv1a(&edges, sizeof(edges), hash);
+  for (int64_t u = 0; u < nodes; ++u) {
+    std::vector<int64_t> neighbors = snap.Neighbors(u);
+    std::sort(neighbors.begin(), neighbors.end());
+    hash = Fnv1a(neighbors.data(), neighbors.size() * sizeof(int64_t), hash);
+  }
+  const tensor::Tensor features = snap.Features();
+  hash = Fnv1a(features.data().data(), features.data().size() * sizeof(float),
+               hash);
+  const std::shared_ptr<const tensor::SparseMatrix> ops[] = {
+      snap.GcnNormalizedAdjacency(),    snap.PlainAdjacency(),
+      snap.RowNormalizedAdjacency(),    snap.AdjacencyWithSelfLoops(),
+      snap.NeighborMeanAdjacency()};
+  for (const auto& op : ops) {
+    hash = Fnv1a(op->row_ptr().data(), op->row_ptr().size() * sizeof(int64_t),
+                 hash);
+    hash = Fnv1a(op->col_idx().data(), op->col_idx().size() * sizeof(int64_t),
+                 hash);
+    hash = Fnv1a(op->values().data(), op->values().size() * sizeof(float),
+                 hash);
+  }
+  return hash;
+}
+
+int WriteDigest(const std::string& path,
+                const graph::GraphSnapshot& snap) {
+  const uint64_t digest = SnapshotDigest(snap);
+  std::printf("digest %016llx (epoch %lld, %lld nodes, %lld edges)\n",
+              static_cast<unsigned long long>(digest),
+              static_cast<long long>(snap.epoch()),
+              static_cast<long long>(snap.num_nodes()),
+              static_cast<long long>(snap.num_edges()));
+  if (path.empty()) return 0;
+  std::ofstream out(path);
+  if (!out) return Fail(common::Status::IoError("cannot open " + path));
+  out << common::StrFormat("nodes %lld\nedges %lld\ndigest %016llx\n",
+                           static_cast<long long>(snap.num_nodes()),
+                           static_cast<long long>(snap.num_edges()),
+                           static_cast<unsigned long long>(digest));
+  out.flush();
+  if (!out) return Fail(common::Status::IoError("short write to " + path));
+  return 0;
+}
+
+/// mutation-replay: the kill-and-replay chaos drill behind the serve-chaos
+/// CI job. A run without --recover replays a deterministic temporal script
+/// through a write-ahead-logged MutableGraph, publishing and compacting on
+/// a cadence; --kill-at N writes the state digest after the Nth applied
+/// mutation and dies with std::_Exit(137) — no destructors, no final
+/// compaction, exactly what kill -9 leaves behind (the log's fsync'd
+/// envelope is the only survivor). A later run with --recover replays the
+/// log (base checkpoint + suffix) and writes the recovered digest; the two
+/// digest files must be byte-identical. Operators are built on every
+/// published epoch, so the pre-kill digest covers incrementally refreshed
+/// matrices while the recovered side rebuilds from scratch — the digest
+/// equality is an end-to-end bit-identity check of the refresh path too.
+int MutationReplay(const common::CliFlags& flags) {
+  const std::string log_path = flags.GetString("log", "");
+  if (log_path.empty()) {
+    return Fail(
+        common::Status::InvalidArgument("--log <path.fwlog> is required"));
+  }
+  const int64_t steps = flags.GetInt("steps", 200);
+  const int64_t publish_every = flags.GetInt("publish-every", 8);
+  const int64_t compact_every = flags.GetInt("compact-every", 64);
+  const int64_t max_pending = flags.GetInt("max-pending", 4096);
+  const int64_t kill_at = flags.GetInt("kill-at", -1);
+  const bool recover = flags.GetBool("recover", false);
+  const std::string digest_out = flags.GetString("digest-out", "");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("bench-seed", 1));
+  if (steps < 1 || publish_every < 1 || compact_every < 1 ||
+      max_pending < steps) {
+    return Fail(common::Status::InvalidArgument(
+        "--steps/--publish-every/--compact-every must be positive and "
+        "--max-pending >= --steps (the script must never shed)"));
+  }
+
+  auto ds_or = ResolveDataset(flags);
+  if (!ds_or.ok()) return Fail(ds_or.status());
+  const data::Dataset& ds = ds_or.value();
+  graph::MutableGraphOptions options;
+  options.max_pending = max_pending;
+  auto graph_or = graph::MutableGraph::Recover(
+      std::make_shared<const graph::Graph>(ds.graph), ds.features, log_path,
+      options);
+  if (!graph_or.ok()) return Fail(graph_or.status());
+  graph::MutableGraph& g = *graph_or.value();
+
+  if (recover) {
+    std::printf("recovered %lld mutations from %s\n",
+                static_cast<long long>(g.stats().replayed), log_path.c_str());
+    return WriteDigest(digest_out, *g.Current());
+  }
+
+  data::TemporalOptions temporal;
+  temporal.num_steps = steps;
+  auto script_or = data::GenerateTemporalScript(ds, temporal, seed);
+  if (!script_or.ok()) return Fail(script_or.status());
+  int64_t applied = 0;
+  for (const graph::GraphMutation& m : script_or.value().events) {
+    const common::Status status = g.Apply(m);
+    if (!status.ok()) {
+      return Fail(common::Status::Internal(
+          "scripted mutation " + std::to_string(applied) +
+          " rejected: " + status.ToString()));
+    }
+    ++applied;
+    if (applied % publish_every == 0) {
+      const auto snap = g.Publish();
+      snap->GcnNormalizedAdjacency();  // exercise the incremental refresh
+    }
+    if (kill_at >= 0 && applied == kill_at) {
+      g.Publish();
+      const int rc = WriteDigest(digest_out, *g.Current());
+      if (rc != 0) return rc;
+      std::fprintf(stderr,
+                   "killed after %lld mutations (exit 137, no shutdown)\n",
+                   static_cast<long long>(applied));
+      std::fflush(nullptr);
+      std::_Exit(137);  // kill -9 semantics: the fsync'd log is all that survives
+    }
+    if (applied % compact_every == 0) {
+      const common::Status compacted = g.Compact();
+      if (!compacted.ok()) return Fail(compacted);
+    }
+  }
+  g.Publish();
+  std::printf("applied %lld mutations (%lld logged, %lld log truncations)\n",
+              static_cast<long long>(applied),
+              static_cast<long long>(g.stats().log_appends),
+              static_cast<long long>(g.stats().log_resets));
+  return WriteDigest(digest_out, *g.Current());
 }
 
 int ServeBench(const common::CliFlags& flags) {
@@ -1653,6 +1863,7 @@ int Main(int argc, char** argv) {
   if (command == "trace-report") return TraceReport(flags_or.value());
   if (command == "export") return Export(flags_or.value());
   if (command == "serve-bench") return ServeBench(flags_or.value());
+  if (command == "mutation-replay") return MutationReplay(flags_or.value());
   if (command == "ops-report") return OpsReport(flags_or.value());
   return Usage();
 }
