@@ -6,7 +6,13 @@
 // to track the substrate's performance.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <string>
+
 #include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/threadpool.h"
 #include "common/trace.h"
 #include "core/counterfactual.h"
@@ -16,6 +22,7 @@
 #include "nn/gnn.h"
 #include "nn/guard.h"
 #include "nn/optim.h"
+#include "tensor/backend.h"
 #include "tensor/ops.h"
 
 namespace fairwos {
@@ -233,6 +240,272 @@ void BM_GuardedTrainEpoch(benchmark::State& state) {
 BENCHMARK(BM_GuardedTrainEpoch)->Arg(1000);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Kernel roofline sweep (--kernels-json FILE): times every KernelBackend
+// entry point on the scalar and (when the host supports it) AVX2 backends,
+// reports GFLOP/s and effective GB/s, and verifies the determinism contract
+// — scalar and default-AVX2 outputs bytewise equal, and each backend
+// bytewise equal at 1 and 8 threads. Under --fast-math the reassociating
+// kernels are additionally measured against the scalar reference and the
+// max relative error is reported (docs/kernels.md).
+// ---------------------------------------------------------------------------
+namespace kernels {
+namespace {
+
+struct Measurement {
+  double millis = 0.0;  // best rep, per call
+  double gflops = 0.0;
+  double gbs = 0.0;
+};
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  return v;
+}
+
+/// Best-of-3 reps of `iters` calls each; flops/bytes are per call.
+template <typename Fn>
+Measurement Time(double flops, double bytes, int iters, Fn&& fn) {
+  Measurement m;
+  double best = 1e300;
+  fn();  // warm-up (touches pages, primes the pool)
+  for (int rep = 0; rep < 3; ++rep) {
+    common::Stopwatch watch;
+    for (int i = 0; i < iters; ++i) fn();
+    best = std::min(best, watch.Seconds() / iters);
+  }
+  m.millis = best * 1e3;
+  m.gflops = flops / best / 1e9;
+  m.gbs = bytes / best / 1e9;
+  return m;
+}
+
+bool BitEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+double MaxRelErr(const std::vector<float>& ref, const std::vector<float>& got) {
+  double worst = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const double denom = std::max(1e-6, std::abs(static_cast<double>(ref[i])));
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(got[i]) - ref[i]) / denom);
+  }
+  return worst;
+}
+
+struct KernelCase {
+  const char* name;
+  double flops;  // per call
+  double bytes;  // per call, compulsory traffic estimate for the roofline
+  // Runs the kernel on `backend` writing into `out` (sized by the caller).
+  std::function<void(const tensor::KernelBackend&, std::vector<float>*)> run;
+  size_t out_size;
+};
+
+int RunSweep(const char* path) {
+  using tensor::GetAvx2BackendOrNull;
+  using tensor::GetScalarBackend;
+  const tensor::KernelBackend* avx2 = GetAvx2BackendOrNull();
+
+  // Shapes sized so one call is microseconds-to-milliseconds: big enough to
+  // dominate ParallelFor overhead, small enough for quick CI runs.
+  const int64_t kN = 256, kK = 256, kM = 256;   // dense Gemm family
+  const int64_t kEw = int64_t{1} << 20;         // elementwise / reduce
+  const int64_t kRows = 20000, kDeg = 10, kC = 32;  // SpMM
+
+  const auto a = RandomVec(static_cast<size_t>(kN * kK), 11);
+  const auto b = RandomVec(static_cast<size_t>(kK * kM), 12);
+  const auto u = RandomVec(static_cast<size_t>(kEw), 13);
+  const auto v = RandomVec(static_cast<size_t>(kEw), 14);
+
+  // Random ~kDeg-regular CSR adjacency for SpMM.
+  std::vector<int64_t> row_ptr(static_cast<size_t>(kRows) + 1, 0);
+  std::vector<int64_t> col_idx;
+  common::Rng rng(15);
+  for (int64_t r = 0; r < kRows; ++r) {
+    for (int64_t d = 0; d < kDeg; ++d) col_idx.push_back(rng.UniformInt(kRows));
+    row_ptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  const auto vals = RandomVec(col_idx.size(), 16);
+  const auto x = RandomVec(static_cast<size_t>(kRows * kC), 17);
+  const double nnz = static_cast<double>(col_idx.size());
+
+  std::vector<KernelCase> cases;
+  cases.push_back(
+      {"gemm_nn", 2.0 * kN * kK * kM,
+       4.0 * (kN * kK + kK * kM + 2.0 * kN * kM),
+       [&](const tensor::KernelBackend& be, std::vector<float>* out) {
+         std::fill(out->begin(), out->end(), 0.0f);
+         be.GemmNN(a.data(), b.data(), out->data(), kN, kK, kM);
+       },
+       static_cast<size_t>(kN * kM)});
+  cases.push_back(
+      {"gemm_nt", 2.0 * kN * kK * kM,
+       4.0 * (kN * kK + kK * kM + 2.0 * kN * kM),
+       [&](const tensor::KernelBackend& be, std::vector<float>* out) {
+         std::fill(out->begin(), out->end(), 0.0f);
+         be.GemmNT(a.data(), b.data(), out->data(), kN, kM, kK);
+       },
+       static_cast<size_t>(kN * kM)});
+  cases.push_back(
+      {"gemm_tn", 2.0 * kN * kK * kM,
+       4.0 * (kN * kK + kK * kM + 2.0 * kN * kM),
+       [&](const tensor::KernelBackend& be, std::vector<float>* out) {
+         std::fill(out->begin(), out->end(), 0.0f);
+         be.GemmTN(a.data(), b.data(), out->data(), kN, kK, kM);
+       },
+       static_cast<size_t>(kK * kM)});
+  cases.push_back(
+      {"spmm", 2.0 * nnz * kC,
+       nnz * (8 + 8 + 4.0 * kC) + 4.0 * kRows * kC,
+       [&](const tensor::KernelBackend& be, std::vector<float>* out) {
+         be.Spmm(row_ptr.data(), col_idx.data(), vals.data(), kRows, x.data(),
+                 kC, out->data());
+       },
+       static_cast<size_t>(kRows * kC)});
+  cases.push_back(
+      {"ewise_add", static_cast<double>(kEw), 12.0 * kEw,
+       [&](const tensor::KernelBackend& be, std::vector<float>* out) {
+         be.EwiseBinary(tensor::EwiseBinaryOp::kAdd, u.data(), v.data(),
+                        out->data(), kEw);
+       },
+       static_cast<size_t>(kEw)});
+  cases.push_back(
+      {"ewise_relu", static_cast<double>(kEw), 8.0 * kEw,
+       [&](const tensor::KernelBackend& be, std::vector<float>* out) {
+         be.EwiseUnary(tensor::EwiseUnaryOp::kRelu, 0.0f, 0.0f, u.data(),
+                       out->data(), kEw);
+       },
+       static_cast<size_t>(kEw)});
+  cases.push_back(
+      {"reduce_sum", static_cast<double>(kEw), 4.0 * kEw,
+       [&](const tensor::KernelBackend& be, std::vector<float>* out) {
+         (*out)[0] = static_cast<float>(
+             be.Reduce(tensor::ReduceKind::kSum, u.data(), kEw));
+       },
+       1});
+
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  const tensor::BackendInfo info = tensor::ActiveBackendInfo();
+  std::fprintf(f,
+               "{\n  \"cpu_features\": \"%s\",\n  \"default_backend\": "
+               "\"%s\",\n  \"kernels\": [\n",
+               info.cpu_features.c_str(), info.active.c_str());
+
+  bool all_identical = true;
+  double gemm_nn_speedup = 0.0;
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const KernelCase& kc = cases[ci];
+    const int iters = kc.flops > 1e7 ? 4 : 16;
+    std::vector<float> out_scalar(kc.out_size), out_avx2(kc.out_size);
+    std::vector<float> out_threads(kc.out_size);
+
+    common::SetGlobalThreadCount(1);
+    const Measurement scalar_m = Time(kc.flops, kc.bytes, iters, [&] {
+      kc.run(GetScalarBackend(), &out_scalar);
+    });
+    Measurement avx2_m;
+    if (avx2 != nullptr) {
+      avx2_m = Time(kc.flops, kc.bytes, iters,
+                    [&] { kc.run(*avx2, &out_avx2); });
+    }
+
+    // Determinism contract: scalar vs AVX2 (default mode) and each backend
+    // at 1 vs 8 threads must agree bytewise.
+    bool identical = true;
+    if (avx2 != nullptr) identical = BitEqual(out_scalar, out_avx2);
+    common::SetGlobalThreadCount(8);
+    kc.run(GetScalarBackend(), &out_threads);
+    identical = identical && BitEqual(out_scalar, out_threads);
+    if (avx2 != nullptr) {
+      kc.run(*avx2, &out_threads);
+      identical = identical && BitEqual(out_avx2, out_threads);
+    }
+    common::SetGlobalThreadCount(1);
+    all_identical = all_identical && identical;
+
+    // Fast-math deviation vs the scalar reference (AVX2 only).
+    double fast_math_err = 0.0;
+    if (avx2 != nullptr) {
+      tensor::SetFastMath(true);
+      kc.run(*avx2, &out_threads);
+      tensor::SetFastMath(false);
+      fast_math_err = MaxRelErr(out_scalar, out_threads);
+    }
+
+    const double speedup =
+        avx2 != nullptr && avx2_m.millis > 0.0 ? scalar_m.millis / avx2_m.millis
+                                               : 1.0;
+    if (std::string(kc.name) == "gemm_nn") gemm_nn_speedup = speedup;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"flops\": %.0f, \"bytes\": %.0f,\n"
+        "     \"scalar\": {\"ms\": %.4f, \"gflops\": %.2f, \"gbs\": %.2f},\n"
+        "     \"avx2\": {\"ms\": %.4f, \"gflops\": %.2f, \"gbs\": %.2f},\n"
+        "     \"speedup\": %.2f, \"bit_identical\": %s,\n"
+        "     \"fast_math_max_rel_err\": %.3g}%s\n",
+        kc.name, kc.flops, kc.bytes, scalar_m.millis, scalar_m.gflops,
+        scalar_m.gbs, avx2_m.millis, avx2_m.gflops, avx2_m.gbs, speedup,
+        identical ? "true" : "false", fast_math_err,
+        ci + 1 < cases.size() ? "," : "");
+    std::printf("%-10s scalar %8.2f GFLOP/s %8.2f GB/s | avx2 %8.2f GFLOP/s "
+                "%8.2f GB/s | x%.2f %s\n",
+                kc.name, scalar_m.gflops, scalar_m.gbs, avx2_m.gflops,
+                avx2_m.gbs, speedup, identical ? "bit-identical" : "DIVERGED");
+  }
+  common::SetGlobalThreadCount(0);
+  std::fprintf(f,
+               "  ],\n  \"gemm_nn_speedup\": %.2f,\n  \"bit_identical\": "
+               "%s\n}\n",
+               gemm_nn_speedup, all_identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("[bench] wrote %s (gemm_nn speedup x%.2f, bit_identical=%s)\n",
+              path, gemm_nn_speedup, all_identical ? "true" : "false");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace kernels
 }  // namespace fairwos
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* kernels_json = nullptr;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--kernels-json" && i + 1 < argc) {
+      kernels_json = argv[++i];
+    } else if (arg == "--simd" && i + 1 < argc) {
+      auto mode = fairwos::tensor::ParseSimdMode(argv[++i]);
+      if (!mode.ok() ||
+          !fairwos::tensor::SelectBackend(mode.value()).ok()) {
+        std::fprintf(stderr, "invalid --simd value\n");
+        return 2;
+      }
+    } else if (arg == "--fast-math") {
+      fairwos::tensor::SetFastMath(true);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (kernels_json != nullptr) {
+    return fairwos::kernels::RunSweep(kernels_json);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -79,7 +79,8 @@ int Main(int argc, char** argv) {
   options.backbone = backbone_or.value();
   auto vanilla =
       fairwos::baselines::MakeMethod("vanilla", options).value();
-  auto out = vanilla->Run(ds, data_options.seed).value();
+  auto fitted = vanilla->Fit(ds, data_options.seed).value();
+  auto out = fitted->Predict(ds);
   auto gc = fairwos::fairness::ComputeGroupConfusion(out.pred, ds.labels,
                                                      ds.sens, ds.split.test);
   std::printf("vanilla per-group detail (test split):\n");

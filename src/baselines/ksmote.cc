@@ -17,7 +17,7 @@ common::Result<std::unique_ptr<core::FittedModel>> KSmoteMethod::Fit(
 
   // Pseudo-groups from attribute clustering.
   auto clustering =
-      eval::KMeans(ds.features.data(), ds.num_nodes(), ds.num_attrs(),
+      eval::KMeans(ds.features.data().data(), ds.num_nodes(), ds.num_attrs(),
                    config_.clusters, /*max_iters=*/50, &rng);
   // Training nodes per pseudo-group (groups with < 2 train nodes are
   // skipped by the penalty; their mean would be pure noise).

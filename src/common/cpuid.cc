@@ -1,0 +1,47 @@
+#include "common/cpuid.h"
+
+namespace fairwos::common {
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.sse2 = __builtin_cpu_supports("sse2");
+  f.avx = __builtin_cpu_supports("avx");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::string CpuFeatureString(const CpuFeatures& f) {
+  std::string out;
+  const auto append = [&out](bool enabled, const char* name) {
+    if (!enabled) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(f.sse2, "sse2");
+  append(f.avx, "avx");
+  append(f.avx2, "avx2");
+  append(f.fma, "fma");
+  append(f.avx512f, "avx512f");
+  return out.empty() ? "none" : out;
+}
+
+bool CpuSupportsAvx2Fma() {
+  const CpuFeatures& f = DetectCpuFeatures();
+  return f.avx2 && f.fma;
+}
+
+}  // namespace fairwos::common

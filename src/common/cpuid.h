@@ -1,0 +1,35 @@
+// Runtime CPU feature detection for the kernel-backend dispatch
+// (tensor/backend.h). Detection runs once per process and is cached; the
+// answer never changes, so callers may hold the reference forever.
+//
+// On non-x86 targets every flag is reported false and the vector backends
+// simply never become eligible — dispatch degrades to the scalar reference
+// backend with no further #ifdefs at call sites.
+#ifndef FAIRWOS_COMMON_CPUID_H_
+#define FAIRWOS_COMMON_CPUID_H_
+
+#include <string>
+
+namespace fairwos::common {
+
+/// The ISA extensions the kernel backends care about.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// Detects the host CPU's features (cached after the first call).
+const CpuFeatures& DetectCpuFeatures();
+
+/// Space-separated flag list, e.g. "sse2 avx avx2 fma" ("none" when empty).
+std::string CpuFeatureString(const CpuFeatures& features);
+
+/// True when the host can run the AVX2/FMA kernel backend.
+bool CpuSupportsAvx2Fma();
+
+}  // namespace fairwos::common
+
+#endif  // FAIRWOS_COMMON_CPUID_H_

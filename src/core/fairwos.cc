@@ -14,6 +14,7 @@
 #include "core/lambda_solver.h"
 #include "fairness/metrics.h"
 #include "nn/optim.h"
+#include "tensor/arena.h"
 #include "tensor/ops.h"
 
 namespace fairwos::core {
@@ -171,7 +172,7 @@ common::Status PretrainClassifier(
     st.rng = rng->SaveState();
     st.optimizer = opt.ExportState();
     st.params = nn::SnapshotParameters(*model);
-    st.blobs.push_back(x.data());
+    st.blobs.emplace_back(x.data().begin(), x.data().end());
     AppendSnapshot(&st.blobs, best_snapshot);
     st.scalars = {best_val_loss, encoder_val_acc};
     st.counters = {since_best, epochs_run, healer.retries(), x.dim(1)};
@@ -181,7 +182,14 @@ common::Status PretrainClassifier(
       obs::MetricsRegistry::Global().GetWindowed("train.window.epoch_ms");
   obs::WindowedHistogram* grad_window =
       obs::MetricsRegistry::Global().GetWindowed("train.window.grad_norm");
+  // Per-epoch tensors (op outputs, tape intermediates) bump-allocate from
+  // this arena; the reset at each epoch boundary reuses the same hot blocks
+  // (tensor/arena.h). Parameters and datasets were allocated outside the
+  // scope and stay on the heap.
+  tensor::Arena arena;
   for (int64_t epoch = start_epoch; epoch < config.pretrain_epochs; ++epoch) {
+    tensor::ArenaScope arena_scope(&arena);
+    arena.EpochReset();
     if (config.deadline.Expired()) {
       bool checkpointed = false;
       if (rotation != nullptr) {
@@ -483,7 +491,7 @@ common::Result<std::unique_ptr<FittedGnnModel>> FitFairwos(
       st.rng = rng.SaveState();
       st.optimizer = opt.ExportState();
       st.params = nn::SnapshotParameters(model);
-      st.blobs.push_back(x0.data());
+      st.blobs.emplace_back(x0.data().begin(), x0.data().end());
       AppendSnapshot(&st.blobs, pretrained_snapshot);
       AppendSnapshot(&st.blobs, best_snapshot);
       AppendSnapshot(&st.blobs, fallback_snapshot);
@@ -512,8 +520,15 @@ common::Result<std::unique_ptr<FittedGnnModel>> FitFairwos(
         obs::MetricsRegistry::Global().GetWindowed("train.window.epoch_ms");
     obs::WindowedHistogram* grad_window =
         obs::MetricsRegistry::Global().GetWindowed("train.window.grad_norm");
+    // Per-epoch tensors (op outputs, tape intermediates) bump-allocate from
+    // this arena; the reset at each epoch boundary reuses the same hot blocks
+    // (tensor/arena.h). Parameters and datasets were allocated outside the
+    // scope and stay on the heap.
+    tensor::Arena arena;
     for (int64_t epoch = start_epoch; epoch < config.finetune_epochs;
          ++epoch) {
+      tensor::ArenaScope arena_scope(&arena);
+      arena.EpochReset();
       if (config.deadline.Expired()) {
         bool checkpointed = false;
         if (rotation != nullptr) {

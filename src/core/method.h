@@ -6,8 +6,6 @@
 //   Fit(dataset, seed)      trains and returns a frozen FittedModel
 //   FittedModel::Predict    evaluates the frozen model — repeatable,
 //                           side-effect free, and bit-identical across calls
-// Run(dataset, seed) remains as a fit-then-predict convenience shim; the
-// eval harness still drives it, so existing aggregates are unchanged.
 #ifndef FAIRWOS_CORE_METHOD_H_
 #define FAIRWOS_CORE_METHOD_H_
 
@@ -88,13 +86,6 @@ class FairMethod {
   /// evaluation-only; tests enforce this by perturbation.
   virtual common::Result<std::unique_ptr<FittedModel>> Fit(
       const data::Dataset& ds, uint64_t seed) = 0;
-
-  /// Fit-then-predict convenience, the single call the eval harness uses.
-  /// The default shim is behaviour-identical to the pre-split fused
-  /// implementations: the eval-mode forward pass consumes no RNG, so
-  /// Fit + Predict reproduces the fused run bit for bit.
-  virtual common::Result<MethodOutput> Run(const data::Dataset& ds,
-                                           uint64_t seed);
 };
 
 }  // namespace fairwos::core

@@ -33,7 +33,10 @@ common::Result<TrialMetrics> RunTrial(core::FairMethod* method,
                                       const data::Dataset& ds, uint64_t seed) {
   FW_CHECK(method != nullptr);
   FW_TRACE_SPAN("eval/trial");
-  FW_ASSIGN_OR_RETURN(core::MethodOutput out, method->Run(ds, seed));
+  FW_ASSIGN_OR_RETURN(std::unique_ptr<core::FittedModel> fitted,
+                      method->Fit(ds, seed));
+  core::MethodOutput out = fitted->Predict(ds);
+  out.train_seconds = fitted->train_seconds();
   if (static_cast<int64_t>(out.pred.size()) != ds.num_nodes()) {
     return common::Status::Internal(method->name() +
                                     ": prediction size mismatch");

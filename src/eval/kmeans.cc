@@ -20,17 +20,17 @@ double SquaredDistance(const float* a, const float* b, int64_t dim) {
 
 /// k-means++ seeding: each next centroid is drawn proportionally to the
 /// squared distance from the nearest existing centroid.
-std::vector<float> SeedCentroids(const std::vector<float>& points, int64_t n,
+std::vector<float> SeedCentroids(const float* points, int64_t n,
                                  int64_t dim, int64_t k, common::Rng* rng) {
   std::vector<float> centroids(static_cast<size_t>(k * dim));
   const int64_t first = rng->UniformInt(n);
-  std::copy_n(points.data() + first * dim, dim, centroids.data());
+  std::copy_n(points + first * dim, dim, centroids.data());
   std::vector<double> min_dist(static_cast<size_t>(n),
                                std::numeric_limits<double>::infinity());
   for (int64_t c = 1; c < k; ++c) {
     double total = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      const double d = SquaredDistance(points.data() + i * dim,
+      const double d = SquaredDistance(points + i * dim,
                                        centroids.data() + (c - 1) * dim, dim);
       min_dist[static_cast<size_t>(i)] =
           std::min(min_dist[static_cast<size_t>(i)], d);
@@ -49,7 +49,7 @@ std::vector<float> SeedCentroids(const std::vector<float>& points, int64_t n,
     } else {
       chosen = rng->UniformInt(n);
     }
-    std::copy_n(points.data() + chosen * dim, dim,
+    std::copy_n(points + chosen * dim, dim,
                 centroids.data() + c * dim);
   }
   return centroids;
@@ -57,13 +57,12 @@ std::vector<float> SeedCentroids(const std::vector<float>& points, int64_t n,
 
 }  // namespace
 
-KMeansResult KMeans(const std::vector<float>& points, int64_t n, int64_t dim,
+KMeansResult KMeans(const float* points, int64_t n, int64_t dim,
                     int64_t k, int64_t max_iters, common::Rng* rng) {
   FW_CHECK_GT(n, 0);
   FW_CHECK_GT(dim, 0);
   FW_CHECK_GE(k, 1);
   FW_CHECK_LE(k, n);
-  FW_CHECK_EQ(static_cast<int64_t>(points.size()), n * dim);
   FW_CHECK(rng != nullptr);
 
   KMeansResult result;
@@ -79,7 +78,7 @@ KMeansResult KMeans(const std::vector<float>& points, int64_t n, int64_t dim,
       double best = std::numeric_limits<double>::infinity();
       int best_c = 0;
       for (int64_t c = 0; c < k; ++c) {
-        const double d = SquaredDistance(points.data() + i * dim,
+        const double d = SquaredDistance(points + i * dim,
                                          result.centroids.data() + c * dim,
                                          dim);
         if (d < best) {

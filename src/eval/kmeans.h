@@ -17,9 +17,10 @@ struct KMeansResult {
   int64_t iterations = 0;
 };
 
-/// Clusters `n` points of dimension `dim` (row-major `points`) into `k`
-/// clusters. Deterministic in the RNG state. Requires 1 <= k <= n.
-KMeansResult KMeans(const std::vector<float>& points, int64_t n, int64_t dim,
+/// Clusters `n` points of dimension `dim` (row-major `points`, any
+/// contiguous float storage) into `k` clusters. Deterministic in the RNG
+/// state. Requires 1 <= k <= n.
+KMeansResult KMeans(const float* points, int64_t n, int64_t dim,
                     int64_t k, int64_t max_iters, common::Rng* rng);
 
 }  // namespace fairwos::eval

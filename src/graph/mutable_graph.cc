@@ -51,7 +51,8 @@ tensor::Tensor GraphSnapshot::Features() const {
       features_ = base_features_;  // copy-on-write: no added rows, no copy
     } else {
       const int64_t cols = overlay_.feature_dim();
-      std::vector<float> data = base_features_.data();
+      std::vector<float> data(base_features_.data().begin(),
+                              base_features_.data().end());
       data.reserve(data.size() + added.size() * static_cast<size_t>(cols));
       for (const auto& row : added) {
         data.insert(data.end(), row.begin(), row.end());
@@ -773,7 +774,8 @@ common::Status MutableGraph::Compact() {
   if (frozen->added_features().empty()) {
     new_features = frozen_features;
   } else {
-    std::vector<float> data = frozen_features.data();
+    std::vector<float> data(frozen_features.data().begin(),
+                            frozen_features.data().end());
     for (const auto& row : frozen->added_features()) {
       data.insert(data.end(), row.begin(), row.end());
     }

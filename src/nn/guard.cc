@@ -49,11 +49,11 @@ common::Status GradientGuard::CheckGradients() const {
 common::Status GradientGuard::CheckParameters() const {
   for (size_t i = 0; i < params_.size(); ++i) {
     const auto& data = params_[i].data();
-    if (common::AllFinite(data)) continue;
+    if (common::AllFinite(data.data(), data.size())) continue;
     return common::Status::Internal(
         "non-finite parameter " + std::to_string(i) + " " +
         tensor::ShapeToString(params_[i].shape()) + ": " +
-        common::CheckHealth(data).ToString());
+        common::CheckHealth(data.data(), data.size()).ToString());
   }
   return common::Status::OK();
 }

@@ -67,7 +67,9 @@ class Module {
 inline std::vector<std::vector<float>> SnapshotParameters(const Module& m) {
   std::vector<std::vector<float>> snapshot;
   snapshot.reserve(m.parameters().size());
-  for (const auto& p : m.parameters()) snapshot.push_back(p.data());
+  for (const auto& p : m.parameters()) {
+    snapshot.emplace_back(p.data().begin(), p.data().end());
+  }
   return snapshot;
 }
 
@@ -78,7 +80,7 @@ inline void RestoreParameters(const Module& m,
   for (size_t i = 0; i < snapshot.size(); ++i) {
     tensor::Tensor p = m.parameters()[i];
     FW_CHECK_EQ(p.data().size(), snapshot[i].size());
-    p.mutable_data() = snapshot[i];
+    p.mutable_data().assign(snapshot[i].begin(), snapshot[i].end());
   }
 }
 

@@ -26,7 +26,10 @@ inline void AppendF64(std::string* out, double v) {
   out->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-inline void AppendFloats(std::string* out, const std::vector<float>& v) {
+/// Works for any contiguous float container (std::vector, FloatBuffer).
+template <typename FloatContainer>
+inline void AppendFloats(std::string* out, const FloatContainer& v) {
+  static_assert(sizeof(typename FloatContainer::value_type) == sizeof(float));
   out->append(reinterpret_cast<const char*>(v.data()),
               v.size() * sizeof(float));
 }

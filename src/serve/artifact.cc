@@ -53,7 +53,7 @@ ModelArtifact MakeArtifact(const core::FittedGnnModel& model,
       model_id.empty() ? DefaultModelId(artifact.provenance) : model_id;
   artifact.gnn = model.classifier().encoder().config();
   for (const auto& p : model.classifier().parameters()) {
-    artifact.params.push_back(p.data());
+    artifact.params.emplace_back(p.data().begin(), p.data().end());
   }
   artifact.input_kind = model.input_kind();
   const tensor::Tensor& input = model.ResolveInput(ds);

@@ -1,0 +1,244 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+#include "common/metrics.h"
+
+namespace fairwos::tensor {
+namespace internal {
+
+// Heap-owned so a detached arena (Arena destroyed while tensors still hold
+// its memory) keeps a valid home for those allocations until the last one
+// is released.
+struct ArenaState {
+  std::mutex mu;
+  Arena* owner = nullptr;  // cleared when the Arena object is destroyed
+  size_t block_bytes = kArenaDefaultBlockBytes;
+  std::vector<void*> blocks;
+  size_t current_block = 0;  // bump position: block index ...
+  size_t offset = 0;         // ... and byte offset within it
+  Arena::Stats stats;
+  bool reset_pending = false;
+  bool detached = false;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::ArenaState;
+
+// Every allocation (arena or heap fallback) is preceded by one aligned
+// header slot so ArenaDeallocate can route the release without knowing the
+// provenance. Payload starts at header + kArenaAlignment, so 64-byte
+// alignment of the block implies 64-byte alignment of the payload.
+constexpr size_t kHeaderBytes = kArenaAlignment;
+
+struct AllocationHeader {
+  ArenaState* arena_state;  // nullptr -> plain heap allocation
+  size_t total_bytes;       // header + payload, alignment-rounded
+};
+static_assert(sizeof(AllocationHeader) <= kHeaderBytes,
+              "allocation header must fit in one alignment slot");
+
+thread_local ArenaState* g_thread_arena = nullptr;
+
+size_t RoundUpToAlignment(size_t n) {
+  return (n + (kArenaAlignment - 1)) & ~(kArenaAlignment - 1);
+}
+
+obs::Gauge* BytesInUseGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("arena.bytes_in_use");
+  return g;
+}
+obs::Gauge* BytesReservedGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("arena.bytes_reserved");
+  return g;
+}
+obs::Gauge* BlocksGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge("arena.blocks");
+  return g;
+}
+obs::Counter* EpochResetCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("arena.epoch_resets");
+  return c;
+}
+obs::Counter* DeferredResetCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("arena.deferred_resets");
+  return c;
+}
+obs::Counter* OversizeCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("arena.oversize_allocs");
+  return c;
+}
+
+void PublishGaugesLocked(const ArenaState& s) {
+  BytesInUseGauge()->Set(static_cast<double>(s.stats.bytes_in_use));
+  BytesReservedGauge()->Set(static_cast<double>(s.stats.bytes_reserved));
+  BlocksGauge()->Set(static_cast<double>(s.stats.blocks));
+}
+
+void ResetLocked(ArenaState& s) {
+  s.current_block = 0;
+  s.offset = 0;
+  s.stats.bytes_in_use = 0;
+  s.reset_pending = false;
+  ++s.stats.epoch_resets;
+  EpochResetCounter()->Increment();
+  PublishGaugesLocked(s);
+}
+
+void FreeBlocksAndDelete(ArenaState* s) {
+  for (void* block : s->blocks) std::free(block);
+  delete s;
+}
+
+AllocationHeader* HeaderOf(void* payload) {
+  return reinterpret_cast<AllocationHeader*>(static_cast<char*>(payload) -
+                                             kHeaderBytes);
+}
+
+void* HeapAllocate(size_t payload_bytes) {
+  const size_t total = RoundUpToAlignment(kHeaderBytes + payload_bytes);
+  void* raw = std::aligned_alloc(kArenaAlignment, total);
+  if (raw == nullptr) throw std::bad_alloc();
+  new (raw) AllocationHeader{nullptr, total};
+  return static_cast<char*>(raw) + kHeaderBytes;
+}
+
+void* ArenaAllocateFrom(ArenaState* s, size_t payload_bytes) {
+  const size_t total = RoundUpToAlignment(kHeaderBytes + payload_bytes);
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (total > s->block_bytes) {
+      ++s->stats.oversize_allocs;
+      OversizeCounter()->Increment();
+      // fall through to the heap outside the lock
+    } else {
+      while (true) {
+        if (s->current_block < s->blocks.size()) {
+          if (s->offset + total <= s->block_bytes) break;
+          ++s->current_block;
+          s->offset = 0;
+          continue;
+        }
+        void* block = std::aligned_alloc(kArenaAlignment, s->block_bytes);
+        if (block == nullptr) throw std::bad_alloc();
+        s->blocks.push_back(block);
+        s->stats.blocks = s->blocks.size();
+        s->stats.bytes_reserved += s->block_bytes;
+        s->offset = 0;
+        PublishGaugesLocked(*s);
+      }
+      char* base =
+          static_cast<char*>(s->blocks[s->current_block]) + s->offset;
+      s->offset += total;
+      new (base) AllocationHeader{s, total};
+      ++s->stats.allocations;
+      ++s->stats.live_allocations;
+      s->stats.bytes_in_use += total;
+      s->stats.high_water_bytes =
+          std::max(s->stats.high_water_bytes, s->stats.bytes_in_use);
+      return base + kHeaderBytes;
+    }
+  }
+  return HeapAllocate(payload_bytes);
+}
+
+void ReleaseArenaAllocation(AllocationHeader* header) {
+  ArenaState* s = header->arena_state;
+  bool destroy = false;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    --s->stats.live_allocations;
+    s->stats.bytes_in_use -= header->total_bytes;
+    if (s->stats.live_allocations == 0) {
+      if (s->reset_pending) ResetLocked(*s);
+      destroy = s->detached;
+    }
+  }
+  if (destroy) FreeBlocksAndDelete(s);
+}
+
+}  // namespace
+
+Arena::Arena(Options options) : state_(new internal::ArenaState) {
+  state_->owner = this;
+  state_->block_bytes =
+      RoundUpToAlignment(std::max(options.block_bytes, size_t{4} * 1024));
+}
+
+Arena::~Arena() {
+  bool destroy = false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->owner = nullptr;
+    if (state_->stats.live_allocations == 0) {
+      destroy = true;
+    } else {
+      state_->detached = true;
+    }
+  }
+  if (destroy) FreeBlocksAndDelete(state_);
+}
+
+void Arena::EpochReset() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->stats.live_allocations == 0) {
+    ResetLocked(*state_);
+  } else if (!state_->reset_pending) {
+    state_->reset_pending = true;
+    ++state_->stats.deferred_resets;
+    DeferredResetCounter()->Increment();
+  }
+}
+
+Arena::Stats Arena::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+size_t Arena::block_bytes() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->block_bytes;
+}
+
+ArenaScope::ArenaScope(Arena* arena) : previous_(g_thread_arena) {
+  g_thread_arena = arena != nullptr ? arena->state_ : nullptr;
+}
+
+ArenaScope::~ArenaScope() { g_thread_arena = previous_; }
+
+Arena* CurrentThreadArena() {
+  ArenaState* s = g_thread_arena;
+  if (s == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->owner;
+}
+
+void* ArenaAllocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  ArenaState* s = g_thread_arena;
+  if (s == nullptr) return HeapAllocate(bytes);
+  return ArenaAllocateFrom(s, bytes);
+}
+
+void ArenaDeallocate(void* p) {
+  if (p == nullptr) return;
+  AllocationHeader* header = HeaderOf(p);
+  if (header->arena_state == nullptr) {
+    std::free(header);
+    return;
+  }
+  ReleaseArenaAllocation(header);
+}
+
+}  // namespace fairwos::tensor

@@ -1,0 +1,145 @@
+// 64-byte-aligned bump/arena allocation for tensor storage
+// (docs/kernels.md).
+//
+// Motivation: a training epoch allocates and frees thousands of short-lived
+// tensors (op outputs, gradients of the tape). malloc churn dominates small
+// graphs and fragments large ones. An Arena carves aligned blocks once and
+// bump-allocates from them; `EpochReset()` rewinds the bump pointer so the
+// next forward/backward pass reuses the same hot memory.
+//
+// Integration: `TensorImpl::data` is a `FloatBuffer` — a std::vector whose
+// allocator routes through the thread-local arena installed by an
+// `ArenaScope`. Outside any scope (model parameters, datasets, test code)
+// allocation falls back to the 64-byte-aligned heap, so every tensor's
+// storage is SIMD-aligned regardless of provenance.
+//
+// Safety model: every allocation carries a header naming its owner, so a
+// buffer allocated under one scope may be freed from any thread, under any
+// other scope, or after the Arena object itself is gone:
+//  * `EpochReset()` only rewinds when no allocation is live; otherwise the
+//    reset is deferred and happens automatically when the last live
+//    allocation is released (`deferred_resets` counts these).
+//  * Destroying an Arena with live allocations detaches it: the blocks are
+//    freed when the last allocation is released, never under a live tensor.
+//
+// The arena exports an `arena.*` metrics family (docs/observability.md):
+// arena.bytes_in_use / arena.bytes_reserved / arena.blocks gauges plus
+// arena.epoch_resets / arena.deferred_resets / arena.oversize_allocs
+// counters, refreshed on reset boundaries (never per allocation).
+#ifndef FAIRWOS_TENSOR_ARENA_H_
+#define FAIRWOS_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fairwos::tensor {
+
+/// Alignment of every arena (and heap-fallback) allocation, chosen for
+/// cache lines and 512-bit vector loads.
+inline constexpr size_t kArenaAlignment = 64;
+
+/// Default bytes per arena block; blocks are added on demand and kept
+/// across epoch resets.
+inline constexpr size_t kArenaDefaultBlockBytes = size_t{1} << 20;
+
+namespace internal {
+struct ArenaState;
+}  // namespace internal
+
+/// A bump allocator over 64-byte-aligned blocks. Thread-safe; typically
+/// owned by a training loop and installed via ArenaScope for its duration.
+class Arena {
+ public:
+  struct Options {
+    size_t block_bytes = kArenaDefaultBlockBytes;
+  };
+
+  Arena() : Arena(Options{}) {}
+  explicit Arena(Options options);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Rewinds the bump pointer so subsequent allocations reuse the existing
+  /// blocks. If allocations are still live the rewind is deferred until the
+  /// last one is released (counted in stats().deferred_resets).
+  void EpochReset();
+
+  struct Stats {
+    size_t bytes_in_use = 0;    // live payload + header bytes
+    size_t bytes_reserved = 0;  // sum of block capacities
+    size_t blocks = 0;
+    size_t high_water_bytes = 0;  // max bytes_in_use since construction
+    int64_t allocations = 0;      // lifetime count served from blocks
+    int64_t oversize_allocs = 0;  // requests larger than a block (heap path)
+    int64_t epoch_resets = 0;
+    int64_t deferred_resets = 0;
+    int64_t live_allocations = 0;
+  };
+  Stats stats() const;
+
+  size_t block_bytes() const;
+
+ private:
+  friend class ArenaScope;
+
+  internal::ArenaState* state_;  // heap-owned; outlives `this` if detached
+};
+
+/// Installs an arena as the calling thread's allocation target for the
+/// lifetime of the scope. Scopes nest; the previous target is restored on
+/// destruction.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  internal::ArenaState* previous_;
+};
+
+/// The arena installed on this thread, or nullptr (heap fallback).
+Arena* CurrentThreadArena();
+
+/// Allocates `bytes` of 64-byte-aligned storage from the thread's arena
+/// (heap when none is installed); `ArenaDeallocate` routes the release to
+/// the owning arena via the allocation header, from any thread.
+void* ArenaAllocate(size_t bytes);
+void ArenaDeallocate(void* p);
+
+/// Stateless STL allocator over ArenaAllocate/ArenaDeallocate.
+template <typename T>
+struct ArenaStlAllocator {
+  using value_type = T;
+
+  ArenaStlAllocator() noexcept = default;
+  template <typename U>
+  ArenaStlAllocator(const ArenaStlAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(ArenaAllocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) noexcept { ArenaDeallocate(p); }
+
+  template <typename U>
+  bool operator==(const ArenaStlAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const ArenaStlAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// The storage type behind TensorImpl::data: vector semantics, 64-byte
+/// alignment, arena-backed inside an ArenaScope.
+using FloatBuffer = std::vector<float, ArenaStlAllocator<float>>;
+
+}  // namespace fairwos::tensor
+
+#endif  // FAIRWOS_TENSOR_ARENA_H_

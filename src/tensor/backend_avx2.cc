@@ -1,0 +1,572 @@
+// AVX2/FMA kernel hooks for Avx2Backend. This translation unit is compiled
+// with -mavx2 -mfma (see src/tensor/CMakeLists.txt); nothing here runs
+// unless runtime CPUID dispatch selected the backend, so the rest of the
+// binary stays runnable on any x86-64.
+//
+// Bit-identity discipline (docs/kernels.md): with fast-math OFF every hook
+// below performs, per output element, exactly the operation sequence of the
+// scalar reference — separate mul-then-add (no FMA fusion), identical
+// zero-skips, and min/max operand orders chosen to reproduce scalar
+// NaN/signed-zero behaviour. Kernels whose vectorization would reassociate
+// a reduction (GemmNT dot products, Reduce) delegate to the scalar hook
+// unless fast-math is on.
+
+#include "tensor/backend.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairwos::tensor {
+namespace {
+
+template <bool kFma>
+inline __m256 MulAdd(__m256 a, __m256 b, __m256 acc) {
+  if constexpr (kFma) {
+    return _mm256_fmadd_ps(a, b, acc);
+  } else {
+    // Separate rounding after the multiply and after the add — the scalar
+    // sequence, vectorized lane-wise.
+    return _mm256_add_ps(acc, _mm256_mul_ps(a, b));
+  }
+}
+
+/// yrow[0..m) += av * xrow[0..m)
+template <bool kFma>
+inline void Axpy(float av, const float* xrow, float* yrow, int64_t m) {
+  const __m256 vav = _mm256_set1_ps(av);
+  int64_t p = 0;
+  for (; p + 8 <= m; p += 8) {
+    _mm256_storeu_ps(
+        yrow + p, MulAdd<kFma>(vav, _mm256_loadu_ps(xrow + p),
+                               _mm256_loadu_ps(yrow + p)));
+  }
+  for (; p < m; ++p) yrow[p] += av * xrow[p];
+}
+
+/// One chunk of GemmNN with the output row register-tiled 32 columns at a
+/// time: the j-tile accumulators stay in ymm registers across the whole p
+/// loop, which removes the per-p load/store round trip of the naive axpy
+/// form while keeping each c[i,j]'s accumulation order exactly serial.
+template <bool kFma>
+void GemmNNChunkImpl(const float* a, const float* b, float* c, int64_t lo,
+                     int64_t hi, int64_t k, int64_t m) {
+  for (int64_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    int64_t j = 0;
+    for (; j + 32 <= m; j += 32) {
+      __m256 acc0 = _mm256_loadu_ps(crow + j);
+      __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+      __m256 acc2 = _mm256_loadu_ps(crow + j + 16);
+      __m256 acc3 = _mm256_loadu_ps(crow + j + 24);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const __m256 vav = _mm256_set1_ps(av);
+        const float* brow = b + p * m + j;
+        acc0 = MulAdd<kFma>(vav, _mm256_loadu_ps(brow), acc0);
+        acc1 = MulAdd<kFma>(vav, _mm256_loadu_ps(brow + 8), acc1);
+        acc2 = MulAdd<kFma>(vav, _mm256_loadu_ps(brow + 16), acc2);
+        acc3 = MulAdd<kFma>(vav, _mm256_loadu_ps(brow + 24), acc3);
+      }
+      _mm256_storeu_ps(crow + j, acc0);
+      _mm256_storeu_ps(crow + j + 8, acc1);
+      _mm256_storeu_ps(crow + j + 16, acc2);
+      _mm256_storeu_ps(crow + j + 24, acc3);
+    }
+    for (; j + 8 <= m; j += 8) {
+      __m256 acc = _mm256_loadu_ps(crow + j);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        acc = MulAdd<kFma>(_mm256_set1_ps(av),
+                           _mm256_loadu_ps(b + p * m + j), acc);
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    if (j < m) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * m;
+        for (int64_t jj = j; jj < m; ++jj) crow[jj] += av * brow[jj];
+      }
+    }
+  }
+}
+
+template <bool kFma>
+void GemmTNChunkImpl(const float* a, const float* b, float* c, int64_t lo,
+                     int64_t hi, int64_t n, int64_t k, int64_t m) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * m;
+    for (int64_t j = lo; j < hi; ++j) {
+      const float av = arow[j];
+      if (av == 0.0f) continue;
+      Axpy<kFma>(av, brow, c + j * m, m);
+    }
+  }
+}
+
+/// FMA dot product with a fixed horizontal-sum order — fast-math only.
+float DotFma(const float* a, const float* b, int64_t m) {
+  __m256 acc = _mm256_setzero_ps();
+  int64_t p = 0;
+  for (; p + 8 <= m; p += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + p), _mm256_loadu_ps(b + p), acc);
+  }
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(acc),
+                        _mm256_extractf128_ps(acc, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  float r = _mm_cvtss_f32(s);
+  for (; p < m; ++p) r += a[p] * b[p];
+  return r;
+}
+
+inline __m256 OnesMaskTo1f(__m256 mask) {
+  return _mm256_and_ps(mask, _mm256_set1_ps(1.0f));
+}
+
+}  // namespace
+
+void Avx2Backend::GemmNNChunk(const float* a, const float* b, float* c,
+                              int64_t lo, int64_t hi, int64_t k,
+                              int64_t m) const {
+  if (FastMathEnabled()) {
+    GemmNNChunkImpl<true>(a, b, c, lo, hi, k, m);
+  } else {
+    GemmNNChunkImpl<false>(a, b, c, lo, hi, k, m);
+  }
+}
+
+void Avx2Backend::GemmNTChunk(const float* a, const float* b, float* c,
+                              int64_t lo, int64_t hi, int64_t m,
+                              int64_t k) const {
+  if (!FastMathEnabled()) {
+    // The inner dot product reassociates under vectorization; stay scalar
+    // to keep the backend bit-identical to the reference.
+    CpuBackend::GemmNTChunk(a, b, c, lo, hi, m, k);
+    return;
+  }
+  for (int64_t i = lo; i < hi; ++i) {
+    const float* arow = a + i * m;
+    float* crow = c + i * k;
+    for (int64_t j = 0; j < k; ++j) crow[j] += DotFma(arow, b + j * m, m);
+  }
+}
+
+void Avx2Backend::GemmTNChunk(const float* a, const float* b, float* c,
+                              int64_t lo, int64_t hi, int64_t n, int64_t k,
+                              int64_t m) const {
+  if (FastMathEnabled()) {
+    GemmTNChunkImpl<true>(a, b, c, lo, hi, n, k, m);
+  } else {
+    GemmTNChunkImpl<false>(a, b, c, lo, hi, n, k, m);
+  }
+}
+
+void Avx2Backend::SpmmChunk(const int64_t* row_ptr, const int64_t* col_idx,
+                            const float* values, int64_t lo, int64_t hi,
+                            const float* x, int64_t x_cols, float* y) const {
+  const bool fm = FastMathEnabled();
+  std::fill(y + lo * x_cols, y + hi * x_cols, 0.0f);
+  for (int64_t r = lo; r < hi; ++r) {
+    float* yrow = y + r * x_cols;
+    for (int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      const float* xrow = x + col_idx[p] * x_cols;
+      if (fm) {
+        Axpy<true>(values[p], xrow, yrow, x_cols);
+      } else {
+        Axpy<false>(values[p], xrow, yrow, x_cols);
+      }
+    }
+  }
+}
+
+void Avx2Backend::EwiseBinaryChunk(EwiseBinaryOp op, const float* a,
+                                   const float* b, float* out, int64_t lo,
+                                   int64_t hi) const {
+  int64_t i = lo;
+  switch (op) {
+    case EwiseBinaryOp::kAdd:
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      }
+      for (; i < hi; ++i) out[i] = a[i] + b[i];
+      break;
+    case EwiseBinaryOp::kSub:
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      }
+      for (; i < hi; ++i) out[i] = a[i] - b[i];
+      break;
+    case EwiseBinaryOp::kMul:
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      }
+      for (; i < hi; ++i) out[i] = a[i] * b[i];
+      break;
+    case EwiseBinaryOp::kDiv:
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                                _mm256_loadu_ps(b + i)));
+      }
+      for (; i < hi; ++i) out[i] = a[i] / b[i];
+      break;
+  }
+}
+
+void Avx2Backend::EwiseBinaryGradChunk(EwiseBinaryOp op, int input,
+                                       const float* y, const float* gy,
+                                       const float* a, const float* b,
+                                       float* gx, int64_t lo,
+                                       int64_t hi) const {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  int64_t i = lo;
+  switch (op) {
+    case EwiseBinaryOp::kAdd:
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(gx + i, _mm256_add_ps(_mm256_loadu_ps(gx + i),
+                                               _mm256_loadu_ps(gy + i)));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i];
+      break;
+    case EwiseBinaryOp::kSub:
+      if (input == 0) {
+        for (; i + 8 <= hi; i += 8) {
+          _mm256_storeu_ps(gx + i, _mm256_add_ps(_mm256_loadu_ps(gx + i),
+                                                 _mm256_loadu_ps(gy + i)));
+        }
+        for (; i < hi; ++i) gx[i] += gy[i];
+      } else {
+        for (; i + 8 <= hi; i += 8) {
+          const __m256 ng = _mm256_xor_ps(_mm256_loadu_ps(gy + i), sign);
+          _mm256_storeu_ps(gx + i, _mm256_add_ps(_mm256_loadu_ps(gx + i), ng));
+        }
+        for (; i < hi; ++i) gx[i] += -gy[i];
+      }
+      break;
+    case EwiseBinaryOp::kMul: {
+      const float* other = input == 0 ? b : a;
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(gy + i),
+                                       _mm256_loadu_ps(other + i));
+        _mm256_storeu_ps(gx + i, _mm256_add_ps(_mm256_loadu_ps(gx + i), t));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i] * other[i];
+      break;
+    }
+    case EwiseBinaryOp::kDiv:
+      if (input == 0) {
+        for (; i + 8 <= hi; i += 8) {
+          const __m256 t = _mm256_div_ps(_mm256_loadu_ps(gy + i),
+                                         _mm256_loadu_ps(b + i));
+          _mm256_storeu_ps(gx + i, _mm256_add_ps(_mm256_loadu_ps(gx + i), t));
+        }
+        for (; i < hi; ++i) gx[i] += gy[i] / b[i];
+      } else {
+        // (-gy) * y / b, the scalar evaluation order.
+        for (; i + 8 <= hi; i += 8) {
+          const __m256 ng = _mm256_xor_ps(_mm256_loadu_ps(gy + i), sign);
+          const __m256 t = _mm256_div_ps(
+              _mm256_mul_ps(ng, _mm256_loadu_ps(y + i)),
+              _mm256_loadu_ps(b + i));
+          _mm256_storeu_ps(gx + i, _mm256_add_ps(_mm256_loadu_ps(gx + i), t));
+        }
+        for (; i < hi; ++i) gx[i] += -gy[i] * y[i] / b[i];
+      }
+      break;
+  }
+}
+
+void Avx2Backend::EwiseUnaryChunk(EwiseUnaryOp op, float p0, float p1,
+                                  const float* x, float* out, int64_t lo,
+                                  int64_t hi) const {
+  int64_t i = lo;
+  switch (op) {
+    case EwiseUnaryOp::kAddScalar: {
+      const __m256 vs = _mm256_set1_ps(p0);
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(x + i), vs));
+      }
+      for (; i < hi; ++i) out[i] = x[i] + p0;
+      return;
+    }
+    case EwiseUnaryOp::kMulScalar: {
+      const __m256 vs = _mm256_set1_ps(p0);
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+      }
+      for (; i < hi; ++i) out[i] = x[i] * p0;
+      return;
+    }
+    case EwiseUnaryOp::kRelu: {
+      // max_ps(x, 0): returns the SECOND operand when x is NaN or -0, which
+      // matches the scalar `x > 0 ? x : 0.0f`.
+      const __m256 z = _mm256_setzero_ps();
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_max_ps(_mm256_loadu_ps(x + i), z));
+      }
+      for (; i < hi; ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      return;
+    }
+    case EwiseUnaryOp::kLeakyRelu: {
+      const __m256 z = _mm256_setzero_ps();
+      const __m256 vs = _mm256_set1_ps(p0);
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 v = _mm256_loadu_ps(x + i);
+        const __m256 mask = _mm256_cmp_ps(v, z, _CMP_GT_OQ);
+        _mm256_storeu_ps(out + i,
+                         _mm256_blendv_ps(_mm256_mul_ps(vs, v), v, mask));
+      }
+      for (; i < hi; ++i) out[i] = x[i] > 0.0f ? x[i] : p0 * x[i];
+      return;
+    }
+    case EwiseUnaryOp::kSqrt:
+      // IEEE requires correctly rounded sqrt, so _mm256_sqrt_ps is
+      // bit-identical to std::sqrt.
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_sqrt_ps(_mm256_loadu_ps(x + i)));
+      }
+      for (; i < hi; ++i) out[i] = std::sqrt(x[i]);
+      return;
+    case EwiseUnaryOp::kAbs: {
+      const __m256 mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(out + i, _mm256_and_ps(_mm256_loadu_ps(x + i), mask));
+      }
+      for (; i < hi; ++i) out[i] = std::abs(x[i]);
+      return;
+    }
+    case EwiseUnaryOp::kClamp: {
+      // max(lo_vec, x) then min(hi_vec, ·), operand orders chosen so a NaN
+      // input propagates exactly like std::min(std::max(x, lo), hi).
+      const __m256 vlo = _mm256_set1_ps(p0);
+      const __m256 vhi = _mm256_set1_ps(p1);
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 m = _mm256_max_ps(vlo, _mm256_loadu_ps(x + i));
+        _mm256_storeu_ps(out + i, _mm256_min_ps(vhi, m));
+      }
+      for (; i < hi; ++i) out[i] = std::min(std::max(x[i], p0), p1);
+      return;
+    }
+    case EwiseUnaryOp::kSigmoid:
+    case EwiseUnaryOp::kTanh:
+    case EwiseUnaryOp::kExp:
+    case EwiseUnaryOp::kLog:
+    case EwiseUnaryOp::kPow:
+      // Transcendentals stay on libm in every backend: a vector polynomial
+      // approximation could not be bit-identical to the reference.
+      CpuBackend::EwiseUnaryChunk(op, p0, p1, x, out, lo, hi);
+      return;
+  }
+}
+
+void Avx2Backend::EwiseUnaryGradChunk(EwiseUnaryOp op, float p0, float p1,
+                                      const float* y, const float* x,
+                                      const float* gy, float* gx, int64_t lo,
+                                      int64_t hi) const {
+  const __m256 ones = _mm256_set1_ps(1.0f);
+  const __m256 z = _mm256_setzero_ps();
+  // Every case below materialises df exactly as the scalar hook computes it
+  // and then applies gx += gy * df lane-wise (mul then add, no fusion).
+  const auto accumulate = [&](int64_t i, __m256 df) {
+    const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(gy + i), df);
+    _mm256_storeu_ps(gx + i, _mm256_add_ps(_mm256_loadu_ps(gx + i), t));
+  };
+  int64_t i = lo;
+  switch (op) {
+    case EwiseUnaryOp::kAddScalar:
+      for (; i + 8 <= hi; i += 8) {
+        _mm256_storeu_ps(gx + i, _mm256_add_ps(_mm256_loadu_ps(gx + i),
+                                               _mm256_loadu_ps(gy + i)));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i];
+      return;
+    case EwiseUnaryOp::kMulScalar: {
+      const __m256 vs = _mm256_set1_ps(p0);
+      for (; i + 8 <= hi; i += 8) accumulate(i, vs);
+      for (; i < hi; ++i) gx[i] += gy[i] * p0;
+      return;
+    }
+    case EwiseUnaryOp::kRelu:
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(x + i), z,
+                                          _CMP_GT_OQ);
+        accumulate(i, OnesMaskTo1f(mask));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i] * (x[i] > 0.0f ? 1.0f : 0.0f);
+      return;
+    case EwiseUnaryOp::kLeakyRelu: {
+      const __m256 vs = _mm256_set1_ps(p0);
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(x + i), z,
+                                          _CMP_GT_OQ);
+        accumulate(i, _mm256_blendv_ps(vs, ones, mask));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i] * (x[i] > 0.0f ? 1.0f : p0);
+      return;
+    }
+    case EwiseUnaryOp::kSigmoid:
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 vy = _mm256_loadu_ps(y + i);
+        accumulate(i, _mm256_mul_ps(vy, _mm256_sub_ps(ones, vy)));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i] * (y[i] * (1.0f - y[i]));
+      return;
+    case EwiseUnaryOp::kTanh:
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 vy = _mm256_loadu_ps(y + i);
+        accumulate(i, _mm256_sub_ps(ones, _mm256_mul_ps(vy, vy)));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i] * (1.0f - y[i] * y[i]);
+      return;
+    case EwiseUnaryOp::kExp:
+      for (; i + 8 <= hi; i += 8) accumulate(i, _mm256_loadu_ps(y + i));
+      for (; i < hi; ++i) gx[i] += gy[i] * y[i];
+      return;
+    case EwiseUnaryOp::kLog:
+      for (; i + 8 <= hi; i += 8) {
+        accumulate(i, _mm256_div_ps(ones, _mm256_loadu_ps(x + i)));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i] * (1.0f / x[i]);
+      return;
+    case EwiseUnaryOp::kSqrt: {
+      const __m256 half = _mm256_set1_ps(0.5f);
+      const __m256 eps = _mm256_set1_ps(1e-12f);
+      for (; i + 8 <= hi; i += 8) {
+        // max_ps(eps, y) keeps a NaN y, matching std::max(y, 1e-12f).
+        const __m256 m = _mm256_max_ps(eps, _mm256_loadu_ps(y + i));
+        accumulate(i, _mm256_div_ps(half, m));
+      }
+      for (; i < hi; ++i) gx[i] += gy[i] * (0.5f / std::max(y[i], 1e-12f));
+      return;
+    }
+    case EwiseUnaryOp::kAbs: {
+      const __m256 neg_ones = _mm256_set1_ps(-1.0f);
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 v = _mm256_loadu_ps(x + i);
+        const __m256 pos = _mm256_and_ps(_mm256_cmp_ps(v, z, _CMP_GT_OQ),
+                                         ones);
+        const __m256 neg = _mm256_and_ps(_mm256_cmp_ps(v, z, _CMP_LT_OQ),
+                                         neg_ones);
+        accumulate(i, _mm256_or_ps(pos, neg));
+      }
+      for (; i < hi; ++i) {
+        gx[i] += gy[i] * (x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f));
+      }
+      return;
+    }
+    case EwiseUnaryOp::kClamp: {
+      const __m256 vlo = _mm256_set1_ps(p0);
+      const __m256 vhi = _mm256_set1_ps(p1);
+      for (; i + 8 <= hi; i += 8) {
+        const __m256 v = _mm256_loadu_ps(x + i);
+        const __m256 mask = _mm256_and_ps(_mm256_cmp_ps(v, vlo, _CMP_GE_OQ),
+                                          _mm256_cmp_ps(v, vhi, _CMP_LE_OQ));
+        accumulate(i, OnesMaskTo1f(mask));
+      }
+      for (; i < hi; ++i) {
+        gx[i] += gy[i] * ((x[i] >= p0 && x[i] <= p1) ? 1.0f : 0.0f);
+      }
+      return;
+    }
+    case EwiseUnaryOp::kPow:
+      CpuBackend::EwiseUnaryGradChunk(op, p0, p1, y, x, gy, gx, lo, hi);
+      return;
+  }
+}
+
+double Avx2Backend::ReduceChunk(ReduceKind kind, const float* x, int64_t lo,
+                                int64_t hi) const {
+  if (!FastMathEnabled()) {
+    // Sequential double accumulation is order-sensitive; keep the scalar
+    // reference path for bit-identity.
+    return CpuBackend::ReduceChunk(kind, x, lo, hi);
+  }
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    acc = kind == ReduceKind::kSum ? _mm256_add_pd(acc, v)
+                                   : _mm256_fmadd_pd(v, v, acc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  double part = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+  for (; i < hi; ++i) {
+    part += kind == ReduceKind::kSum ? static_cast<double>(x[i])
+                                     : static_cast<double>(x[i]) * x[i];
+  }
+  return part;
+}
+
+}  // namespace fairwos::tensor
+
+#else  // !(__AVX2__ && __FMA__)
+
+// Built without AVX2 target support (non-x86 or stripped flags): the hooks
+// degrade to the scalar reference bodies. Runtime dispatch never selects
+// this backend on such hosts anyway (common::CpuSupportsAvx2Fma is false).
+namespace fairwos::tensor {
+
+void Avx2Backend::GemmNNChunk(const float* a, const float* b, float* c,
+                              int64_t lo, int64_t hi, int64_t k,
+                              int64_t m) const {
+  CpuBackend::GemmNNChunk(a, b, c, lo, hi, k, m);
+}
+void Avx2Backend::GemmNTChunk(const float* a, const float* b, float* c,
+                              int64_t lo, int64_t hi, int64_t m,
+                              int64_t k) const {
+  CpuBackend::GemmNTChunk(a, b, c, lo, hi, m, k);
+}
+void Avx2Backend::GemmTNChunk(const float* a, const float* b, float* c,
+                              int64_t lo, int64_t hi, int64_t n, int64_t k,
+                              int64_t m) const {
+  CpuBackend::GemmTNChunk(a, b, c, lo, hi, n, k, m);
+}
+void Avx2Backend::SpmmChunk(const int64_t* row_ptr, const int64_t* col_idx,
+                            const float* values, int64_t lo, int64_t hi,
+                            const float* x, int64_t x_cols, float* y) const {
+  CpuBackend::SpmmChunk(row_ptr, col_idx, values, lo, hi, x, x_cols, y);
+}
+void Avx2Backend::EwiseBinaryChunk(EwiseBinaryOp op, const float* a,
+                                   const float* b, float* out, int64_t lo,
+                                   int64_t hi) const {
+  CpuBackend::EwiseBinaryChunk(op, a, b, out, lo, hi);
+}
+void Avx2Backend::EwiseBinaryGradChunk(EwiseBinaryOp op, int input,
+                                       const float* y, const float* gy,
+                                       const float* a, const float* b,
+                                       float* gx, int64_t lo,
+                                       int64_t hi) const {
+  CpuBackend::EwiseBinaryGradChunk(op, input, y, gy, a, b, gx, lo, hi);
+}
+void Avx2Backend::EwiseUnaryChunk(EwiseUnaryOp op, float p0, float p1,
+                                  const float* x, float* out, int64_t lo,
+                                  int64_t hi) const {
+  CpuBackend::EwiseUnaryChunk(op, p0, p1, x, out, lo, hi);
+}
+void Avx2Backend::EwiseUnaryGradChunk(EwiseUnaryOp op, float p0, float p1,
+                                      const float* y, const float* x,
+                                      const float* gy, float* gx, int64_t lo,
+                                      int64_t hi) const {
+  CpuBackend::EwiseUnaryGradChunk(op, p0, p1, y, x, gy, gx, lo, hi);
+}
+double Avx2Backend::ReduceChunk(ReduceKind kind, const float* x, int64_t lo,
+                                int64_t hi) const {
+  return CpuBackend::ReduceChunk(kind, x, lo, hi);
+}
+
+}  // namespace fairwos::tensor
+
+#endif  // __AVX2__ && __FMA__

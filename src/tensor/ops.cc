@@ -7,6 +7,7 @@
 
 #include "common/fault.h"
 #include "common/threadpool.h"
+#include "tensor/backend.h"
 
 namespace fairwos::tensor {
 namespace {
@@ -14,25 +15,21 @@ namespace {
 using internal::TensorImpl;
 using ImplPtr = std::shared_ptr<TensorImpl>;
 
+// Compute kernels live in the KernelBackend layer (tensor/backend.h): the
+// Gemm family, SpMM, the elementwise families and reductions below all
+// route through ActiveBackend(). What stays in this file is the autograd
+// glue (tape construction, backward closures) plus the fused row kernels
+// (softmax/losses/GAT/normalize) that are op-specific by nature.
+//
 // Parallelism discipline (docs/parallelism.md): every ParallelFor below
 // chunks over disjoint output slots, and a chunk computes each slot in the
 // same order the serial loop would, so results are bit-identical at any
 // --threads value. Reductions accumulate fixed-size chunk partials that are
 // combined in chunk order — deterministic, independent of the worker count.
 
-/// Elements per chunk for memory-bound elementwise loops.
-constexpr int64_t kElemGrain = 1 << 15;
-
-/// Rows per chunk for row-blocked loops, scaled so a chunk carries roughly
-/// kRowWorkTarget inner iterations regardless of the row width.
-int64_t RowGrain(int64_t row_cost) {
-  constexpr int64_t kRowWorkTarget = 1 << 16;
-  return std::max<int64_t>(1, kRowWorkTarget / std::max<int64_t>(row_cost, 1));
-}
-
 /// Builds an op output: takes the forward result, remembers inputs and the
 /// backward closure only when recording is on and some input needs a grad.
-Tensor MakeOp(Shape shape, std::vector<float> data,
+Tensor MakeOp(Shape shape, FloatBuffer data,
               const std::vector<Tensor>& inputs,
               std::function<void(TensorImpl&)> backward_fn) {
   FW_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()));
@@ -60,134 +57,49 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
       << ShapeToString(b.shape());
 }
 
-/// c[n,m] += a[n,k] * b[k,m]  (ikj loop order for locality). Row-blocked:
-/// each chunk owns rows [lo, hi) of c.
-void GemmNN(const float* a, const float* b, float* c, int64_t n, int64_t k,
-            int64_t m) {
-  common::ParallelFor(0, n, RowGrain(k * m), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * m;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * m;
-        for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
-}
-
-/// c[n,k] += a[n,m] * b[k,m]ᵀ  (i.e. c = a · bᵀ). Row-blocked over c rows.
-void GemmNT(const float* a, const float* b, float* c, int64_t n, int64_t m,
-            int64_t k) {
-  common::ParallelFor(0, n, RowGrain(m * k), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* arow = a + i * m;
-      float* crow = c + i * k;
-      for (int64_t j = 0; j < k; ++j) {
-        const float* brow = b + j * m;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < m; ++p) acc += arow[p] * brow[p];
-        crow[j] += acc;
-      }
-    }
-  });
-}
-
-/// c[k,m] += a[n,k]ᵀ * b[n,m]  (i.e. c = aᵀ · b). Chunked over the k output
-/// rows of c with i kept as the outer loop inside each chunk, so every c
-/// element accumulates its n contributions in the same order as the serial
-/// ikj nest.
-void GemmTN(const float* a, const float* b, float* c, int64_t n, int64_t k,
-            int64_t m) {
-  common::ParallelFor(0, k, RowGrain(n * m), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = 0; i < n; ++i) {
-      const float* arow = a + i * k;
-      const float* brow = b + i * m;
-      for (int64_t j = lo; j < hi; ++j) {
-        const float av = arow[j];
-        if (av == 0.0f) continue;
-        float* crow = c + j * m;
-        for (int64_t p = 0; p < m; ++p) crow[p] += av * brow[p];
-      }
-    }
-  });
-}
-
-/// Elementwise unary op with derivative computed from the *output* value.
-/// `dfn(y, x)` returns dy/dx given forward output y and input x.
-template <typename Fwd, typename Dfn>
-Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfn dfn) {
-  std::vector<float> out(a.data().size());
-  common::ParallelFor(
-      0, static_cast<int64_t>(out.size()), kElemGrain,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          out[static_cast<size_t>(i)] = fwd(a.data()[static_cast<size_t>(i)]);
-        }
-      });
+/// One elementwise-unary op through the backend: forward via EwiseUnary,
+/// backward via EwiseUnaryGrad (which accumulates gy·d(op)/dx into the
+/// input gradient). Every unary in ops.h is one line on top of this.
+Tensor UnaryBackendOp(const Tensor& a, EwiseUnaryOp op, float p0 = 0.0f,
+                      float p1 = 0.0f) {
+  const int64_t n = a.numel();
+  FloatBuffer out(a.data().size());
+  ActiveBackend().EwiseUnary(op, p0, p1, a.data().data(), out.data(), n);
   ImplPtr ai = a.impl_ptr();
   return MakeOp(a.shape(), std::move(out), {a},
-                [ai, dfn](TensorImpl& self) {
+                [ai, op, p0, p1, n](TensorImpl& self) {
                   if (!NeedsGrad(ai)) return;
                   ai->EnsureGrad();
-                  common::ParallelFor(
-                      0, static_cast<int64_t>(self.data.size()), kElemGrain,
-                      [&](int64_t lo, int64_t hi) {
-                        for (int64_t i = lo; i < hi; ++i) {
-                          const auto u = static_cast<size_t>(i);
-                          ai->grad[u] +=
-                              self.grad[u] * dfn(self.data[u], ai->data[u]);
-                        }
-                      });
+                  ActiveBackend().EwiseUnaryGrad(
+                      op, p0, p1, self.data.data(), ai->data.data(),
+                      self.grad.data(), ai->grad.data(), n);
                 });
 }
 
-}  // namespace
-
-namespace {
-
-/// Shared chunked-elementwise body for the binary arithmetic ops: fills
-/// `out[i] = fwd(a[i], b[i])` and builds a backward that applies `dfa`/`dfb`
-/// per element (each writes its own disjoint grad slot).
-template <typename Fwd, typename Dfa, typename Dfb>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
-                Dfa dfa, Dfb dfb) {
+/// One elementwise-binary op through the backend; the backward runs
+/// EwiseBinaryGrad once per input that needs a gradient (each accumulates
+/// into its own disjoint grad buffer).
+Tensor BinaryBackendOp(const Tensor& a, const Tensor& b, EwiseBinaryOp op,
+                       const char* name) {
   CheckSameShape(a, b, name);
-  std::vector<float> out(a.data().size());
-  common::ParallelFor(
-      0, static_cast<int64_t>(out.size()), kElemGrain,
-      [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          const auto u = static_cast<size_t>(i);
-          out[u] = fwd(a.data()[u], b.data()[u]);
-        }
-      });
+  const int64_t n = a.numel();
+  FloatBuffer out(a.data().size());
+  ActiveBackend().EwiseBinary(op, a.data().data(), b.data().data(), out.data(),
+                              n);
   ImplPtr ai = a.impl_ptr(), bi = b.impl_ptr();
   return MakeOp(a.shape(), std::move(out), {a, b},
-                [ai, bi, dfa, dfb](TensorImpl& self) {
+                [ai, bi, op, n](TensorImpl& self) {
                   if (NeedsGrad(ai)) {
                     ai->EnsureGrad();
-                    common::ParallelFor(
-                        0, static_cast<int64_t>(self.grad.size()), kElemGrain,
-                        [&](int64_t lo, int64_t hi) {
-                          for (int64_t i = lo; i < hi; ++i) {
-                            const auto u = static_cast<size_t>(i);
-                            ai->grad[u] += dfa(self, *ai, *bi, u);
-                          }
-                        });
+                    ActiveBackend().EwiseBinaryGrad(
+                        op, 0, self.data.data(), self.grad.data(),
+                        ai->data.data(), bi->data.data(), ai->grad.data(), n);
                   }
                   if (NeedsGrad(bi)) {
                     bi->EnsureGrad();
-                    common::ParallelFor(
-                        0, static_cast<int64_t>(self.grad.size()), kElemGrain,
-                        [&](int64_t lo, int64_t hi) {
-                          for (int64_t i = lo; i < hi; ++i) {
-                            const auto u = static_cast<size_t>(i);
-                            bi->grad[u] += dfb(self, *ai, *bi, u);
-                          }
-                        });
+                    ActiveBackend().EwiseBinaryGrad(
+                        op, 1, self.data.data(), self.grad.data(),
+                        ai->data.data(), bi->data.data(), bi->grad.data(), n);
                   }
                 });
 }
@@ -195,42 +107,27 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, const char* name, Fwd fwd,
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, "Add", [](float x, float y) { return x + y; },
-      [](const TensorImpl& self, const TensorImpl&, const TensorImpl&,
-         size_t i) { return self.grad[i]; },
-      [](const TensorImpl& self, const TensorImpl&, const TensorImpl&,
-         size_t i) { return self.grad[i]; });
+  return BinaryBackendOp(a, b, EwiseBinaryOp::kAdd, "Add");
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, "Sub", [](float x, float y) { return x - y; },
-      [](const TensorImpl& self, const TensorImpl&, const TensorImpl&,
-         size_t i) { return self.grad[i]; },
-      [](const TensorImpl& self, const TensorImpl&, const TensorImpl&,
-         size_t i) { return -self.grad[i]; });
+  return BinaryBackendOp(a, b, EwiseBinaryOp::kSub, "Sub");
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, "Mul", [](float x, float y) { return x * y; },
-      [](const TensorImpl& self, const TensorImpl&, const TensorImpl& bi,
-         size_t i) { return self.grad[i] * bi.data[i]; },
-      [](const TensorImpl& self, const TensorImpl& ai, const TensorImpl&,
-         size_t i) { return self.grad[i] * ai.data[i]; });
+  return BinaryBackendOp(a, b, EwiseBinaryOp::kMul, "Mul");
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryBackendOp(a, b, EwiseBinaryOp::kDiv, "Div");
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x + s; },
-      [](float, float) { return 1.0f; });
+  return UnaryBackendOp(a, EwiseUnaryOp::kAddScalar, s);
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x * s; },
-      [s](float, float) { return s; });
+  return UnaryBackendOp(a, EwiseUnaryOp::kMulScalar, s);
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
@@ -240,7 +137,7 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
   FW_CHECK_EQ(bias.rank(), 1);
   const int64_t n = x.dim(0), c = x.dim(1);
   FW_CHECK_EQ(bias.dim(0), c) << "AddRowBroadcast: bias length mismatch";
-  std::vector<float> out(x.data().size());
+  FloatBuffer out(x.data().size());
   common::ParallelFor(0, n, RowGrain(c), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       for (int64_t j = 0; j < c; ++j) {
@@ -286,22 +183,23 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   FW_CHECK_EQ(b.dim(0), k) << "MatMul: inner dimension mismatch "
                            << ShapeToString(a.shape()) << " x "
                            << ShapeToString(b.shape());
-  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
-  GemmNN(a.data().data(), b.data().data(), out.data(), n, k, m);
+  FloatBuffer out(static_cast<size_t>(n * m), 0.0f);
+  ActiveBackend().GemmNN(a.data().data(), b.data().data(), out.data(), n, k,
+                         m);
   ImplPtr ai = a.impl_ptr(), bi = b.impl_ptr();
   return MakeOp({n, m}, std::move(out), {a, b},
                 [ai, bi, n, k, m](TensorImpl& self) {
                   if (NeedsGrad(ai)) {
                     ai->EnsureGrad();
                     // dA = dY · Bᵀ
-                    GemmNT(self.grad.data(), bi->data.data(), ai->grad.data(),
-                           n, m, k);
+                    ActiveBackend().GemmNT(self.grad.data(), bi->data.data(),
+                                           ai->grad.data(), n, m, k);
                   }
                   if (NeedsGrad(bi)) {
                     bi->EnsureGrad();
                     // dB = Aᵀ · dY
-                    GemmTN(ai->data.data(), self.grad.data(), bi->grad.data(),
-                           n, k, m);
+                    ActiveBackend().GemmTN(ai->data.data(), self.grad.data(),
+                                           bi->grad.data(), n, k, m);
                   }
                 });
 }
@@ -309,7 +207,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   FW_CHECK_EQ(a.rank(), 2);
   const int64_t n = a.dim(0), m = a.dim(1);
-  std::vector<float> out(static_cast<size_t>(n * m));
+  FloatBuffer out(static_cast<size_t>(n * m));
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < m; ++j) {
       out[static_cast<size_t>(j * n + i)] =
@@ -335,7 +233,7 @@ Tensor SpMM(std::shared_ptr<const SparseMatrix> adj, const Tensor& x) {
   FW_CHECK_EQ(adj->cols(), x.dim(0))
       << "SpMM: adjacency cols vs feature rows";
   const int64_t c = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(adj->rows() * c));
+  FloatBuffer out(static_cast<size_t>(adj->rows() * c));
   adj->Multiply(x.data().data(), c, out.data());
   ImplPtr xi = x.impl_ptr();
   return MakeOp({adj->rows(), c}, std::move(out), {x},
@@ -353,76 +251,44 @@ Tensor SpMM(std::shared_ptr<const SparseMatrix> adj, const Tensor& x) {
                 });
 }
 
-Tensor Relu(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float, float x) { return x > 0.0f ? 1.0f : 0.0f; });
-}
+Tensor Relu(const Tensor& a) { return UnaryBackendOp(a, EwiseUnaryOp::kRelu); }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
-  return UnaryOp(
-      a,
-      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
-      [negative_slope](float, float x) {
-        return x > 0.0f ? 1.0f : negative_slope;
-      });
+  return UnaryBackendOp(a, EwiseUnaryOp::kLeakyRelu, negative_slope);
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(
-      a,
-      [](float x) {
-        // Stable in both tails.
-        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
-        const float e = std::exp(x);
-        return e / (1.0f + e);
-      },
-      [](float y, float) { return y * (1.0f - y); });
+  return UnaryBackendOp(a, EwiseUnaryOp::kSigmoid);
 }
 
-Tensor Tanh(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
-      [](float y, float) { return 1.0f - y * y; });
+Tensor Tanh(const Tensor& a) { return UnaryBackendOp(a, EwiseUnaryOp::kTanh); }
+
+Tensor Exp(const Tensor& a) { return UnaryBackendOp(a, EwiseUnaryOp::kExp); }
+
+Tensor Log(const Tensor& a) {
+  for (float v : a.data()) FW_CHECK_GT(v, 0.0f) << "Log requires positive";
+  return UnaryBackendOp(a, EwiseUnaryOp::kLog);
 }
 
-namespace {
-
-/// Deterministic parallel reduction: fixed-size chunks accumulate into
-/// per-chunk double partials (disjoint slots), which are then combined in
-/// chunk order. The chunk layout depends only on the length and kElemGrain,
-/// so the result is bit-identical at any --threads value.
-template <typename ChunkFn>
-double ChunkedReduce(int64_t size, ChunkFn chunk_fn) {
-  const int64_t num_chunks = (size + kElemGrain - 1) / kElemGrain;
-  if (num_chunks <= 1) return size > 0 ? chunk_fn(0, size) : 0.0;
-  // Iterate over chunk indices, not elements: even when ParallelFor runs
-  // inline (one thread) every partial is still computed per chunk, so the
-  // summation association never depends on the thread count.
-  std::vector<double> partials(static_cast<size_t>(num_chunks), 0.0);
-  common::ParallelFor(0, num_chunks, 1, [&](int64_t clo, int64_t chi) {
-    for (int64_t ch = clo; ch < chi; ++ch) {
-      const int64_t lo = ch * kElemGrain;
-      const int64_t hi = std::min(size, lo + kElemGrain);
-      partials[static_cast<size_t>(ch)] = chunk_fn(lo, hi);
-    }
-  });
-  double acc = 0.0;
-  for (double p : partials) acc += p;
-  return acc;
+Tensor Sqrt(const Tensor& a) {
+  for (float v : a.data()) FW_CHECK_GE(v, 0.0f) << "Sqrt requires >= 0";
+  return UnaryBackendOp(a, EwiseUnaryOp::kSqrt);
 }
 
-}  // namespace
+Tensor Abs(const Tensor& a) { return UnaryBackendOp(a, EwiseUnaryOp::kAbs); }
+
+Tensor Pow(const Tensor& a, float exponent) {
+  return UnaryBackendOp(a, EwiseUnaryOp::kPow, exponent);
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  FW_CHECK_LE(lo, hi);
+  return UnaryBackendOp(a, EwiseUnaryOp::kClamp, lo, hi);
+}
 
 Tensor Sum(const Tensor& a) {
   const double acc =
-      ChunkedReduce(a.numel(), [&](int64_t lo, int64_t hi) {
-        double part = 0.0;
-        for (int64_t i = lo; i < hi; ++i) {
-          part += a.data()[static_cast<size_t>(i)];
-        }
-        return part;
-      });
+      ActiveBackend().Reduce(ReduceKind::kSum, a.data().data(), a.numel());
   ImplPtr ai = a.impl_ptr();
   return MakeOp({1}, {static_cast<float>(acc)}, {a}, [ai](TensorImpl& self) {
     if (!NeedsGrad(ai)) return;
@@ -443,15 +309,8 @@ Tensor Mean(const Tensor& a) {
 }
 
 Tensor SumSquares(const Tensor& a) {
-  const double acc =
-      ChunkedReduce(a.numel(), [&](int64_t lo, int64_t hi) {
-        double part = 0.0;
-        for (int64_t i = lo; i < hi; ++i) {
-          const float v = a.data()[static_cast<size_t>(i)];
-          part += static_cast<double>(v) * v;
-        }
-        return part;
-      });
+  const double acc = ActiveBackend().Reduce(ReduceKind::kSumSquares,
+                                            a.data().data(), a.numel());
   ImplPtr ai = a.impl_ptr();
   return MakeOp({1}, {static_cast<float>(acc)}, {a}, [ai](TensorImpl& self) {
     if (!NeedsGrad(ai)) return;
@@ -470,7 +329,7 @@ Tensor SumSquares(const Tensor& a) {
 Tensor Rows(const Tensor& x, const std::vector<int64_t>& idx) {
   FW_CHECK_EQ(x.rank(), 2);
   const int64_t n = x.dim(0), c = x.dim(1);
-  std::vector<float> out(idx.size() * static_cast<size_t>(c));
+  FloatBuffer out(idx.size() * static_cast<size_t>(c));
   for (size_t r = 0; r < idx.size(); ++r) {
     FW_CHECK_GE(idx[r], 0);
     FW_CHECK_LT(idx[r], n);
@@ -499,7 +358,7 @@ Tensor Dropout(const Tensor& x, float p, bool training, common::Rng* rng) {
   FW_CHECK(rng != nullptr);
   const float scale = 1.0f / (1.0f - p);
   std::vector<float> mask(x.data().size());
-  std::vector<float> out(x.data().size());
+  FloatBuffer out(x.data().size());
   for (size_t i = 0; i < out.size(); ++i) {
     mask[i] = rng->Bernoulli(1.0 - p) ? scale : 0.0f;
     out[i] = x.data()[i] * mask[i];
@@ -518,7 +377,7 @@ Tensor Dropout(const Tensor& x, float p, bool training, common::Rng* rng) {
 Tensor Softmax(const Tensor& logits) {
   FW_CHECK_EQ(logits.rank(), 2);
   const int64_t n = logits.dim(0), c = logits.dim(1);
-  std::vector<float> out(logits.data().size());
+  FloatBuffer out(logits.data().size());
   common::ParallelFor(0, n, RowGrain(c), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* row = logits.data().data() + i * c;
@@ -723,67 +582,12 @@ Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets,
                 });
 }
 
-Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(
-      a, b, "Div", [](float x, float y) { return x / y; },
-      [](const TensorImpl& self, const TensorImpl&, const TensorImpl& bi,
-         size_t i) { return self.grad[i] / bi.data[i]; },
-      [](const TensorImpl& self, const TensorImpl&, const TensorImpl& bi,
-         size_t i) {
-        // d(a/b)/db = -a/b² = -out/b.
-        return -self.grad[i] * self.data[i] / bi.data[i];
-      });
-}
-
-Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::exp(x); },
-      [](float y, float) { return y; });
-}
-
-Tensor Log(const Tensor& a) {
-  for (float v : a.data()) FW_CHECK_GT(v, 0.0f) << "Log requires positive";
-  return UnaryOp(
-      a, [](float x) { return std::log(x); },
-      [](float, float x) { return 1.0f / x; });
-}
-
-Tensor Sqrt(const Tensor& a) {
-  for (float v : a.data()) FW_CHECK_GE(v, 0.0f) << "Sqrt requires >= 0";
-  return UnaryOp(
-      a, [](float x) { return std::sqrt(x); },
-      [](float y, float) { return 0.5f / std::max(y, 1e-12f); });
-}
-
-Tensor Abs(const Tensor& a) {
-  return UnaryOp(
-      a, [](float x) { return std::abs(x); },
-      [](float, float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
-}
-
-Tensor Pow(const Tensor& a, float exponent) {
-  return UnaryOp(
-      a, [exponent](float x) { return std::pow(x, exponent); },
-      [exponent](float, float x) {
-        return exponent * std::pow(x, exponent - 1.0f);
-      });
-}
-
-Tensor Clamp(const Tensor& a, float lo, float hi) {
-  FW_CHECK_LE(lo, hi);
-  return UnaryOp(
-      a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); },
-      [lo, hi](float, float x) {
-        return (x >= lo && x <= hi) ? 1.0f : 0.0f;
-      });
-}
-
 Tensor SumAxis(const Tensor& a, int axis) {
   FW_CHECK_EQ(a.rank(), 2);
   FW_CHECK(axis == 0 || axis == 1) << "SumAxis: axis must be 0 or 1";
   const int64_t n = a.dim(0), c = a.dim(1);
   const int64_t out_len = axis == 0 ? c : n;
-  std::vector<float> out(static_cast<size_t>(out_len), 0.0f);
+  FloatBuffer out(static_cast<size_t>(out_len), 0.0f);
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < c; ++j) {
       out[static_cast<size_t>(axis == 0 ? j : i)] +=
@@ -817,7 +621,7 @@ Tensor L2NormalizeRows(const Tensor& a, float eps) {
   FW_CHECK_GT(eps, 0.0f);
   const int64_t n = a.dim(0), c = a.dim(1);
   std::vector<float> norms(static_cast<size_t>(n));
-  std::vector<float> out(a.data().size());
+  FloatBuffer out(a.data().size());
   common::ParallelFor(0, n, RowGrain(c), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       double sq = 0.0;
@@ -866,7 +670,7 @@ Tensor SliceCols(const Tensor& x, int64_t start, int64_t count) {
   FW_CHECK_GE(start, 0);
   FW_CHECK_GT(count, 0);
   FW_CHECK_LE(start + count, c) << "SliceCols out of range";
-  std::vector<float> out(static_cast<size_t>(n * count));
+  FloatBuffer out(static_cast<size_t>(n * count));
   for (int64_t i = 0; i < n; ++i) {
     std::copy_n(x.data().data() + i * c + start, count,
                 out.data() + i * count);
@@ -888,7 +692,7 @@ Tensor SliceCols(const Tensor& x, int64_t start, int64_t count) {
 Tensor Reshape(const Tensor& x, Shape shape) {
   FW_CHECK_EQ(NumElements(shape), x.numel())
       << "Reshape must preserve the element count";
-  std::vector<float> out = x.data();
+  FloatBuffer out = x.data();
   ImplPtr xi = x.impl_ptr();
   return MakeOp(std::move(shape), std::move(out), {x},
                 [xi](TensorImpl& self) {
@@ -914,7 +718,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
       cols += parts[p].dim(1);
     }
   }
-  std::vector<float> out(static_cast<size_t>(rows * cols));
+  FloatBuffer out(static_cast<size_t>(rows * cols));
   if (axis == 0) {
     size_t offset = 0;
     for (const auto& p : parts) {
@@ -985,7 +789,7 @@ Tensor GatAggregate(const std::shared_ptr<const SparseMatrix>& adj,
   const auto& row_ptr = adj->row_ptr();
   const auto& col_idx = adj->col_idx();
   std::vector<float> alpha(static_cast<size_t>(adj->nnz()), 0.0f);
-  std::vector<float> out(static_cast<size_t>(n * c), 0.0f);
+  FloatBuffer out(static_cast<size_t>(n * c), 0.0f);
   const float* d = dst_score.data().data();
   const float* s = src_score.data().data();
   const float* x = values.data().data();

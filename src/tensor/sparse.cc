@@ -2,16 +2,9 @@
 
 #include <algorithm>
 
-#include "common/threadpool.h"
+#include "tensor/backend.h"
 
 namespace fairwos::tensor {
-namespace {
-
-// Rows per ParallelFor chunk. Adjacency rows are cheap (average degree is
-// small), so batch enough of them that chunk overhead stays negligible.
-constexpr int64_t kSpmvRowGrain = 256;
-
-}  // namespace
 
 std::shared_ptr<SparseMatrix> SparseMatrix::FromCoo(
     int64_t rows, int64_t cols, std::vector<CooEntry> entries) {
@@ -77,20 +70,8 @@ void SparseMatrix::Multiply(const float* x, int64_t x_cols, float* y) const {
   FW_CHECK(x != nullptr);
   FW_CHECK(y != nullptr);
   FW_CHECK_GT(x_cols, 0);
-  // Each output row is owned by exactly one chunk, so the accumulation
-  // order per row matches the serial loop — bit-identical at any --threads.
-  common::ParallelFor(0, rows_, kSpmvRowGrain, [&](int64_t lo, int64_t hi) {
-    std::fill(y + lo * x_cols, y + hi * x_cols, 0.0f);
-    for (int64_t r = lo; r < hi; ++r) {
-      float* yrow = y + r * x_cols;
-      for (int64_t p = row_ptr_[static_cast<size_t>(r)];
-           p < row_ptr_[static_cast<size_t>(r) + 1]; ++p) {
-        const float v = values_[static_cast<size_t>(p)];
-        const float* xrow = x + col_idx_[static_cast<size_t>(p)] * x_cols;
-        for (int64_t c = 0; c < x_cols; ++c) yrow[c] += v * xrow[c];
-      }
-    }
-  });
+  ActiveBackend().Spmm(row_ptr_.data(), col_idx_.data(), values_.data(),
+                       rows_, x, x_cols, y);
 }
 
 const SparseMatrix& SparseMatrix::Transposed() const {

@@ -60,7 +60,7 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
       << values.size() << " values";
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data = std::move(values);
+  impl->data.assign(values.begin(), values.end());
   return WrapImpl(std::move(impl));
 }
 

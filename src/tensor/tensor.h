@@ -21,6 +21,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "tensor/arena.h"
 
 namespace fairwos::tensor {
 
@@ -41,7 +42,8 @@ namespace internal {
 /// user code goes through Tensor.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
+  // 64-byte-aligned, arena-backed inside an ArenaScope (tensor/arena.h).
+  FloatBuffer data;
   bool requires_grad = false;
   std::vector<float> grad;  // allocated lazily, same length as data
 
@@ -105,9 +107,9 @@ class Tensor {
   int64_t rank() const { return static_cast<int64_t>(impl().shape.size()); }
   int64_t numel() const { return static_cast<int64_t>(impl().data.size()); }
 
-  /// Raw row-major storage.
-  const std::vector<float>& data() const { return impl().data; }
-  std::vector<float>& mutable_data() { return impl().data; }
+  /// Raw row-major storage (64-byte aligned; see tensor/arena.h).
+  const FloatBuffer& data() const { return impl().data; }
+  FloatBuffer& mutable_data() { return impl().data; }
 
   /// Element accessors (rank 1 / rank 2).
   float at(int64_t i) const;

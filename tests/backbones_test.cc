@@ -106,10 +106,11 @@ TEST_P(BackboneParamTest, FairwosRunsOnBackbone) {
   options.fairwos.finetune_epochs = 5;
   options.fairwos.encoder.epochs = 30;
   auto method = baselines::MakeMethod("fairwos", options).value();
-  auto out = method->Run(ds, 5);
-  ASSERT_TRUE(out.ok()) << BackboneName(GetParam()) << ": "
-                        << out.status().ToString();
-  EXPECT_EQ(static_cast<int64_t>(out->pred.size()), ds.num_nodes());
+  auto fitted = method->Fit(ds, 5);
+  ASSERT_TRUE(fitted.ok()) << BackboneName(GetParam()) << ": "
+                           << fitted.status().ToString();
+  auto out = (*fitted)->Predict(ds);
+  EXPECT_EQ(static_cast<int64_t>(out.pred.size()), ds.num_nodes());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackbones, BackboneParamTest,

@@ -11,6 +11,17 @@
 namespace fairwos::baselines {
 namespace {
 
+/// Fit-then-predict in one call (what the removed FairMethod::Run shim did).
+common::Result<core::MethodOutput> FitPredict(core::FairMethod& method,
+                                              const data::Dataset& ds,
+                                              uint64_t seed) {
+  auto fitted = method.Fit(ds, seed);
+  if (!fitted.ok()) return fitted.status();
+  core::MethodOutput out = (*fitted)->Predict(ds);
+  out.train_seconds = (*fitted)->train_seconds();
+  return out;
+}
+
 data::Dataset ToyDataset() { return data::MakeDataset("toy", {}).value(); }
 
 MethodOptions FastOptions() {
@@ -30,7 +41,7 @@ class MethodContractTest : public ::testing::TestWithParam<std::string> {};
 TEST_P(MethodContractTest, RunsAndPredictsEveryNode) {
   auto ds = ToyDataset();
   auto method = MakeMethod(GetParam(), FastOptions()).value();
-  auto out = method->Run(ds, 7);
+  auto out = FitPredict(*method, ds, 7);
   ASSERT_TRUE(out.ok()) << GetParam() << ": " << out.status().ToString();
   EXPECT_EQ(static_cast<int64_t>(out->pred.size()), ds.num_nodes());
   EXPECT_EQ(static_cast<int64_t>(out->prob1.size()), ds.num_nodes());
@@ -46,8 +57,8 @@ TEST_P(MethodContractTest, DeterministicInSeed) {
   auto ds = ToyDataset();
   auto m1 = MakeMethod(GetParam(), FastOptions()).value();
   auto m2 = MakeMethod(GetParam(), FastOptions()).value();
-  auto a = m1->Run(ds, 13);
-  auto b = m2->Run(ds, 13);
+  auto a = FitPredict(*m1, ds, 13);
+  auto b = FitPredict(*m2, ds, 13);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->pred, b->pred) << GetParam();
@@ -63,8 +74,8 @@ TEST_P(MethodContractTest, IgnoresSensitiveAttribute) {
   }
   auto m1 = MakeMethod(GetParam(), FastOptions()).value();
   auto m2 = MakeMethod(GetParam(), FastOptions()).value();
-  auto a = m1->Run(ds, 29);
-  auto b = m2->Run(scrambled, 29);
+  auto a = FitPredict(*m1, ds, 29);
+  auto b = FitPredict(*m2, scrambled, 29);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->pred, b->pred) << GetParam() << " read the sensitive attribute";
@@ -112,7 +123,7 @@ TEST(RegistryTest, BackboneReachesMethods) {
   options.backbone = nn::Backbone::kGin;
   auto method = MakeMethod("vanilla", options).value();
   auto ds = ToyDataset();
-  EXPECT_TRUE(method->Run(ds, 1).ok());
+  EXPECT_TRUE(method->Fit(ds, 1).ok());
 }
 
 TEST(RemoveRTest, DropsRequestedFraction) {
@@ -120,12 +131,12 @@ TEST(RemoveRTest, DropsRequestedFraction) {
   MethodOptions options = FastOptions();
   options.remover.drop_fraction = 0.5;
   auto method = MakeMethod("remover", options).value();
-  EXPECT_TRUE(method->Run(ds, 2).ok());
+  EXPECT_TRUE(method->Fit(ds, 2).ok());
   // Invalid fraction is rejected.
   RemoveRConfig bad;
   bad.drop_fraction = 1.5;
   RemoveRMethod invalid({}, {}, bad);
-  EXPECT_FALSE(invalid.Run(ds, 1).ok());
+  EXPECT_FALSE(invalid.Fit(ds, 1).ok());
 }
 
 TEST(KSmoteTest, RejectsTooFewClusters) {
@@ -133,7 +144,7 @@ TEST(KSmoteTest, RejectsTooFewClusters) {
   KSmoteConfig bad;
   bad.clusters = 1;
   KSmoteMethod invalid({}, {}, bad);
-  EXPECT_FALSE(invalid.Run(ds, 1).ok());
+  EXPECT_FALSE(invalid.Fit(ds, 1).ok());
 }
 
 TEST(FairRFTest, RejectsBadRelatedFraction) {
@@ -141,7 +152,7 @@ TEST(FairRFTest, RejectsBadRelatedFraction) {
   FairRFConfig bad;
   bad.related_fraction = 0.0;
   FairRFMethod invalid({}, {}, bad);
-  EXPECT_FALSE(invalid.Run(ds, 1).ok());
+  EXPECT_FALSE(invalid.Fit(ds, 1).ok());
 }
 
 TEST(FairGkdTest, RejectsNegativeGamma) {
@@ -149,7 +160,7 @@ TEST(FairGkdTest, RejectsNegativeGamma) {
   FairGkdConfig bad;
   bad.gamma = -1.0;
   FairGkdMethod invalid({}, {}, bad);
-  EXPECT_FALSE(invalid.Run(ds, 1).ok());
+  EXPECT_FALSE(invalid.Fit(ds, 1).ok());
 }
 
 TEST(FairGkdTest, StructureFeaturesAreStandardized) {

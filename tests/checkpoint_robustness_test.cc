@@ -66,7 +66,8 @@ class CheckpointRobustnessTest : public ::testing::Test {
     ASSERT_FALSE(status.ok());
     EXPECT_EQ(status.code(), expected_code) << status.ToString();
     for (size_t i = 0; i < snapshot.size(); ++i) {
-      EXPECT_EQ(model.parameters()[i].data(), snapshot[i])
+      const auto& got = model.parameters()[i].data();
+      EXPECT_EQ(std::vector<float>(got.begin(), got.end()), snapshot[i])
           << "parameter " << i << " was modified by a failed load";
     }
   }
@@ -152,7 +153,8 @@ TEST_F(CheckpointRobustnessTest, ShapeMismatchIsFailedPrecondition) {
   EXPECT_EQ(status.code(), common::StatusCode::kFailedPrecondition)
       << status.ToString();
   for (size_t i = 0; i < snapshot.size(); ++i) {
-    EXPECT_EQ(big.parameters()[i].data(), snapshot[i]);
+    const auto& got = big.parameters()[i].data();
+    EXPECT_EQ(std::vector<float>(got.begin(), got.end()), snapshot[i]);
   }
 }
 
@@ -212,7 +214,8 @@ TEST_F(CheckpointRobustnessTest, EveryByteFlipIsRejectedOrRoundTrips) {
     const common::Status status = LoadCheckpoint(path_, victim);
     if (status.ok()) {
       for (size_t i = 0; i < reference.size(); ++i) {
-        EXPECT_EQ(victim.parameters()[i].data(), reference[i])
+        const auto& got = victim.parameters()[i].data();
+        EXPECT_EQ(std::vector<float>(got.begin(), got.end()), reference[i])
             << "flip at " << offset << " loaded silently-corrupt weights";
       }
     }

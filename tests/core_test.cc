@@ -357,9 +357,9 @@ TEST(FairwosTrainerTest, RejectsNegativeAlpha) {
 TEST(FairwosMethodTest, ReportsTrainingTime) {
   auto ds = data::MakeDataset("toy", {}).value();
   FairwosMethod method("Fairwos", FastConfig());
-  auto out = method.Run(ds, 1);
-  ASSERT_TRUE(out.ok());
-  EXPECT_GT(out->train_seconds, 0.0);
+  auto fitted = method.Fit(ds, 1);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_GT((*fitted)->train_seconds(), 0.0);
   EXPECT_EQ(method.name(), "Fairwos");
 }
 

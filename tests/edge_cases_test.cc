@@ -45,9 +45,10 @@ TEST(EdgeCaseTest, VanillaOnEdgelessGraph) {
   baselines::MethodOptions options;
   options.train.epochs = 20;
   auto method = baselines::MakeMethod("vanilla", options).value();
-  auto out = method->Run(ds, 1);
-  ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->pred.size(), 16u);
+  auto fitted = method->Fit(ds, 1);
+  ASSERT_TRUE(fitted.ok());
+  auto out = (*fitted)->Predict(ds);
+  EXPECT_EQ(out.pred.size(), 16u);
 }
 
 TEST(EdgeCaseTest, FairwosOnTinyGraph) {

@@ -64,7 +64,7 @@ TEST(KMeansTest, RecoversWellSeparatedClusters) {
       truth.push_back(c);
     }
   }
-  auto result = KMeans(points, 90, 2, 3, 50, &rng);
+  auto result = KMeans(points.data(), 90, 2, 3, 50, &rng);
   // Every true cluster must be pure under the recovered assignment.
   for (int c = 0; c < 3; ++c) {
     const int first = result.assignment[static_cast<size_t>(c * 30)];
@@ -78,7 +78,7 @@ TEST(KMeansTest, RecoversWellSeparatedClusters) {
 TEST(KMeansTest, KEqualsNGivesZeroInertia) {
   common::Rng rng(2);
   std::vector<float> points = {0.0f, 5.0f, 9.0f};
-  auto result = KMeans(points, 3, 1, 3, 20, &rng);
+  auto result = KMeans(points.data(), 3, 1, 3, 20, &rng);
   EXPECT_NEAR(result.inertia, 0.0, 1e-9);
 }
 
@@ -89,8 +89,8 @@ TEST(KMeansTest, DeterministicGivenRngState) {
     points.push_back(static_cast<float>(data_rng.Normal()));
   }
   common::Rng a(7), b(7);
-  auto ra = KMeans(points, 50, 1, 4, 30, &a);
-  auto rb = KMeans(points, 50, 1, 4, 30, &b);
+  auto ra = KMeans(points.data(), 50, 1, 4, 30, &a);
+  auto rb = KMeans(points.data(), 50, 1, 4, 30, &b);
   EXPECT_EQ(ra.assignment, rb.assignment);
 }
 

@@ -1166,7 +1166,8 @@ GraphDigest DigestOf(const GraphSnapshot& snap) {
   d.row_ptr = op->row_ptr();
   d.col_idx = op->col_idx();
   d.values = op->values();
-  d.features = snap.Features().data();
+  d.features.assign(snap.Features().data().begin(),
+                    snap.Features().data().end());
   d.nodes = snap.num_nodes();
   d.edges = snap.num_edges();
   return d;

@@ -61,7 +61,8 @@ TEST(IntegrationTest, HarnessAgreesWithDirectMetrics) {
   auto metrics = eval::RunTrial(method.get(), ds, 5).value();
   // Re-run the method directly with the same seed and recompute by hand.
   auto method2 = baselines::MakeMethod("vanilla", options).value();
-  auto out = method2->Run(ds, 5).value();
+  auto fitted = method2->Fit(ds, 5).value();
+  auto out = fitted->Predict(ds);
   EXPECT_DOUBLE_EQ(
       metrics.acc,
       fairness::AccuracyPct(out.pred, ds.labels, ds.split.test));

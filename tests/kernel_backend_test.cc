@@ -1,0 +1,431 @@
+// The kernel-backend determinism contract (docs/kernels.md): the scalar
+// and AVX2 backends must produce bytewise-identical results for every
+// non-reassociating entry point, at any thread count; the opt-in fast-math
+// kernels must stay within documented tolerances of the scalar reference.
+// Plus the arena allocator's alignment / reset / reuse / detach semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/cpuid.h"
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "tensor/arena.h"
+#include "tensor/backend.h"
+
+namespace fairwos::tensor {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint64_t seed, bool with_specials) {
+  common::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  if (with_specials && n >= 8) {
+    // Exact zeros and negative zeros exercise the kernels' zero-skip and
+    // sign-propagation paths, where a careless SIMD port diverges first.
+    v[1] = 0.0f;
+    v[5] = -0.0f;
+  }
+  return v;
+}
+
+bool BitEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Restores the default pool size when a test returns early.
+struct ThreadGuard {
+  ~ThreadGuard() { common::SetGlobalThreadCount(0); }
+};
+
+class BackendPairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    avx2_ = GetAvx2BackendOrNull();
+    if (avx2_ == nullptr) {
+      GTEST_SKIP() << "host lacks AVX2+FMA; single-backend build";
+    }
+  }
+  const KernelBackend* avx2_ = nullptr;
+  ThreadGuard guard_;
+};
+
+// --- Bit-identity: scalar vs AVX2, 1 vs 8 threads -------------------------
+
+TEST_F(BackendPairTest, GemmFamilyBitIdentical) {
+  const int64_t n = 33, k = 29, m = 41;  // odd sizes exercise SIMD tails
+  const auto a = RandomVec(static_cast<size_t>(n * k), 1, true);
+  const auto b = RandomVec(static_cast<size_t>(k * m), 2, true);
+  for (int threads : {1, 8}) {
+    common::SetGlobalThreadCount(threads);
+    std::vector<float> c_scalar(static_cast<size_t>(n * m), 0.5f);
+    std::vector<float> c_avx2 = c_scalar;
+    GetScalarBackend().GemmNN(a.data(), b.data(), c_scalar.data(), n, k, m);
+    avx2_->GemmNN(a.data(), b.data(), c_avx2.data(), n, k, m);
+    EXPECT_TRUE(BitEqual(c_scalar, c_avx2)) << "GemmNN @" << threads;
+
+    // GemmNT: c[n,m] += a[n,k] · bt[m,k]ᵀ (bt stores the transposed factor).
+    const auto bt = RandomVec(static_cast<size_t>(m * k), 20, true);
+    std::vector<float> t_scalar(static_cast<size_t>(n * m), 0.25f);
+    std::vector<float> t_avx2 = t_scalar;
+    GetScalarBackend().GemmNT(a.data(), bt.data(), t_scalar.data(), n, k, m);
+    avx2_->GemmNT(a.data(), bt.data(), t_avx2.data(), n, k, m);
+    EXPECT_TRUE(BitEqual(t_scalar, t_avx2)) << "GemmNT @" << threads;
+
+    // GemmTN: c[k,m2] += a[n,k]ᵀ · b2[n,m2].
+    const int64_t m2 = 23;
+    const auto b2 = RandomVec(static_cast<size_t>(n * m2), 21, true);
+    std::vector<float> g_scalar(static_cast<size_t>(k * m2), 0.0f);
+    std::vector<float> g_avx2 = g_scalar;
+    GetScalarBackend().GemmTN(a.data(), b2.data(), g_scalar.data(), n, k, m2);
+    avx2_->GemmTN(a.data(), b2.data(), g_avx2.data(), n, k, m2);
+    EXPECT_TRUE(BitEqual(g_scalar, g_avx2)) << "GemmTN @" << threads;
+  }
+}
+
+TEST_F(BackendPairTest, GemmNNIdenticalAcrossThreadCounts) {
+  const int64_t n = 64, k = 64, m = 64;
+  const auto a = RandomVec(static_cast<size_t>(n * k), 3, true);
+  const auto b = RandomVec(static_cast<size_t>(k * m), 4, true);
+  common::SetGlobalThreadCount(1);
+  std::vector<float> c1(static_cast<size_t>(n * m), 0.0f);
+  avx2_->GemmNN(a.data(), b.data(), c1.data(), n, k, m);
+  common::SetGlobalThreadCount(8);
+  std::vector<float> c8(static_cast<size_t>(n * m), 0.0f);
+  avx2_->GemmNN(a.data(), b.data(), c8.data(), n, k, m);
+  EXPECT_TRUE(BitEqual(c1, c8));
+}
+
+TEST_F(BackendPairTest, SpmmBitIdentical) {
+  const int64_t rows = 200, x_cols = 17;
+  common::Rng rng(5);
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows) + 1, 0);
+  std::vector<int64_t> col_idx;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int d = 0; d < 7; ++d) col_idx.push_back(rng.UniformInt(rows));
+    row_ptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(col_idx.size());
+  }
+  const auto vals = RandomVec(col_idx.size(), 6, true);
+  const auto x = RandomVec(static_cast<size_t>(rows * x_cols), 7, true);
+  for (int threads : {1, 8}) {
+    common::SetGlobalThreadCount(threads);
+    std::vector<float> y_scalar(static_cast<size_t>(rows * x_cols));
+    std::vector<float> y_avx2(y_scalar.size());
+    GetScalarBackend().Spmm(row_ptr.data(), col_idx.data(), vals.data(), rows,
+                            x.data(), x_cols, y_scalar.data());
+    avx2_->Spmm(row_ptr.data(), col_idx.data(), vals.data(), rows, x.data(),
+                x_cols, y_avx2.data());
+    EXPECT_TRUE(BitEqual(y_scalar, y_avx2)) << "@" << threads;
+  }
+}
+
+TEST_F(BackendPairTest, EwiseFamiliesBitIdentical) {
+  const int64_t n = 4099;  // not a multiple of 8: exercises the tails
+  const auto a = RandomVec(static_cast<size_t>(n), 8, true);
+  const auto b = RandomVec(static_cast<size_t>(n), 9, true);
+  const auto gy = RandomVec(static_cast<size_t>(n), 10, true);
+  for (int threads : {1, 8}) {
+    common::SetGlobalThreadCount(threads);
+    for (auto op : {EwiseBinaryOp::kAdd, EwiseBinaryOp::kSub,
+                    EwiseBinaryOp::kMul, EwiseBinaryOp::kDiv}) {
+      std::vector<float> y_scalar(static_cast<size_t>(n)), y_avx2(y_scalar);
+      GetScalarBackend().EwiseBinary(op, a.data(), b.data(), y_scalar.data(),
+                                     n);
+      avx2_->EwiseBinary(op, a.data(), b.data(), y_avx2.data(), n);
+      EXPECT_TRUE(BitEqual(y_scalar, y_avx2))
+          << "binary op " << static_cast<int>(op) << " @" << threads;
+      for (int input : {0, 1}) {
+        std::vector<float> gx_scalar(static_cast<size_t>(n), 0.125f);
+        std::vector<float> gx_avx2 = gx_scalar;
+        GetScalarBackend().EwiseBinaryGrad(op, input, y_scalar.data(),
+                                           gy.data(), a.data(), b.data(),
+                                           gx_scalar.data(), n);
+        avx2_->EwiseBinaryGrad(op, input, y_scalar.data(), gy.data(), a.data(),
+                               b.data(), gx_avx2.data(), n);
+        EXPECT_TRUE(BitEqual(gx_scalar, gx_avx2))
+            << "binary grad op " << static_cast<int>(op) << " input " << input
+            << " @" << threads;
+      }
+    }
+    struct UnaryCase {
+      EwiseUnaryOp op;
+      float p0, p1;
+    };
+    // Sqrt needs non-negative input; tested separately below.
+    for (UnaryCase uc : std::vector<UnaryCase>{
+             {EwiseUnaryOp::kAddScalar, 1.5f, 0.0f},
+             {EwiseUnaryOp::kMulScalar, -2.0f, 0.0f},
+             {EwiseUnaryOp::kRelu, 0.0f, 0.0f},
+             {EwiseUnaryOp::kLeakyRelu, 0.2f, 0.0f},
+             {EwiseUnaryOp::kSigmoid, 0.0f, 0.0f},
+             {EwiseUnaryOp::kTanh, 0.0f, 0.0f},
+             {EwiseUnaryOp::kExp, 0.0f, 0.0f},
+             {EwiseUnaryOp::kAbs, 0.0f, 0.0f},
+             {EwiseUnaryOp::kClamp, -0.5f, 0.5f}}) {
+      std::vector<float> y_scalar(static_cast<size_t>(n)), y_avx2(y_scalar);
+      GetScalarBackend().EwiseUnary(uc.op, uc.p0, uc.p1, a.data(),
+                                    y_scalar.data(), n);
+      avx2_->EwiseUnary(uc.op, uc.p0, uc.p1, a.data(), y_avx2.data(), n);
+      EXPECT_TRUE(BitEqual(y_scalar, y_avx2))
+          << "unary op " << static_cast<int>(uc.op) << " @" << threads;
+      std::vector<float> gx_scalar(static_cast<size_t>(n), 0.25f);
+      std::vector<float> gx_avx2 = gx_scalar;
+      GetScalarBackend().EwiseUnaryGrad(uc.op, uc.p0, uc.p1, y_scalar.data(),
+                                        a.data(), gy.data(), gx_scalar.data(),
+                                        n);
+      avx2_->EwiseUnaryGrad(uc.op, uc.p0, uc.p1, y_scalar.data(), a.data(),
+                            gy.data(), gx_avx2.data(), n);
+      EXPECT_TRUE(BitEqual(gx_scalar, gx_avx2))
+          << "unary grad op " << static_cast<int>(uc.op) << " @" << threads;
+    }
+  }
+}
+
+TEST_F(BackendPairTest, SqrtBitIdentical) {
+  // _mm256_sqrt_ps is IEEE correctly rounded, so SIMD sqrt must match libm
+  // bit for bit.
+  const int64_t n = 1023;
+  auto a = RandomVec(static_cast<size_t>(n), 11, false);
+  for (auto& v : a) v = std::abs(v);
+  a[3] = 0.0f;
+  const auto gy = RandomVec(static_cast<size_t>(n), 12, false);
+  std::vector<float> y_scalar(static_cast<size_t>(n)), y_avx2(y_scalar);
+  GetScalarBackend().EwiseUnary(EwiseUnaryOp::kSqrt, 0, 0, a.data(),
+                                y_scalar.data(), n);
+  avx2_->EwiseUnary(EwiseUnaryOp::kSqrt, 0, 0, a.data(), y_avx2.data(), n);
+  EXPECT_TRUE(BitEqual(y_scalar, y_avx2));
+  std::vector<float> gx_scalar(static_cast<size_t>(n), 0.0f);
+  std::vector<float> gx_avx2 = gx_scalar;
+  GetScalarBackend().EwiseUnaryGrad(EwiseUnaryOp::kSqrt, 0, 0,
+                                    y_scalar.data(), a.data(), gy.data(),
+                                    gx_scalar.data(), n);
+  avx2_->EwiseUnaryGrad(EwiseUnaryOp::kSqrt, 0, 0, y_scalar.data(), a.data(),
+                        gy.data(), gx_avx2.data(), n);
+  EXPECT_TRUE(BitEqual(gx_scalar, gx_avx2));
+}
+
+TEST_F(BackendPairTest, ReduceBitIdenticalAcrossBackendsAndThreads) {
+  const int64_t n = 100003;
+  const auto a = RandomVec(static_cast<size_t>(n), 13, true);
+  for (auto kind : {ReduceKind::kSum, ReduceKind::kSumSquares}) {
+    common::SetGlobalThreadCount(1);
+    const double s1 = GetScalarBackend().Reduce(kind, a.data(), n);
+    const double v1 = avx2_->Reduce(kind, a.data(), n);
+    common::SetGlobalThreadCount(8);
+    const double s8 = GetScalarBackend().Reduce(kind, a.data(), n);
+    const double v8 = avx2_->Reduce(kind, a.data(), n);
+    EXPECT_EQ(s1, v1) << static_cast<int>(kind);
+    EXPECT_EQ(s1, s8) << static_cast<int>(kind);
+    EXPECT_EQ(v1, v8) << static_cast<int>(kind);
+  }
+}
+
+// --- Fast-math tolerance (docs/kernels.md) ---------------------------------
+
+/// RAII toggle so a failing ASSERT cannot leave fast-math on for later
+/// tests.
+struct FastMathOn {
+  FastMathOn() { SetFastMath(true); }
+  ~FastMathOn() { SetFastMath(false); }
+};
+
+TEST_F(BackendPairTest, FastMathGemmWithinTolerance) {
+  const int64_t n = 61, k = 127, m = 35;
+  const auto a = RandomVec(static_cast<size_t>(n * k), 14, false);
+  const auto b = RandomVec(static_cast<size_t>(k * m), 15, false);
+  std::vector<float> ref(static_cast<size_t>(n * m), 0.0f);
+  GetScalarBackend().GemmNN(a.data(), b.data(), ref.data(), n, k, m);
+  std::vector<float> fast(static_cast<size_t>(n * m), 0.0f);
+  {
+    FastMathOn fm;
+    avx2_->GemmNN(a.data(), b.data(), fast.data(), n, k, m);
+  }
+  // FMA reassociation changes rounding, not math. The documented tolerance
+  // (docs/kernels.md) is the standard accumulated-rounding bound: for a
+  // length-k dot product, |fast - exact| <= k·ε·Σ|a·b| with ε = 2^-24, so
+  // fast vs scalar differ by at most twice that. Normalizing by Σ|a·b|
+  // (not by the result) keeps the bound meaningful under cancellation.
+  std::vector<float> abs_a(a.size()), abs_b(b.size());
+  for (size_t i = 0; i < a.size(); ++i) abs_a[i] = std::abs(a[i]);
+  for (size_t i = 0; i < b.size(); ++i) abs_b[i] = std::abs(b[i]);
+  std::vector<float> l1(static_cast<size_t>(n * m), 0.0f);
+  GetScalarBackend().GemmNN(abs_a.data(), abs_b.data(), l1.data(), n, k, m);
+  const double eps = 1.0 / (1 << 24);
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const double bound = 2.0 * static_cast<double>(k) * eps * l1[i] + 1e-12;
+    EXPECT_LT(std::abs(static_cast<double>(fast[i]) - ref[i]), bound)
+        << "element " << i;
+  }
+}
+
+TEST_F(BackendPairTest, FastMathReduceWithinToleranceAndThreadStable) {
+  const int64_t n = 1 << 18;
+  const auto a = RandomVec(static_cast<size_t>(n), 16, false);
+  const double ref = GetScalarBackend().Reduce(ReduceKind::kSum, a.data(), n);
+  FastMathOn fm;
+  common::SetGlobalThreadCount(1);
+  const double f1 = avx2_->Reduce(ReduceKind::kSum, a.data(), n);
+  common::SetGlobalThreadCount(8);
+  const double f8 = avx2_->Reduce(ReduceKind::kSum, a.data(), n);
+  // The 4-lane double accumulation reassociates relative to scalar, but the
+  // chunk structure is still thread-count independent.
+  EXPECT_EQ(f1, f8);
+  EXPECT_NEAR(f1, ref, 1e-4 * std::max(1.0, std::abs(ref)));
+}
+
+// --- Dispatch --------------------------------------------------------------
+
+TEST(DispatchTest, ParseSimdModeRoundTrips) {
+  EXPECT_EQ(ParseSimdMode("auto").value(), SimdMode::kAuto);
+  EXPECT_EQ(ParseSimdMode("scalar").value(), SimdMode::kScalar);
+  EXPECT_EQ(ParseSimdMode("avx2").value(), SimdMode::kAvx2);
+  EXPECT_FALSE(ParseSimdMode("neon").ok());
+  EXPECT_FALSE(ParseSimdMode("").ok());
+}
+
+TEST(DispatchTest, SelectBackendScalarAlwaysWorks) {
+  ASSERT_TRUE(SelectBackend(SimdMode::kScalar).ok());
+  EXPECT_EQ(ActiveBackendInfo().active, "scalar");
+  // Restore auto dispatch for the rest of the binary.
+  ASSERT_TRUE(SelectBackend(SimdMode::kAuto).ok());
+  if (common::CpuSupportsAvx2Fma()) {
+    EXPECT_EQ(ActiveBackendInfo().active, "avx2");
+  } else {
+    EXPECT_EQ(ActiveBackendInfo().active, "scalar");
+  }
+}
+
+TEST(DispatchTest, SelectAvx2FailsCleanlyWithoutSupport) {
+  if (common::CpuSupportsAvx2Fma()) {
+    EXPECT_TRUE(SelectBackend(SimdMode::kAvx2).ok());
+    ASSERT_TRUE(SelectBackend(SimdMode::kAuto).ok());
+  } else {
+    EXPECT_FALSE(SelectBackend(SimdMode::kAvx2).ok());
+  }
+}
+
+// --- Arena -----------------------------------------------------------------
+
+TEST(ArenaTest, AllocationsAre64ByteAligned) {
+  Arena arena;
+  ArenaScope scope(&arena);
+  for (size_t bytes : {1u, 7u, 64u, 100u, 4096u}) {
+    void* p = ArenaAllocate(bytes);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kArenaAlignment, 0u)
+        << bytes << " bytes";
+    ArenaDeallocate(p);
+  }
+}
+
+TEST(ArenaTest, HeapFallbackIsAlsoAligned) {
+  ASSERT_EQ(CurrentThreadArena(), nullptr);
+  void* p = ArenaAllocate(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kArenaAlignment, 0u);
+  ArenaDeallocate(p);
+}
+
+TEST(ArenaTest, EpochResetReusesTheSameBlock) {
+  Arena arena;
+  ArenaScope scope(&arena);
+  void* first = ArenaAllocate(512);
+  ArenaDeallocate(first);
+  arena.EpochReset();
+  void* second = ArenaAllocate(512);
+  // Bump pointer rewound: the same slot is handed out again.
+  EXPECT_EQ(first, second);
+  ArenaDeallocate(second);
+  const Arena::Stats stats = arena.stats();
+  EXPECT_EQ(stats.blocks, 1u);
+  EXPECT_EQ(stats.epoch_resets, 1);
+  EXPECT_EQ(stats.allocations, 2);
+}
+
+TEST(ArenaTest, ResetWithLiveAllocationIsDeferred) {
+  Arena arena;
+  ArenaScope scope(&arena);
+  void* live = ArenaAllocate(256);
+  arena.EpochReset();  // must NOT rewind under `live`
+  EXPECT_EQ(arena.stats().deferred_resets, 1);
+  EXPECT_EQ(arena.stats().epoch_resets, 0);
+  void* after = ArenaAllocate(256);
+  EXPECT_NE(live, after);  // still bump-allocated past the live buffer
+  ArenaDeallocate(after);
+  ArenaDeallocate(live);  // last release runs the deferred reset
+  EXPECT_EQ(arena.stats().epoch_resets, 1);
+  void* reused = ArenaAllocate(256);
+  EXPECT_EQ(live, reused);
+  ArenaDeallocate(reused);
+}
+
+TEST(ArenaTest, OversizeRequestsFallBackToHeap) {
+  Arena arena(Arena::Options{/*block_bytes=*/4096});
+  ArenaScope scope(&arena);
+  void* big = ArenaAllocate(1 << 20);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(big) % kArenaAlignment, 0u);
+  std::memset(big, 0xab, 1 << 20);  // must be writable end to end
+  ArenaDeallocate(big);
+  EXPECT_EQ(arena.stats().oversize_allocs, 1);
+  EXPECT_EQ(arena.stats().allocations, 0);
+}
+
+TEST(ArenaTest, BufferOutlivesItsArena) {
+  FloatBuffer buffer;
+  {
+    Arena arena;
+    ArenaScope scope(&arena);
+    buffer.assign(1000, 2.5f);
+  }  // arena destroyed with `buffer` live: blocks must stay valid
+  for (float v : buffer) ASSERT_EQ(v, 2.5f);
+  buffer.clear();
+  buffer.shrink_to_fit();  // releases the detached arena's last block
+}
+
+TEST(ArenaTest, ScopesNestAndRestore) {
+  Arena outer, inner;
+  ASSERT_EQ(CurrentThreadArena(), nullptr);
+  {
+    ArenaScope a(&outer);
+    EXPECT_EQ(CurrentThreadArena(), &outer);
+    {
+      ArenaScope b(&inner);
+      EXPECT_EQ(CurrentThreadArena(), &inner);
+    }
+    EXPECT_EQ(CurrentThreadArena(), &outer);
+  }
+  EXPECT_EQ(CurrentThreadArena(), nullptr);
+}
+
+TEST(ArenaTest, FloatBufferRoutesThroughScopedArena) {
+  Arena arena;
+  size_t before, after;
+  {
+    ArenaScope scope(&arena);
+    before = arena.stats().bytes_in_use;
+    FloatBuffer buf(10000, 1.0f);
+    after = arena.stats().bytes_in_use;
+    EXPECT_GE(after - before, 10000 * sizeof(float));
+  }
+  EXPECT_EQ(arena.stats().live_allocations, 0);
+}
+
+TEST(ArenaTest, CrossScopeDeallocationRoutesToOwner) {
+  // Allocated under the arena, freed after the scope ended: the header
+  // routes the release back to the owning arena, not the heap.
+  Arena arena;
+  void* p = nullptr;
+  {
+    ArenaScope scope(&arena);
+    p = ArenaAllocate(128);
+  }
+  ASSERT_EQ(CurrentThreadArena(), nullptr);
+  ArenaDeallocate(p);
+  EXPECT_EQ(arena.stats().live_allocations, 0);
+  EXPECT_EQ(arena.stats().bytes_in_use, 0u);
+}
+
+}  // namespace
+}  // namespace fairwos::tensor

@@ -74,7 +74,9 @@ TEST(ModuleTest, SnapshotRestoreRoundTrip) {
   tensor::Tensor w = layer.parameters()[0];
   w.mutable_data()[0] += 10.0f;
   RestoreParameters(layer, snapshot);
-  EXPECT_EQ(layer.parameters()[0].data(), snapshot[0]);
+  const auto& restored = layer.parameters()[0].data();
+  EXPECT_EQ(std::vector<float>(restored.begin(), restored.end()),
+            snapshot[0]);
 }
 
 TEST(ModuleTest, ZeroGradClearsAll) {

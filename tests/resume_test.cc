@@ -136,7 +136,8 @@ TEST(OptimizerStateTest, AdamExportImportRoundTrip) {
   ASSERT_EQ(state.moment1.size(), 1u);
   ASSERT_EQ(state.moment1[0].size(), 3u);
 
-  tensor::Tensor y = tensor::Tensor::FromVector({3}, x.data());
+  tensor::Tensor y = tensor::Tensor::FromVector(
+      {3}, std::vector<float>(x.data().begin(), x.data().end()));
   y.set_requires_grad(true);
   nn::Adam b({y}, /*lr=*/0.5f);  // wrong lr, overwritten by import
   ASSERT_TRUE(b.ImportState(state).ok());

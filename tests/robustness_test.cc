@@ -347,7 +347,7 @@ TEST(TrainClassifierRecoveryTest, RecoversFromOnePoisonedLoss) {
   EXPECT_EQ(diag.retries, 1);
   EXPECT_FALSE(diag.aborted);
   for (const auto& p : model.parameters()) {
-    EXPECT_TRUE(common::AllFinite(p.data()));
+    EXPECT_TRUE(common::AllFinite(p.data().data(), p.data().size()));
   }
 }
 
@@ -370,7 +370,7 @@ TEST(TrainClassifierRecoveryTest, PersistentFaultAbortsWithFiniteModel) {
   EXPECT_EQ(diag.retries, 2);
   EXPECT_TRUE(diag.aborted);
   for (const auto& p : model.parameters()) {
-    EXPECT_TRUE(common::AllFinite(p.data()));
+    EXPECT_TRUE(common::AllFinite(p.data().data(), p.data().size()));
   }
 }
 

@@ -88,7 +88,7 @@ TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
 
 // --- Fit/Predict split ----------------------------------------------------
 
-TEST(FitPredictSplitTest, RunShimMatchesExplicitFitThenPredict) {
+TEST(FitPredictSplitTest, FitIsDeterministicAcrossInstances) {
   auto ds = ToyDataset();
   nn::GnnConfig gnn;
   gnn.in_features = ds.num_attrs();
@@ -96,10 +96,10 @@ TEST(FitPredictSplitTest, RunShimMatchesExplicitFitThenPredict) {
   train.epochs = 20;
   baselines::VanillaMethod method(gnn, train);
 
-  auto run_or = method.Run(ds, /*seed=*/11);
-  ASSERT_TRUE(run_or.ok());
-  auto fitted = FitVanilla(ds, /*seed=*/11);
-  ExpectSamePredictions(run_or.value(), fitted->Predict(ds));
+  auto fitted_a = method.Fit(ds, /*seed=*/11);
+  ASSERT_TRUE(fitted_a.ok());
+  auto fitted_b = FitVanilla(ds, /*seed=*/11);
+  ExpectSamePredictions((*fitted_a)->Predict(ds), fitted_b->Predict(ds));
 }
 
 TEST(FitPredictSplitTest, PredictIsRepeatable) {

@@ -165,6 +165,7 @@
 #include "obs/prometheus.h"
 #include "obs/quantiles.h"
 #include "serve/artifact.h"
+#include "tensor/backend.h"
 #include "serve/audit.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
@@ -182,7 +183,7 @@ int Usage() {
       stderr,
       "usage: fairwos_cli "
       "<list|generate|train|audit|trace-report|export|serve-bench|"
-      "mutation-replay|ops-report> [flags]\n"
+      "mutation-replay|ops-report|kernel-info> [flags]\n"
       "run with a subcommand to see its flags in the header of\n"
       "tools/fairwos_cli.cc\n");
   return 2;
@@ -254,6 +255,21 @@ class ObsSession {
 void ApplyThreadsFlag(const common::CliFlags& flags) {
   const int64_t threads = flags.GetInt("threads", 0);
   if (threads > 0) common::SetGlobalThreadCount(static_cast<int>(threads));
+}
+
+/// Selects the compute backend from --simd (scalar|avx2|auto; default keeps
+/// the FAIRWOS_SIMD / CPUID choice) and toggles reassociating kernels from
+/// --fast-math (see docs/kernels.md for the accuracy contract).
+common::Status ApplySimdFlags(const common::CliFlags& flags) {
+  if (flags.Has("simd")) {
+    FW_ASSIGN_OR_RETURN(tensor::SimdMode mode,
+                        tensor::ParseSimdMode(flags.GetString("simd", "auto")));
+    FW_RETURN_IF_ERROR(tensor::SelectBackend(mode));
+  }
+  if (flags.Has("fast-math")) {
+    tensor::SetFastMath(flags.GetBool("fast-math", false));
+  }
+  return common::Status::OK();
 }
 
 void PrintFailureReasons(const eval::AggregateMetrics& agg) {
@@ -352,6 +368,7 @@ struct RunOptions {
 
   static common::Result<RunOptions> FromFlags(const common::CliFlags& flags) {
     ApplyThreadsFlag(flags);
+    FW_RETURN_IF_ERROR(ApplySimdFlags(flags));
     RunOptions run;
     FW_ASSIGN_OR_RETURN(run.obs, ObsSession::FromFlags(flags));
     run.checkpoint = ResolveCheckpointOptions(flags);
@@ -1845,6 +1862,36 @@ int OpsReport(const common::CliFlags& flags) {
   return 0;
 }
 
+/// `kernel-info`: which compute backend dispatch selected and why — CPU
+/// features, requested mode, fast-math state, arena configuration. With
+/// --json the same facts print as a single machine-readable object.
+int KernelInfo(const common::CliFlags& flags) {
+  if (common::Status status = ApplySimdFlags(flags); !status.ok()) {
+    return Fail(status);
+  }
+  const tensor::BackendInfo info = tensor::ActiveBackendInfo();
+  if (flags.GetBool("json", false)) {
+    std::printf(
+        "{\"backend\":\"%s\",\"requested\":\"%s\",\"cpu_features\":\"%s\","
+        "\"avx2_supported\":%s,\"fast_math\":%s,"
+        "\"arena_alignment\":%zu,\"arena_block_bytes\":%zu}\n",
+        info.active.c_str(), info.requested_mode.c_str(),
+        info.cpu_features.c_str(), info.avx2_supported ? "true" : "false",
+        info.fast_math ? "true" : "false", tensor::kArenaAlignment,
+        tensor::kArenaDefaultBlockBytes);
+    return 0;
+  }
+  std::printf("backend:           %s\n", info.active.c_str());
+  std::printf("requested mode:    %s\n", info.requested_mode.c_str());
+  std::printf("cpu features:      %s\n", info.cpu_features.c_str());
+  std::printf("avx2+fma capable:  %s\n", info.avx2_supported ? "yes" : "no");
+  std::printf("fast-math:         %s\n", info.fast_math ? "on" : "off");
+  std::printf("arena alignment:   %zu bytes\n", tensor::kArenaAlignment);
+  std::printf("arena block size:  %zu bytes\n",
+              tensor::kArenaDefaultBlockBytes);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -1865,6 +1912,7 @@ int Main(int argc, char** argv) {
   if (command == "serve-bench") return ServeBench(flags_or.value());
   if (command == "mutation-replay") return MutationReplay(flags_or.value());
   if (command == "ops-report") return OpsReport(flags_or.value());
+  if (command == "kernel-info") return KernelInfo(flags_or.value());
   return Usage();
 }
 
